@@ -1,0 +1,55 @@
+// §6.1.2 Binder IPC: end-to-end latency for a client sending n strings of
+// 1 KiB, the server reading them one by one, and a reply.
+// Expected shape (paper): Copier reduces latency 9.6–35.5% for n in 10–800.
+#include "bench/bench_util.h"
+
+#include "src/apps/parcel.h"
+#include "src/simos/binder.h"
+
+namespace copier::bench {
+namespace {
+
+double LatencyUs(const hw::TimingModel& t, int n, apps::Mode mode) {
+  BenchStack stack(&t, {}, mode);
+  apps::AppProcess* client = mode == apps::Mode::kCopier ? stack.NewApp("client")
+                                                         : stack.NewSyncApp("client");
+  apps::AppProcess* server = mode == apps::Mode::kCopier ? stack.NewApp("server")
+                                                         : stack.NewSyncApp("server");
+  simos::BinderDriver binder(stack.kernel.get());
+  apps::BinderParcelChannel channel(&binder, client, server);
+
+  std::vector<std::string> strings(n, std::string(1024, 'x'));
+  Histogram lat;
+  for (int i = 0; i < 12; ++i) {
+    const Cycles start = client->ctx().now();
+    auto result = channel.Call(strings, &client->ctx(), &server->ctx());
+    COPIER_CHECK(result.ok()) << result.status().ToString();
+    lat.Add(Us(client->ctx().now() - start));
+    if (mode == apps::Mode::kCopier) {
+      stack.service->DrainAll();
+    }
+    // Keep the two clocks together between calls (closed loop).
+    server->ctx().WaitUntil(client->ctx().now());
+  }
+  return lat.Mean();
+}
+
+void Run(const hw::TimingModel& t) {
+  PrintBanner("Binder IPC (Parcel): end-to-end latency, n x 1KiB strings (us)");
+  TextTable table({"n strings", "baseline", "Copier", "improvement"});
+  for (int n : {10, 50, 100, 200, 400, 800}) {
+    const double base = LatencyUs(t, n, apps::Mode::kSync);
+    const double copier = LatencyUs(t, n, apps::Mode::kCopier);
+    table.AddRow({std::to_string(n), TextTable::Num(base), TextTable::Num(copier),
+                  "-" + TextTable::Num((1 - copier / base) * 100, 1) + "%"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace copier::bench
+
+int main(int argc, char** argv) {
+  copier::bench::Run(copier::bench::SelectTiming(argc, argv));
+  return 0;
+}

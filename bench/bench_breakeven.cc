@@ -1,0 +1,67 @@
+// §4.6 break-even sizes: the copy size above which Copier beats sync copy
+// (a) with a sufficient Copy-Use window (async pays submit+csync only), and
+// (b) without a window (hardware advantage only). Paper: ~0.3 KiB kernel /
+// ~0.5 KiB userspace with windows; ~2 KiB kernel / ~12 KiB userspace without.
+#include "bench/bench_util.h"
+
+namespace copier::bench {
+namespace {
+
+size_t FirstSize(const std::function<bool(size_t)>& wins) {
+  for (size_t size = 64; size <= 1 * kMiB; size += 64) {
+    if (wins(size)) {
+      return size;
+    }
+  }
+  return 0;
+}
+
+void Run(const hw::TimingModel& t) {
+  PrintBanner("Break-even copy sizes (§4.6)");
+  TextTable table({"case", "break-even", "paper"});
+
+  // With a sufficient window, the app pays submit + csync-check; sync pays
+  // the copy inline.
+  const Cycles async_user = t.task_submit_cycles + t.csync_check_cycles;
+  table.AddRow({"kernel copy, window (vs ERMS)",
+                TextTable::Bytes(FirstSize([&](size_t n) {
+                  return t.CpuCopyCycles(hw::CopyUnitKind::kErms, n) > async_user;
+                })),
+                "~0.3KiB"});
+  table.AddRow({"user copy, window (vs AVX2)",
+                TextTable::Bytes(FirstSize([&](size_t n) {
+                  return t.CpuCopyCycles(hw::CopyUnitKind::kAvx, n) >
+                         async_user + t.csync_submit_cycles;
+                })),
+                "~0.5KiB"});
+
+  // Without a window the app waits for Copier end-to-end: submit + service
+  // pickup + piggybacked copy must beat the inline copy.
+  auto copier_copy_cycles = [&](size_t n) -> Cycles {
+    // Balanced split across AVX and DMA (the dispatcher's steady state).
+    const double avx_rate = t.avx.BytesPerCycle(n);
+    const double dma_rate = t.dma.BytesPerCycle(n);
+    const double combined = n >= t.dma_min_subtask_bytes ? avx_rate + dma_rate : avx_rate;
+    return static_cast<Cycles>(t.task_submit_cycles + t.poll_iteration_cycles +
+                               t.dma_submit_cycles + n / combined + t.csync_submit_cycles);
+  };
+  table.AddRow({"kernel copy, no window (vs ERMS)",
+                TextTable::Bytes(FirstSize([&](size_t n) {
+                  return t.CpuCopyCycles(hw::CopyUnitKind::kErms, n) > copier_copy_cycles(n);
+                })),
+                "~2KiB"});
+  table.AddRow({"user copy, no window (vs AVX2)",
+                TextTable::Bytes(FirstSize([&](size_t n) {
+                  return t.CpuCopyCycles(hw::CopyUnitKind::kAvx, n) > copier_copy_cycles(n);
+                })),
+                "~12KiB"});
+  table.Print();
+}
+
+}  // namespace
+}  // namespace copier::bench
+
+int main(int argc, char** argv) {
+  copier::bench::Run(copier::bench::SelectTiming(argc, argv));
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Figure 14: whole-system resource utilization — Redis instances on a
+// 4-core budget. With Copier, one core is dedicated to the service, so at
+// most 3 instances run concurrently; when all cores are busy Copier still
+// cuts request latency but total throughput dips a few percent (§6.3.4).
+//
+// Method: per-request app-core busy time and engine busy time are measured
+// from one-instance virtual-time runs (the same machinery as Fig. 11), then
+// composed over the core budget.
+#include "bench/bench_util.h"
+
+#include "src/apps/minikv.h"
+
+namespace copier::bench {
+namespace {
+
+struct PerRequest {
+  double app_core_us = 0;     // busy time on the instance's core per request
+  double engine_us = 0;       // Copier-core busy time per request
+  double latency_us = 0;      // end-to-end (includes engine, §6.3.4)
+};
+
+PerRequest Measure(const hw::TimingModel& t, size_t vlen, apps::Mode mode) {
+  BenchStack stack(&t, {}, mode);
+  apps::AppProcess* server = stack.NewApp("kv");
+  apps::AppProcess* client = stack.NewSyncApp("client");
+  apps::MiniKv kv(server);
+  auto [c, s] = stack.kernel->CreateSocketPair();
+  const uint64_t cbuf = client->Map(vlen + 64 * kKiB, "cbuf");
+  const std::vector<uint8_t> value(vlen, 0x31);
+
+  constexpr int kOps = 12;
+  const Cycles server_start = server->ctx().now();
+  const Cycles engine_start = stack.service->engine_ctx().now();
+  const Cycles engine_blocked_start = stack.service->engine_ctx().blocked_cycles();
+  Histogram lat;
+  for (int i = 0; i < kOps; ++i) {
+    client->ctx().WaitUntil(server->ctx().now());
+    const Cycles t0 = client->ctx().now();
+    const auto req = apps::MiniKv::BuildSet("k", value);
+    client->io().Write(cbuf, req.data(), req.size(), &client->ctx());
+    COPIER_CHECK(stack.kernel->Send(*client->proc(), c, cbuf, req.size(), &client->ctx()).ok());
+    server->ctx().WaitUntil(client->ctx().now());
+    COPIER_CHECK(kv.ProcessOne(s, &server->ctx()).ok());
+    if (mode == apps::Mode::kCopier) {
+      core::Client* cl = stack.service->ClientById(server->proc()->copier_client_id());
+      stack.service->Serve(*cl);
+    }
+    auto reply = stack.kernel->Recv(*client->proc(), c, cbuf, 5, &client->ctx());
+    while (!reply.ok() && mode == apps::Mode::kCopier) {
+      core::Client* cl = stack.service->ClientById(server->proc()->copier_client_id());
+      stack.service->Serve(*cl);
+      reply = stack.kernel->Recv(*client->proc(), c, cbuf, 5, &client->ctx());
+    }
+    COPIER_CHECK(reply.ok());
+    lat.Add(Us(client->ctx().now() - t0));
+  }
+  stack.service->DrainAll();
+
+  PerRequest result;
+  result.app_core_us = Us(server->ctx().now() - server_start) / kOps;
+  // Engine *busy* time: clock delta minus idle waits for submissions.
+  const Cycles engine_idle =
+      stack.service->engine_ctx().blocked_cycles() - engine_blocked_start;
+  result.engine_us = Us(stack.service->engine_ctx().now() - engine_start - engine_idle) / kOps;
+  result.latency_us = lat.Mean();
+  return result;
+}
+
+void Run(const hw::TimingModel& t) {
+  PrintBanner("Figure 14: Redis SET on a 4-core budget (1 dedicated Copier core)");
+  for (size_t vlen : {size_t{8 * kKiB}, size_t{16 * kKiB}}) {
+    const PerRequest sync = Measure(t, vlen, apps::Mode::kSync);
+    const PerRequest copier = Measure(t, vlen, apps::Mode::kCopier);
+    std::printf("\n-- value %s --\n", TextTable::Bytes(vlen).c_str());
+    TextTable table({"Redis instances", "BL kops", "Copier kops", "tput delta", "BL lat us",
+                     "Copier lat us", "lat delta"});
+    for (int n = 1; n <= 4; ++n) {
+      // Baseline: n instances over 4 cores (each instance is one process).
+      const double bl_kops = std::min(n, 4) / sync.app_core_us * 1e3;
+      // Copier: one core dedicated to the service; at most 3 instance cores.
+      const int app_cores = std::min(n, 3);
+      const double engine_cap = 1.0 / copier.engine_us * 1e3;  // requests/ms the core sustains
+      const double copier_kops =
+          std::min(app_cores / copier.app_core_us * 1e3, engine_cap);
+      table.AddRow({std::to_string(n), TextTable::Num(bl_kops), TextTable::Num(copier_kops),
+                    TextTable::Num((copier_kops / bl_kops - 1) * 100, 1) + "%",
+                    TextTable::Num(sync.latency_us), TextTable::Num(copier.latency_us),
+                    TextTable::Num((1 - copier.latency_us / sync.latency_us) * 100, 1) + "%"});
+    }
+    table.Print();
+  }
+}
+
+}  // namespace
+}  // namespace copier::bench
+
+int main(int argc, char** argv) {
+  copier::bench::Run(copier::bench::SelectTiming(argc, argv));
+  return 0;
+}

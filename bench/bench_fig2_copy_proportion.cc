@@ -1,0 +1,181 @@
+// Figure 2: cycle proportion of copy across apps. Measured by running each
+// app twice in sync mode — once with the real timing model and once with a
+// model whose copy costs are zeroed — and attributing the difference to copy
+// (kernel-mode + user-mode), exactly the quantity perf attributes in the
+// paper's methodology.
+// Expected shape: copy is a large share for KV/proxy at big values (up to
+// ~66% in the paper), moderate for cipher/serde, smaller for deflate.
+#include "bench/bench_util.h"
+
+#include "src/apps/cipher.h"
+#include "src/apps/deflate.h"
+#include "src/apps/minikv.h"
+#include "src/apps/miniproxy.h"
+#include "src/apps/pngish.h"
+#include "src/apps/serde.h"
+
+namespace copier::bench {
+namespace {
+
+hw::TimingModel ZeroCopyCosts(const hw::TimingModel& base) {
+  hw::TimingModel m = base;
+  const double kInf = 1e12;  // effectively free copies
+  for (auto* curve : {&m.avx, &m.erms, &m.dma}) {
+    curve->startup_cycles = 0;
+    for (auto& point : curve->points) {
+      point.bytes_per_cycle = kInf;
+    }
+  }
+  return m;
+}
+
+// Each runner returns app-context cycles consumed for the scenario.
+using Runner = Cycles (*)(const hw::TimingModel&, size_t);
+
+Cycles RunKv(const hw::TimingModel& t, size_t vlen) {
+  BenchStack stack(&t, {}, apps::Mode::kSync);
+  apps::AppProcess* server = stack.NewSyncApp("kv");
+  apps::AppProcess* client = stack.NewSyncApp("cl");
+  apps::MiniKv kv(server);
+  auto [c, s] = stack.kernel->CreateSocketPair();
+  const uint64_t cbuf = client->Map(vlen + 64 * kKiB, "cbuf");
+  const std::vector<uint8_t> value(vlen, 1);
+  for (int i = 0; i < 6; ++i) {
+    const auto req = i % 2 == 0 ? apps::MiniKv::BuildSet("k", value)
+                                : apps::MiniKv::BuildGet("k");
+    client->io().Write(cbuf, req.data(), req.size(), nullptr);
+    COPIER_CHECK(stack.kernel->Send(*client->proc(), c, cbuf, req.size(), nullptr).ok());
+    COPIER_CHECK(kv.ProcessOne(s, &server->ctx()).ok());
+    uint8_t sink[8];
+    Cycles d = 0;
+    c->ConsumeRx(SIZE_MAX, &d, [&](simos::Skb* skb, size_t, size_t) {
+      skb->pending_copies.fetch_add(1, std::memory_order_relaxed);
+      simos::SimSocket::CompleteCopy(&stack.kernel->skb_pool(), skb);
+    });
+    (void)sink;
+  }
+  return server->ctx().now();
+}
+
+Cycles RunProxy(const hw::TimingModel& t, size_t body) {
+  BenchStack stack(&t, {}, apps::Mode::kSync);
+  apps::AppProcess* proxy = stack.NewSyncApp("proxy");
+  apps::AppProcess* client = stack.NewSyncApp("cl");
+  apps::MiniProxy mp(proxy);
+  auto [cs, in] = stack.kernel->CreateSocketPair();
+  auto [out, up] = stack.kernel->CreateSocketPair();
+  const uint64_t cbuf = client->Map(body + kPageSize, "cbuf");
+  const auto msg = apps::MiniProxy::BuildMessage(1, std::vector<uint8_t>(body, 2));
+  client->io().Write(cbuf, msg.data(), msg.size(), nullptr);
+  for (int i = 0; i < 6; ++i) {
+    COPIER_CHECK(stack.kernel->Send(*client->proc(), cs, cbuf, msg.size(), nullptr).ok());
+    COPIER_CHECK(mp.ForwardOne(in, out, &proxy->ctx()).ok());
+    Cycles d = 0;
+    up->ConsumeRx(SIZE_MAX, &d, [&](simos::Skb* skb, size_t, size_t) {
+      skb->pending_copies.fetch_add(1, std::memory_order_relaxed);
+      simos::SimSocket::CompleteCopy(&stack.kernel->skb_pool(), skb);
+    });
+  }
+  return proxy->ctx().now();
+}
+
+Cycles RunCipher(const hw::TimingModel& t, size_t bytes) {
+  BenchStack stack(&t, {}, apps::Mode::kSync);
+  apps::AppProcess* rx_app = stack.NewSyncApp("rx");
+  apps::AppProcess* tx_app = stack.NewSyncApp("tx");
+  std::array<uint8_t, 32> key{};
+  apps::SecureChannel rxc(rx_app, key);
+  apps::SecureChannel txc(tx_app, key);
+  auto [tx, rx] = stack.kernel->CreateSocketPair();
+  const std::vector<uint8_t> plain(bytes, 3);
+  for (int i = 0; i < 4; ++i) {
+    COPIER_CHECK(txc.SendEncrypted(tx, plain, nullptr).ok());
+    size_t got = 0;
+    while (got < bytes) {
+      auto result = rxc.ReadDecrypted(rx, &rx_app->ctx());
+      COPIER_CHECK(result.ok());
+      got += result->length;
+    }
+  }
+  return rx_app->ctx().now();
+}
+
+Cycles RunSerde(const hw::TimingModel& t, size_t bytes) {
+  BenchStack stack(&t, {}, apps::Mode::kSync);
+  apps::AppProcess* app = stack.NewSyncApp("serde");
+  apps::AppProcess* sender = stack.NewSyncApp("tx");
+  apps::Serde serde(app, std::max<size_t>(bytes * 2, kMiB));
+  auto [tx, rx] = stack.kernel->CreateSocketPair();
+  std::vector<apps::Serde::FieldSpec> fields;
+  for (uint32_t tag = 1; tag <= 8; ++tag) {
+    fields.push_back({tag, std::vector<uint8_t>(bytes / 8, 4)});
+  }
+  const auto wire = apps::Serde::Serialize(fields);
+  const uint64_t sbuf = sender->Map(AlignUp(wire.size(), kPageSize), "sbuf");
+  sender->io().Write(sbuf, wire.data(), wire.size(), nullptr);
+  for (int i = 0; i < 4; ++i) {
+    COPIER_CHECK(stack.kernel->Send(*sender->proc(), tx, sbuf, wire.size(), nullptr).ok());
+    COPIER_CHECK(serde.RecvAndParse(rx, &app->ctx()).ok());
+  }
+  return app->ctx().now();
+}
+
+Cycles RunPngish(const hw::TimingModel& t, size_t bytes) {
+  BenchStack stack(&t, {}, apps::Mode::kSync);
+  apps::AppProcess* app = stack.NewSyncApp("png");
+  simos::SimFs fs(stack.kernel.get());
+  apps::Pngish png(app, &fs);
+  const uint32_t stride = 192;  // 64px * 3bpp
+  const uint32_t rows = static_cast<uint32_t>(bytes / stride);
+  fs.CreateFile("img", apps::Pngish::EncodeImage(64, rows, 3, 5));
+  for (int i = 0; i < 4; ++i) {
+    COPIER_CHECK(png.DecodeFile("img", &app->ctx()).ok());
+  }
+  return app->ctx().now();
+}
+
+Cycles RunDeflate(const hw::TimingModel& t, size_t bytes) {
+  BenchStack stack(&t, {}, apps::Mode::kSync);
+  apps::AppProcess* app = stack.NewSyncApp("deflate");
+  apps::Deflate deflate(app);
+  std::vector<uint8_t> input;
+  Rng rng(1);
+  while (input.size() < bytes) {
+    const char* words[] = {"alpha", "beta", "gamma", "delta"};
+    const std::string w = words[rng.Below(4)];
+    input.insert(input.end(), w.begin(), w.end());
+  }
+  deflate.Compress(input, &app->ctx());
+  return app->ctx().now();
+}
+
+void Row(TextTable* table, const char* name, Runner runner, const hw::TimingModel& t,
+         size_t small, size_t large) {
+  const hw::TimingModel zero = ZeroCopyCosts(t);
+  const double small_frac =
+      1.0 - static_cast<double>(runner(zero, small)) / runner(t, small);
+  const double large_frac =
+      1.0 - static_cast<double>(runner(zero, large)) / runner(t, large);
+  table->AddRow({name, TextTable::Num(small_frac * 100, 1) + "%",
+                 TextTable::Num(large_frac * 100, 1) + "%"});
+}
+
+void Run(const hw::TimingModel& t) {
+  PrintBanner("Figure 2-a: cycle proportion of copy (16KiB vs 256KiB workloads)");
+  TextTable table({"app", "16KiB", "256KiB"});
+  Row(&table, "MiniKV SET/GET (Redis)", &RunKv, t, 16 * kKiB, 256 * kKiB);
+  Row(&table, "MiniProxy (Nginx/TinyProxy)", &RunProxy, t, 16 * kKiB, 256 * kKiB);
+  Row(&table, "SecureChannel recv (OpenSSL)", &RunCipher, t, 16 * kKiB, 256 * kKiB);
+  Row(&table, "Serde recv (Protobuf)", &RunSerde, t, 16 * kKiB, 256 * kKiB);
+  Row(&table, "Deflate (zlib)", &RunDeflate, t, 16 * kKiB, 256 * kKiB);
+  Row(&table, "Pngish read+decode (libpng)", &RunPngish, t, 16 * kKiB, 256 * kKiB);
+  table.Print();
+}
+
+}  // namespace
+}  // namespace copier::bench
+
+int main(int argc, char** argv) {
+  copier::bench::Run(copier::bench::SelectTiming(argc, argv));
+  return 0;
+}

@@ -1,0 +1,172 @@
+// Figure 3: Copy-Use windows — the interval between the completion of a copy
+// and the first use of each position of the copied data, compared against the
+// time needed to copy that prefix (ERMS). Measured with the AppIo::on_use
+// observation hook on sync-mode runs of each app, per the paper's
+// timestamp-instrumentation methodology.
+// Expected shape: windows of 2–10x the copy time for most positions/apps.
+#include "bench/bench_util.h"
+
+#include <map>
+
+#include "src/apps/cipher.h"
+#include "src/apps/minikv.h"
+#include "src/apps/serde.h"
+
+namespace copier::bench {
+namespace {
+
+struct WindowTrace {
+  Cycles copy_done = 0;                  // recv return = copy completed (sync)
+  std::map<size_t, Cycles> first_use;    // offset -> first-use time
+};
+
+// Prints windows at the standard positions for one app's recv buffer trace.
+void Report(TextTable* table, const char* app, const WindowTrace& trace,
+            const hw::TimingModel& t, size_t total) {
+  for (size_t pos : {size_t{0}, total / 4, total / 2, total - 1}) {
+    // First use at or after `pos`.
+    auto it = trace.first_use.lower_bound(pos);
+    if (it == trace.first_use.end()) {
+      continue;
+    }
+    const Cycles window = it->second > trace.copy_done ? it->second - trace.copy_done : 0;
+    const Cycles copy_time = t.erms.CopyCycles(pos + 1);
+    table->AddRow({app, TextTable::Bytes(AlignUp(pos, 1)),
+                   TextTable::Num(Us(window), 3), TextTable::Num(Us(copy_time), 3),
+                   TextTable::Num(copy_time > 0 ? static_cast<double>(window) / copy_time : 0,
+                                  1) + "x"});
+  }
+}
+
+template <typename Fn>
+WindowTrace Trace(BenchStack& stack, apps::AppProcess* app, uint64_t buf_base, Fn&& scenario) {
+  WindowTrace trace;
+  app->io().on_use = [&](uint64_t va, size_t n, Cycles now) {
+    if (va < buf_base) {
+      return;
+    }
+    const size_t off = va - buf_base;
+    for (size_t o = off; o < off + n; o += 512) {  // 512-byte resolution
+      trace.first_use.emplace(o, now);  // emplace keeps the FIRST use
+    }
+    trace.first_use.emplace(off + n - 1, now);
+  };
+  scenario(&trace);
+  return trace;
+}
+
+void Run(const hw::TimingModel& t) {
+  PrintBanner("Figure 3: Copy-Use window vs copy time (16KiB transfers)");
+  TextTable table({"app", "position", "window (us)", "copy time to pos (us)", "ratio"});
+  const size_t kMsg = 16 * kKiB;
+
+  {  // Redis SET: value used only at the store copy (late).
+    BenchStack stack(&t, {}, apps::Mode::kSync);
+    apps::AppProcess* server = stack.NewSyncApp("kv");
+    apps::AppProcess* client = stack.NewSyncApp("cl");
+    apps::MiniKv kv(server);
+    auto [c, s] = stack.kernel->CreateSocketPair();
+    const uint64_t cbuf = client->Map(kMsg + kPageSize, "cbuf");
+    const auto req = apps::MiniKv::BuildSet("key", std::vector<uint8_t>(kMsg, 1));
+    client->io().Write(cbuf, req.data(), req.size(), nullptr);
+    COPIER_CHECK(stack.kernel->Send(*client->proc(), c, cbuf, req.size(), nullptr).ok());
+    // The KV I/O buffer is the traced region; its base is private, so trace
+    // all uses and take recv return as copy-done.
+    WindowTrace trace;
+    server->io().on_use = [&](uint64_t va, size_t n, Cycles now) {
+      static uint64_t base = 0;
+      if (base == 0) {
+        base = va;  // first header read reveals the io buffer base
+      }
+      if (va >= base) {
+        for (size_t o = va - base; o < va - base + n; o += 512) {
+          trace.first_use.emplace(o, now);
+        }
+      }
+    };
+    const Cycles before = server->ctx().now();
+    COPIER_CHECK(kv.ProcessOne(s, &server->ctx()).ok());
+    trace.copy_done = before + t.syscall_entry_cycles +
+                      t.CpuCopyCycles(hw::CopyUnitKind::kErms, kMsg);
+    Report(&table, "Redis SET (recv->store)", trace, t, kMsg);
+  }
+
+  {  // ChaCha20 decrypt: sequential chunk use.
+    BenchStack stack(&t, {}, apps::Mode::kSync);
+    apps::AppProcess* rx_app = stack.NewSyncApp("rx");
+    apps::AppProcess* tx_app = stack.NewSyncApp("tx");
+    std::array<uint8_t, 32> key{};
+    apps::SecureChannel rxc(rx_app, key);
+    apps::SecureChannel txc(tx_app, key);
+    auto [tx, rx] = stack.kernel->CreateSocketPair();
+    COPIER_CHECK(txc.SendEncrypted(tx, std::vector<uint8_t>(kMsg, 2), nullptr).ok());
+    WindowTrace trace;
+    uint64_t base = 0;
+    rx_app->io().on_use = [&](uint64_t va, size_t n, Cycles now) {
+      if (base == 0) {
+        base = va;
+      }
+      if (va >= base) {
+        for (size_t o = va - base; o < va - base + n; o += 512) {
+          trace.first_use.emplace(o, now);
+        }
+      }
+    };
+    const Cycles before = rx_app->ctx().now();
+    COPIER_CHECK(rxc.ReadDecrypted(rx, &rx_app->ctx()).ok());
+    trace.copy_done =
+        before + t.syscall_entry_cycles + t.CpuCopyCycles(hw::CopyUnitKind::kErms, kMsg);
+    Report(&table, "ChaCha20 dec. (recv->xor)", trace, t, kMsg);
+  }
+
+  {  // Protobuf-like: framing parsed early, payloads used per field.
+    BenchStack stack(&t, {}, apps::Mode::kSync);
+    apps::AppProcess* app = stack.NewSyncApp("serde");
+    apps::AppProcess* sender = stack.NewSyncApp("tx");
+    apps::Serde serde(app, kMiB);
+    auto [tx, rx] = stack.kernel->CreateSocketPair();
+    std::vector<apps::Serde::FieldSpec> fields;
+    for (uint32_t tag = 1; tag <= 8; ++tag) {
+      fields.push_back({tag, std::vector<uint8_t>(kMsg / 8, 5)});
+    }
+    const auto wire = apps::Serde::Serialize(fields);
+    const uint64_t sbuf = sender->Map(AlignUp(wire.size(), kPageSize), "sbuf");
+    sender->io().Write(sbuf, wire.data(), wire.size(), nullptr);
+    COPIER_CHECK(stack.kernel->Send(*sender->proc(), tx, sbuf, wire.size(), nullptr).ok());
+    WindowTrace trace;
+    uint64_t base = 0;
+    app->io().on_use = [&](uint64_t va, size_t n, Cycles now) {
+      if (base == 0) {
+        base = va;
+      }
+      if (va >= base) {
+        for (size_t o = va - base; o < va - base + n; o += 512) {
+          trace.first_use.emplace(o, now);
+        }
+      }
+    };
+    const Cycles before = app->ctx().now();
+    auto parsed = serde.RecvAndParse(rx, &app->ctx());
+    COPIER_CHECK(parsed.ok());
+    // Touch every field (the app consuming the object).
+    for (const auto& field : *parsed) {
+      uint8_t sink;
+      COPIER_CHECK_OK(app->proc()->mem().ReadBytes(field.va, &sink, 1, &app->ctx()));
+    }
+    trace.copy_done =
+        before + t.syscall_entry_cycles + t.CpuCopyCycles(hw::CopyUnitKind::kErms, wire.size());
+    Report(&table, "Protobuf (recv->deser)", trace, t, wire.size());
+  }
+
+  table.Print();
+  std::printf("(window >= 1x copy time means the async copy fully hides; "
+              "the paper reports 2-10x for most rows)\n");
+}
+
+}  // namespace
+}  // namespace copier::bench
+
+int main(int argc, char** argv) {
+  copier::bench::Run(copier::bench::SelectTiming(argc, argv));
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "bench/bench_util.h"
+
+#include <cstring>
+
+namespace copier::bench {
+
+bool HasFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const hw::TimingModel& SelectTiming(int argc, char** argv) {
+  static hw::TimingModel calibrated;
+  if (HasFlag(argc, argv, "--calibrate")) {
+    calibrated = hw::TimingModel::Calibrated();
+    std::printf("(timing: calibrated on this host)\n");
+    return calibrated;
+  }
+  return hw::TimingModel::Default();
+}
+
+BenchStack::BenchStack(const hw::TimingModel* timing, core::CopierConfig config,
+                       apps::Mode mode)
+    : mode_(mode) {
+  simos::SimKernel::Config kconfig;
+  kconfig.timing = timing;
+  kernel = std::make_unique<simos::SimKernel>(kconfig);
+  core::CopierService::Options options;
+  options.config = config;
+  options.timing = timing;
+  service = std::make_unique<core::CopierService>(std::move(options));
+  glue = std::make_unique<core::CopierLinux>(service.get(), kernel.get());
+  if (mode == apps::Mode::kCopier) {
+    glue->Install();
+  }
+}
+
+}  // namespace copier::bench

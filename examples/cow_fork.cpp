@@ -1,0 +1,59 @@
+// Example: Copier-accelerated copy-on-write fault handling (§5.2, §6.1.2).
+//
+//   $ ./build/examples/cow_fork
+//
+// Forks a process with a 2 MiB huge-page region, then writes into the shared
+// pages. With AccelerateCow, the fault handler copies the head of each block
+// while Copier copies the tail in parallel, then syncs before the PTE update.
+#include <cstdio>
+
+#include "src/core/linux_glue.h"
+
+using namespace copier;
+
+namespace {
+
+double RunOnce(bool accelerate) {
+  simos::SimKernel kernel;
+  core::CopierService service{core::CopierService::Options{}};
+  core::CopierLinux glue(&service, &kernel);
+  glue.Install();
+
+  simos::Process* parent = kernel.CreateProcess("parent");
+  core::Client* client = service.AttachProcess(parent);
+  (void)client;
+  if (accelerate) {
+    glue.AccelerateCow(*parent);
+  }
+
+  const size_t block = simos::kHugePageSize;
+  const uint64_t va = parent->mem().MapAnonymous(4 * block, "data", false, true).value();
+  for (int i = 0; i < 4; ++i) {
+    uint8_t b = 1;
+    (void)parent->mem().WriteBytes(va + i * block, &b, 1);
+  }
+  auto child = kernel.Fork(*parent, nullptr);
+  if (!child.ok()) {
+    return -1;
+  }
+
+  ExecContext ctx("parent");
+  const Cycles start = ctx.now();
+  for (int i = 0; i < 4; ++i) {
+    uint8_t b = 2;  // triggers the 2 MiB CoW break
+    (void)parent->mem().WriteBytes(va + i * block, &b, 1, &ctx);
+  }
+  return static_cast<double>(ctx.now() - start) / 4 / 2900.0;  // us/fault
+}
+
+}  // namespace
+
+int main() {
+  std::printf("CoW fault handling, 2MiB blocks (blocking time per fault):\n");
+  const double base = RunOnce(false);
+  std::printf("  stock handler (ERMS copies all) : %.1f us\n", base);
+  const double split = RunOnce(true);
+  std::printf("  Copier split handler            : %.1f us  (-%.1f%%)\n", split,
+              (1 - split / base) * 100);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Example: a Redis-like KV server accelerated by Copier (§6.2.1).
+//
+//   $ ./build/examples/kv_server
+//
+// Runs the same workload against the synchronous baseline and the
+// Copier-ported server, printing per-request virtual-time latencies, and
+// showing the engine's absorption at work (recv -> store short-circuits).
+#include <cstdio>
+
+#include "src/apps/minikv.h"
+#include "src/core/linux_glue.h"
+
+using namespace copier;
+
+namespace {
+
+double RunOnce(apps::Mode mode) {
+  simos::SimKernel kernel;
+  core::CopierService service{core::CopierService::Options{}};
+  core::CopierLinux glue(&service, &kernel);
+  if (mode == apps::Mode::kCopier) {
+    glue.Install();
+  }
+  apps::AppProcess server(&kernel, &service, mode, "kv-server");
+  apps::AppProcess client(&kernel, &service, apps::Mode::kSync, "kv-client");
+  apps::MiniKv kv(&server);
+  auto [client_sock, server_sock] = kernel.CreateSocketPair();
+  const uint64_t cbuf = client.Map(256 * 1024, "cbuf");
+
+  const std::vector<uint8_t> value(16 * 1024, 0xAB);
+  Cycles total = 0;
+  for (int i = 0; i < 32; ++i) {
+    const bool is_set = i % 2 == 0;
+    const auto req = is_set ? apps::MiniKv::BuildSet("user:1000", value)
+                            : apps::MiniKv::BuildGet("user:1000");
+    client.io().Write(cbuf, req.data(), req.size(), nullptr);
+    (void)kernel.Send(*client.proc(), client_sock, cbuf, req.size(), nullptr);
+
+    server.ctx().WaitUntil(client.ctx().now());
+    const Cycles start = server.ctx().now();
+    auto processed = kv.ProcessOne(server_sock, &server.ctx());
+    if (!processed.ok()) {
+      std::printf("error: %s\n", processed.status().ToString().c_str());
+      return -1;
+    }
+    total += server.ctx().now() - start;
+    service.DrainAll();
+    // Client drains the reply.
+    const size_t reply = is_set ? 5 : apps::MiniKv::GetReplySize(value.size());
+    (void)kernel.Recv(*client.proc(), client_sock, cbuf, reply, nullptr);
+  }
+  if (mode == apps::Mode::kCopier) {
+    const auto& stats = service.engine().stats();
+    std::printf("  [copier] tasks=%llu absorbed=%llu bytes, DMA=%llu bytes, barriers=%llu\n",
+                static_cast<unsigned long long>(stats.tasks_completed),
+                static_cast<unsigned long long>(stats.bytes_absorbed),
+                static_cast<unsigned long long>(stats.dma_bytes),
+                static_cast<unsigned long long>(stats.barriers_processed));
+  }
+  return static_cast<double>(total) / 32 / 2900.0;  // us at 2.9 GHz
+}
+
+}  // namespace
+
+int main() {
+  std::printf("MiniKV, 16KiB values, alternating SET/GET (server-side us/request):\n");
+  const double sync_us = RunOnce(apps::Mode::kSync);
+  std::printf("  sync baseline : %.2f us\n", sync_us);
+  const double copier_us = RunOnce(apps::Mode::kCopier);
+  std::printf("  with Copier   : %.2f us  (%.1f%% less time on the server core)\n", copier_us,
+              (1 - copier_us / sync_us) * 100);
+  return 0;
+}

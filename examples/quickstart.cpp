@@ -1,0 +1,70 @@
+// Quickstart: the amemcpy/csync programming model in five minutes.
+//
+//   $ ./build/examples/quickstart
+//
+// Sets up the simulated OS + Copier service, attaches a process, and walks
+// through the paper's copyUse() example (Fig. 4): submit an async copy, do
+// other work during the Copy-Use window, csync before the first use.
+#include <cstdio>
+
+#include "src/core/linux_glue.h"
+#include "src/core/service.h"
+#include "src/libcopier/libcopier.h"
+#include "src/simos/kernel.h"
+
+using namespace copier;
+
+int main() {
+  // 1. Boot the substrate: a simulated kernel and the Copier service (manual
+  //    mode: we pump the service explicitly; see ThreadedService tests for
+  //    real Copier threads).
+  simos::SimKernel kernel;
+  core::CopierService service{core::CopierService::Options{}};
+  core::CopierLinux glue(&service, &kernel);
+  glue.Install();  // Copier-Linux: syscall copies become async k-mode tasks
+
+  // 2. Create a process, attach it to Copier, bind libCopier.
+  simos::Process* proc = kernel.CreateProcess("quickstart");
+  core::Client* client = service.AttachProcess(proc);
+  lib::CopierLib copier_lib(client, &service);
+
+  // 3. Map two buffers and fill the source.
+  const size_t n = 64 * 1024;
+  const uint64_t src = proc->mem().MapAnonymous(n, "src", true).value();
+  const uint64_t dst = proc->mem().MapAnonymous(n, "dst", true).value();
+  std::vector<uint8_t> message(n);
+  for (size_t i = 0; i < n; ++i) {
+    message[i] = static_cast<uint8_t>(i * 7);
+  }
+  (void)proc->mem().WriteBytes(src, message.data(), n);
+
+  // 4. The paper's copyUse() (Fig. 4): async copy, overlap, sync, use.
+  ExecContext app("app");
+  copier_lib.amemcpy(dst, src, n, &app);  // returns immediately
+  std::printf("amemcpy submitted (app clock: %llu cycles)\n",
+              static_cast<unsigned long long>(app.now()));
+
+  // ... some work: this is the Copy-Use window the service exploits ...
+  app.Charge(20000);
+
+  // Sync only the first 8 bytes before reading them (fine-grained segments).
+  if (!copier_lib.csync(dst, 8, &app).ok()) {
+    std::printf("csync failed!\n");
+    return 1;
+  }
+  uint8_t head[8];
+  (void)proc->mem().ReadBytes(dst, head, sizeof(head));
+  std::printf("first byte after csync: %u (expected %u)\n", head[0], message[0]);
+
+  // 5. csync_all() settles everything (end-of-life barrier).
+  (void)copier_lib.csync_all(&app);
+  std::vector<uint8_t> out(n);
+  (void)proc->mem().ReadBytes(dst, out.data(), n);
+  std::printf("full copy %s; app clock %llu cycles; service copied %llu bytes "
+              "(%llu via DMA)\n",
+              out == message ? "verified" : "MISMATCH",
+              static_cast<unsigned long long>(app.now()),
+              static_cast<unsigned long long>(service.engine().stats().bytes_copied),
+              static_cast<unsigned long long>(service.engine().stats().dma_bytes));
+  return out == message ? 0 : 1;
+}

@@ -1,0 +1,142 @@
+#include "src/apps/app_util.h"
+
+#include "src/common/logging.h"
+#include "src/hw/copy_unit.h"
+
+namespace copier::apps {
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kSync:
+      return "sync";
+    case Mode::kCopier:
+      return "copier";
+    case Mode::kZio:
+      return "zio";
+  }
+  return "?";
+}
+
+void AppIo::Copy(uint64_t dst, uint64_t src, size_t n, ExecContext* ctx, bool lazy) {
+  if (n == 0) {
+    return;
+  }
+  switch (mode) {
+    case Mode::kCopier: {
+      if (lazy) {
+        lib::AmemcpyOptions opts;
+        opts.lazy = true;
+        lib->_amemcpy(dst, src, n, opts, ctx);
+      } else {
+        lib->amemcpy(dst, src, n, ctx);
+      }
+      return;
+    }
+    case Mode::kZio:
+      zio->Copy(dst, src, n, ctx);
+      return;
+    case Mode::kSync: {
+      std::vector<uint8_t> buffer(n);
+      COPIER_CHECK_OK(proc->mem().ReadBytes(src, buffer.data(), n, ctx));
+      COPIER_CHECK_OK(proc->mem().WriteBytes(dst, buffer.data(), n, ctx));
+      ChargeCtx(ctx, timing().CpuCopyCycles(hw::CopyUnitKind::kAvx, n));
+      return;
+    }
+  }
+}
+
+void AppIo::SyncBeforeUse(uint64_t addr, size_t n, ExecContext* ctx) {
+  if (on_use) {
+    on_use(addr, n, CtxNow(ctx));
+  }
+  switch (mode) {
+    case Mode::kCopier:
+      COPIER_CHECK_OK(lib->csync(addr, n, ctx));
+      return;
+    case Mode::kZio:
+      zio->Touch(addr, n, ctx);
+      return;
+    case Mode::kSync:
+      return;
+  }
+}
+
+void AppIo::ReadSynced(uint64_t va, void* out, size_t n, ExecContext* ctx) {
+  SyncBeforeUse(va, n, ctx);
+  COPIER_CHECK_OK(proc->mem().ReadBytes(va, out, n, ctx));
+}
+
+void AppIo::Write(uint64_t va, const void* data, size_t n, ExecContext* ctx) {
+  COPIER_CHECK_OK(proc->mem().WriteBytes(va, data, n, ctx));
+}
+
+StatusOr<size_t> AppIo::Recv(simos::SimSocket* sock, uint64_t va, size_t n,
+                             core::Descriptor* descriptor, ExecContext* ctx, bool lazy_recv) {
+  simos::RecvOptions opts;
+  if (mode == Mode::kCopier && descriptor == nullptr) {
+    // Descriptor-less receive (continuation reads in stream framing): behave
+    // synchronously — submit with a scratch descriptor and wait it out.
+    core::Descriptor scratch(n);
+    opts.descriptor = &scratch;
+    auto result = kernel->Recv(*proc, sock, va, n, ctx, opts);
+    if (result.ok()) {
+      lib->Pump();
+      COPIER_CHECK_OK(core::WaitDescriptor(scratch, 0, *result, ctx, [this] { lib->Pump(); }));
+    }
+    return result;
+  }
+  if (mode == Mode::kCopier) {
+    COPIER_CHECK(descriptor != nullptr);
+    // Bind the descriptor to the receive buffer once, so csync(addr) inside
+    // this buffer resolves through it (the kernel reports recv progress into
+    // it, §5.2); then re-arm it. Buffer-reuse ordering against earlier copies
+    // is the engine's dependency tracking's job.
+    if (bound_descriptors.insert({descriptor, va}).second) {
+      lib->shm_descr_bind(va, descriptor);
+    }
+    descriptor->Reset(descriptor->length());
+    opts.descriptor = descriptor;
+    opts.lazy = lazy_recv;
+  } else if (mode == Mode::kZio) {
+    // The kernel writes the receive buffer: deferred copies sourced from it
+    // must materialize first (the Redis input-buffer-reuse pattern).
+    zio->SourceReused(va, n, ctx);
+    zio->Touch(va, n, ctx);
+  }
+  return kernel->Recv(*proc, sock, va, n, ctx, opts);
+}
+
+StatusOr<size_t> AppIo::Send(simos::SimSocket* sock, uint64_t va, size_t n, ExecContext* ctx) {
+  if (mode == Mode::kZio) {
+    // The I/O path consumes the buffer: zIO short-circuits deferred copies.
+    zio->Consume(va, n, ctx);
+  }
+  return kernel->Send(*proc, sock, va, n, ctx);
+}
+
+AppProcess::AppProcess(simos::SimKernel* kernel, core::CopierService* service, Mode mode,
+                       const std::string& name)
+    : ctx_(name) {
+  proc_ = kernel->CreateProcess(name);
+  io_.kernel = kernel;
+  io_.proc = proc_;
+  io_.mode = mode;
+  if (mode == Mode::kCopier) {
+    COPIER_CHECK(service != nullptr);
+    core::Client* client = service->AttachProcess(proc_);
+    lib_ = std::make_unique<lib::CopierLib>(client, service);
+    io_.lib = lib_.get();
+  } else if (mode == Mode::kZio) {
+    // Threshold 4 KiB, matching the paper's evaluation setting (§6).
+    zio_ = std::make_unique<baselines::ZioRuntime>(&proc_->mem(), &kernel->timing(), 4 * kKiB);
+    io_.zio = zio_.get();
+  }
+}
+
+uint64_t AppProcess::Map(size_t n, const std::string& name, bool populate) {
+  auto va = proc_->mem().MapAnonymous(n, name, populate);
+  COPIER_CHECK(va.ok());
+  return *va;
+}
+
+}  // namespace copier::apps

@@ -1,0 +1,102 @@
+// Shared plumbing for the mini-applications (§6.2): each app runs in one of
+// three modes — synchronous baseline, Copier-ported, or zIO-interposed — and
+// AppIo centralizes the mode dispatch so app logic stays readable.
+//
+// All app buffers live in simulated address spaces; compute phases do real
+// work on real bytes *and* charge modeled cycles, so the same binaries back
+// both the correctness tests and the virtual-time benches.
+#ifndef COPIER_SRC_APPS_APP_UTIL_H_
+#define COPIER_SRC_APPS_APP_UTIL_H_
+
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/baselines/zio.h"
+#include "src/common/exec_context.h"
+#include "src/libcopier/libcopier.h"
+#include "src/simos/kernel.h"
+
+namespace copier::apps {
+
+enum class Mode {
+  kSync,    // stock: blocking memcpy / copy_{to,from}_user
+  kCopier,  // ported to amemcpy/csync (per-app §5.2 integration)
+  kZio,     // zIO interposition on user-space copies
+};
+
+const char* ModeName(Mode mode);
+
+// Per-process I/O context: owns nothing, dispatches on mode.
+struct AppIo {
+  simos::SimKernel* kernel = nullptr;
+  simos::Process* proc = nullptr;
+  lib::CopierLib* lib = nullptr;            // non-null in kCopier mode
+  baselines::ZioRuntime* zio = nullptr;     // non-null in kZio mode
+  Mode mode = Mode::kSync;
+
+  const hw::TimingModel& timing() const { return kernel->timing(); }
+
+  // User-space copy honoring the mode. `lazy` marks a Copier Lazy Task.
+  void Copy(uint64_t dst, uint64_t src, size_t n, ExecContext* ctx, bool lazy = false);
+
+  // The app is about to read/write [addr, addr+n) directly: csync (Copier) /
+  // materialize (zIO). Call per the §5.1.1 insertion guidelines.
+  void SyncBeforeUse(uint64_t addr, size_t n, ExecContext* ctx);
+
+  // Reads `n` bytes at `va` into `out` after the proper sync (convenience
+  // for parsers).
+  void ReadSynced(uint64_t va, void* out, size_t n, ExecContext* ctx);
+
+  // Plain write into own memory (no pending-copy interaction assumed).
+  void Write(uint64_t va, const void* data, size_t n, ExecContext* ctx);
+
+  // recv()/send() honoring the mode. In kCopier mode, recv reports into
+  // `descriptor` (required) and send submits async k-tasks; other modes
+  // block. `lazy_recv` marks the recv copies lazy (proxy pattern, §4.4).
+  StatusOr<size_t> Recv(simos::SimSocket* sock, uint64_t va, size_t n,
+                        core::Descriptor* descriptor, ExecContext* ctx,
+                        bool lazy_recv = false);
+  StatusOr<size_t> Send(simos::SimSocket* sock, uint64_t va, size_t n, ExecContext* ctx);
+
+  // Observation hook: invoked on every direct data use (SyncBeforeUse /
+  // ReadSynced) with the range and the context's current time. The Fig. 3
+  // Copy-Use-window bench uses this to record first-use times per offset.
+  std::function<void(uint64_t va, size_t n, Cycles now)> on_use;
+
+  // (internal) descriptors already bound to their buffer base via
+  // shm_descr_bind so csync() resolves kernel-filled ranges (§5.2 recv).
+  std::set<std::pair<core::Descriptor*, uint64_t>> bound_descriptors;
+
+  // Charges a compute phase of `bytes` at `cycles_per_byte` (+ fixed).
+  void Compute(ExecContext* ctx, size_t bytes, double cycles_per_byte,
+               Cycles fixed = 0) const {
+    ChargeCtx(ctx, fixed + static_cast<Cycles>(bytes * cycles_per_byte));
+  }
+};
+
+// One fully wired app process (kernel process + per-mode runtime objects).
+class AppProcess {
+ public:
+  AppProcess(simos::SimKernel* kernel, core::CopierService* service, Mode mode,
+             const std::string& name);
+
+  AppIo& io() { return io_; }
+  simos::Process* proc() { return proc_; }
+  lib::CopierLib* lib() { return lib_.get(); }
+  ExecContext& ctx() { return ctx_; }
+
+  uint64_t Map(size_t n, const std::string& name, bool populate = true);
+
+ private:
+  simos::Process* proc_;
+  std::unique_ptr<lib::CopierLib> lib_;
+  std::unique_ptr<baselines::ZioRuntime> zio_;
+  AppIo io_;
+  ExecContext ctx_;
+};
+
+}  // namespace copier::apps
+
+#endif  // COPIER_SRC_APPS_APP_UTIL_H_

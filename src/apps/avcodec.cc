@@ -1,0 +1,54 @@
+#include "src/apps/avcodec.h"
+
+#include "src/common/logging.h"
+
+namespace copier::apps {
+
+Avcodec::Avcodec(AppProcess* app, size_t frame_bytes)
+    : app_(app), frame_bytes_(frame_bytes) {
+  inner_buf_ = app_->Map(AlignUp(frame_bytes_, kPageSize), "avc-inner", true);
+  frame_buf_ = app_->Map(AlignUp(frame_bytes_, kPageSize), "avc-frame", true);
+}
+
+Avcodec::FrameStats Avcodec::DecodeFrame(const std::vector<uint8_t>& bitstream,
+                                         ExecContext* ctx) {
+  AppIo& io = app_->io();
+  FrameStats stats;
+  const Cycles start = CtxNow(ctx);
+
+  // Decode: expand the bitstream into pixels in the inner buffer (a real,
+  // deterministic pseudo-IDCT so every mode produces identical pixels).
+  std::vector<uint8_t> pixels(frame_bytes_);
+  uint32_t state = 0x9d2c5680u;
+  for (size_t i = 0; i < frame_bytes_; ++i) {
+    state = state * 1664525u + 1013904223u + bitstream[i % bitstream.size()];
+    pixels[i] = static_cast<uint8_t>(state >> 24);
+  }
+  io.Write(inner_buf_, pixels.data(), frame_bytes_, ctx);
+  io.Compute(ctx, frame_bytes_, kDecodeCpb, kFrameFixed);
+  stats.decode_cycles = CtxNow(ctx) - start;
+
+  // Frame copy: inner buffer -> frame buffer (the copy Copier hides).
+  io.Copy(frame_buf_, inner_buf_, frame_bytes_, ctx);
+
+  // Post-processing runs before the frame data is needed (Copy-Use window).
+  io.Compute(ctx, frame_bytes_ / 16, kPostCpb, kFrameFixed / 2);
+
+  // Rendering consumes the frame in row-sized chunks, syncing each.
+  constexpr size_t kRow = 8 * kKiB;
+  uint64_t checksum = 1469598103934665603ull;
+  std::vector<uint8_t> row(kRow);
+  for (size_t off = 0; off < frame_bytes_; off += kRow) {
+    const size_t n = std::min(kRow, frame_bytes_ - off);
+    io.ReadSynced(frame_buf_ + off, row.data(), n, ctx);
+    for (size_t i = 0; i < n; ++i) {
+      checksum = (checksum ^ row[i]) * 1099511628211ull;
+    }
+    io.Compute(ctx, n, kRenderCpb);
+  }
+  render_checksum_ = checksum;
+  stats.total_cycles = CtxNow(ctx) - start;
+  return stats;
+}
+
+}  // namespace copier::apps

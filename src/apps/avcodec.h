@@ -1,0 +1,52 @@
+// Avcodec — a HarmonyOS-Avcodec-like video decode pipeline (§5.3, §6.2.4,
+// Fig. 13-c).
+//
+// Per frame: the decoder produces pixel data in an internal buffer (real
+// pseudo-IDCT work), the framework copies it to the frame buffer, then runs
+// post-processing (colorspace/rotation metadata, fence setup) before the
+// frame is passed to rendering, which consumes the pixels row by row.
+// Copier overlaps the inner-buffer -> frame-buffer copy with the
+// post-processing stage; rendering csyncs rows as it consumes them. The
+// smartphone deployment uses scenario-driven polling: the service is active
+// only while a playback scenario is open.
+#ifndef COPIER_SRC_APPS_AVCODEC_H_
+#define COPIER_SRC_APPS_AVCODEC_H_
+
+#include <vector>
+
+#include "src/apps/app_util.h"
+
+namespace copier::apps {
+
+class Avcodec {
+ public:
+  static constexpr double kDecodeCpb = 6.0;   // entropy decode + IDCT per pixel byte
+  static constexpr double kPostCpb = 0.8;     // post-processing over metadata
+  static constexpr double kRenderCpb = 1.1;   // per-byte render consumption
+  static constexpr Cycles kFrameFixed = 4000;
+
+  Avcodec(AppProcess* app, size_t frame_bytes);
+
+  struct FrameStats {
+    Cycles decode_cycles = 0;
+    Cycles total_cycles = 0;
+  };
+
+  // Decodes and renders one frame from `bitstream` (contents drive the real
+  // pseudo-decode). Returns the cycle accounting for the frame.
+  FrameStats DecodeFrame(const std::vector<uint8_t>& bitstream, ExecContext* ctx);
+
+  // Checksum of the last rendered frame (correctness across modes).
+  uint64_t last_render_checksum() const { return render_checksum_; }
+
+ private:
+  AppProcess* app_;
+  size_t frame_bytes_;
+  uint64_t inner_buf_;
+  uint64_t frame_buf_;
+  uint64_t render_checksum_ = 0;
+};
+
+}  // namespace copier::apps
+
+#endif  // COPIER_SRC_APPS_AVCODEC_H_

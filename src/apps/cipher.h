@@ -1,0 +1,73 @@
+// Cipher — an OpenSSL-like secure channel built on a real ChaCha20 stream
+// cipher (§6.2.3, Fig. 13-b).
+//
+// SSL_read() structure reproduced: a TLS-like record is received via the
+// socket (the kernel->user copy) and then decrypted in place-adjacent
+// buffers. The copied data is one-time-use (decrypt reads it exactly once),
+// so in Copier mode the app csyncs record chunks just before decrypting them,
+// overlapping recv's copy with the keystream computation.
+#ifndef COPIER_SRC_APPS_CIPHER_H_
+#define COPIER_SRC_APPS_CIPHER_H_
+
+#include <array>
+#include <vector>
+
+#include "src/apps/app_util.h"
+#include "src/core/descriptor.h"
+
+namespace copier::apps {
+
+// Real ChaCha20 block function (RFC 8439). Used by both endpoints.
+class ChaCha20 {
+ public:
+  ChaCha20(const std::array<uint8_t, 32>& key, const std::array<uint8_t, 12>& nonce,
+           uint32_t counter = 1);
+
+  // XORs the keystream over `n` bytes (encrypt == decrypt).
+  void Process(const uint8_t* in, uint8_t* out, size_t n);
+
+ private:
+  void Block();
+
+  std::array<uint32_t, 16> state_;
+  std::array<uint8_t, 64> keystream_;
+  size_t keystream_used_ = 64;
+};
+
+class SecureChannel {
+ public:
+  static constexpr size_t kMaxRecord = 16 * kKiB;  // TLS record cap (§6.2.3)
+  // Decrypt cost on top of the real XOR work (keystream rounds dominate).
+  static constexpr double kDecryptCpb = 1.1;
+
+  SecureChannel(AppProcess* app, const std::array<uint8_t, 32>& key);
+
+  // Encrypts `plaintext` and sends it as one or more records (client side).
+  Status SendEncrypted(simos::SimSocket* sock, const std::vector<uint8_t>& plaintext,
+                       ExecContext* ctx);
+
+  // SSL_read(): receives one record batch and decrypts it. Returns the
+  // plaintext buffer VA and length in this app's address space.
+  struct ReadResult {
+    uint64_t va = 0;
+    size_t length = 0;
+  };
+  StatusOr<ReadResult> ReadDecrypted(simos::SimSocket* sock, ExecContext* ctx);
+
+  StatusOr<std::vector<uint8_t>> PlaintextBytes(const ReadResult& result);
+
+ private:
+  AppProcess* app_;
+  std::array<uint8_t, 32> key_;
+  uint64_t header_buf_;  // record headers (stream-framing reads are exact)
+  uint64_t record_buf_;
+  uint64_t plain_buf_;
+  core::Descriptor header_descriptor_;
+  core::Descriptor recv_descriptor_;
+  uint64_t tx_records_ = 0;
+  uint64_t rx_records_ = 0;
+};
+
+}  // namespace copier::apps
+
+#endif  // COPIER_SRC_APPS_CIPHER_H_

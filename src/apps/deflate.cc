@@ -1,0 +1,185 @@
+#include "src/apps/deflate.h"
+
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace copier::apps {
+
+namespace {
+
+constexpr size_t kHashBits = 15;
+constexpr size_t kHashSize = 1 << kHashBits;
+constexpr int kMaxChainDepth = 16;
+
+uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void Put16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+uint16_t Get16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0]) | static_cast<uint16_t>(p[1]) << 8;
+}
+
+}  // namespace
+
+Deflate::Deflate(AppProcess* app) : app_(app) {
+  window_va_ = app_->Map(2 * kWindowSize, "deflate-window", true);
+  head_.assign(kHashSize, -1);
+  chain_.assign(2 * kWindowSize, -1);
+}
+
+std::vector<uint8_t> Deflate::Compress(const std::vector<uint8_t>& input, ExecContext* ctx) {
+  AppIo& io = app_->io();
+  std::fill(head_.begin(), head_.end(), -1);
+  window_slides_ = 0;
+
+  // Stage the input in simulated memory (the producer's buffer).
+  const uint64_t input_va = app_->Map(AlignUp(input.size() + 1, kPageSize), "deflate-in", true);
+  io.Write(input_va, input.data(), input.size(), ctx);
+
+  // Host-side mirror of the window for fast match arithmetic; the simulated
+  // window buffer carries the actual copies (fills and slides) whose timing
+  // the modes differ on.
+  std::vector<uint8_t> window(2 * kWindowSize, 0);
+  std::vector<uint8_t> out;
+  std::vector<uint8_t> literals;
+  bool slide_pending = false;
+
+  auto flush_literals = [&] {
+    if (literals.empty()) {
+      return;
+    }
+    out.push_back(0);
+    Put16(out, static_cast<uint16_t>(literals.size()));
+    out.insert(out.end(), literals.begin(), literals.end());
+    literals.clear();
+  };
+
+  size_t base = 0;     // absolute input index of window offset 0
+  size_t filled = 0;   // window bytes filled
+  size_t pos = 0;      // absolute input position being encoded
+  while (pos < input.size()) {
+    // Refill: append up to the window capacity (zlib's fill_window copy —
+    // asynchronous in Copier mode).
+    if (pos - base >= filled && filled < 2 * kWindowSize) {
+      const size_t take = std::min(input.size() - (base + filled), 2 * kWindowSize - filled);
+      if (take > 0) {
+        io.Copy(window_va_ + filled, input_va + base + filled, take, ctx);
+        std::memcpy(window.data() + filled, input.data() + base + filled, take);
+        filled += take;
+      }
+    }
+    // Slide when the encoder reaches the window end.
+    if (pos - base >= 2 * kWindowSize - kMaxMatch && base + 2 * kWindowSize < input.size()) {
+      if (io.mode == Mode::kCopier) {
+        app_->lib()->amemmove(window_va_, window_va_ + kWindowSize, kWindowSize, ctx);
+      } else {
+        io.Copy(window_va_, window_va_ + kWindowSize, kWindowSize, ctx);
+      }
+      std::memmove(window.data(), window.data() + kWindowSize, kWindowSize);
+      base += kWindowSize;
+      filled -= kWindowSize;
+      ++window_slides_;
+      slide_pending = true;
+      // Rebase hash chains.
+      for (auto& h : head_) {
+        h = h >= static_cast<int32_t>(kWindowSize) ? h - static_cast<int32_t>(kWindowSize) : -1;
+      }
+      for (size_t i = 0; i < kWindowSize; ++i) {
+        const int32_t c = chain_[i + kWindowSize];
+        chain_[i] = c >= static_cast<int32_t>(kWindowSize)
+                        ? c - static_cast<int32_t>(kWindowSize)
+                        : -1;
+      }
+      continue;
+    }
+
+    const size_t woff = pos - base;
+    const size_t lookahead = std::min(filled - woff, input.size() - pos);
+    io.Compute(ctx, 1, kMatchCpb);  // per-position match budget
+    if (lookahead < kMinMatch) {
+      literals.push_back(window[woff]);
+      ++pos;
+      continue;
+    }
+
+    // Hash-chain search (greedy, deflate_fast).
+    const uint32_t h = Hash4(window.data() + woff);
+    int32_t candidate = head_[h];
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    int depth = 0;
+    while (candidate >= 0 && depth++ < kMaxChainDepth) {
+      const size_t cand_off = static_cast<size_t>(candidate);
+      if (cand_off < woff && woff - cand_off <= kWindowSize) {
+        if (slide_pending && cand_off < kWindowSize) {
+          // First reference into the slid region: the slide copy must have
+          // landed (csync in Copier mode; the overlap ends here).
+          io.SyncBeforeUse(window_va_, kWindowSize, ctx);
+          slide_pending = false;
+        }
+        size_t len = 0;
+        const size_t max_len = std::min(lookahead, kMaxMatch);
+        while (len < max_len && window[cand_off + len] == window[woff + len]) {
+          ++len;
+        }
+        if (len > best_len) {
+          best_len = len;
+          best_dist = woff - cand_off;
+        }
+      }
+      candidate = chain_[cand_off];
+    }
+
+    chain_[woff] = head_[h];
+    head_[h] = static_cast<int32_t>(woff);
+
+    if (best_len >= kMinMatch) {
+      flush_literals();
+      out.push_back(1);
+      Put16(out, static_cast<uint16_t>(best_dist));
+      Put16(out, static_cast<uint16_t>(best_len));
+      pos += best_len;
+    } else {
+      literals.push_back(window[woff]);
+      ++pos;
+    }
+  }
+  flush_literals();
+  if (io.mode == Mode::kCopier) {
+    COPIER_CHECK_OK(app_->lib()->csync_all(ctx));
+  }
+  return out;
+}
+
+std::vector<uint8_t> Deflate::Decompress(const std::vector<uint8_t>& compressed) {
+  std::vector<uint8_t> out;
+  size_t pos = 0;
+  while (pos < compressed.size()) {
+    const uint8_t kind = compressed[pos++];
+    if (kind == 0) {
+      const uint16_t n = Get16(&compressed[pos]);
+      pos += 2;
+      out.insert(out.end(), compressed.begin() + pos, compressed.begin() + pos + n);
+      pos += n;
+    } else {
+      const uint16_t dist = Get16(&compressed[pos]);
+      const uint16_t len = Get16(&compressed[pos + 2]);
+      pos += 4;
+      const size_t start = out.size() - dist;
+      for (size_t i = 0; i < len; ++i) {
+        out.push_back(out[start + i]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace copier::apps

@@ -1,0 +1,46 @@
+// Deflate — a zlib-like LZ77 compressor with a sliding window (§6.2.3).
+//
+// Real hash-chain match search over a 32 KiB window, emitting (distance,
+// length) matches and literals. The window *slide* — zlib's memcpy of the
+// upper half of the window to the lower half — is the copy Copier overlaps
+// with pattern matching (Fig. 13 "zlib" / Fig. 2 "zlib" rows): in Copier mode
+// the slide is an amemmove and matching on fresh input proceeds while it
+// lands; reads that reach into the slid region csync first.
+#ifndef COPIER_SRC_APPS_DEFLATE_H_
+#define COPIER_SRC_APPS_DEFLATE_H_
+
+#include <vector>
+
+#include "src/apps/app_util.h"
+
+namespace copier::apps {
+
+class Deflate {
+ public:
+  static constexpr size_t kWindowSize = 32 * kKiB;  // zlib window
+  static constexpr size_t kMinMatch = 4;
+  static constexpr size_t kMaxMatch = 258;
+  static constexpr double kMatchCpb = 4.5;  // hash+chain-walk cost per input byte
+
+  explicit Deflate(AppProcess* app);
+
+  // Compresses `input` (deflate_fast-style greedy matching). Returns the
+  // compressed token stream (for ratio/correctness checks).
+  std::vector<uint8_t> Compress(const std::vector<uint8_t>& input, ExecContext* ctx);
+
+  // Decompresses a token stream produced by Compress (correctness check).
+  static std::vector<uint8_t> Decompress(const std::vector<uint8_t>& compressed);
+
+  uint64_t window_slides() const { return window_slides_; }
+
+ private:
+  AppProcess* app_;
+  uint64_t window_va_;  // kWindowSize*2 bytes: matching operates in [0, 2W)
+  std::vector<int32_t> head_;
+  std::vector<int32_t> chain_;
+  uint64_t window_slides_ = 0;
+};
+
+}  // namespace copier::apps
+
+#endif  // COPIER_SRC_APPS_DEFLATE_H_

@@ -1,0 +1,97 @@
+// MiniKV — a Redis-like key-value server over the simulated socket stack
+// (§6.2.1). Speaks a RESP-like protocol and reproduces the five copies the
+// paper optimizes in Redis:
+//   (1) request: kernel -> I/O buffer (recv),
+//   (2) SET: value from I/O buffer -> store entry,
+//   (3) GET: value from store entry -> output buffer,
+//   (4) reply: output buffer -> kernel (send),
+//   (5) internal: key bytes -> lookup scratch during parsing.
+//
+// Requests:  *3\r\n$3\r\nSET\r\n$<klen>\r\n<key>\r\n$<vlen>\r\n<value>\r\n
+//            *2\r\n$3\r\nGET\r\n$<klen>\r\n<key>\r\n
+// Replies:   +OK\r\n | $<vlen>\r\n<value>\r\n | $-1\r\n
+//
+// The server parses real bytes (csync-gated in Copier mode per the §5.1.1
+// guidelines) and charges modeled cycles for parse/hash/dispatch compute.
+#ifndef COPIER_SRC_APPS_MINIKV_H_
+#define COPIER_SRC_APPS_MINIKV_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/apps/app_util.h"
+#include "src/core/descriptor.h"
+
+namespace copier::apps {
+
+class MiniKv {
+ public:
+  struct Config {
+    size_t io_buf_bytes = 1 * kMiB;
+    size_t reply_buffers = 16;  // rotation depth for in-flight async replies
+  };
+
+  // Compute cost constants (cycles/byte), calibrated to Redis's profile.
+  static constexpr double kParseCpb = 1.6;
+  static constexpr double kHashCpb = 2.0;
+  static constexpr Cycles kDispatchFixed = 350;
+
+  explicit MiniKv(AppProcess* server) : MiniKv(server, Config{}) {}
+  MiniKv(AppProcess* server, Config config);
+
+  // Serves one request pending on `sock`; returns false when idle.
+  StatusOr<bool> ProcessOne(simos::SimSocket* sock, ExecContext* ctx);
+
+  // --- client-side helpers (plain byte building, no server state) ---
+  static std::vector<uint8_t> BuildSet(const std::string& key,
+                                       const std::vector<uint8_t>& value);
+  static std::vector<uint8_t> BuildGet(const std::string& key);
+  // Reply length for a GET returning vlen bytes (for client recv sizing).
+  static size_t GetReplySize(size_t vlen);
+
+  uint64_t sets() const { return sets_; }
+  uint64_t gets() const { return gets_; }
+  uint64_t hits() const { return hits_; }
+
+  // Store introspection (tests).
+  StatusOr<std::vector<uint8_t>> Lookup(const std::string& key);
+
+ private:
+  struct Entry {
+    uint64_t va = 0;
+    size_t capacity = 0;
+    size_t length = 0;
+  };
+
+  // Cursor-based parser reading through the mode-appropriate sync.
+  struct Cursor {
+    MiniKv* kv;
+    uint64_t base;
+    size_t available;
+    size_t pos = 0;
+    ExecContext* ctx;
+    std::vector<uint8_t> window;  // synced header bytes fetched so far
+
+    // Reads a "\r\n"-terminated ASCII line (max 32 chars) starting at pos.
+    StatusOr<std::string> ReadLine();
+    void Skip(size_t n) { pos += n; }
+  };
+
+  Entry& EntryFor(const std::string& key, size_t needed);
+
+  AppProcess* server_;
+  Config config_;
+  uint64_t io_buf_;
+  std::vector<uint64_t> reply_bufs_;
+  size_t reply_cursor_ = 0;
+  core::Descriptor io_descriptor_;
+  std::unordered_map<std::string, Entry> store_;
+  uint64_t sets_ = 0;
+  uint64_t gets_ = 0;
+  uint64_t hits_ = 0;
+};
+
+}  // namespace copier::apps
+
+#endif  // COPIER_SRC_APPS_MINIKV_H_

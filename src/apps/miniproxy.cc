@@ -1,0 +1,81 @@
+#include "src/apps/miniproxy.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace copier::apps {
+
+MiniProxy::MiniProxy(AppProcess* proxy, size_t buf_bytes)
+    : proxy_(proxy), buf_bytes_(buf_bytes), in_descriptor_(buf_bytes) {
+  in_buf_ = proxy_->Map(buf_bytes_, "proxy-in", true);
+  out_buf_ = proxy_->Map(buf_bytes_, "proxy-out", true);
+}
+
+StatusOr<bool> MiniProxy::ForwardOne(simos::SimSocket* in, simos::SimSocket* out,
+                                     ExecContext* ctx) {
+  AppIo& io = proxy_->io();
+  const bool lazy = io.mode == Mode::kCopier;
+  auto received = io.Recv(in, in_buf_, buf_bytes_, &in_descriptor_, ctx, /*lazy_recv=*/lazy);
+  if (!received.ok()) {
+    if (received.status().code() == StatusCode::kUnavailable) {
+      return false;
+    }
+    return received.status();
+  }
+
+  // Parse the request line only (csync'd header window).
+  char header[64] = {0};
+  const size_t header_len = std::min<size_t>(sizeof(header), *received);
+  io.ReadSynced(in_buf_, header, header_len, ctx);
+  int upstream = 0;
+  size_t body_len = 0;
+  if (std::sscanf(header, "FWD %d %zu", &upstream, &body_len) != 2) {
+    return InvalidArgument("bad proxy message");
+  }
+  const char* crlf = static_cast<const char*>(std::memchr(header, '\n', header_len));
+  if (crlf == nullptr) {
+    return InvalidArgument("header too long");
+  }
+  const size_t body_off = static_cast<size_t>(crlf - header) + 1;
+  if (body_off + body_len > *received) {
+    return InvalidArgument("truncated body");
+  }
+  io.Compute(ctx, body_off, kHeaderParseCpb, kRouteFixed);
+
+  // Rewrite the request line ("VIA ...") into the output buffer and organize
+  // the message: body copy submitted async/lazy-absorbable; never touched.
+  char new_header[64];
+  const int new_header_len =
+      std::snprintf(new_header, sizeof(new_header), "VIA %d %zu\r\n", upstream, body_len);
+  io.Write(out_buf_, new_header, static_cast<size_t>(new_header_len), ctx);
+  io.Copy(out_buf_ + new_header_len, in_buf_ + body_off, body_len, ctx, /*lazy=*/lazy);
+
+  auto sent = io.Send(out, out_buf_, new_header_len + body_len, ctx);
+  if (!sent.ok()) {
+    return sent.status();
+  }
+
+  if (lazy) {
+    // The message is forwarded: discard the still-queued lazy tasks (recv
+    // K1->U and organize U->U') for the untouched body (§4.4 abort). The
+    // engine defers the discard until the send's absorption chain has run;
+    // the recv KFUNCs then reclaim the skbs.
+    proxy_->lib()->abort_range(in_buf_ + body_off, body_len, ctx);
+    proxy_->lib()->abort_range(out_buf_ + new_header_len, body_len, ctx);
+  }
+  ++forwarded_;
+  return true;
+}
+
+std::vector<uint8_t> MiniProxy::BuildMessage(int upstream, const std::vector<uint8_t>& body) {
+  char header[64];
+  const int n =
+      std::snprintf(header, sizeof(header), "FWD %d %zu\r\n", upstream, body.size());
+  std::vector<uint8_t> out(header, header + n);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+}  // namespace copier::apps

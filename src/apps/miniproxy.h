@@ -1,0 +1,50 @@
+// MiniProxy — a TinyProxy-like HTTP forwarder (§6.2.2).
+//
+// The proxy reads a message, inspects only the request line and headers to
+// pick the upstream, rewrites one header, and forwards the message. The body
+// is never touched — the copy-absorption / lazy-copy showcase:
+//   sync:   recv (K1->U) + organize copy (U->U') + send (U'->K2)
+//   Copier: recv submitted LAZY (K1->U), organize copy submitted (U->U'),
+//           send (U'->K2): absorption collapses the chain into K1->K2 for
+//           the untouched body; header segments (csync'd during parsing)
+//           flow through the touched intermediate. After forwarding, the
+//           proxy aborts the remaining lazy tasks (§4.4).
+//
+// Message format: "FWD <upstream-id> <body-len>\r\n<body>".
+// Forwarded:      "VIA <upstream-id> <body-len>\r\n<body>".
+#ifndef COPIER_SRC_APPS_MINIPROXY_H_
+#define COPIER_SRC_APPS_MINIPROXY_H_
+
+#include <vector>
+
+#include "src/apps/app_util.h"
+#include "src/core/descriptor.h"
+
+namespace copier::apps {
+
+class MiniProxy {
+ public:
+  static constexpr double kHeaderParseCpb = 2.2;
+  static constexpr Cycles kRouteFixed = 500;  // upstream choice, rate limit check
+
+  explicit MiniProxy(AppProcess* proxy, size_t buf_bytes = 1 * kMiB);
+
+  // Forwards one message from `in` to `out`; returns false when idle.
+  StatusOr<bool> ForwardOne(simos::SimSocket* in, simos::SimSocket* out, ExecContext* ctx);
+
+  static std::vector<uint8_t> BuildMessage(int upstream, const std::vector<uint8_t>& body);
+
+  uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  AppProcess* proxy_;
+  size_t buf_bytes_;
+  uint64_t in_buf_;
+  uint64_t out_buf_;
+  core::Descriptor in_descriptor_;
+  uint64_t forwarded_ = 0;
+};
+
+}  // namespace copier::apps
+
+#endif  // COPIER_SRC_APPS_MINIPROXY_H_

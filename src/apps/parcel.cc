@@ -1,0 +1,106 @@
+#include "src/apps/parcel.h"
+
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/core/linux_glue.h"
+
+namespace copier::apps {
+
+void ParcelWriter::WriteString(const std::string& value) {
+  const uint32_t n = static_cast<uint32_t>(value.size());
+  const uint8_t* len_bytes = reinterpret_cast<const uint8_t*>(&n);
+  bytes_.insert(bytes_.end(), len_bytes, len_bytes + 4);
+  bytes_.insert(bytes_.end(), value.begin(), value.end());
+}
+
+StatusOr<std::string> ParcelReader::ReadString(ExecContext* ctx,
+                                               const std::function<void()>& pump) {
+  if (pos_ + 4 > length_) {
+    return OutOfRange("parcel exhausted");
+  }
+  if (descriptor_ != nullptr) {
+    ChargeCtx(ctx, timing_->csync_check_cycles);
+    COPIER_RETURN_IF_ERROR(core::WaitDescriptor(*descriptor_, pos_, 4, ctx, pump));
+  }
+  uint32_t n = 0;
+  std::memcpy(&n, data_ + pos_, 4);
+  if (pos_ + 4 + n > length_) {
+    return InvalidArgument("truncated parcel string");
+  }
+  if (descriptor_ != nullptr) {
+    ChargeCtx(ctx, timing_->csync_check_cycles);
+    COPIER_RETURN_IF_ERROR(core::WaitDescriptor(*descriptor_, pos_ + 4, n, ctx, pump));
+  }
+  std::string value(reinterpret_cast<const char*>(data_ + pos_ + 4), n);
+  pos_ += 4 + n;
+  ChargeCtx(ctx, kItemFixed + static_cast<Cycles>(n * kItemCpb));
+  return value;
+}
+
+BinderParcelChannel::BinderParcelChannel(simos::BinderDriver* binder, AppProcess* client,
+                                         AppProcess* server)
+    : binder_(binder),
+      client_(client),
+      server_(server),
+      descriptor_(simos::BinderDriver::kTxnBufferBytes) {}
+
+StatusOr<std::vector<std::string>> BinderParcelChannel::Call(
+    const std::vector<std::string>& strings, ExecContext* client_ctx,
+    ExecContext* server_ctx) {
+  // Client: marshal into its message buffer.
+  ParcelWriter writer;
+  for (const std::string& s : strings) {
+    writer.WriteString(s);
+  }
+  const std::vector<uint8_t>& msg = writer.bytes();
+  if (msg.size() > msg_buf_bytes_) {
+    msg_buf_bytes_ = AlignUp(msg.size(), kPageSize);
+    msg_buf_ = client_->Map(msg_buf_bytes_, "parcel-msg", true);
+  }
+  client_->io().Write(msg_buf_, msg.data(), msg.size(), client_ctx);
+
+  // Driver: copy to the kernel transaction buffer (async in Copier mode; the
+  // descriptor logically rides at the front of the message).
+  const bool copier_mode = client_->io().mode == Mode::kCopier;
+  descriptor_.Reset(msg.size());
+  auto txn = binder_->Transact(*client_->proc(), msg_buf_, msg.size(), client_ctx,
+                               copier_mode ? &descriptor_ : nullptr);
+  if (!txn.ok()) {
+    return txn.status();
+  }
+
+  // Server: woken after driver bookkeeping; reads items one by one.
+  if (server_ctx != nullptr) {
+    server_ctx->WaitUntil(CtxNow(client_ctx));
+  }
+  std::function<void()> pump;
+  if (copier_mode && client_->lib() != nullptr) {
+    lib::CopierLib* lib = client_->lib();
+    // Manual-mode service: serve the client that owns the k-mode queue.
+    pump = [lib] { lib->Pump(); };
+  }
+  ParcelReader reader(txn->data, txn->length, copier_mode ? &descriptor_ : nullptr,
+                      &client_->io().timing());
+  std::vector<std::string> result;
+  while (!reader.AtEnd()) {
+    auto item = reader.ReadString(server_ctx, pump);
+    if (!item.ok()) {
+      binder_->Release(txn->id);
+      return item.status();
+    }
+    result.push_back(std::move(*item));
+  }
+  auto reply = binder_->Reply(*server_->proc(), server_ctx);
+  if (!reply.ok()) {
+    binder_->Release(txn->id);
+    return reply;
+  }
+  if (client_ctx != nullptr && server_ctx != nullptr) {
+    client_ctx->WaitUntil(server_ctx->now());  // reply delivery
+  }
+  binder_->Release(txn->id);
+  return result;
+}
+
+}  // namespace copier::apps

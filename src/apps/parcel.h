@@ -1,0 +1,77 @@
+// Parcel — an Android-Parcel-like typed message view over Binder IPC (§5.2).
+//
+// Writers append typed items (here: length-prefixed strings) into a message
+// buffer; the Binder driver copies the message into a kernel transaction
+// buffer which is mapped — not copied — into the server. In Copier mode the
+// driver-side copy is asynchronous: the descriptor rides at the front of the
+// message (shared memory, §5.1.1), and the server-side Parcel _csync()s each
+// item before reading it — apps above Parcel need no modification.
+#ifndef COPIER_SRC_APPS_PARCEL_H_
+#define COPIER_SRC_APPS_PARCEL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/apps/app_util.h"
+#include "src/core/descriptor.h"
+#include "src/simos/binder.h"
+
+namespace copier::apps {
+
+// Client-side writer: builds the message bytes.
+class ParcelWriter {
+ public:
+  void WriteString(const std::string& value);
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+// Server-side reader over a Binder transaction buffer (host memory mapped
+// into the server). In Copier mode each read _csyncs against `descriptor`.
+class ParcelReader {
+ public:
+  static constexpr double kItemCpb = 0.35;  // per-item server processing
+  static constexpr Cycles kItemFixed = 110;
+
+  ParcelReader(const uint8_t* data, size_t length, core::Descriptor* descriptor,
+               const hw::TimingModel* timing)
+      : data_(data), length_(length), descriptor_(descriptor), timing_(timing) {}
+
+  // Reads the next string; blocks (csync) until its bytes have landed.
+  StatusOr<std::string> ReadString(ExecContext* ctx,
+                                   const std::function<void()>& pump = nullptr);
+  bool AtEnd() const { return pos_ >= length_; }
+
+ private:
+  const uint8_t* data_;
+  size_t length_;
+  core::Descriptor* descriptor_;  // null in sync mode
+  const hw::TimingModel* timing_;
+  size_t pos_ = 0;
+};
+
+// End-to-end Binder+Parcel transaction helper (the §6.1.2 benchmark shape):
+// client sends n strings, server reads them one by one, then replies.
+class BinderParcelChannel {
+ public:
+  BinderParcelChannel(simos::BinderDriver* binder, AppProcess* client, AppProcess* server);
+
+  // Runs one transaction; returns the server-observed strings. `client_ctx`
+  // and `server_ctx` are the two ends' clocks.
+  StatusOr<std::vector<std::string>> Call(const std::vector<std::string>& strings,
+                                          ExecContext* client_ctx, ExecContext* server_ctx);
+
+ private:
+  simos::BinderDriver* binder_;
+  AppProcess* client_;
+  AppProcess* server_;
+  uint64_t msg_buf_ = 0;
+  size_t msg_buf_bytes_ = 0;
+  core::Descriptor descriptor_;
+};
+
+}  // namespace copier::apps
+
+#endif  // COPIER_SRC_APPS_PARCEL_H_

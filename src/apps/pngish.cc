@@ -1,0 +1,170 @@
+#include "src/apps/pngish.h"
+
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace copier::apps {
+
+namespace {
+
+void Put32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t Get32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+// In-place unfilter of one row given the previous unfiltered row.
+void Unfilter(uint8_t filter, uint8_t* row, const uint8_t* prev, size_t stride, uint32_t bpp) {
+  switch (filter) {
+    case 0:
+      break;
+    case 1:  // Sub: add left neighbour
+      for (size_t i = bpp; i < stride; ++i) {
+        row[i] = static_cast<uint8_t>(row[i] + row[i - bpp]);
+      }
+      break;
+    case 2:  // Up: add the byte above
+      if (prev != nullptr) {
+        for (size_t i = 0; i < stride; ++i) {
+          row[i] = static_cast<uint8_t>(row[i] + prev[i]);
+        }
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+Pngish::Pngish(AppProcess* app, simos::SimFs* fs, size_t max_file_bytes)
+    : app_(app), fs_(fs), max_file_bytes_(max_file_bytes), read_descriptor_(max_file_bytes) {
+  io_buf_ = app_->Map(max_file_bytes_, "png-io", true);
+}
+
+std::vector<uint8_t> Pngish::EncodeImage(uint32_t width, uint32_t height, uint32_t bpp,
+                                         uint64_t seed) {
+  const size_t stride = static_cast<size_t>(width) * bpp;
+  Rng rng(seed);
+  // Smooth-ish pixel content so filters do real work.
+  std::vector<uint8_t> pixels(stride * height);
+  uint8_t value = 0;
+  for (auto& px : pixels) {
+    value = static_cast<uint8_t>(value + rng.Below(7)) ;
+    px = value;
+  }
+
+  std::vector<uint8_t> out;
+  Put32(out, width);
+  Put32(out, height);
+  Put32(out, bpp);
+  std::vector<uint8_t> prev(stride, 0);
+  for (uint32_t r = 0; r < height; ++r) {
+    const uint8_t* row = pixels.data() + r * stride;
+    const uint8_t filter = static_cast<uint8_t>(r % 3);
+    out.push_back(filter);
+    for (size_t i = 0; i < stride; ++i) {
+      uint8_t encoded = row[i];
+      if (filter == 1 && i >= bpp) {
+        encoded = static_cast<uint8_t>(row[i] - row[i - bpp]);
+      } else if (filter == 2 && r > 0) {
+        encoded = static_cast<uint8_t>(row[i] - prev[i]);
+      }
+      out.push_back(encoded);
+    }
+    prev.assign(row, row + stride);
+  }
+  return out;
+}
+
+StatusOr<Pngish::Image> Pngish::DecodeBytes(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 12) {
+    return InvalidArgument("truncated image header");
+  }
+  Image image;
+  image.width = Get32(bytes.data());
+  image.height = Get32(bytes.data() + 4);
+  image.bpp = Get32(bytes.data() + 8);
+  const size_t stride = static_cast<size_t>(image.width) * image.bpp;
+  image.pixels.resize(stride * image.height);
+  size_t pos = 12;
+  for (uint32_t r = 0; r < image.height; ++r) {
+    if (pos + 1 + stride > bytes.size()) {
+      return InvalidArgument("truncated row");
+    }
+    const uint8_t filter = bytes[pos++];
+    uint8_t* row = image.pixels.data() + r * stride;
+    std::memcpy(row, bytes.data() + pos, stride);
+    Unfilter(filter, row, r > 0 ? image.pixels.data() + (r - 1) * stride : nullptr, stride,
+             image.bpp);
+    pos += stride;
+  }
+  return image;
+}
+
+StatusOr<Pngish::Image> Pngish::DecodeFile(const std::string& name, ExecContext* ctx) {
+  AppIo& io = app_->io();
+  auto fd = fs_->Open(name);
+  if (!fd.ok()) {
+    return fd.status();
+  }
+  const size_t file_size = fs_->FileSize(name);
+  if (file_size > max_file_bytes_) {
+    return InvalidArgument("file exceeds I/O buffer");
+  }
+  // read(2): one bulk read into the I/O buffer; asynchronous in Copier mode
+  // (the kernel reports into read_descriptor_, §5.2's recv() pattern applied
+  // to file I/O, §7).
+  if (io.mode == Mode::kCopier) {
+    if (io.bound_descriptors.insert({&read_descriptor_, io_buf_}).second) {
+      io.lib->shm_descr_bind(io_buf_, &read_descriptor_);
+    }
+    read_descriptor_.Reset(read_descriptor_.length());
+  }
+  auto got = fs_->Read(*app_->proc(), *fd, io_buf_, file_size, ctx,
+                       io.mode == Mode::kCopier ? &read_descriptor_ : nullptr);
+  if (!got.ok()) {
+    return got.status();
+  }
+  if (io.mode == Mode::kZio) {
+    io.zio->SourceReused(io_buf_, file_size, ctx);
+  }
+
+  // Header.
+  uint8_t header[12];
+  io.ReadSynced(io_buf_, header, 12, ctx);
+  Image image;
+  image.width = Get32(header);
+  image.height = Get32(header + 4);
+  image.bpp = Get32(header + 8);
+  const size_t stride = static_cast<size_t>(image.width) * image.bpp;
+  if (12 + image.height * (stride + 1) > *got) {
+    return InvalidArgument("truncated image");
+  }
+  image.pixels.resize(stride * image.height);
+
+  // Row-by-row: csync gates each row right before its unfilter; unfiltering
+  // row r overlaps the in-flight copy of rows r+1.. (the Copy-Use window).
+  std::vector<uint8_t> row_buf(stride + 1);
+  size_t pos = 12;
+  for (uint32_t r = 0; r < image.height; ++r) {
+    io.ReadSynced(io_buf_ + pos, row_buf.data(), stride + 1, ctx);
+    uint8_t* row = image.pixels.data() + r * stride;
+    std::memcpy(row, row_buf.data() + 1, stride);
+    Unfilter(row_buf[0], row, r > 0 ? image.pixels.data() + (r - 1) * stride : nullptr,
+             stride, image.bpp);
+    io.Compute(ctx, stride, kUnfilterCpb, kRowFixed);
+    pos += stride + 1;
+  }
+  return image;
+}
+
+}  // namespace copier::apps

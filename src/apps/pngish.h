@@ -1,0 +1,58 @@
+// Pngish — a libpng-like image decoder over SimFs (the paper's "libpng
+// decoding PNG images stored in an ext4 file system" workload, Fig. 2/3).
+//
+// Image format (real filtering, PNG-style):
+//   header: width, height, bytes-per-pixel (u32 each)
+//   rows:   filter byte (0=None, 1=Sub, 2=Up) + filtered row bytes
+// Decode: read(2) pulls the file into the I/O buffer (the kernel->user copy
+// Copier hides), then rows are unfiltered sequentially into the image — a
+// textbook sequential Copy-Use pattern: row r is consumed only after rows
+// 0..r-1 were unfiltered.
+#ifndef COPIER_SRC_APPS_PNGISH_H_
+#define COPIER_SRC_APPS_PNGISH_H_
+
+#include <vector>
+
+#include "src/apps/app_util.h"
+#include "src/core/descriptor.h"
+#include "src/simos/simfs.h"
+
+namespace copier::apps {
+
+class Pngish {
+ public:
+  static constexpr double kUnfilterCpb = 1.8;  // per-byte unfilter work
+  static constexpr Cycles kRowFixed = 120;
+
+  Pngish(AppProcess* app, simos::SimFs* fs, size_t max_file_bytes = 4 * kMiB);
+
+  // Encodes an image (deterministic content from `seed`) into the filtered
+  // file format; the caller stores it via SimFs::CreateFile.
+  static std::vector<uint8_t> EncodeImage(uint32_t width, uint32_t height, uint32_t bpp,
+                                          uint64_t seed);
+
+  struct Image {
+    uint32_t width = 0;
+    uint32_t height = 0;
+    uint32_t bpp = 0;
+    std::vector<uint8_t> pixels;
+  };
+
+  // Opens `name`, read(2)s it into the I/O buffer, and decodes. In Copier
+  // mode the read is asynchronous and each row csyncs just before unfiltering.
+  StatusOr<Image> DecodeFile(const std::string& name, ExecContext* ctx);
+
+  // Reference decoder over raw bytes (for correctness checks).
+  static StatusOr<Image> DecodeBytes(const std::vector<uint8_t>& bytes);
+
+ private:
+  AppProcess* app_;
+  simos::SimFs* fs_;
+  size_t max_file_bytes_;
+  uint64_t io_buf_;
+  core::Descriptor read_descriptor_;
+};
+
+}  // namespace copier::apps
+
+#endif  // COPIER_SRC_APPS_PNGISH_H_

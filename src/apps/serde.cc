@@ -1,0 +1,110 @@
+#include "src/apps/serde.h"
+
+#include "src/common/logging.h"
+
+namespace copier::apps {
+
+size_t VarintEncode(uint64_t value, uint8_t* out) {
+  size_t n = 0;
+  do {
+    uint8_t byte = value & 0x7f;
+    value >>= 7;
+    if (value != 0) {
+      byte |= 0x80;
+    }
+    out[n++] = byte;
+  } while (value != 0);
+  return n;
+}
+
+size_t VarintDecode(const uint8_t* in, size_t available, uint64_t* value) {
+  uint64_t result = 0;
+  for (size_t i = 0; i < available && i < 10; ++i) {
+    result |= static_cast<uint64_t>(in[i] & 0x7f) << (7 * i);
+    if ((in[i] & 0x80) == 0) {
+      *value = result;
+      return i + 1;
+    }
+  }
+  return 0;  // truncated
+}
+
+Serde::Serde(AppProcess* app, size_t buf_bytes)
+    : app_(app), buf_bytes_(buf_bytes), recv_descriptor_(buf_bytes) {
+  recv_buf_ = app_->Map(buf_bytes_, "serde-recv", true);
+  object_buf_ = app_->Map(buf_bytes_, "serde-object", true);
+}
+
+std::vector<uint8_t> Serde::Serialize(const std::vector<FieldSpec>& fields) {
+  std::vector<uint8_t> out;
+  uint8_t scratch[10];
+  for (const FieldSpec& field : fields) {
+    size_t n = VarintEncode(field.tag, scratch);
+    out.insert(out.end(), scratch, scratch + n);
+    n = VarintEncode(field.payload.size(), scratch);
+    out.insert(out.end(), scratch, scratch + n);
+    out.insert(out.end(), field.payload.begin(), field.payload.end());
+  }
+  return out;
+}
+
+StatusOr<std::vector<Serde::Field>> Serde::RecvAndParse(simos::SimSocket* sock,
+                                                        ExecContext* ctx) {
+  AppIo& io = app_->io();
+  auto received = io.Recv(sock, recv_buf_, buf_bytes_, &recv_descriptor_, ctx);
+  if (!received.ok()) {
+    return received.status();
+  }
+  object_cursor_ = 0;
+
+  std::vector<Field> fields;
+  size_t pos = 0;
+  while (pos < *received) {
+    // Framing window: tag + length varints (<= 20 bytes). csync'd read.
+    uint8_t frame[20];
+    const size_t window = std::min<size_t>(sizeof(frame), *received - pos);
+    io.ReadSynced(recv_buf_ + pos, frame, window, ctx);
+    uint64_t tag = 0;
+    const size_t tag_len = VarintDecode(frame, window, &tag);
+    if (tag_len == 0) {
+      return InvalidArgument("truncated tag varint");
+    }
+    uint64_t payload_len = 0;
+    const size_t len_len = VarintDecode(frame + tag_len, window - tag_len, &payload_len);
+    if (len_len == 0) {
+      return InvalidArgument("truncated length varint");
+    }
+    pos += tag_len + len_len;
+    if (pos + payload_len > *received) {
+      return InvalidArgument("truncated payload");
+    }
+    io.Compute(ctx, tag_len + len_len, kParseCpb, kFieldFixed);
+
+    Field field;
+    field.tag = static_cast<uint32_t>(tag);
+    field.va = object_buf_ + object_cursor_;
+    field.length = payload_len;
+    // Field payload copy (recv buffer -> object arena): asynchronous in
+    // Copier mode; the deserializer moves on to the next field's framing
+    // while the payload lands (this is the overlapped portion, Fig. 13-a).
+    io.Copy(field.va, recv_buf_ + pos, payload_len, ctx);
+    io.Compute(ctx, payload_len, kFieldInitCpb);  // object bookkeeping
+    object_cursor_ += AlignUp(payload_len, 64);
+    pos += payload_len;
+    fields.push_back(field);
+  }
+  return fields;
+}
+
+StatusOr<std::vector<uint8_t>> Serde::FieldBytes(const Field& field) {
+  if (app_->io().mode == Mode::kCopier) {
+    COPIER_RETURN_IF_ERROR(app_->lib()->csync(field.va, field.length));
+  } else if (app_->io().mode == Mode::kZio) {
+    app_->io().zio->Touch(field.va, field.length, nullptr);
+  }
+  std::vector<uint8_t> bytes(field.length);
+  COPIER_RETURN_IF_ERROR(app_->proc()->mem().ReadBytes(field.va, bytes.data(), field.length));
+  return bytes;
+}
+
+}  // namespace copier::apps

@@ -1,0 +1,64 @@
+// Serde — a Protobuf-like length-delimited serialization library (§6.2.3).
+//
+// Wire format: a sequence of fields, each
+//   varint tag | varint length | payload bytes.
+// Deserialization parses the framing and copies each payload into the target
+// object's field buffer. With Copier, the recv() copy runs in parallel with
+// deserialization: the parser csyncs each field's framing window and lets the
+// field-payload copies ride asynchronously (copy-use pipeline, §4.1 / Fig. 3
+// "Protobuf" row).
+#ifndef COPIER_SRC_APPS_SERDE_H_
+#define COPIER_SRC_APPS_SERDE_H_
+
+#include <vector>
+
+#include "src/apps/app_util.h"
+#include "src/core/descriptor.h"
+
+namespace copier::apps {
+
+// Encodes/decodes base-128 varints (real Protobuf encoding).
+size_t VarintEncode(uint64_t value, uint8_t* out);
+size_t VarintDecode(const uint8_t* in, size_t available, uint64_t* value);
+
+class Serde {
+ public:
+  static constexpr double kParseCpb = 0.9;       // framing scan
+  static constexpr double kFieldInitCpb = 0.25;  // per-field object setup
+  static constexpr Cycles kFieldFixed = 90;
+
+  explicit Serde(AppProcess* app, size_t buf_bytes = 1 * kMiB);
+
+  struct FieldSpec {
+    uint32_t tag;
+    std::vector<uint8_t> payload;
+  };
+
+  // Builds a serialized message (client side, plain bytes).
+  static std::vector<uint8_t> Serialize(const std::vector<FieldSpec>& fields);
+
+  struct Field {
+    uint32_t tag = 0;
+    uint64_t va = 0;  // field buffer in the app's address space
+    size_t length = 0;
+  };
+
+  // Receives one serialized message from `sock` and deserializes it into
+  // per-field buffers. Returns the parsed fields.
+  StatusOr<std::vector<Field>> RecvAndParse(simos::SimSocket* sock, ExecContext* ctx);
+
+  // Test helper: reads a parsed field's bytes (settling async copies).
+  StatusOr<std::vector<uint8_t>> FieldBytes(const Field& field);
+
+ private:
+  AppProcess* app_;
+  size_t buf_bytes_;
+  uint64_t recv_buf_;
+  uint64_t object_buf_;  // arena for field payloads
+  size_t object_cursor_ = 0;
+  core::Descriptor recv_descriptor_;
+};
+
+}  // namespace copier::apps
+
+#endif  // COPIER_SRC_APPS_SERDE_H_

@@ -1,0 +1,125 @@
+#include "src/baselines/syscall_baselines.h"
+
+#include "src/hw/copy_unit.h"
+
+namespace copier::baselines {
+
+// ---------------------------------------------------------------------------
+// ZeroCopySend
+// ---------------------------------------------------------------------------
+
+StatusOr<size_t> ZeroCopySend::Send(simos::Process& proc, simos::SimSocket* sock, uint64_t va,
+                                    size_t length, ExecContext* ctx) {
+  const hw::TimingModel& t = kernel_->timing();
+  // Data movement (uncharged): the skbs reference the pinned user pages; our
+  // substrate copies for correctness but charges zero for those bytes.
+  auto result = kernel_->Send(proc, sock, va, length, nullptr);
+  if (!result.ok()) {
+    return result;
+  }
+
+  const size_t packets = (length + simos::kMtu - 1) / simos::kMtu;
+  const uint64_t interior_start = AlignUp(va, kPageSize);
+  const uint64_t interior_end = AlignDown(va + length, kPageSize);
+  const size_t interior_pages =
+      interior_end > interior_start ? (interior_end - interior_start) >> kPageShift : 0;
+  const size_t edge_bytes = length - interior_pages * kPageSize;
+
+  Cycles cost = t.syscall_entry_cycles + t.syscall_exit_cycles;       // the send itself
+  cost += packets * (t.skb_alloc_cycles + t.tcp_tx_per_packet_cycles);
+  // MSG_ZEROCOPY pins and references the pages (no remapping); the shared
+  // pages must be write-protected once per send (one shootdown).
+  cost += interior_pages * t.page_pin_cycles;
+  cost += t.tlb_shootdown_cycles / 2;
+  cost += t.CpuCopyCycles(hw::CopyUnitKind::kErms, edge_bytes);        // unaligned edges
+  // Completion notification: the app must reap the error queue before it can
+  // reuse the buffer — one more (cheap, often-batched) syscall.
+  cost += (t.syscall_entry_cycles + t.syscall_exit_cycles) / 2;
+  ChargeCtx(ctx, cost);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// UserspaceBypass
+// ---------------------------------------------------------------------------
+
+template <typename Fn>
+auto UserspaceBypass::WithReducedTrap(ExecContext* ctx, Fn&& fn) {
+  // Execute the syscall body on a scratch clock, then charge the app the
+  // body cost with the trap portion discounted to the UB residual.
+  const hw::TimingModel& t = kernel_->timing();
+  ExecContext scratch("ub-scratch");
+  auto result = fn(&scratch);
+  const Cycles full_trap = t.syscall_entry_cycles + t.syscall_exit_cycles;
+  Cycles body = scratch.now();
+  if (body >= full_trap) {
+    body -= full_trap;
+  }
+  ChargeCtx(ctx, body + static_cast<Cycles>(full_trap * kResidualTrapFraction));
+  return result;
+}
+
+StatusOr<size_t> UserspaceBypass::Send(simos::Process& proc, simos::SimSocket* sock,
+                                       uint64_t va, size_t length, ExecContext* ctx) {
+  return WithReducedTrap(ctx, [&](ExecContext* scratch) {
+    return kernel_->Send(proc, sock, va, length, scratch);
+  });
+}
+
+StatusOr<size_t> UserspaceBypass::Recv(simos::Process& proc, simos::SimSocket* sock,
+                                       uint64_t va, size_t length, ExecContext* ctx) {
+  return WithReducedTrap(ctx, [&](ExecContext* scratch) {
+    return kernel_->Recv(proc, sock, va, length, scratch);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// IoUringSim
+// ---------------------------------------------------------------------------
+
+uint64_t IoUringSim::Submit(simos::Process& proc, simos::SimSocket* sock, uint64_t va,
+                            size_t length, bool is_send, ExecContext* ctx) {
+  const hw::TimingModel& t = kernel_->timing();
+  ChargeCtx(ctx, 80);  // SQE preparation
+  ++submitted_in_batch_;
+  if (submitted_in_batch_ >= batch_size_) {
+    // io_uring_enter: one trap amortized over the batch (no-op with SQPOLL,
+    // but we model the non-SQPOLL default of the paper's io_uring baseline).
+    ChargeCtx(ctx, t.syscall_entry_cycles + t.syscall_exit_cycles);
+    submitted_in_batch_ = 0;
+  }
+
+  // The SQPOLL worker picks the op up no earlier than the app submitted it.
+  worker_.WaitUntil(CtxNow(ctx));
+  StatusOr<size_t> result = is_send ? kernel_->Send(proc, sock, va, length, &worker_)
+                                    : kernel_->Recv(proc, sock, va, length, &worker_);
+  ops_.push_back(Op{next_id_, worker_.now(), std::move(result)});
+  return next_id_++;
+}
+
+uint64_t IoUringSim::SubmitSend(simos::Process& proc, simos::SimSocket* sock, uint64_t va,
+                                size_t length, ExecContext* ctx) {
+  return Submit(proc, sock, va, length, /*is_send=*/true, ctx);
+}
+
+uint64_t IoUringSim::SubmitRecv(simos::Process& proc, simos::SimSocket* sock, uint64_t va,
+                                size_t length, ExecContext* ctx) {
+  return Submit(proc, sock, va, length, /*is_send=*/false, ctx);
+}
+
+StatusOr<size_t> IoUringSim::Wait(uint64_t op, ExecContext* ctx) {
+  for (auto it = ops_.begin(); it != ops_.end(); ++it) {
+    if (it->id == op) {
+      if (ctx != nullptr) {
+        ctx->WaitUntil(it->completion_time);
+      }
+      ChargeCtx(ctx, 60);  // CQE reap
+      StatusOr<size_t> result = std::move(it->result);
+      ops_.erase(it);
+      return result;
+    }
+  }
+  return NotFound("unknown io_uring op");
+}
+
+}  // namespace copier::baselines

@@ -1,0 +1,111 @@
+// Syscall-optimization baselines from §6.1.2 (Fig. 10): MSG_ZEROCOPY-like
+// send, Userspace Bypass (UB), and io_uring (plain and batched).
+//
+// Each baseline wraps SimKernel's send/recv with the mechanism's cost
+// structure; data movement stays correct, the charged time differs.
+#ifndef COPIER_SRC_BASELINES_SYSCALL_BASELINES_H_
+#define COPIER_SRC_BASELINES_SYSCALL_BASELINES_H_
+
+#include <deque>
+
+#include "src/common/exec_context.h"
+#include "src/common/status.h"
+#include "src/simos/kernel.h"
+
+namespace copier::baselines {
+
+// --- MSG_ZEROCOPY-like send (Linux zero-copy socket [24]) -------------------
+//
+// Pins the user pages, shares them with the skb layer (no payload copy), and
+// later requires a completion-notification check before the buffer may be
+// reused. Requires page alignment for the shared interior; unaligned head and
+// tail are still copied. Effective only for large payloads (>= ~10 KiB).
+class ZeroCopySend {
+ public:
+  explicit ZeroCopySend(simos::SimKernel* kernel) : kernel_(kernel) {}
+
+  // send(..., MSG_ZEROCOPY) followed (eventually) by the error-queue
+  // completion check, whose cost is charged here up front (it must happen
+  // once per send before buffer reuse).
+  StatusOr<size_t> Send(simos::Process& proc, simos::SimSocket* sock, uint64_t va,
+                        size_t length, ExecContext* ctx);
+
+ private:
+  simos::SimKernel* kernel_;
+};
+
+// --- Userspace Bypass (UB, OSDI '23 [87]) -----------------------------------
+//
+// Moves the syscall-intensive code into the kernel via binary translation:
+// the privilege crossing shrinks to a near-call, but the translated user code
+// pays an instrumentation slowdown on its memory accesses — which is why UB
+// only wins for small payloads (§6.1.2, §6.2.1).
+class UserspaceBypass {
+ public:
+  // Fraction of trap cost that remains, and the per-byte instrumentation tax
+  // the app pays when it later touches the data.
+  static constexpr double kResidualTrapFraction = 0.15;
+  static constexpr double kAccessTaxCyclesPerByte = 0.35;
+
+  explicit UserspaceBypass(simos::SimKernel* kernel) : kernel_(kernel) {}
+
+  StatusOr<size_t> Send(simos::Process& proc, simos::SimSocket* sock, uint64_t va,
+                        size_t length, ExecContext* ctx);
+  StatusOr<size_t> Recv(simos::Process& proc, simos::SimSocket* sock, uint64_t va,
+                        size_t length, ExecContext* ctx);
+
+  // Charged when the (translated) app touches `n` bytes of data.
+  static void ChargeAccessTax(ExecContext* ctx, size_t n) {
+    ChargeCtx(ctx, static_cast<Cycles>(n * kAccessTaxCyclesPerByte));
+  }
+
+ private:
+  // Runs `fn` with the kernel's trap costs discounted to the UB residual.
+  template <typename Fn>
+  auto WithReducedTrap(ExecContext* ctx, Fn&& fn);
+
+  simos::SimKernel* kernel_;
+};
+
+// --- io_uring (plain and batched submission) ---------------------------------
+//
+// Asynchronous syscalls: the app enqueues SQEs; an SQPOLL kernel thread
+// executes them on its own clock; the app reaps CQEs when it needs results.
+// Batched mode amortizes one trap over `batch` submissions.
+class IoUringSim {
+ public:
+  IoUringSim(simos::SimKernel* kernel, size_t batch_size = 1)
+      : kernel_(kernel), batch_size_(batch_size), worker_("iouring-sqpoll") {}
+
+  // Enqueues a send/recv SQE at the app's current time. Returns an op id.
+  uint64_t SubmitSend(simos::Process& proc, simos::SimSocket* sock, uint64_t va, size_t length,
+                      ExecContext* ctx);
+  uint64_t SubmitRecv(simos::Process& proc, simos::SimSocket* sock, uint64_t va, size_t length,
+                      ExecContext* ctx);
+
+  // Blocks the app until the op completes; returns the op's result size.
+  StatusOr<size_t> Wait(uint64_t op, ExecContext* ctx);
+
+  ExecContext& worker() { return worker_; }
+
+ private:
+  struct Op {
+    uint64_t id;
+    Cycles completion_time;
+    StatusOr<size_t> result;
+  };
+
+  uint64_t Submit(simos::Process& proc, simos::SimSocket* sock, uint64_t va, size_t length,
+                  bool is_send, ExecContext* ctx);
+
+  simos::SimKernel* kernel_;
+  size_t batch_size_;
+  ExecContext worker_;
+  std::deque<Op> ops_;
+  uint64_t next_id_ = 1;
+  size_t submitted_in_batch_ = 0;
+};
+
+}  // namespace copier::baselines
+
+#endif  // COPIER_SRC_BASELINES_SYSCALL_BASELINES_H_

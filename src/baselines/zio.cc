@@ -1,0 +1,101 @@
+#include "src/baselines/zio.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/hw/copy_unit.h"
+
+namespace copier::baselines {
+
+namespace {
+
+// Moves bytes between two simulated VAs through host chunks (real data).
+void HostCopy(simos::AddressSpace* space, uint64_t dst, uint64_t src, size_t n) {
+  std::vector<uint8_t> buffer(n);
+  COPIER_CHECK_OK(space->ReadBytes(src, buffer.data(), n));
+  COPIER_CHECK_OK(space->WriteBytes(dst, buffer.data(), n));
+}
+
+}  // namespace
+
+void ZioRuntime::Copy(uint64_t dst, uint64_t src, size_t n, ExecContext* ctx) {
+  ++stats_.copies_intercepted;
+  // Unaligned head/tail cannot be remapped; zIO copies those eagerly. Only
+  // whole interior pages defer.
+  const uint64_t interior_start = AlignUp(dst, kPageSize);
+  const uint64_t interior_end = AlignDown(dst + n, kPageSize);
+  // zIO intercepts later accesses via page protection on the destination, so
+  // unlike remap-based zero-copy it needs no src/dst co-alignment — but only
+  // whole interior pages can be protected.
+  const bool worthwhile = n >= threshold_ && interior_end > interior_start;
+
+  // Data always moves now (correctness); only charged time differs.
+  HostCopy(space_, dst, src, n);
+
+  if (!worthwhile) {
+    ChargeCtx(ctx, timing_->CpuCopyCycles(hw::CopyUnitKind::kAvx, n));
+    stats_.bytes_eager += n;
+    return;
+  }
+
+  const size_t head = interior_start - dst;
+  const size_t tail = (dst + n) - interior_end;
+  const size_t interior = n - head - tail;
+  const size_t pages = interior / kPageSize;
+
+  // Eager edges + lightweight per-page tracking/protection (zIO defers via
+  // its interception tables and mprotect, not full remaps).
+  ChargeCtx(ctx, timing_->CpuCopyCycles(hw::CopyUnitKind::kAvx, head + tail));
+  ChargeCtx(ctx, 100 * pages + timing_->tlb_shootdown_cycles / 4);
+  stats_.bytes_eager += head + tail;
+  stats_.bytes_deferred += interior;
+  ++stats_.copies_deferred;
+  deferred_.push_back(Deferred{interior_start, src + head, interior, false});
+}
+
+void ZioRuntime::Materialize(Deferred& d, ExecContext* ctx) {
+  if (d.materialized) {
+    return;
+  }
+  d.materialized = true;
+  ++stats_.faults;
+  stats_.bytes_materialized += d.length;
+  // One hardware fault wakes the handler, which copies the whole region and
+  // restores the protection.
+  ChargeCtx(ctx, timing_->page_fault_entry_cycles +
+                     timing_->CpuCopyCycles(hw::CopyUnitKind::kAvx, d.length) +
+                     150 * (d.length / kPageSize));
+}
+
+void ZioRuntime::Touch(uint64_t addr, size_t n, ExecContext* ctx) {
+  for (auto& d : deferred_) {
+    if (!d.materialized && RangesOverlap(d.dst, d.length, addr, n)) {
+      Materialize(d, ctx);
+    }
+  }
+  std::erase_if(deferred_, [](const Deferred& d) { return d.materialized; });
+}
+
+void ZioRuntime::SourceReused(uint64_t src, size_t n, ExecContext* ctx) {
+  for (auto& d : deferred_) {
+    if (!d.materialized && RangesOverlap(d.src, d.length, src, n)) {
+      Materialize(d, ctx);
+    }
+  }
+  std::erase_if(deferred_, [](const Deferred& d) { return d.materialized; });
+}
+
+void ZioRuntime::Consume(uint64_t addr, size_t n, ExecContext* ctx) {
+  for (auto& d : deferred_) {
+    if (!d.materialized && RangesOverlap(d.dst, d.length, addr, n)) {
+      // Short-circuit: the consumer reads from the origin; the deferred copy
+      // never executes. Charge only the unmap bookkeeping.
+      stats_.bytes_elided += d.length;
+      ChargeCtx(ctx, 60 * (d.length / kPageSize));
+      d.materialized = true;  // retired
+    }
+  }
+  std::erase_if(deferred_, [](const Deferred& d) { return d.materialized; });
+}
+
+}  // namespace copier::baselines

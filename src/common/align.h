@@ -1,0 +1,53 @@
+// Alignment and size helpers shared across the Copier codebase.
+#ifndef COPIER_SRC_COMMON_ALIGN_H_
+#define COPIER_SRC_COMMON_ALIGN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace copier {
+
+inline constexpr size_t kKiB = 1024;
+inline constexpr size_t kMiB = 1024 * kKiB;
+
+// The simulated OS uses 4 KiB base pages throughout (see src/simos/).
+inline constexpr size_t kPageSize = 4096;
+inline constexpr size_t kPageShift = 12;
+
+constexpr uint64_t AlignDown(uint64_t value, uint64_t alignment) {
+  return value & ~(alignment - 1);
+}
+
+constexpr uint64_t AlignUp(uint64_t value, uint64_t alignment) {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+constexpr bool IsAligned(uint64_t value, uint64_t alignment) {
+  return (value & (alignment - 1)) == 0;
+}
+
+constexpr uint64_t PageNumber(uint64_t address) { return address >> kPageShift; }
+
+constexpr uint64_t PageOffset(uint64_t address) { return address & (kPageSize - 1); }
+
+constexpr uint64_t PageBase(uint64_t address) { return AlignDown(address, kPageSize); }
+
+// Number of pages spanned by the byte range [address, address + length).
+constexpr uint64_t PagesSpanned(uint64_t address, uint64_t length) {
+  if (length == 0) {
+    return 0;
+  }
+  return PageNumber(address + length - 1) - PageNumber(address) + 1;
+}
+
+// True when the half-open byte ranges [a, a+alen) and [b, b+blen) overlap.
+constexpr bool RangesOverlap(uint64_t a, uint64_t alen, uint64_t b, uint64_t blen) {
+  if (alen == 0 || blen == 0) {
+    return false;
+  }
+  return a < b + blen && b < a + alen;
+}
+
+}  // namespace copier
+
+#endif  // COPIER_SRC_COMMON_ALIGN_H_

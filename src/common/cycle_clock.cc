@@ -1,0 +1,58 @@
+#include "src/common/cycle_clock.h"
+
+#include <ctime>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace copier {
+namespace {
+
+uint64_t MonotonicNanos() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull + static_cast<uint64_t>(ts.tv_nsec);
+}
+
+double MeasureFrequencyHz() {
+  // Short busy-wait calibration; 2 ms is enough for a stable estimate and
+  // cheap enough to run once per process.
+  const uint64_t start_ns = MonotonicNanos();
+  const Cycles start_tsc = RealCycleClock::ReadTsc();
+  while (MonotonicNanos() - start_ns < 2000000) {
+  }
+  const uint64_t end_ns = MonotonicNanos();
+  const Cycles end_tsc = RealCycleClock::ReadTsc();
+  const double elapsed_ns = static_cast<double>(end_ns - start_ns);
+  if (elapsed_ns <= 0) {
+    return 1e9;
+  }
+  return static_cast<double>(end_tsc - start_tsc) * 1e9 / elapsed_ns;
+}
+
+}  // namespace
+
+Cycles RealCycleClock::ReadTsc() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#elif defined(__aarch64__)
+  uint64_t value;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(value));
+  return value;
+#else
+  return MonotonicNanos();
+#endif
+}
+
+double RealCycleClock::FrequencyHz() {
+  static const double frequency = MeasureFrequencyHz();
+  return frequency;
+}
+
+RealCycleClock* RealCycleClock::Get() {
+  static RealCycleClock clock;
+  return &clock;
+}
+
+}  // namespace copier

@@ -1,0 +1,79 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace copier {
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::Sum() const { return std::accumulate(samples_.begin(), samples_.end(), 0.0); }
+
+double Histogram::Mean() const { return samples_.empty() ? 0.0 : Sum() / samples_.size(); }
+
+double Histogram::Min() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  return samples_.front();
+}
+
+double Histogram::Max() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  return samples_.back();
+}
+
+double Histogram::Stddev() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean();
+  double sq = 0.0;
+  for (double s : samples_) {
+    sq += (s - mean) * (s - mean);
+  }
+  return std::sqrt(sq / (samples_.size() - 1));
+}
+
+double Histogram::Percentile(double p) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  const double rank = p / 100.0 * (samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - lo;
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream out;
+  out << "n=" << Count() << " mean=" << Mean() << " p50=" << Percentile(50)
+      << " p99=" << Percentile(99) << " max=" << Max();
+  return out.str();
+}
+
+void RunningStat::Add(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / count_;
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStat::Variance() const { return count_ > 1 ? m2_ / (count_ - 1) : 0.0; }
+
+double RunningStat::Stddev() const { return std::sqrt(Variance()); }
+
+}  // namespace copier

@@ -1,0 +1,57 @@
+// Latency/size recorders used by the benchmark harness.
+//
+// Histogram keeps raw samples (benches are bounded) so exact percentiles (P50,
+// P99, ...) can be reported, matching how the paper reports Redis latency
+// (Fig. 11) and syscall latency (Fig. 10).
+#ifndef COPIER_SRC_COMMON_HISTOGRAM_H_
+#define COPIER_SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace copier {
+
+class Histogram {
+ public:
+  void Add(double value) { samples_.push_back(value); }
+  void Clear() { samples_.clear(); }
+
+  size_t Count() const { return samples_.size(); }
+  double Sum() const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  double Stddev() const;
+
+  // Exact percentile over recorded samples; p in [0, 100]. Sorts lazily.
+  double Percentile(double p) const;
+
+  std::string Summary() const;
+
+ private:
+  // Sorted on demand by Percentile/Min/Max; mutable keeps the accessors const.
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+
+  void EnsureSorted() const;
+};
+
+// Welford running statistics for unbounded streams (service-side counters).
+class RunningStat {
+ public:
+  void Add(double value);
+  size_t Count() const { return count_; }
+  double Mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double Variance() const;
+  double Stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace copier
+
+#endif  // COPIER_SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,78 @@
+// Lightweight leveled logging plus CHECK macros.
+//
+// Copier runs both inside tests (quiet by default) and inside the benchmark
+// harness (narrating progress); the level is a process-global atomic.
+#ifndef COPIER_SRC_COMMON_LOGGING_H_
+#define COPIER_SRC_COMMON_LOGGING_H_
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace copier {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Process-global minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();  // Flushes; aborts the process for kFatal.
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the message is below the level.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace copier
+
+#define COPIER_LOG_IS_ON(level) \
+  (static_cast<int>(::copier::LogLevel::level) >= static_cast<int>(::copier::GetLogLevel()))
+
+#define COPIER_LOG(level)                  \
+  !COPIER_LOG_IS_ON(level) ? (void)0       \
+                           : ::copier::internal::LogVoidify() &                              \
+                                 ::copier::internal::LogMessage(::copier::LogLevel::level,   \
+                                                                __FILE__, __LINE__)          \
+                                     .stream()
+
+#define COPIER_CHECK(condition)                                                            \
+  (condition) ? (void)0                                                                    \
+              : ::copier::internal::LogVoidify() &                                         \
+                    ::copier::internal::LogMessage(::copier::LogLevel::kFatal, __FILE__,   \
+                                                   __LINE__)                               \
+                            .stream()                                                      \
+                        << "Check failed: " #condition " "
+
+#define COPIER_CHECK_OK(expr)                                                     \
+  do {                                                                            \
+    ::copier::Status check_ok_status_ = (expr);                                   \
+    COPIER_CHECK(check_ok_status_.ok()) << check_ok_status_.ToString();           \
+  } while (0)
+
+#define COPIER_DCHECK(condition) COPIER_CHECK(condition)
+
+#endif  // COPIER_SRC_COMMON_LOGGING_H_

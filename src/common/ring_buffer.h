@@ -1,0 +1,126 @@
+// Lock-free MPSC ring buffer — the substrate of the CSH Queues (§4.1, §5.1.1).
+//
+// The paper's submission protocol, implemented verbatim:
+//   * producers *acquire* a slot by fetch-and-add on `head`,
+//   * fill the slot's payload,
+//   * then set the slot's per-slot `valid` flag (release);
+//   * the single consumer (a Copier thread) observes a valid slot at `tail`,
+//     consumes it, clears `valid`, and advances the tail.
+//
+// Task order follows the order of *acquiring*, matching §5.1.1. The queue is
+// bounded; producers get false when the ring is full and fall back to
+// synchronous copy (the paper's recommended fallback, §4.6).
+#ifndef COPIER_SRC_COMMON_RING_BUFFER_H_
+#define COPIER_SRC_COMMON_RING_BUFFER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace copier {
+
+template <typename T>
+class MpscRingBuffer {
+ public:
+  explicit MpscRingBuffer(size_t capacity) : capacity_(RoundUpPow2(capacity)), mask_(capacity_ - 1) {
+    slots_ = std::make_unique<Slot[]>(capacity_);
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  // Producer side (any thread). Returns false when the ring is full.
+  bool TryPush(T value) {
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    while (true) {
+      const uint64_t tail = tail_.load(std::memory_order_acquire);
+      if (head - tail >= capacity_) {
+        return false;  // Full.
+      }
+      if (head_.compare_exchange_weak(head, head + 1, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    Slot& slot = slots_[head & mask_];
+    slot.value = std::move(value);
+    slot.valid.store(true, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side (single thread). Returns nullopt when the slot at tail has
+  // not been published yet (empty, or a producer is mid-fill).
+  std::optional<T> TryPop() {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[tail & mask_];
+    if (!slot.valid.load(std::memory_order_acquire)) {
+      return std::nullopt;
+    }
+    T value = std::move(slot.value);
+    slot.valid.store(false, std::memory_order_release);
+    tail_.store(tail + 1, std::memory_order_release);
+    return value;
+  }
+
+  // Consumer-side peek without consuming; used by the dispatcher to fuse
+  // adjacent tasks for e-piggybacking (§4.3) before committing to them.
+  const T* Peek(size_t offset = 0) const {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const Slot& slot = slots_[(tail + offset) & mask_];
+    if (!slot.valid.load(std::memory_order_acquire)) {
+      return nullptr;
+    }
+    // A later slot may be valid while an earlier one is mid-fill; only expose
+    // a contiguous published prefix to preserve acquire order.
+    for (size_t i = 0; i < offset; ++i) {
+      if (!slots_[(tail + i) & mask_].valid.load(std::memory_order_acquire)) {
+        return nullptr;
+      }
+    }
+    return &slot.value;
+  }
+
+  bool Empty() const {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    return !slots_[tail & mask_].valid.load(std::memory_order_acquire);
+  }
+
+  // Number of acquired (not necessarily published) slots. Approximate under
+  // concurrency; exact when producers are quiescent.
+  size_t SizeApprox() const {
+    return static_cast<size_t>(head_.load(std::memory_order_acquire) -
+                               tail_.load(std::memory_order_acquire));
+  }
+
+  // Monotone count of slots ever acquired; the order tracker uses this as the
+  // queue position recorded in Barrier Tasks (§4.2.1).
+  uint64_t HeadPosition() const { return head_.load(std::memory_order_acquire); }
+  uint64_t TailPosition() const { return tail_.load(std::memory_order_acquire); }
+
+ private:
+  struct Slot {
+    std::atomic<bool> valid{false};
+    T value{};
+  };
+
+  static size_t RoundUpPow2(size_t n) {
+    size_t p = 1;
+    while (p < n) {
+      p <<= 1;
+    }
+    return p;
+  }
+
+  size_t capacity_;
+  size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  alignas(64) std::atomic<uint64_t> head_{0};
+  alignas(64) std::atomic<uint64_t> tail_{0};
+};
+
+}  // namespace copier
+
+#endif  // COPIER_SRC_COMMON_RING_BUFFER_H_

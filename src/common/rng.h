@@ -1,0 +1,56 @@
+// Deterministic fast RNG (xoshiro256**) for workload generators and property
+// tests. std::mt19937 is avoided on hot paths; this is ~4x faster and the
+// seeding is explicit so every experiment is reproducible from its seed.
+#ifndef COPIER_SRC_COMMON_RNG_H_
+#define COPIER_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace copier {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  bool OneIn(uint64_t n) { return Below(n) == 0; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace copier
+
+#endif  // COPIER_SRC_COMMON_RNG_H_

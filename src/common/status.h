@@ -1,0 +1,140 @@
+// Minimal Status / StatusOr error-handling vocabulary.
+//
+// The Copier service and the simulated OS substrate report recoverable errors
+// through Status values instead of exceptions, following OS-systems practice
+// (error paths are data, not control-flow surprises).
+#ifndef COPIER_SRC_COMMON_STATUS_H_
+#define COPIER_SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace copier {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,   // e.g. copy touching an illegal kernel address (§4.5.4)
+  kResourceExhausted,  // queue full, out of physical pages
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kUnavailable,  // transient: retry later (e.g. DMA ring full)
+  kFault,        // unresolvable page fault during proactive handling
+  kAborted,
+};
+
+// Human-readable code name for logs and test failure messages.
+const char* StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    std::string out = StatusCodeName(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+inline Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status PermissionDenied(std::string msg) {
+  return Status(StatusCode::kPermissionDenied, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) { return Status(StatusCode::kOutOfRange, std::move(msg)); }
+inline Status Unimplemented(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status FaultError(std::string msg) { return Status(StatusCode::kFault, std::move(msg)); }
+inline Status Aborted(std::string msg) { return Status(StatusCode::kAborted, std::move(msg)); }
+
+// StatusOr<T>: either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : value_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(value_).ok() && "StatusOr must not hold an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  Status status() const {
+    if (ok()) {
+      return OkStatus();
+    }
+    return std::get<Status>(value_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+#define COPIER_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::copier::Status status_macro_ = (expr);  \
+    if (!status_macro_.ok()) {                \
+      return status_macro_;                   \
+    }                                         \
+  } while (0)
+
+}  // namespace copier
+
+#endif  // COPIER_SRC_COMMON_STATUS_H_

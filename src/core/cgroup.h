@@ -1,0 +1,44 @@
+// Copier cgroup controller (§4.5.2).
+//
+// Copy is managed as a basic resource like CPU time: the resource unit is
+// *copy length* (bytes served), not CPU slices, because completion times vary
+// with cache/TLB state. Each cgroup carries `copier.shares`; the scheduler
+// picks the cgroup with the minimum share-weighted virtual runtime, then the
+// client with the minimum total copy length inside it (§4.5.3).
+#ifndef COPIER_SRC_CORE_CGROUP_H_
+#define COPIER_SRC_CORE_CGROUP_H_
+
+#include <cstdint>
+#include <string>
+
+namespace copier::core {
+
+inline constexpr uint64_t kDefaultCopierShares = 1024;
+
+class Cgroup {
+ public:
+  Cgroup(std::string name, uint64_t shares) : name_(std::move(name)), shares_(shares) {}
+
+  const std::string& name() const { return name_; }
+
+  uint64_t shares() const { return shares_; }
+  void set_shares(uint64_t shares) { shares_ = shares == 0 ? 1 : shares; }
+
+  // Share-weighted virtual runtime: bytes * kDefaultCopierShares / shares.
+  // Smaller means less than fair service received so far.
+  uint64_t vruntime() const { return vruntime_; }
+  void Account(uint64_t bytes) { vruntime_ += bytes * kDefaultCopierShares / shares_; }
+
+  uint64_t total_bytes() const { return total_bytes_; }
+  void AccountRaw(uint64_t bytes) { total_bytes_ += bytes; }
+
+ private:
+  std::string name_;
+  uint64_t shares_;
+  uint64_t vruntime_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace copier::core
+
+#endif  // COPIER_SRC_CORE_CGROUP_H_

@@ -1,0 +1,148 @@
+// Client — one consumer of the Copier service (§4.5): a user process, or an
+// OS service with a standalone context.
+//
+// Every client owns two sets of CSH Queues (§4.2.1): u-mode queues written by
+// the application/library and k-mode queues written by kernel services
+// executing in the process's context (syscalls). Low-level users may create
+// additional queue sets (per-thread queues, §5.1.1), addressed by fd.
+//
+// The members under "service-side state" are owned by the Copier thread that
+// currently serves the client and are not touched by submitters.
+#ifndef COPIER_SRC_CORE_CLIENT_H_
+#define COPIER_SRC_CORE_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/common/ring_buffer.h"
+#include "src/core/config.h"
+#include "src/core/descriptor.h"
+#include "src/core/task.h"
+#include "src/simos/process.h"
+
+namespace copier::core {
+
+class Cgroup;
+
+// One set of Copy/Sync/Handler queues.
+struct QueueSet {
+  explicit QueueSet(size_t capacity)
+      : copy_q(capacity), sync_q(capacity), handler_q(capacity) {}
+
+  MpscRingBuffer<CopyQueueEntry> copy_q;
+  MpscRingBuffer<SyncTask> sync_q;
+  MpscRingBuffer<HandlerTask> handler_q;
+};
+
+// A u-mode/k-mode queue pair whose cross-queue order is tracked via Barrier
+// Tasks. The default pair has fd 0; per-thread pairs get fresh fds.
+struct QueuePair {
+  explicit QueuePair(size_t capacity) : user(capacity), kernel(capacity) {}
+
+  QueueSet user;
+  QueueSet kernel;
+
+  // --- service-side ingestion state (§4.2.1) ---
+  uint64_t user_ingested = 0;   // count of u-mode Copy Queue entries consumed
+  bool kernel_bracket_open = false;  // between BarrierEnter and BarrierExit
+  uint64_t bracket_user_bound = 0;   // u entries < bound precede the bracket
+};
+
+// A Copy Task accepted into the service's pending list, in ingestion order.
+struct PendingTask {
+  CopyTask task;
+  bool kernel_mode = false;
+  bool promoted = false;   // raised by a Sync Task (§4.1)
+  bool aborted = false;    // explicit abort (§4.4), effective
+  bool abort_requested = false;  // abort deferred until dependents finish
+  uint64_t order = 0;      // global ingestion sequence within the client
+
+  // Progress descriptor: the task's own descriptor, or a service-allocated
+  // internal one when the submitter did not provide any (e.g. send()).
+  // Progress bits live at [progress_offset, progress_offset + task.length) of
+  // the descriptor's byte space.
+  Descriptor* progress = nullptr;
+  size_t progress_offset = 0;
+  std::unique_ptr<Descriptor> internal_progress;
+
+  // Queue pair the task arrived on (UFUNC handlers route back to its u-mode
+  // Handler Queue).
+  QueuePair* origin = nullptr;
+
+  size_t bytes_done = 0;
+  bool handler_fired = false;
+
+  bool Done() const { return bytes_done >= task.length || aborted; }
+};
+
+class Client {
+ public:
+  Client(uint64_t id, simos::Process* process, const CopierConfig& config)
+      : id_(id), process_(process), config_(&config) {
+    queue_pairs_.push_back(std::make_unique<QueuePair>(config.queue_capacity));
+  }
+
+  uint64_t id() const { return id_; }
+  simos::Process* process() { return process_; }
+  simos::AddressSpace* space() { return process_ != nullptr ? &process_->mem() : nullptr; }
+
+  QueuePair& default_pair() { return *queue_pairs_[0]; }
+  QueuePair& pair(int fd) { return *queue_pairs_[static_cast<size_t>(fd)]; }
+  size_t pair_count() const { return queue_pairs_.size(); }
+
+  // Creates an additional queue pair (per-thread queues); returns its fd.
+  int CreateQueuePair() {
+    queue_pairs_.push_back(std::make_unique<QueuePair>(config_->queue_capacity));
+    return static_cast<int>(queue_pairs_.size() - 1);
+  }
+
+  // --- service-side state ---
+
+  // Pending (ingested, incomplete) tasks in dependency order.
+  std::deque<std::unique_ptr<PendingTask>> pending;
+  uint64_t next_order = 0;
+  uint64_t next_task_id = 1;
+
+  // Destinations of recently *completed* (retired) tasks, kept while any
+  // still-pending task is ordered before them: an earlier task executing
+  // late must not overwrite a newer completed write (WAW), even though the
+  // newer task is no longer in the pending list. Pruned in RetireDone.
+  struct CompletedWrite {
+    uint64_t order = 0;
+    uint64_t domain = 0;
+    uint64_t start = 0;
+    size_t length = 0;
+  };
+  std::deque<CompletedWrite> completed_writes;
+
+  // Scheduler accounting (§4.5.3): total copy length served, CFS key.
+  uint64_t total_copy_length = 0;
+  Cgroup* cgroup = nullptr;
+
+  // Claimed by the Copier thread currently serving this client: auto-scaling
+  // shifts the client→thread assignment, so exclusivity is enforced here.
+  std::atomic<bool> serving{false};
+
+  bool HasQueuedWork() const {
+    for (const auto& pair : queue_pairs_) {
+      if (!pair->user.copy_q.Empty() || !pair->kernel.copy_q.Empty() ||
+          !pair->user.sync_q.Empty() || !pair->kernel.sync_q.Empty()) {
+        return true;
+      }
+    }
+    return !pending.empty();
+  }
+
+ private:
+  uint64_t id_;
+  simos::Process* process_;
+  const CopierConfig* config_;
+  std::vector<std::unique_ptr<QueuePair>> queue_pairs_;
+};
+
+}  // namespace copier::core
+
+#endif  // COPIER_SRC_CORE_CLIENT_H_

@@ -1,0 +1,53 @@
+// CopierConfig — service-wide tunables and ablation switches.
+//
+// The ablation switches (use_dma, enable_piggyback, enable_absorption,
+// enable_atcache) exist so the breakdown experiments (Fig. 12-c, Fig. 9) can
+// turn individual mechanisms off; defaults are the full system.
+#ifndef COPIER_SRC_CORE_CONFIG_H_
+#define COPIER_SRC_CORE_CONFIG_H_
+
+#include <cstddef>
+
+#include "src/common/align.h"
+#include "src/common/cycle_clock.h"
+
+namespace copier::core {
+
+struct CopierConfig {
+  // Queue geometry.
+  size_t queue_capacity = 4096;         // entries per CSH queue
+  size_t default_segment_size = 4096;   // descriptor granularity (§4.1)
+
+  // Hardware usage (§4.3).
+  bool use_dma = true;
+  bool enable_piggyback = true;  // false: DMA used naively (submit+wait)
+  bool enable_atcache = true;
+
+  // Global-view optimizations (§4.4).
+  bool enable_absorption = true;
+
+  // Scheduling (§4.5.3).
+  size_t copy_slice_bytes = 256 * kKiB;  // max copy length per scheduling pick
+
+  // Lazy tasks execute when depended upon, aborted, or after this age (§4.4).
+  Cycles lazy_timeout_cycles = 10'000'000;
+
+  // Service threads (§4.5.1).
+  enum class PollMode {
+    kNapi,            // poll continuously, back off to sleep after idle spins
+    kScenarioDriven,  // run only while a scenario is active (smartphone, §5.3)
+  };
+  PollMode poll_mode = PollMode::kNapi;
+  size_t min_threads = 1;
+  size_t max_threads = 4;
+  double low_load = 0.2;   // auto-scaling thresholds (fraction of busy polls)
+  double high_load = 0.8;
+  size_t idle_spins_before_sleep = 4096;
+
+  // Safety limit for recursive dependency resolution.
+  int max_dependency_depth = 16;
+};
+
+}  // namespace copier::core
+
+#endif  // COPIER_SRC_CORE_CONFIG_H_

@@ -1,0 +1,1139 @@
+#include "src/core/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+#include "src/common/logging.h"
+#include "src/hw/copy_unit.h"
+
+namespace copier::core {
+namespace {
+
+// Bounded work per ServeClient call so one client cannot monopolize the
+// ingestion loop.
+constexpr size_t kMaxIngestPerCall = 1024;
+// e-piggyback fuses at most this many adjacent tasks into one round (§4.3).
+constexpr size_t kMaxFusedTasks = 8;
+// Upper bound on a single subtask: fully contiguous large tasks are still
+// split so the piggyback dispatcher can balance AVX and DMA and segment bits
+// publish incrementally (copy-use pipelining, §4.1).
+constexpr size_t kMaxSubtaskBytes = 16 * kKiB;
+
+}  // namespace
+
+bool RefsOverlap(const MemRef& a, size_t alen, const MemRef& b, size_t blen) {
+  if (a.domain() != b.domain()) {
+    return false;
+  }
+  return RangesOverlap(a.start(), alen, b.start(), blen);
+}
+
+Engine::Engine(const CopierConfig& config, const hw::TimingModel* timing, ExecContext* ctx)
+    : config_(config), timing_(timing), ctx_(ctx), dma_(timing) {}
+
+// ---------------------------------------------------------------------------
+// Ingestion (§4.2.1)
+// ---------------------------------------------------------------------------
+
+Status Engine::ValidateTask(Client& client, const CopyTask& task, bool kernel_mode) const {
+  if (task.length == 0) {
+    return InvalidArgument("zero-length copy task");
+  }
+  if (!kernel_mode) {
+    // Security checks: a u-mode task may only name its own address space —
+    // kernel pointers or foreign spaces are rejected and the process is
+    // signalled, as a bad synchronous copy would have faulted (§4.5.4).
+    if (!task.dst.is_user() || !task.src.is_user()) {
+      return PermissionDenied("u-mode task names kernel memory");
+    }
+    if (task.dst.space != client.space() || task.src.space != client.space()) {
+      return PermissionDenied("u-mode task names a foreign address space");
+    }
+    if (task.dst.va == 0 || task.src.va == 0 || task.dst.va + task.length < task.dst.va ||
+        task.src.va + task.length < task.src.va) {
+      return PermissionDenied("address range out of bounds");
+    }
+  }
+  return OkStatus();
+}
+
+void Engine::AcceptTask(Client& client, QueuePair& pair, CopyTask task, bool kernel_mode) {
+  const Status valid = ValidateTask(client, task, kernel_mode);
+  task.id = client.next_task_id++;
+  // Virtual-time alignment: the Copier thread cannot have observed the task
+  // before the client submitted it (the service polls; idle time is skipped).
+  if (ctx_ != nullptr && task.submit_time > ctx_->now()) {
+    ctx_->WaitUntil(task.submit_time);
+  }
+
+  auto pending = std::make_unique<PendingTask>();
+  pending->task = std::move(task);
+  pending->kernel_mode = kernel_mode;
+  pending->order = client.next_order++;
+  pending->origin = &pair;
+  // Execution progress is always tracked in a private per-task descriptor:
+  // client descriptors may be shared by several tasks at arbitrary offsets
+  // (stream framing), so their segments cannot distinguish which task's bytes
+  // have landed. The client-visible descriptor is *mirrored* from the private
+  // one in MarkProgress. (A client segment straddling two tasks is set when
+  // either task finishes its bytes in it — adjacent recv tasks execute
+  // back-to-back in FIFO order, so the early-set window is confined to a
+  // partially-served batch; see EXPERIMENTS.md "known deviations".)
+  const size_t seg_size = pending->task.descriptor != nullptr
+                              ? pending->task.descriptor->segment_size()
+                              : config_.default_segment_size;
+  pending->internal_progress = std::make_unique<Descriptor>(pending->task.length, seg_size);
+  pending->progress = pending->internal_progress.get();
+  pending->progress_offset = 0;
+
+  if (!valid.ok()) {
+    DropTask(client, *pending, valid);
+    // Keep the dropped task out of the pending list entirely.
+    ++stats_.tasks_ingested;
+    return;
+  }
+
+  if (getenv("COPIER_TRACE") != nullptr) {
+    const PendingTask& pt = *pending;
+    std::fprintf(stderr,
+                 "[accept] task=%llu order=%llu k=%d lazy=%d dst=%llx src=%llx len=%zu\n",
+                 (unsigned long long)pt.task.id, (unsigned long long)pt.order,
+                 pt.kernel_mode, pt.task.type == TaskType::kLazy,
+                 (unsigned long long)pt.task.dst.start(),
+                 (unsigned long long)pt.task.src.start(), pt.task.length);
+  }
+  client.pending.push_back(std::move(pending));
+  ++stats_.tasks_ingested;
+}
+
+void Engine::IngestPair(Client& client, QueuePair& pair) {
+  current_pair_ = &pair;
+  for (size_t steps = 0; steps < kMaxIngestPerCall; ++steps) {
+    if (pair.kernel_bracket_open) {
+      // Inside a syscall bracket: consume k entries until the exit barrier.
+      // u-mode entries beyond the bracket bound wait (k-mode prioritized in
+      // the concurrent-submission corner, §4.2.1).
+      auto entry = pair.kernel.copy_q.TryPop();
+      if (!entry.has_value()) {
+        break;  // kernel still mid-syscall; resume on a later poll
+      }
+      if (entry->kind == CopyQueueEntry::Kind::kBarrierExit) {
+        pair.kernel_bracket_open = false;
+        ++stats_.barriers_processed;
+        ChargeCtx(ctx_, timing_->barrier_process_cycles);
+        continue;
+      }
+      if (entry->kind == CopyQueueEntry::Kind::kBarrierEnter) {
+        pair.bracket_user_bound = entry->user_queue_position;  // re-bracket
+        ++stats_.barriers_processed;
+        continue;
+      }
+      AcceptTask(client, pair, std::move(entry->task), /*kernel_mode=*/true);
+      continue;
+    }
+
+    const CopyQueueEntry* k_head = pair.kernel.copy_q.Peek();
+    if (k_head != nullptr && k_head->kind == CopyQueueEntry::Kind::kBarrierEnter) {
+      // The k batch after this barrier follows all u entries below the
+      // recorded position: drain those first.
+      if (pair.user_ingested < k_head->user_queue_position) {
+        auto u = pair.user.copy_q.TryPop();
+        if (!u.has_value()) {
+          break;  // the u producer acquired a slot but has not published yet
+        }
+        ++pair.user_ingested;
+        AcceptTask(client, pair, std::move(u->task), /*kernel_mode=*/false);
+        continue;
+      }
+      pair.bracket_user_bound = k_head->user_queue_position;
+      pair.kernel_bracket_open = true;
+      pair.kernel.copy_q.TryPop();
+      ++stats_.barriers_processed;
+      ChargeCtx(ctx_, timing_->barrier_process_cycles);
+      continue;
+    }
+    if (k_head != nullptr) {
+      // Un-bracketed k entry (standalone kernel clients submit without
+      // barriers — there is no paired u queue activity to order against).
+      auto entry = pair.kernel.copy_q.TryPop();
+      if (entry->kind == CopyQueueEntry::Kind::kCopy) {
+        AcceptTask(client, pair, std::move(entry->task), /*kernel_mode=*/true);
+      }
+      continue;
+    }
+
+    auto u = pair.user.copy_q.TryPop();
+    if (!u.has_value()) {
+      break;
+    }
+    ++pair.user_ingested;
+    AcceptTask(client, pair, std::move(u->task), /*kernel_mode=*/false);
+  }
+  current_pair_ = nullptr;
+}
+
+void Engine::IngestClient(Client& client) {
+  for (size_t i = 0; i < client.pair_count(); ++i) {
+    IngestPair(client, client.pair(static_cast<int>(i)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sync Tasks: promotion and abort (§4.1, §4.4)
+// ---------------------------------------------------------------------------
+
+void Engine::HandleSyncTask(Client& client, const SyncTask& sync) {
+  if (sync.kind == SyncTask::Kind::kAbort) {
+    // Explicitly discard still-queued Copy Tasks writing the range. The
+    // discard is deferred while a later pending task still reads the would-be
+    // destination (its absorption chain runs through this task); handlers
+    // still run at discard time (source buffers must be reclaimed). Copier
+    // never discards implicitly.
+    for (auto& pending : client.pending) {
+      PendingTask& task = *pending;
+      if (task.Done()) {
+        continue;
+      }
+      if (RefsOverlap(task.task.dst, task.task.length, sync.addr, sync.length)) {
+        task.abort_requested = true;
+      }
+    }
+    ApplyDeferredAborts(client);
+    return;
+  }
+  ++stats_.sync_promotions;
+  PromoteRange(client, sync.addr, sync.length);
+}
+
+void Engine::ProcessSyncQueues(Client& client) {
+  for (size_t i = 0; i < client.pair_count(); ++i) {
+    QueuePair& pair = client.pair(static_cast<int>(i));
+    // k-mode Sync Queue first, then u-mode (§4.2.2).
+    while (auto sync = pair.kernel.sync_q.TryPop()) {
+      HandleSyncTask(client, *sync);
+    }
+    while (auto sync = pair.user.sync_q.TryPop()) {
+      HandleSyncTask(client, *sync);
+    }
+  }
+}
+
+void Engine::PromoteRange(Client& client, const MemRef& addr, size_t length) {
+  // Promote every pending task producing bytes of [addr, addr+length),
+  // oldest first so newer writers land last (ResolveDependencies additionally
+  // orders each one's prerequisites).
+  for (auto it = client.pending.begin(); it != client.pending.end(); ++it) {
+    PendingTask& task = **it;
+    if (task.Done()) {
+      continue;
+    }
+    ChargeCtx(ctx_, timing_->absorption_match_cycles);
+    if (!RefsOverlap(task.task.dst, task.task.length, addr, length)) {
+      continue;
+    }
+    const uint64_t ovl_start = std::max(task.task.dst.start(), addr.start());
+    const uint64_t ovl_end =
+        std::min(task.task.dst.start() + task.task.length, addr.start() + length);
+    task.promoted = true;
+    const Status status = ExecuteTaskRange(client, task, ovl_start - task.task.dst.start(),
+                                           ovl_end - ovl_start, /*depth=*/0);
+    if (!status.ok()) {
+      DropTask(client, task, status);
+    }
+  }
+  RetireDone(client);
+}
+
+// ---------------------------------------------------------------------------
+// Dependency resolution (§4.2.2)
+// ---------------------------------------------------------------------------
+
+Status Engine::ResolveDependencies(Client& client, PendingTask& task, size_t offset,
+                                   size_t length, int depth) {
+  if (depth >= config_.max_dependency_depth) {
+    return FailedPrecondition("dependency chain too deep");
+  }
+  const MemRef dst = task.task.dst.Offset(offset);
+  const MemRef src = task.task.src.Offset(offset);
+  // Oldest-first so earlier conflicting writes land in submission order.
+  for (auto& other_ptr : client.pending) {
+    PendingTask& other = *other_ptr;
+    if (other.order >= task.order || other.Done()) {
+      continue;
+    }
+    ChargeCtx(ctx_, timing_->absorption_match_cycles);
+    const CopyTask& ot = other.task;
+
+    // WAW: an earlier task writes bytes this range is about to write.
+    if (RefsOverlap(ot.dst, ot.length, dst, length)) {
+      const uint64_t start = std::max(ot.dst.start(), dst.start());
+      const uint64_t end = std::min(ot.dst.start() + ot.length, dst.start() + length);
+      COPIER_RETURN_IF_ERROR(
+          ExecuteTaskRange(client, other, start - ot.dst.start(), end - start, depth + 1));
+    }
+    // WAR: an earlier task still needs to *read* bytes this range overwrites.
+    if (RefsOverlap(ot.src, ot.length, dst, length)) {
+      const uint64_t start = std::max(ot.src.start(), dst.start());
+      const uint64_t end = std::min(ot.src.start() + ot.length, dst.start() + length);
+      COPIER_RETURN_IF_ERROR(
+          ExecuteTaskRange(client, other, start - ot.src.start(), end - start, depth + 1));
+    }
+    // RAW: with absorption enabled, ResolveSources reads through the producer
+    // (layered absorption); otherwise the producer must execute first.
+    if (!config_.enable_absorption && RefsOverlap(ot.dst, ot.length, src, length)) {
+      const uint64_t start = std::max(ot.dst.start(), src.start());
+      const uint64_t end = std::min(ot.dst.start() + ot.length, src.start() + length);
+      COPIER_RETURN_IF_ERROR(
+          ExecuteTaskRange(client, other, start - ot.dst.start(), end - start, depth + 1));
+    }
+  }
+  return OkStatus();
+}
+
+PendingTask* Engine::FindProducer(Client& client, const PendingTask& task, const MemRef& ref,
+                                  size_t length, size_t* overlap_offset,
+                                  size_t* overlap_length) {
+  // Latest-order earlier task whose destination contains ref's FIRST byte.
+  // If none contains it, overlap_offset reports where the nearest producer
+  // region begins (bounding the plain prefix) and nullptr is returned with
+  // overlap_length untouched.
+  PendingTask* best = nullptr;
+  uint64_t nearest_start = UINT64_MAX;
+  const uint64_t first_byte = ref.start();
+  for (auto it = client.pending.rbegin(); it != client.pending.rend(); ++it) {
+    PendingTask& other = **it;
+    if (other.order >= task.order || other.aborted) {
+      continue;
+    }
+    if (!RefsOverlap(other.task.dst, other.task.length, ref, length)) {
+      continue;
+    }
+    const uint64_t dst_start = other.task.dst.start();
+    if (first_byte >= dst_start && first_byte < dst_start + other.task.length) {
+      if (best == nullptr || other.order > best->order) {
+        best = &other;
+      }
+    } else if (dst_start > first_byte) {
+      nearest_start = std::min(nearest_start, dst_start);
+    }
+  }
+  if (best == nullptr) {
+    *overlap_offset = nearest_start == UINT64_MAX
+                          ? length
+                          : static_cast<size_t>(nearest_start - first_byte);
+    return nullptr;
+  }
+  uint64_t end = std::min(best->task.dst.start() + best->task.length, first_byte + length);
+  // Clip at the start of any LATER-ordered producer inside the piece: those
+  // bytes belong to the newer writer, which the next iteration picks up.
+  for (auto it = client.pending.rbegin(); it != client.pending.rend(); ++it) {
+    PendingTask& other = **it;
+    if (other.order >= task.order || other.order <= best->order || other.aborted) {
+      continue;
+    }
+    const uint64_t dst_start = other.task.dst.start();
+    if (other.task.dst.domain() == ref.domain() && dst_start > first_byte && dst_start < end) {
+      end = dst_start;
+    }
+  }
+  *overlap_offset = 0;
+  *overlap_length = end - first_byte;
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Layered copy absorption (§4.4)
+// ---------------------------------------------------------------------------
+
+void Engine::ResolveSources(Client& client, PendingTask& task, size_t src_offset, size_t length,
+                            int depth, std::vector<SourcePiece>* out) {
+  const MemRef src = task.task.src.Offset(src_offset);
+  if (!config_.enable_absorption || depth >= config_.max_dependency_depth) {
+    out->push_back({src, length, false});
+    return;
+  }
+  size_t pos = 0;
+  while (pos < length) {
+    size_t ovl_off = 0;
+    size_t ovl_len = 0;
+    ChargeCtx(ctx_, timing_->absorption_match_cycles);
+    PendingTask* producer =
+        FindProducer(client, task, src.Offset(pos), length - pos, &ovl_off, &ovl_len);
+    if (producer == nullptr) {
+      // Plain piece up to the nearest producer-covered byte (ovl_off).
+      const size_t plain = std::min(length - pos, ovl_off);
+      out->push_back({src.Offset(pos), plain, false});
+      pos += plain;
+      continue;
+    }
+    // Walk the overlapping piece segment by segment of the *producer*'s
+    // progress space: marked segments may hold client-modified data, so the
+    // intermediate buffer (this task's src) is authoritative; unmarked
+    // segments cannot have been touched (the client would have csync'd
+    // first), so read through to the producer's own source (Fig. 8-b).
+    const uint64_t piece_start = src.start() + pos;  // address within producer's dst
+    size_t done = 0;
+    while (done < ovl_len) {
+      const size_t producer_local = piece_start + done - producer->task.dst.start();
+      const size_t seg_size = producer->progress->segment_size();
+      const size_t seg_space_off = producer->progress_offset + producer_local;
+      const size_t seg_index = producer->progress->SegmentOf(seg_space_off);
+      const size_t seg_end_space = (seg_index + 1) * seg_size;
+      size_t chunk = std::min(ovl_len - done, seg_end_space - seg_space_off);
+      // Clamp to the producer's own extent.
+      chunk = std::min(chunk, producer->task.length - producer_local);
+      if (producer->progress->SegmentReady(seg_index)) {
+        out->push_back({src.Offset(pos + done), chunk, false});
+      } else {
+        stats_.bytes_absorbed += chunk;
+        if (producer->task.type == TaskType::kLazy) {
+          stats_.lazy_absorbed_bytes += chunk;
+        }
+        ResolveSources(client, *producer, producer_local, chunk, depth + 1, out);
+      }
+      done += chunk;
+    }
+    pos += ovl_len;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Proactive fault handling and subtask construction (§4.3, §4.5.4)
+// ---------------------------------------------------------------------------
+
+StatusOr<uint8_t*> Engine::ResolveUserPage(simos::AddressSpace* space, uint64_t va,
+                                           bool for_write, bool* cached) {
+  if (config_.enable_atcache) {
+    const ATCache::Entry* entry = atcache_.Lookup(space->asid(), va);
+    if (entry != nullptr && (!for_write || entry->writable)) {
+      if (cached != nullptr) {
+        *cached = true;
+      }
+      return entry->host_page + PageOffset(va);
+    }
+  }
+  // Proactive fault handling: translate now; the translation itself faults
+  // pages in (on-demand paging) and breaks CoW in the Copier context instead
+  // of waiting for a hardware fault mid-copy. The explicit-translation cost
+  // (needed only when the subtask goes to DMA) is charged by ExecuteRound.
+  auto pfn_or = for_write ? space->TranslateWrite(va, ctx_) : space->TranslateRead(va, ctx_);
+  if (!pfn_or.ok()) {
+    return pfn_or.status();
+  }
+  if (cached != nullptr) {
+    *cached = false;
+  }
+  uint8_t* host_page = space->phys()->FrameData(*pfn_or);
+  if (config_.enable_atcache) {
+    atcache_.Insert(space->asid(), va, host_page, for_write);
+  }
+  return host_page + PageOffset(va);
+}
+
+// Resolves the longest host-contiguous run starting at `ref`, at most
+// `max_length` bytes. Subtask boundaries fall exactly where physical
+// contiguity breaks (Fig. 7-b). Kernel refs are contiguous by construction.
+StatusOr<Engine::HostRun> Engine::ResolveHostRun(const MemRef& ref, size_t max_length,
+                                                 bool for_write, HostRunExtra* extra) {
+  if (!ref.is_user()) {
+    return HostRun{ref.host, max_length};
+  }
+  bool cached = false;
+  auto first_or = ResolveUserPage(ref.space, ref.va, for_write, &cached);
+  if (!first_or.ok()) {
+    return first_or.status();
+  }
+  if (extra != nullptr) {
+    (cached ? extra->pages_cached : extra->pages_uncached) += 1;
+  }
+  HostRun run{*first_or, std::min(max_length, kPageSize - PageOffset(ref.va))};
+  uint8_t* expected = *first_or - PageOffset(ref.va) + kPageSize;
+  uint64_t next_va = PageBase(ref.va) + kPageSize;
+  while (run.length < max_length) {
+    auto next_or = ResolveUserPage(ref.space, next_va, for_write, &cached);
+    if (!next_or.ok()) {
+      return next_or.status();  // every byte of the range must be accessible
+    }
+    if (*next_or != expected) {
+      break;  // physical discontinuity
+    }
+    if (extra != nullptr) {
+      (cached ? extra->pages_cached : extra->pages_uncached) += 1;
+    }
+    run.length += std::min(kPageSize, max_length - run.length);
+    expected += kPageSize;
+    next_va += kPageSize;
+  }
+  return run;
+}
+
+Status Engine::BuildSubtasks(Client& client, PendingTask& task, size_t offset,
+                             const std::vector<SourcePiece>& sources,
+                             std::vector<Subtask>* out) {
+  size_t dst_cursor = offset;
+  for (const SourcePiece& piece : sources) {
+    size_t piece_pos = 0;
+    while (piece_pos < piece.length) {
+      // Resolve at most one subtask's worth per iteration so pages are
+      // translated exactly once each (no redundant walks).
+      const size_t remaining = std::min(piece.length - piece_pos, kMaxSubtaskBytes);
+      HostRunExtra extra;
+      auto dst_or = ResolveHostRun(task.task.dst.Offset(dst_cursor), remaining,
+                                   /*for_write=*/true, &extra);
+      if (!dst_or.ok()) {
+        return dst_or.status();
+      }
+      auto src_or = ResolveHostRun(piece.ref.Offset(piece_pos), dst_or->length,
+                                   /*for_write=*/false, &extra);
+      if (!src_or.ok()) {
+        return src_or.status();
+      }
+
+      Subtask st;
+      st.length = std::min({dst_or->length, src_or->length, kMaxSubtaskBytes});
+      st.dst = dst_or->host;
+      st.src = src_or->host;
+      st.owner = &task;
+      st.task_offset = dst_cursor;
+      st.dma_eligible = config_.use_dma && st.length >= timing_->dma_min_subtask_bytes;
+      st.pages_cached = extra.pages_cached;
+      st.pages_uncached = extra.pages_uncached;
+      out->push_back(st);
+      piece_pos += st.length;
+      dst_cursor += st.length;
+    }
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Piggyback-based dispatch and execution (§4.3)
+// ---------------------------------------------------------------------------
+
+void Engine::ExecuteRound(std::vector<Subtask>& subtasks) {
+  if (subtasks.empty()) {
+    return;
+  }
+
+  // Pick the DMA set. Piggybacking draws DMA candidates from the *tail* of
+  // the round (latter part of a large task — i-piggyback — or latter tasks of
+  // a fused round — e-piggyback) because later bytes have longer Copy-Use
+  // windows, and balances the two units' completion times.
+  std::vector<size_t> dma_set;
+  Cycles avx_time = 0;
+  for (const Subtask& st : subtasks) {
+    avx_time += timing_->CpuCopyCycles(hw::CopyUnitKind::kAvx, st.length);
+  }
+  if (config_.use_dma && config_.enable_piggyback) {
+    Cycles dma_time = 0;  // DmaTransferCycles already includes engine startup
+    for (size_t i = subtasks.size(); i-- > 0;) {
+      const Subtask& st = subtasks[i];
+      if (!st.dma_eligible) {
+        continue;
+      }
+      const Cycles st_avx = timing_->CpuCopyCycles(hw::CopyUnitKind::kAvx, st.length);
+      const Cycles st_dma = timing_->DmaTransferCycles(st.length);
+      // Move to DMA while DMA stays (roughly) the shorter side: both units
+      // finish close together and the CPU never idles waiting (§4.3). The
+      // 15% slack biases toward engaging DMA — a short confirmed wait beats
+      // leaving the second unit idle.
+      if (dma_time + st_dma <= (avx_time - st_avx) + (avx_time - st_avx) * 15 / 100) {
+        dma_set.push_back(i);
+        dma_time += st_dma;
+        avx_time -= st_avx;
+      }
+    }
+  }
+
+  const Cycles round_start = CtxNow(ctx_);
+  Cycles dma_completion = 0;
+
+  if (!dma_set.empty()) {
+    std::vector<hw::DmaDescriptor> batch;
+    batch.reserve(dma_set.size());
+    Cycles translate = 0;
+    for (size_t idx : dma_set) {
+      batch.push_back({subtasks[idx].dst, subtasks[idx].src, subtasks[idx].length});
+      // DMA needs explicit physical addresses: ~240 cycles per page-table
+      // walk, amortized by the ATCache (§4.3). CPU copies pay nothing (MMU).
+      translate += subtasks[idx].pages_cached * timing_->atcache_hit_cycles +
+                   subtasks[idx].pages_uncached * timing_->va_translate_cycles_per_page;
+    }
+    ChargeCtx(ctx_, translate + dma_.SubmissionCost(batch.size()));
+    auto cookie_or = dma_.SubmitBatch(batch, CtxNow(ctx_));
+    if (cookie_or.ok()) {
+      dma_completion = dma_.CompletionTime(*cookie_or);
+      ++stats_.dma_batches;
+      for (size_t idx : dma_set) {
+        stats_.dma_bytes += subtasks[idx].length;
+      }
+    } else {
+      // Ring full: fall back to the CPU for this round.
+      dma_set.clear();
+      dma_completion = 0;
+    }
+  }
+
+  auto in_dma_set = [&dma_set](size_t i) {
+    return std::find(dma_set.begin(), dma_set.end(), i) != dma_set.end();
+  };
+
+  // CPU side: AVX subtasks run while the DMA transfer is in flight. Each
+  // subtask's segments become ready as soon as its bytes land.
+  for (size_t i = 0; i < subtasks.size(); ++i) {
+    if (in_dma_set(i)) {
+      continue;
+    }
+    Subtask& st = subtasks[i];
+    if (config_.use_dma && !config_.enable_piggyback && st.dma_eligible) {
+      // Naive DMA (ablation): submit and busy-wait per subtask.
+      hw::DmaDescriptor desc{st.dst, st.src, st.length};
+      ChargeCtx(ctx_, dma_.SubmissionCost(1));
+      auto cookie_or = dma_.SubmitBatch({&desc, 1}, CtxNow(ctx_));
+      if (cookie_or.ok()) {
+        if (ctx_ != nullptr) {
+          ctx_->WaitUntil(dma_.CompletionTime(*cookie_or));
+        }
+        ChargeCtx(ctx_, timing_->dma_completion_check_cycles);
+        stats_.dma_bytes += st.length;
+        ++stats_.dma_batches;
+        MarkProgress(*st.owner, st.task_offset, st.length, CtxNow(ctx_));
+        continue;
+      }
+    }
+    hw::AvxCopy(st.dst, st.src, st.length);
+    ChargeCtx(ctx_, timing_->CpuCopyCycles(hw::CopyUnitKind::kAvx, st.length));
+    stats_.avx_bytes += st.length;
+    MarkProgress(*st.owner, st.task_offset, st.length, CtxNow(ctx_));
+  }
+
+  // Confirm DMA completion (the piggyback split keeps this wait near zero).
+  if (!dma_set.empty()) {
+    if (ctx_ != nullptr) {
+      ctx_->WaitUntil(dma_completion);
+    }
+    ChargeCtx(ctx_, timing_->dma_completion_check_cycles);
+    dma_.Poll(CtxNow(ctx_));
+    for (size_t idx : dma_set) {
+      Subtask& st = subtasks[idx];
+      MarkProgress(*st.owner, st.task_offset, st.length, CtxNow(ctx_));
+    }
+  }
+  (void)round_start;
+}
+
+// ---------------------------------------------------------------------------
+// Task-range execution
+// ---------------------------------------------------------------------------
+
+Status Engine::CopyRange(Client& client, PendingTask& task, size_t offset, size_t length,
+                         int depth) {
+  // Execute whole progress segments covering [offset, offset+length),
+  // skipping segments already marked: a segment's bit is set only once all of
+  // the task's bytes in it have landed (§4.1).
+  const size_t seg_size = task.progress->segment_size();
+  const size_t end = std::min(task.task.length, offset + length);
+  if (offset >= end) {
+    return OkStatus();
+  }
+  const auto seg_start_local = [&](size_t seg) {
+    const size_t space = seg * seg_size;
+    return space > task.progress_offset ? space - task.progress_offset : 0;
+  };
+  const auto seg_end_local = [&](size_t seg) {
+    return std::min(task.task.length, (seg + 1) * seg_size - task.progress_offset);
+  };
+
+  const size_t first_seg = task.progress->SegmentOf(task.progress_offset + offset);
+  const size_t last_seg = task.progress->SegmentOf(task.progress_offset + end - 1);
+  size_t seg = first_seg;
+  while (seg <= last_seg) {
+    if (task.progress->SegmentReady(seg)) {
+      ++seg;
+      continue;
+    }
+    const size_t run_first = seg;
+    while (seg <= last_seg && !task.progress->SegmentReady(seg)) {
+      ++seg;
+    }
+    const size_t run_start = seg_start_local(run_first);
+    const size_t run_end = seg_end_local(seg - 1);
+
+    // Dead-write suppression: bytes of this run that a *later* task has
+    // already written (its progress segments are marked) must not be
+    // overwritten with this task's older data — promotion can execute tasks
+    // out of submission order (§4.1), so the suppression is what keeps WAW
+    // semantics intact. Dead bytes are marked done without copying.
+    std::vector<std::pair<size_t, size_t>> live;  // [start, end) task-local
+    live.emplace_back(run_start, run_end);
+    const uint64_t dst_base = task.task.dst.start();
+    // Bytes fully written by later tasks that already completed and retired.
+    for (const auto& done : client.completed_writes) {
+      if (done.order <= task.order || done.domain != task.task.dst.domain()) {
+        continue;
+      }
+      const uint64_t ovl_start = std::max(done.start, dst_base + run_start);
+      const uint64_t ovl_end = std::min(done.start + done.length, dst_base + run_end);
+      if (ovl_start >= ovl_end) {
+        continue;
+      }
+      const size_t dead_start = ovl_start - dst_base;
+      const size_t dead_end = ovl_end - dst_base;
+      std::vector<std::pair<size_t, size_t>> next;
+      for (auto [ls, le] : live) {
+        if (dead_end <= ls || dead_start >= le) {
+          next.emplace_back(ls, le);
+          continue;
+        }
+        if (ls < dead_start) {
+          next.emplace_back(ls, dead_start);
+        }
+        if (dead_end < le) {
+          next.emplace_back(dead_end, le);
+        }
+      }
+      live = std::move(next);
+    }
+    for (const auto& other_ptr : client.pending) {
+      PendingTask& other = *other_ptr;
+      if (other.order <= task.order || other.aborted) {
+        continue;
+      }
+      const CopyTask& ot = other.task;
+      if (ot.dst.domain() != task.task.dst.domain()) {
+        continue;
+      }
+      const uint64_t ovl_start = std::max(ot.dst.start(), dst_base + run_start);
+      const uint64_t ovl_end = std::min(ot.dst.start() + ot.length, dst_base + run_end);
+      if (ovl_start >= ovl_end) {
+        continue;
+      }
+      // Walk the overlap in `other`'s progress segments; marked pieces are
+      // dead for this task.
+      uint64_t cursor = ovl_start;
+      while (cursor < ovl_end) {
+        const size_t other_local = cursor - ot.dst.start();
+        const size_t o_seg_size = other.progress->segment_size();
+        const size_t o_space = other.progress_offset + other_local;
+        const size_t o_seg = other.progress->SegmentOf(o_space);
+        const uint64_t piece_end = std::min<uint64_t>(
+            ovl_end, ot.dst.start() - other.progress_offset + (o_seg + 1) * o_seg_size);
+        if (other.progress->SegmentReady(o_seg)) {
+          const size_t dead_start = cursor - dst_base;
+          const size_t dead_end = piece_end - dst_base;
+          std::vector<std::pair<size_t, size_t>> next;
+          for (auto [ls, le] : live) {
+            if (dead_end <= ls || dead_start >= le) {
+              next.emplace_back(ls, le);
+              continue;
+            }
+            if (ls < dead_start) {
+              next.emplace_back(ls, dead_start);
+            }
+            if (dead_end < le) {
+              next.emplace_back(dead_end, le);
+            }
+          }
+          live = std::move(next);
+        }
+        cursor = piece_end;
+      }
+    }
+
+    if (getenv("COPIER_TRACE") != nullptr) {
+      std::fprintf(stderr, "[exec] task=%llu order=%llu dst=%llx run=[%zu,%zu) live:",
+                   (unsigned long long)task.task.id, (unsigned long long)task.order,
+                   (unsigned long long)task.task.dst.start(), run_start, run_end);
+      for (auto [ls, le] : live) std::fprintf(stderr, " [%zu,%zu)", ls, le);
+      std::fprintf(stderr, "\n");
+    }
+    size_t live_bytes = 0;
+    for (auto [ls, le] : live) {
+      std::vector<SourcePiece> sources;
+      ResolveSources(client, task, ls, le - ls, depth, &sources);
+      std::vector<Subtask> subtasks;
+      COPIER_RETURN_IF_ERROR(BuildSubtasks(client, task, ls, sources, &subtasks));
+      ExecuteRound(subtasks);
+      live_bytes += le - ls;
+    }
+    // Dead bytes: obligation satisfied by the newer writer; mark done.
+    if (live_bytes < run_end - run_start) {
+      size_t cursor = run_start;
+      for (auto [ls, le] : live) {
+        if (cursor < ls) {
+          MarkProgress(task, cursor, ls - cursor, CtxNow(ctx_));
+        }
+        cursor = le;
+      }
+      if (cursor < run_end) {
+        MarkProgress(task, cursor, run_end - cursor, CtxNow(ctx_));
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status Engine::ExecuteTaskRange(Client& client, PendingTask& task, size_t offset, size_t length,
+                                int depth) {
+  if (getenv("COPIER_TRACE") != nullptr) {
+    std::fprintf(stderr, "[range] task=%llu off=%zu len=%zu depth=%d done=%d bytes=%zu\n",
+                 (unsigned long long)task.task.id, offset, length, depth, task.Done(),
+                 task.bytes_done);
+  }
+  if (task.Done() || length == 0) {
+    return OkStatus();
+  }
+  if (depth >= config_.max_dependency_depth) {
+    return FailedPrecondition("dependency recursion limit");
+  }
+  offset = std::min(offset, task.task.length);
+  length = std::min(length, task.task.length - offset);
+  // Execution happens in whole progress segments (CopyRange), so dependency
+  // resolution must cover the segment-aligned expansion of the requested
+  // range — otherwise bytes copied "for free" at segment edges could land
+  // before an earlier conflicting write (WAW/WAR inversion).
+  const size_t seg = task.progress->segment_size();
+  const size_t space_start = AlignDown(task.progress_offset + offset, seg);
+  const size_t aligned_offset =
+      space_start >= task.progress_offset ? space_start - task.progress_offset : 0;
+  const size_t aligned_end = std::min<size_t>(
+      task.task.length,
+      AlignUp(task.progress_offset + offset + length, seg) - task.progress_offset);
+  offset = aligned_offset;
+  length = aligned_end - aligned_offset;
+  COPIER_RETURN_IF_ERROR(ResolveDependencies(client, task, offset, length, depth));
+  COPIER_RETURN_IF_ERROR(CopyRange(client, task, offset, length, depth));
+  if (task.bytes_done >= task.task.length) {
+    CompleteTask(client, task);
+  }
+  return OkStatus();
+}
+
+void Engine::ApplyDeferredAborts(Client& client) {
+  for (auto& pending : client.pending) {
+    PendingTask& task = *pending;
+    if (!task.abort_requested || task.Done()) {
+      continue;
+    }
+    bool has_dependent = false;
+    for (const auto& other : client.pending) {
+      if (other->order > task.order && !other->Done() &&
+          RefsOverlap(task.task.dst, task.task.length, other->task.src, other->task.length)) {
+        has_dependent = true;
+        break;
+      }
+    }
+    if (!has_dependent) {
+      if (getenv("COPIER_TRACE") != nullptr) {
+        std::fprintf(stderr, "[abort] task=%llu order=%llu dst=%llx len=%zu\n",
+                     (unsigned long long)task.task.id, (unsigned long long)task.order,
+                     (unsigned long long)task.task.dst.start(), task.task.length);
+      }
+      task.aborted = true;
+      ++stats_.tasks_aborted;
+      // Settle the client-visible descriptor: the client explicitly discarded
+      // this copy and promised not to use the data (§4.4), but csync_all
+      // sweeps every registered copy and must not wait forever on it.
+      if (task.task.descriptor != nullptr) {
+        task.task.descriptor->MarkRange(task.task.descriptor_offset, task.task.length,
+                                        CtxNow(ctx_));
+      }
+      CompleteTask(client, task);
+    }
+  }
+}
+
+uint64_t Engine::ExecutePending(Client& client, uint64_t budget) {
+  uint64_t served = 0;
+  const Cycles now = CtxNow(ctx_);
+  size_t scan = 0;
+  while (served < budget && scan < client.pending.size()) {
+    // Find the first executable task (FIFO; lazy tasks wait for promotion,
+    // dependency pull, abort, or their age timeout, §4.4).
+    PendingTask* head = nullptr;
+    std::vector<PendingTask*> round;
+    for (; scan < client.pending.size(); ++scan) {
+      PendingTask& task = *client.pending[scan];
+      if (getenv("COPIER_TRACE2") != nullptr) {
+        std::fprintf(stderr, "[scan] task=%llu done=%d bytes=%zu abreq=%d lazy=%d prom=%d\n",
+                     (unsigned long long)task.task.id, task.Done(), task.bytes_done,
+                     task.abort_requested, task.task.type == TaskType::kLazy, task.promoted);
+      }
+      if (task.Done() || task.abort_requested) {
+        continue;
+      }
+      if (task.task.type == TaskType::kLazy && !task.promoted &&
+          now < task.task.submit_time + config_.lazy_timeout_cycles) {
+        continue;
+      }
+      head = &task;
+      break;
+    }
+    if (head == nullptr) {
+      break;
+    }
+
+    round.push_back(head);
+    // e-piggyback: fuse small adjacent tasks with no data dependencies into
+    // one hardware round so even sub-12 KiB tasks get DMA parallelism (§4.3).
+    // The fused path bypasses per-task dependency resolution, so the head
+    // itself must also be conflict-free against every unfinished task ordered
+    // before it (it may have been scheduled past skipped lazy tasks).
+    bool head_fusable = true;
+    for (const auto& done : client.completed_writes) {
+      if (done.order > head->order && done.domain == head->task.dst.domain() &&
+          RangesOverlap(done.start, done.length, head->task.dst.start(), head->task.length)) {
+        head_fusable = false;
+        break;
+      }
+    }
+    for (const auto& other : client.pending) {
+      if (!head_fusable) {
+        break;
+      }
+      if (other.get() == head || other->Done()) {
+        continue;
+      }
+      const CopyTask& a = other->task;
+      const CopyTask& b = head->task;
+      if (RefsOverlap(a.dst, a.length, b.dst, b.length) ||
+          RefsOverlap(a.dst, a.length, b.src, b.length) ||
+          RefsOverlap(a.src, a.length, b.dst, b.length)) {
+        head_fusable = false;
+        break;
+      }
+    }
+    // The fused path copies whole tasks without segment clipping, so only
+    // fully-unstarted tasks may fuse: a partially-executed task re-copying
+    // its done segments would re-read sources that later tasks have since
+    // legally overwritten (found by the concurrency stress harness).
+    if (head_fusable && head->bytes_done == 0 && config_.use_dma &&
+        config_.enable_piggyback &&
+        head->task.length < timing_->ipiggyback_min_task_bytes) {
+      // A fused candidate executes ahead of every task it is hoisted over, so
+      // it must have no data dependency (RAW/WAW/WAR, either direction) with
+      // round members *or* any unfinished task ordered before it — including
+      // lazy/abort-deferred tasks sitting before the round head.
+      std::vector<PendingTask*> scanned;
+      for (auto& prior : client.pending) {
+        if (!prior->Done() && prior.get() != head) {
+          scanned.push_back(prior.get());
+        }
+      }
+      scanned.push_back(head);
+      size_t round_bytes = head->task.length;
+      for (size_t j = scan + 1; j < client.pending.size() && round.size() < kMaxFusedTasks;
+           ++j) {
+        PendingTask& cand = *client.pending[j];
+        if (cand.Done()) {
+          continue;
+        }
+        bool conflict = false;
+        for (PendingTask* prior : scanned) {
+          if (prior == &cand) {
+            continue;
+          }
+          const CopyTask& a = prior->task;
+          const CopyTask& b = cand.task;
+          if (RefsOverlap(a.dst, a.length, b.dst, b.length) ||
+              RefsOverlap(a.dst, a.length, b.src, b.length) ||
+              RefsOverlap(a.src, a.length, b.dst, b.length)) {
+            conflict = true;
+            break;
+          }
+        }
+        if (!conflict) {
+          for (const auto& done : client.completed_writes) {
+            if (done.order > cand.order &&
+                done.domain == cand.task.dst.domain() &&
+                RangesOverlap(done.start, done.length, cand.task.dst.start(),
+                              cand.task.length)) {
+              conflict = true;  // a newer completed write covers part of dst
+              break;
+            }
+          }
+        }
+        scanned.push_back(&cand);
+        if (conflict || cand.task.type == TaskType::kLazy || cand.bytes_done != 0) {
+          continue;  // stays in place; later candidates are checked against it
+        }
+        // Tasks with producers need the ordered (absorption-aware) path.
+        bool has_producer = false;
+        for (const auto& other : client.pending) {
+          if (other->order < cand.order && !other->aborted && !other->Done() &&
+              RefsOverlap(other->task.dst, other->task.length, cand.task.src,
+                          cand.task.length)) {
+            has_producer = true;
+            break;
+          }
+        }
+        if (has_producer) {
+          continue;
+        }
+        round.push_back(&cand);
+        round_bytes += cand.task.length;
+        if (round_bytes >= config_.copy_slice_bytes) {
+          break;
+        }
+      }
+    }
+
+    if (round.size() == 1) {
+      const uint64_t before = head->bytes_done;
+      const Status status = ExecuteTaskRange(client, *head, 0, head->task.length, 0);
+      if (!status.ok()) {
+        DropTask(client, *head, status);
+      }
+      served += head->bytes_done - before;
+      if (head->bytes_done == before && !head->Done()) {
+        ++scan;  // no forward progress on this task: move past it this pass
+      }
+    } else {
+      // Fused round: build one combined subtask list. Dependencies were ruled
+      // out above, so sources resolve plainly.
+      std::vector<Subtask> subtasks;
+      std::vector<uint64_t> before;
+      bool fault = false;
+      for (PendingTask* member : round) {
+        before.push_back(member->bytes_done);
+        std::vector<SourcePiece> sources;
+        ResolveSources(client, *member, 0, member->task.length, 0, &sources);
+        const Status status = BuildSubtasks(client, *member, 0, sources, &subtasks);
+        if (!status.ok()) {
+          DropTask(client, *member, status);
+          fault = true;
+          break;
+        }
+      }
+      if (!fault) {
+        ExecuteRound(subtasks);
+      }
+      for (size_t i = 0; i < round.size(); ++i) {
+        if (round[i]->bytes_done >= round[i]->task.length) {
+          CompleteTask(client, *round[i]);
+        }
+        served += round[i]->bytes_done - (i < before.size() ? before[i] : 0);
+      }
+    }
+  }
+  ApplyDeferredAborts(client);
+  RetireDone(client);
+  return served;
+}
+
+// ---------------------------------------------------------------------------
+// Completion, drops, retirement
+// ---------------------------------------------------------------------------
+
+void Engine::MarkProgress(PendingTask& task, size_t offset, size_t length, Cycles when) {
+  task.progress->MarkRange(task.progress_offset + offset, length, when);
+  // Mirror into the client-visible descriptor (§4.1): csync gates on it.
+  if (task.task.descriptor != nullptr) {
+    task.task.descriptor->MarkRange(task.task.descriptor_offset + offset, length, when);
+  }
+  task.bytes_done += length;
+  stats_.bytes_copied += length;
+}
+
+void Engine::CompleteTask(Client& client, PendingTask& task) {
+  if (task.handler_fired) {
+    return;
+  }
+  task.handler_fired = true;
+  if (!task.aborted) {
+    ++stats_.tasks_completed;
+  }
+  client.total_copy_length += task.task.length;
+  PostHandler& handler = task.task.handler;
+  switch (handler.kind) {
+    case PostHandler::Kind::kNone:
+      break;
+    case PostHandler::Kind::kKernelFunc:
+      ChargeCtx(ctx_, timing_->handler_dispatch_cycles);
+      handler.fn(CtxNow(ctx_));
+      ++stats_.kfuncs_run;
+      break;
+    case PostHandler::Kind::kUserFunc: {
+      QueuePair* pair = task.origin != nullptr ? task.origin : &client.default_pair();
+      HandlerTask ht;
+      ht.fn = handler.fn;
+      ht.ready_time = CtxNow(ctx_);
+      if (!pair->user.handler_q.TryPush(std::move(ht))) {
+        // Handler queue full: execute inline as a last resort (never drop a
+        // reclamation handler).
+        handler.fn(CtxNow(ctx_));
+      }
+      ++stats_.ufuncs_queued;
+      break;
+    }
+  }
+}
+
+void Engine::DropTask(Client& client, PendingTask& task, const Status& reason) {
+  COPIER_LOG(kDebug) << "dropping task " << task.task.id << ": " << reason.ToString();
+  ++stats_.tasks_dropped;
+  task.aborted = true;
+  task.handler_fired = true;  // handlers do not run for faulted tasks
+  if (task.progress != nullptr) {
+    task.progress->MarkFailed(CtxNow(ctx_));
+  }
+  if (task.task.descriptor != nullptr) {
+    task.task.descriptor->MarkFailed(CtxNow(ctx_));
+  }
+  if (client.process() != nullptr) {
+    client.process()->Deliver(simos::Signal::kSegv);
+  }
+}
+
+void Engine::RetireDone(Client& client) {
+  std::erase_if(client.pending, [&client](const std::unique_ptr<PendingTask>& task) {
+    if (!task->Done() || !task->handler_fired) {
+      return false;
+    }
+    if (!task->aborted) {
+      client.completed_writes.push_back(Client::CompletedWrite{
+          task->order, task->task.dst.domain(), task->task.dst.start(), task->task.length});
+    }
+    return true;
+  });
+  // Prune: a completed write only matters while an EARLIER-ordered task could
+  // still execute late.
+  uint64_t min_pending_order = UINT64_MAX;
+  for (const auto& task : client.pending) {
+    if (!task->Done()) {
+      min_pending_order = std::min(min_pending_order, task->order);
+    }
+  }
+  std::erase_if(client.completed_writes, [min_pending_order](const Client::CompletedWrite& w) {
+    return w.order < min_pending_order || min_pending_order == UINT64_MAX;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Top-level serving
+// ---------------------------------------------------------------------------
+
+uint64_t Engine::ServeClient(Client& client, uint64_t max_bytes) {
+  ChargeCtx(ctx_, timing_->poll_iteration_cycles);
+  IngestClient(client);
+  ProcessSyncQueues(client);
+  const uint64_t served = ExecutePending(client, max_bytes);
+  dma_.Poll(CtxNow(ctx_));
+  return served;
+}
+
+void Engine::DrainClient(Client& client) {
+  // Two passes may be required: executing tasks can fire KFUNCs that submit
+  // more tasks (e.g. skb reclamation rarely does, but be safe) — loop until
+  // no work remains.
+  for (int i = 0; i < 64; ++i) {
+    if (!client.HasQueuedWork()) {
+      return;
+    }
+    ServeClient(client, UINT64_MAX);
+  }
+}
+
+}  // namespace copier::core

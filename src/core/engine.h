@@ -1,0 +1,179 @@
+// Engine — the single-threaded task-processing core of the Copier service.
+//
+// One Engine instance backs one Copier (k)thread. A service (service.h) owns
+// one or more Engines and drives them from real threads; tests and the
+// virtual-time benchmark harness drive an Engine directly.
+//
+// Responsibilities, each mapping to a design section of the paper:
+//   * Ingestion with cross-queue Barrier Tasks — order dependency (§4.2.1):
+//     k-mode entries are consumed bracket-by-bracket; a BarrierEnter bounds
+//     how far the u-mode queue may be drained before the bracket's tasks.
+//   * Sync Task processing — task promotion / out-of-order execution (§4.1),
+//     k-mode Sync Queue served before u-mode (§4.2.2), and explicit aborts
+//     (§4.4).
+//   * Data-dependency resolution (§4.2.2): before a byte range of a task
+//     executes, conflicting ranges (RAW/WAW/WAR) of earlier pending tasks
+//     execute first — except RAW producers, which layered copy absorption
+//     (§4.4) reads *through* instead of executing.
+//   * Hardware dispatch (§4.3): tasks split into physically contiguous
+//     subtasks; large tasks i-piggyback DMA onto AVX; small adjacent tasks
+//     fuse into e-piggyback rounds; segment completion times respect both
+//     units' clocks.
+//   * Proactive fault handling (§4.5.4): user ranges are translated, faulted
+//     in and pinned before the copy; unresolvable faults drop the task, fail
+//     its descriptor, and signal the process.
+#ifndef COPIER_SRC_CORE_ENGINE_H_
+#define COPIER_SRC_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/exec_context.h"
+#include "src/common/status.h"
+#include "src/core/atcache.h"
+#include "src/core/client.h"
+#include "src/core/config.h"
+#include "src/hw/dma_engine.h"
+#include "src/hw/timing_model.h"
+
+namespace copier::core {
+
+class Engine {
+ public:
+  struct Stats {
+    uint64_t tasks_ingested = 0;
+    uint64_t tasks_completed = 0;
+    uint64_t tasks_dropped = 0;   // proactive fault handling failures
+    uint64_t tasks_aborted = 0;
+    uint64_t barriers_processed = 0;
+    uint64_t sync_promotions = 0;
+    uint64_t bytes_copied = 0;    // bytes physically moved by this engine
+    uint64_t bytes_absorbed = 0;  // bytes short-circuited past an intermediate
+    uint64_t avx_bytes = 0;
+    uint64_t dma_bytes = 0;
+    uint64_t dma_batches = 0;
+    uint64_t kfuncs_run = 0;
+    uint64_t ufuncs_queued = 0;
+    uint64_t lazy_absorbed_bytes = 0;
+  };
+
+  Engine(const CopierConfig& config, const hw::TimingModel* timing, ExecContext* ctx);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Serves one client: drains sync queues, ingests copy queues, executes up
+  // to `max_bytes` of pending work (a copy slice, §4.5.3). Returns the bytes
+  // of copy length served (the scheduler's resource unit, §4.5.2).
+  uint64_t ServeClient(Client& client, uint64_t max_bytes);
+
+  // Runs until the client has no queued or pending work (csync_all, tests).
+  void DrainClient(Client& client);
+
+  // Executes the pending ranges needed to make [addr, addr+length) ready —
+  // the service-side reaction to a Sync Task (also used directly in
+  // single-threaded mode when csync finds segments unready).
+  void PromoteRange(Client& client, const MemRef& addr, size_t length);
+
+  ExecContext* ctx() { return ctx_; }
+  ATCache& atcache() { return atcache_; }
+  hw::DmaEngine& dma() { return dma_; }
+  const Stats& stats() const { return stats_; }
+  const CopierConfig& config() const { return config_; }
+
+ private:
+  struct Subtask {
+    uint8_t* dst = nullptr;
+    const uint8_t* src = nullptr;
+    size_t length = 0;
+    PendingTask* owner = nullptr;
+    size_t task_offset = 0;  // byte offset of this subtask within the task
+    bool dma_eligible = false;
+    // Translation work owed if this subtask goes to DMA (§4.3 ATCache): CPU
+    // copies translate through the MMU for free; DMA needs explicit VA->PA.
+    uint32_t pages_cached = 0;    // translations served by the ATCache
+    uint32_t pages_uncached = 0;  // page-table walks (~240 cycles each)
+  };
+
+  // --- ingestion --------------------------------------------------------------
+  void IngestClient(Client& client);
+  void IngestPair(Client& client, QueuePair& pair);
+  void AcceptTask(Client& client, QueuePair& pair, CopyTask task, bool kernel_mode);
+  void ProcessSyncQueues(Client& client);
+  void HandleSyncTask(Client& client, const SyncTask& sync);
+  // Applies abort requests whose dependents have drained (§4.4).
+  void ApplyDeferredAborts(Client& client);
+
+  // --- execution ---------------------------------------------------------------
+  uint64_t ExecutePending(Client& client, uint64_t budget);
+  // Executes [offset, offset+length) of `task` (clipped to unfinished
+  // segments), resolving dependencies first. Depth guards recursion.
+  Status ExecuteTaskRange(Client& client, PendingTask& task, size_t offset, size_t length,
+                          int depth);
+  Status ResolveDependencies(Client& client, PendingTask& task, size_t offset, size_t length,
+                             int depth);
+  // Physically copies [offset, offset+length) of the task (sources resolved
+  // through layered absorption) and marks progress.
+  Status CopyRange(Client& client, PendingTask& task, size_t offset, size_t length, int depth);
+
+  // Layered absorption (§4.4): maps [src_offset, +length) of `task`'s source
+  // onto the memory that holds the *latest* data, possibly through chains of
+  // earlier pending tasks. Appends (ref, length) pieces to `out`.
+  struct SourcePiece {
+    MemRef ref;
+    size_t length = 0;
+    bool absorbed = false;  // read through an unexecuted producer
+  };
+  void ResolveSources(Client& client, PendingTask& task, size_t src_offset, size_t length,
+                      int depth, std::vector<SourcePiece>* out);
+
+  // --- hardware dispatch (§4.3) -------------------------------------------------
+  struct HostRun {
+    uint8_t* host = nullptr;
+    size_t length = 0;
+  };
+  struct HostRunExtra {
+    uint32_t pages_cached = 0;
+    uint32_t pages_uncached = 0;
+  };
+  // Longest host-contiguous run at `ref` (proactively faulting user pages).
+  StatusOr<HostRun> ResolveHostRun(const MemRef& ref, size_t max_length, bool for_write,
+                                   HostRunExtra* extra);
+  // Builds physically contiguous subtasks for [offset, offset+length) of the
+  // task given resolved source pieces; pins user pages (proactive faults).
+  Status BuildSubtasks(Client& client, PendingTask& task, size_t offset,
+                       const std::vector<SourcePiece>& sources, std::vector<Subtask>* out);
+  // Executes one piggyback round over the subtasks; marks progress per owner.
+  void ExecuteRound(std::vector<Subtask>& subtasks);
+
+  // Resolves one user page to a host pointer through the ATCache; performs
+  // proactive fault handling. Returns the host pointer for `va`'s page and
+  // reports whether the translation hit the ATCache via `*cached`.
+  StatusOr<uint8_t*> ResolveUserPage(simos::AddressSpace* space, uint64_t va, bool for_write,
+                                     bool* cached);
+
+  // Security checks (§4.5.4): u-mode tasks may only touch their own space.
+  Status ValidateTask(Client& client, const CopyTask& task, bool kernel_mode) const;
+
+  void MarkProgress(PendingTask& task, size_t offset, size_t length, Cycles when);
+  void CompleteTask(Client& client, PendingTask& task);
+  void DropTask(Client& client, PendingTask& task, const Status& reason);
+  void RetireDone(Client& client);
+
+  PendingTask* FindProducer(Client& client, const PendingTask& task, const MemRef& ref,
+                            size_t length, size_t* overlap_offset, size_t* overlap_length);
+
+  const CopierConfig& config_;
+  const hw::TimingModel* timing_;
+  ExecContext* ctx_;
+  ATCache atcache_;
+  hw::DmaEngine dma_;
+  Stats stats_;
+  // The pair whose tasks are currently being accepted (handler routing).
+  QueuePair* current_pair_ = nullptr;
+};
+
+}  // namespace copier::core
+
+#endif  // COPIER_SRC_CORE_ENGINE_H_

@@ -1,0 +1,214 @@
+#include "src/core/linux_glue.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/common/logging.h"
+#include "src/hw/copy_unit.h"
+
+namespace copier::core {
+
+Status WaitDescriptor(const Descriptor& descriptor, size_t offset, size_t length,
+                      ExecContext* ctx, const std::function<void()>& pump) {
+  uint64_t spins = 0;
+  while (!descriptor.RangeReady(offset, length)) {
+    ++spins;
+    if (pump) {
+      pump();
+      // A pumped wait that makes no progress for this long is a lost-copy
+      // bug, not a slow copy: fail loudly instead of spinning forever. (In
+      // threaded mode the pump is a wakeup, so the bound is generous and the
+      // spin yields to let service threads run.)
+      COPIER_CHECK(spins < (1u << 24))
+          << "csync stuck: descriptor range [" << offset << ", " << offset + length
+          << ") never became ready";
+      if (spins % 512 == 0) {
+        std::this_thread::yield();
+      }
+    } else {
+      if (spins % 1024 == 0) {
+        std::this_thread::yield();
+      }
+    }
+  }
+  if (descriptor.failed()) {
+    return FaultError("copy task dropped; descriptor failed");
+  }
+  if (ctx != nullptr) {
+    ctx->WaitUntil(descriptor.ReadyTime(offset, length));
+  }
+  return OkStatus();
+}
+
+CopierLinux::CopierLinux(CopierService* service, simos::SimKernel* kernel)
+    : service_(service), kernel_(kernel), fallback_(&kernel->timing()) {}
+
+CopierLinux::~CopierLinux() = default;
+
+void CopierLinux::Install() {
+  kernel_->SetCopyBackend(this);
+  kernel_->SetTrapHooks(this);
+}
+
+Client* CopierLinux::ClientFor(simos::Process& proc) {
+  const uint64_t id = proc.copier_client_id();
+  if (id == 0) {
+    return nullptr;
+  }
+  return service_->ClientById(id);
+}
+
+void CopierLinux::OnTrapEnter(simos::Process& proc, ExecContext* ctx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SyscallState& state = syscall_state_[proc.pid()];
+  state.in_syscall = true;
+  state.barrier_submitted = false;
+}
+
+void CopierLinux::OnTrapExit(simos::Process& proc, ExecContext* ctx) {
+  Client* client = ClientFor(proc);
+  bool emit_exit = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SyscallState& state = syscall_state_[proc.pid()];
+    emit_exit = state.in_syscall && state.barrier_submitted;
+    state.in_syscall = false;
+    state.barrier_submitted = false;
+  }
+  if (emit_exit && client != nullptr) {
+    CopyQueueEntry exit_barrier;
+    exit_barrier.kind = CopyQueueEntry::Kind::kBarrierExit;
+    // The exit barrier closes the syscall's k-mode bracket (§4.2.1); the ring
+    // is sized so this cannot fail while the bracket is open.
+    COPIER_CHECK(client->default_pair().kernel.copy_q.TryPush(std::move(exit_barrier)));
+  }
+}
+
+bool CopierLinux::BracketOpen(uint32_t pid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = syscall_state_.find(pid);
+  return it != syscall_state_.end() && it->second.in_syscall && it->second.barrier_submitted;
+}
+
+Status CopierLinux::Copy(const simos::UserCopyOp& op) {
+  Client* client = ClientFor(*op.proc);
+  if (client == nullptr) {
+    // Process not attached to Copier: stock kernel behaviour.
+    return fallback_.Copy(op);
+  }
+  QueuePair& pair = client->default_pair();
+
+  // Lazily submit the enter barrier before the syscall's first Copy Task,
+  // recording the current u-mode queue position (§4.2.1).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SyscallState& state = syscall_state_[op.proc->pid()];
+    if (state.in_syscall && !state.barrier_submitted) {
+      CopyQueueEntry barrier;
+      barrier.kind = CopyQueueEntry::Kind::kBarrierEnter;
+      barrier.user_queue_position = pair.user.copy_q.HeadPosition();
+      if (!pair.kernel.copy_q.TryPush(std::move(barrier))) {
+        return fallback_.Copy(op);  // ring full: fall back to sync copy
+      }
+      state.barrier_submitted = true;
+    }
+  }
+
+  CopyQueueEntry entry;
+  entry.kind = CopyQueueEntry::Kind::kCopy;
+  CopyTask& task = entry.task;
+  if (op.to_user) {
+    task.dst = MemRef::User(&op.proc->mem(), op.user_va);
+    task.src = MemRef::Kernel(op.kernel_buf);
+  } else {
+    task.dst = MemRef::Kernel(op.kernel_buf);
+    task.src = MemRef::User(&op.proc->mem(), op.user_va);
+  }
+  task.length = op.length;
+  task.descriptor = static_cast<Descriptor*>(op.descriptor);
+  task.descriptor_offset = op.descriptor_offset;
+  task.type = op.lazy ? TaskType::kLazy : TaskType::kNormal;
+  task.submit_time = CtxNow(op.ctx);
+  if (op.on_complete) {
+    task.handler = PostHandler::KernelFunc(op.on_complete);
+  }
+
+  ChargeCtx(op.ctx, service_->timing().task_submit_cycles);
+  if (!pair.kernel.copy_q.TryPush(std::move(entry))) {
+    return fallback_.Copy(op);  // ring full: synchronous fallback (§4.6)
+  }
+  if (service_->mode() == CopierService::Mode::kThreaded) {
+    service_->Awaken();
+  }
+  return OkStatus();
+}
+
+Status CopierLinux::SyncKernel(simos::Process* proc, ExecContext* ctx) {
+  Client* client = proc != nullptr ? ClientFor(*proc) : nullptr;
+  if (client == nullptr) {
+    return OkStatus();
+  }
+  if (service_->mode() == CopierService::Mode::kManual) {
+    service_->Serve(*client);
+    if (ctx != nullptr) {
+      ctx->WaitUntil(service_->engine_ctx().now());
+    }
+  } else {
+    while (client->HasQueuedWork()) {
+      service_->Awaken();
+      std::this_thread::yield();
+    }
+  }
+  return OkStatus();
+}
+
+void CopierLinux::AccelerateCow(simos::Process& proc, double handler_fraction) {
+  Client* client = ClientFor(proc);
+  COPIER_CHECK(client != nullptr) << "AccelerateCow requires an attached process";
+  CopierService* service = service_;
+  const hw::TimingModel* timing = &kernel_->timing();
+  proc.mem().SetCowCopyFn([service, client, timing, handler_fraction](
+                              void* dst, const void* src, size_t len, ExecContext* ctx) {
+    // Split the copy: Copier takes the tail, the fault handler copies the
+    // head itself in parallel, then syncs before the PTE update (§5.2).
+    const size_t handler_part =
+        std::min(len, AlignUp(static_cast<size_t>(len * handler_fraction), 64));
+    const size_t copier_part = len - handler_part;
+
+    Descriptor descriptor(copier_part);
+    if (copier_part > 0) {
+      CopyQueueEntry entry;
+      entry.kind = CopyQueueEntry::Kind::kCopy;
+      entry.task.dst = MemRef::Kernel(static_cast<uint8_t*>(dst) + handler_part);
+      entry.task.src = MemRef::Kernel(
+          const_cast<uint8_t*>(static_cast<const uint8_t*>(src)) + handler_part);
+      entry.task.length = copier_part;
+      entry.task.descriptor = &descriptor;
+      entry.task.submit_time = CtxNow(ctx);
+      ChargeCtx(ctx, timing->task_submit_cycles);
+      if (!client->default_pair().kernel.copy_q.TryPush(std::move(entry))) {
+        // Ring full: plain synchronous copy of the whole page block.
+        hw::ErmsCopy(dst, src, len);
+        ChargeCtx(ctx, timing->CpuCopyCycles(hw::CopyUnitKind::kErms, len));
+        return;
+      }
+      if (service->mode() == CopierService::Mode::kThreaded) {
+        service->Awaken();
+      }
+    }
+
+    // Handler's own share, overlapped with Copier's.
+    hw::ErmsCopy(dst, src, handler_part);
+    ChargeCtx(ctx, timing->CpuCopyCycles(hw::CopyUnitKind::kErms, handler_part));
+
+    if (copier_part > 0) {
+      std::function<void()> pump;
+      if (service->mode() == CopierService::Mode::kManual) {
+        pump = [service, client] { service->Serve(*client); };
+      }
+      COPIER_CHECK_OK(WaitDescriptor(descriptor, 0, copier_part, ctx, pump));
+    }
+  });
+}
+
+}  // namespace copier::core

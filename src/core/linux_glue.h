@@ -1,0 +1,80 @@
+// CopierLinux — the Copier-Linux integration layer (§5.2).
+//
+// Implements the pieces Copier-Linux adds to the stock kernel:
+//   * KernelCopyBackend: syscalls' user↔kernel copies become asynchronous
+//     k-mode Copy Tasks carrying the app's descriptor and a KFUNC completion
+//     handler (network stack, Binder driver);
+//   * TrapHooks: Barrier Tasks bracketing each syscall's k-mode submissions
+//     so the service can track order dependency across the privilege
+//     boundary (§4.2.1) — the enter barrier is submitted lazily, right before
+//     the first Copy Task of the syscall, exactly as the paper specifies;
+//   * CoW acceleration: the fault handler splits the page copy between
+//     itself and Copier and syncs before updating the page table (§5.2).
+#ifndef COPIER_SRC_CORE_LINUX_GLUE_H_
+#define COPIER_SRC_CORE_LINUX_GLUE_H_
+
+#include <mutex>
+#include <unordered_map>
+
+#include "src/core/service.h"
+#include "src/simos/copy_backend.h"
+#include "src/simos/kernel.h"
+
+namespace copier::core {
+
+// Waits until [offset, offset+length) of `descriptor` is ready. In manual
+// mode `pump` (serve-my-client) is invoked while unready; in threaded mode
+// the wait spins. Returns kFault if the descriptor failed. The caller's
+// clock advances to the ready time (virtual-time blocking).
+Status WaitDescriptor(const Descriptor& descriptor, size_t offset, size_t length,
+                      ExecContext* ctx, const std::function<void()>& pump);
+
+class CopierLinux : public simos::SimKernel::TrapHooks, public simos::KernelCopyBackend {
+ public:
+  CopierLinux(CopierService* service, simos::SimKernel* kernel);
+  ~CopierLinux() override;
+
+  // Installs this glue as the kernel's copy backend and trap observer.
+  void Install();
+
+  // --- simos::SimKernel::TrapHooks ---
+  void OnTrapEnter(simos::Process& proc, ExecContext* ctx) override;
+  void OnTrapExit(simos::Process& proc, ExecContext* ctx) override;
+
+  // --- simos::KernelCopyBackend ---
+  Status Copy(const simos::UserCopyOp& op) override;
+  Status SyncKernel(simos::Process* proc, ExecContext* ctx) override;
+  const char* name() const override { return "copier-linux"; }
+
+  // Replaces the process's CoW page-copy hook with the split Copier version:
+  // the handler copies the head synchronously while Copier copies the tail,
+  // then the handler syncs — blocking ≈ max(head, tail) instead of the whole
+  // copy (§5.2, evaluated in §6.1.2).
+  // handler_fraction defaults to the head share that balances the handler's
+  // ERMS rate against Copier's AVX+DMA rate, so both sides finish together.
+  void AccelerateCow(simos::Process& proc, double handler_fraction = 0.35);
+
+  CopierService* service() { return service_; }
+
+  // Per-syscall-bracket bookkeeping, exposed for tests.
+  bool BracketOpen(uint32_t pid) const;
+
+ private:
+  struct SyscallState {
+    bool in_syscall = false;
+    bool barrier_submitted = false;
+  };
+
+  Client* ClientFor(simos::Process& proc);
+
+  CopierService* service_;
+  simos::SimKernel* kernel_;
+  simos::SyncErmsBackend fallback_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint32_t, SyscallState> syscall_state_;
+};
+
+}  // namespace copier::core
+
+#endif  // COPIER_SRC_CORE_LINUX_GLUE_H_

@@ -1,0 +1,280 @@
+#include "src/core/service.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/logging.h"
+
+namespace copier::core {
+
+CopierService::CopierService(Options options)
+    : options_(std::move(options)),
+      timing_(options_.timing != nullptr ? options_.timing : &hw::TimingModel::Default()) {
+  const size_t engine_count = std::max<size_t>(1, options_.config.max_threads);
+  for (size_t i = 0; i < engine_count; ++i) {
+    engine_ctxs_.push_back(std::make_unique<ExecContext>("copier-" + std::to_string(i)));
+    engines_.push_back(
+        std::make_unique<Engine>(options_.config, timing_, engine_ctxs_.back().get()));
+  }
+  cgroups_.push_back(std::make_unique<Cgroup>("root", kDefaultCopierShares));
+  root_cgroup_ = cgroups_.back().get();
+}
+
+CopierService::~CopierService() { Stop(); }
+
+Client* CopierService::AttachProcess(simos::Process* process, Cgroup* cgroup) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clients_.push_back(std::make_unique<Client>(next_client_id_++, process, options_.config));
+  Client* client = clients_.back().get();
+  client->cgroup = cgroup != nullptr ? cgroup : root_cgroup_;
+  if (process != nullptr) {
+    process->set_copier_client_id(client->id());
+  }
+  return client;
+}
+
+Client* CopierService::AttachKernelClient(const std::string& name, Cgroup* cgroup) {
+  (void)name;
+  return AttachProcess(nullptr, cgroup);
+}
+
+Client* CopierService::ClientById(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& client : clients_) {
+    if (client->id() == id) {
+      return client.get();
+    }
+  }
+  return nullptr;
+}
+
+Cgroup* CopierService::CreateCgroup(const std::string& name, uint64_t shares) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cgroups_.push_back(std::make_unique<Cgroup>(name, shares));
+  return cgroups_.back().get();
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling (§4.5.3)
+// ---------------------------------------------------------------------------
+
+Client* CopierService::PickClient(size_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Pass 1: among cgroups with runnable clients assigned to this engine,
+  // pick the minimum-vruntime cgroup.
+  Cgroup* best_group = nullptr;
+  const size_t threads = std::max<size_t>(1, active_threads_.load(std::memory_order_acquire));
+  auto assigned_here = [&](const Client& client) {
+    if (options_.mode == Mode::kManual) {
+      return index == 0;
+    }
+    return (client.id() % threads) == (index % threads);
+  };
+  for (auto& client : clients_) {
+    if (!assigned_here(*client) || !client->HasQueuedWork()) {
+      continue;
+    }
+    if (best_group == nullptr || client->cgroup->vruntime() < best_group->vruntime()) {
+      best_group = client->cgroup;
+    }
+  }
+  if (best_group == nullptr) {
+    return nullptr;
+  }
+  // Pass 2: within the cgroup, minimum total copy length (CFS analogue).
+  Client* best = nullptr;
+  for (auto& client : clients_) {
+    if (!assigned_here(*client) || client->cgroup != best_group || !client->HasQueuedWork()) {
+      continue;
+    }
+    if (best == nullptr || client->total_copy_length < best->total_copy_length) {
+      best = client.get();
+    }
+  }
+  if (best != nullptr) {
+    bool expected = false;
+    if (!best->serving.compare_exchange_strong(expected, true, std::memory_order_acquire)) {
+      return nullptr;  // another thread is mid-serve on this client
+    }
+  }
+  return best;
+}
+
+void CopierService::AccountService(Client& client, uint64_t bytes) {
+  if (bytes == 0) {
+    return;
+  }
+  client.cgroup->Account(bytes);
+  client.cgroup->AccountRaw(bytes);
+}
+
+uint64_t CopierService::RunOnce() {
+  ChargeCtx(engine_ctxs_[0].get(), timing_->schedule_pick_cycles);
+  Client* client = PickClient(0);
+  if (client == nullptr) {
+    return 0;
+  }
+  const uint64_t served = engines_[0]->ServeClient(*client, options_.config.copy_slice_bytes);
+  AccountService(*client, served);
+  client->serving.store(false, std::memory_order_release);
+  return served;
+}
+
+uint64_t CopierService::Serve(Client& client, uint64_t max_bytes) {
+  bool expected = false;
+  while (!client.serving.compare_exchange_weak(expected, true, std::memory_order_acquire)) {
+    expected = false;
+    std::this_thread::yield();
+  }
+  const uint64_t served = engines_[0]->ServeClient(client, max_bytes);
+  AccountService(client, served);
+  client.serving.store(false, std::memory_order_release);
+  return served;
+}
+
+void CopierService::DrainAll() {
+  for (int spin = 0; spin < 1 << 20; ++spin) {
+    bool any = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& client : clients_) {
+        if (client->HasQueuedWork()) {
+          any = true;
+          break;
+        }
+      }
+    }
+    if (!any) {
+      return;
+    }
+    if (options_.mode == Mode::kManual) {
+      if (RunOnce() == 0) {
+        // Work queued but nothing runnable from engine 0 — serve directly.
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto& client : clients_) {
+          if (client->HasQueuedWork()) {
+            engines_[0]->DrainClient(*client);
+          }
+        }
+      }
+    } else {
+      Awaken();
+      std::this_thread::yield();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Threaded mode (§4.5.1)
+// ---------------------------------------------------------------------------
+
+void CopierService::Start() {
+  if (options_.mode != Mode::kThreaded || running_.load()) {
+    return;
+  }
+  running_.store(true);
+  active_threads_.store(options_.config.min_threads);
+  for (size_t i = 0; i < options_.config.max_threads; ++i) {
+    threads_.emplace_back([this, i] { ThreadMain(i); });
+  }
+}
+
+void CopierService::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  Awaken();
+  for (auto& thread : threads_) {
+    if (thread.joinable()) {
+      thread.join();
+    }
+  }
+  threads_.clear();
+}
+
+void CopierService::Awaken() {
+  std::lock_guard<std::mutex> lock(wake_mu_);
+  wake_seq_.fetch_add(1, std::memory_order_release);
+  wake_cv_.notify_all();
+}
+
+void CopierService::ScenarioBegin() {
+  scenario_depth_.fetch_add(1, std::memory_order_acq_rel);
+  Awaken();
+}
+
+void CopierService::ScenarioEnd() { scenario_depth_.fetch_sub(1, std::memory_order_acq_rel); }
+
+void CopierService::ThreadMain(size_t index) {
+  // Auto-scaling: threads above active_threads_ park until load raises the
+  // count; thread 0 owns the load measurement.
+  size_t idle_spins = 0;
+  uint64_t busy_polls = 0;
+  uint64_t total_polls = 0;
+  while (running_.load(std::memory_order_acquire)) {
+    const bool scenario_mode = options_.config.poll_mode == CopierConfig::PollMode::kScenarioDriven;
+    const bool parked = index >= active_threads_.load(std::memory_order_acquire) ||
+                        (scenario_mode && !scenario_active());
+    if (parked) {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait_for(lock, std::chrono::milliseconds(5));
+      continue;
+    }
+
+    Client* client = PickClient(index);
+    ++total_polls;
+    if (client != nullptr) {
+      const uint64_t served =
+          engines_[index]->ServeClient(*client, options_.config.copy_slice_bytes);
+      AccountService(*client, served);
+      client->serving.store(false, std::memory_order_release);
+      idle_spins = 0;
+      ++busy_polls;
+    } else {
+      ++idle_spins;
+      if (idle_spins >= options_.config.idle_spins_before_sleep) {
+        // NAPI-style back-off: sleep until awakened or timeout.
+        std::unique_lock<std::mutex> lock(wake_mu_);
+        wake_cv_.wait_for(lock, std::chrono::milliseconds(1));
+        idle_spins = 0;
+      }
+    }
+
+    // Auto-scaling decision, evaluated by thread 0 every 1024 polls.
+    if (index == 0 && total_polls % 1024 == 0 && total_polls > 0) {
+      const double load = static_cast<double>(busy_polls) / 1024.0;
+      busy_polls = 0;
+      size_t active = active_threads_.load(std::memory_order_acquire);
+      if (load > options_.config.high_load && active < options_.config.max_threads) {
+        active_threads_.store(active + 1, std::memory_order_release);
+        Awaken();
+      } else if (load < options_.config.low_load && active > options_.config.min_threads) {
+        active_threads_.store(active - 1, std::memory_order_release);
+      }
+    }
+  }
+}
+
+Engine::Stats CopierService::TotalStats() const {
+  Engine::Stats total;
+  for (const auto& engine : engines_) {
+    const Engine::Stats& s = engine->stats();
+    total.tasks_ingested += s.tasks_ingested;
+    total.tasks_completed += s.tasks_completed;
+    total.tasks_dropped += s.tasks_dropped;
+    total.tasks_aborted += s.tasks_aborted;
+    total.barriers_processed += s.barriers_processed;
+    total.sync_promotions += s.sync_promotions;
+    total.bytes_copied += s.bytes_copied;
+    total.bytes_absorbed += s.bytes_absorbed;
+    total.avx_bytes += s.avx_bytes;
+    total.dma_bytes += s.dma_bytes;
+    total.dma_batches += s.dma_batches;
+    total.kfuncs_run += s.kfuncs_run;
+    total.ufuncs_queued += s.ufuncs_queued;
+    total.lazy_absorbed_bytes += s.lazy_absorbed_bytes;
+  }
+  return total;
+}
+
+}  // namespace copier::core

@@ -1,0 +1,130 @@
+// CopierService — the OS service tying everything together (§4.5).
+//
+// Owns clients, cgroups and Copier threads. Two driving modes:
+//   * kManual   — no threads; the caller (tests, the virtual-time benchmark
+//                 harness, single-core setups) drives RunOnce()/ServeClient()
+//                 explicitly and csync() pumps the engine inline.
+//   * kThreaded — real Copier (k)threads poll client queues, NAPI-style with
+//                 idle back-off or scenario-driven (§4.5.1), with auto-scaling
+//                 between min_threads and max_threads.
+//
+// Scheduling (§4.5.3): each serving pass picks the cgroup with minimum
+// share-weighted vruntime, then the client with minimum total copy length in
+// it, and serves at most one copy slice — CFS with copy length as the
+// resource (§4.5.2).
+#ifndef COPIER_SRC_CORE_SERVICE_H_
+#define COPIER_SRC_CORE_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/exec_context.h"
+#include "src/core/cgroup.h"
+#include "src/core/client.h"
+#include "src/core/config.h"
+#include "src/core/engine.h"
+#include "src/hw/timing_model.h"
+#include "src/simos/process.h"
+
+namespace copier::core {
+
+class CopierService {
+ public:
+  enum class Mode {
+    kManual,
+    kThreaded,
+  };
+
+  struct Options {
+    CopierConfig config;
+    const hw::TimingModel* timing = nullptr;  // default: TimingModel::Default()
+    Mode mode = Mode::kManual;
+  };
+
+  explicit CopierService(Options options);
+  ~CopierService();
+
+  CopierService(const CopierService&) = delete;
+  CopierService& operator=(const CopierService&) = delete;
+
+  // --- clients / cgroups -------------------------------------------------------
+
+  // Attaches a process (copier_create_mapped_queue, Table 2): creates the
+  // client with its default u/k queue pair. `cgroup` null = root cgroup.
+  Client* AttachProcess(simos::Process* process, Cgroup* cgroup = nullptr);
+  // Standalone kernel-service client (e.g. the CoW handler, §4.5).
+  Client* AttachKernelClient(const std::string& name, Cgroup* cgroup = nullptr);
+  Client* ClientById(uint64_t id);
+
+  Cgroup* CreateCgroup(const std::string& name, uint64_t shares);
+  Cgroup* root_cgroup() { return root_cgroup_; }
+
+  // --- manual-mode driving -------------------------------------------------------
+
+  // One scheduling pick + copy slice; returns bytes served (0 = idle).
+  uint64_t RunOnce();
+  // Serves a specific client (csync pump path). Returns bytes served.
+  uint64_t Serve(Client& client, uint64_t max_bytes = UINT64_MAX);
+  // Runs until no client has queued or pending work.
+  void DrainAll();
+
+  Engine& engine() { return *engines_[0]; }
+  ExecContext& engine_ctx() { return *engine_ctxs_[0]; }
+
+  // --- threaded-mode control (§4.5.1) ----------------------------------------------
+
+  void Start();
+  void Stop();
+  // copier_awaken(fd): wakes sleeping Copier threads.
+  void Awaken();
+  // Scenario-driven polling: threads serve only while a scenario is active.
+  void ScenarioBegin();
+  void ScenarioEnd();
+  bool scenario_active() const { return scenario_depth_.load(std::memory_order_acquire) > 0; }
+  size_t active_threads() const { return active_threads_.load(std::memory_order_acquire); }
+
+  const CopierConfig& config() const { return options_.config; }
+  const hw::TimingModel& timing() const { return *timing_; }
+  Mode mode() const { return options_.mode; }
+
+  // Aggregated engine stats (all threads).
+  Engine::Stats TotalStats() const;
+
+ private:
+  void ThreadMain(size_t index);
+  // Scheduler: next client for engine `index` (nullptr = nothing runnable).
+  Client* PickClient(size_t index);
+  void AccountService(Client& client, uint64_t bytes);
+
+  Options options_;
+  const hw::TimingModel* timing_;
+
+  mutable std::mutex mu_;  // guards clients_ / cgroups_ lists
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<std::unique_ptr<Cgroup>> cgroups_;
+  Cgroup* root_cgroup_ = nullptr;
+  uint64_t next_client_id_ = 1;
+
+  // One engine (+ context) per potential thread; index 0 doubles as the
+  // manual-mode engine.
+  std::vector<std::unique_ptr<ExecContext>> engine_ctxs_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+
+  // Threaded mode.
+  std::vector<std::thread> threads_;
+  std::atomic<bool> running_{false};
+  std::atomic<size_t> active_threads_{0};
+  std::atomic<int> scenario_depth_{0};
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<uint64_t> wake_seq_{0};
+};
+
+}  // namespace copier::core
+
+#endif  // COPIER_SRC_CORE_SERVICE_H_

@@ -1,0 +1,131 @@
+// Copier task vocabulary (§4.1, §4.2).
+//
+// Clients talk to the service through three per-client queues (CSH Queues):
+//   * Copy Queue    — CopyQueueEntry: Copy Tasks and (k-mode only) Barrier
+//                     Tasks used for cross-queue order tracking (§4.2.1);
+//   * Sync Queue    — Sync Tasks: promote segments a client is about to use
+//                     (out-of-order execution, §4.1) or abort queued tasks;
+//   * Handler Queue — UFUNC handler tasks the service delegates back to the
+//                     client library for execution (§4.1).
+#ifndef COPIER_SRC_CORE_TASK_H_
+#define COPIER_SRC_CORE_TASK_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/cycle_clock.h"
+#include "src/simos/address_space.h"
+
+namespace copier::core {
+
+class Descriptor;
+
+// A source or destination of a Copy Task: either a virtual range in a client
+// address space (user tasks, and kernel tasks naming user buffers) or a
+// kernel linear-mapped host buffer (skbs, Binder buffers, CoW frames), which
+// is physically contiguous by construction.
+struct MemRef {
+  simos::AddressSpace* space = nullptr;  // null => kernel host memory
+  uint64_t va = 0;                       // valid when space != nullptr
+  uint8_t* host = nullptr;               // valid when space == nullptr
+
+  bool is_user() const { return space != nullptr; }
+
+  // Domain id for overlap comparison: address spaces by asid, kernel = 0.
+  uint64_t domain() const { return space != nullptr ? space->asid() : 0; }
+  // Numeric start address within the domain.
+  uint64_t start() const {
+    return space != nullptr ? va : reinterpret_cast<uint64_t>(host);
+  }
+
+  static MemRef User(simos::AddressSpace* space, uint64_t va) { return {space, va, nullptr}; }
+  static MemRef Kernel(uint8_t* host) { return {nullptr, 0, host}; }
+
+  MemRef Offset(uint64_t bytes) const {
+    MemRef ref = *this;
+    if (ref.space != nullptr) {
+      ref.va += bytes;
+    } else {
+      ref.host += bytes;
+    }
+    return ref;
+  }
+};
+
+// True when [a, a+alen) and [b, b+blen) name overlapping memory.
+bool RefsOverlap(const MemRef& a, size_t alen, const MemRef& b, size_t blen);
+
+enum class TaskType : uint8_t {
+  kNormal = 0,
+  kLazy = 1,  // lowest priority; usually a mediator for copy absorption (§4.4)
+};
+
+// Post-copy handler (§4.1): delegation-based post-copy handling. KFUNCs run
+// in the Copier thread; UFUNCs are queued to the client's Handler Queue.
+struct PostHandler {
+  enum class Kind : uint8_t { kNone = 0, kKernelFunc, kUserFunc };
+  Kind kind = Kind::kNone;
+  // For KFUNC the argument is the completion time on the Copier clock; for
+  // UFUNC it is the time the client library drains the handler.
+  std::function<void(Cycles)> fn;
+
+  static PostHandler None() { return {}; }
+  static PostHandler KernelFunc(std::function<void(Cycles)> fn) {
+    return {Kind::kKernelFunc, std::move(fn)};
+  }
+  static PostHandler UserFunc(std::function<void(Cycles)> fn) {
+    return {Kind::kUserFunc, std::move(fn)};
+  }
+};
+
+using TaskId = uint64_t;
+
+struct CopyTask {
+  TaskId id = 0;  // assigned by the service at ingestion
+  MemRef dst;
+  MemRef src;
+  size_t length = 0;
+
+  // Fine-grained status granularity (§4.1). Descriptor bits cover
+  // [descriptor_offset, descriptor_offset + length) of the descriptor's
+  // byte space in units of its segment size.
+  Descriptor* descriptor = nullptr;
+  size_t descriptor_offset = 0;
+
+  TaskType type = TaskType::kNormal;
+  PostHandler handler;
+  Cycles submit_time = 0;
+};
+
+// Copy Queue entries: Copy Tasks interleaved (k-mode) with Barrier Tasks.
+struct CopyQueueEntry {
+  enum class Kind : uint8_t {
+    kCopy = 0,
+    kBarrierEnter,  // k-mode: first k submission after a trap; records the
+                    // u-mode Copy Queue head position at that moment (§4.2.1)
+    kBarrierExit,   // k-mode: kernel returning to userspace closes the bracket
+  };
+  Kind kind = Kind::kCopy;
+  CopyTask task;                    // valid when kind == kCopy
+  uint64_t user_queue_position = 0;  // valid when kind == kBarrierEnter
+};
+
+struct SyncTask {
+  enum class Kind : uint8_t {
+    kPromote = 0,  // raise priority of the copies producing [addr, addr+length)
+    kAbort = 1,    // explicitly discard still-queued Copy Tasks on the range (§4.4)
+  };
+  Kind kind = Kind::kPromote;
+  MemRef addr;
+  size_t length = 0;
+};
+
+// Handler Queue entries (service -> client): deferred UFUNCs.
+struct HandlerTask {
+  std::function<void(Cycles)> fn;
+  Cycles ready_time = 0;  // completion time of the copy that owed this handler
+};
+
+}  // namespace copier::core
+
+#endif  // COPIER_SRC_CORE_TASK_H_

@@ -1,0 +1,43 @@
+// Hardware copy units (§4.3).
+//
+// Three units exist on the paper's platform and are reproduced here:
+//   * AVX  — userspace SIMD memcpy (glibc-style). Usable by Copier because the
+//            service saves/restores vector state once per activation, not per
+//            copy (§4.3), which is the thing the stock kernel cannot afford.
+//   * ERMS — `rep movsb`, the Linux kernel's copy method (no vector state).
+//   * DMA  — an I/OAT-like engine: asynchronous, zero CPU cost while in
+//            flight, but with submission overhead and lower throughput than
+//            AVX for small transfers (Fig. 7-a). See dma_engine.h.
+//
+// The Copy* functions perform the real data movement (with runtime feature
+// detection and safe fallbacks); the time each unit *charges* comes from
+// TimingModel so benches are hardware-independent.
+#ifndef COPIER_SRC_HW_COPY_UNIT_H_
+#define COPIER_SRC_HW_COPY_UNIT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace copier::hw {
+
+enum class CopyUnitKind : uint8_t {
+  kAvx = 0,
+  kErms = 1,
+  kDma = 2,
+};
+
+const char* CopyUnitKindName(CopyUnitKind kind);
+
+// SIMD copy (AVX2 when available, SSE2/memcpy otherwise). Non-overlapping.
+void AvxCopy(void* dst, const void* src, size_t n);
+
+// `rep movsb` copy (ERMS). Non-overlapping. Falls back to memcpy off-x86.
+void ErmsCopy(void* dst, const void* src, size_t n);
+
+// True when the running CPU supports AVX2 (affects only real data movement,
+// not modeled timing).
+bool CpuHasAvx2();
+
+}  // namespace copier::hw
+
+#endif  // COPIER_SRC_HW_COPY_UNIT_H_

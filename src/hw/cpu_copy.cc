@@ -1,0 +1,91 @@
+#include "src/hw/copy_unit.h"
+
+#include <cstring>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace copier::hw {
+
+const char* CopyUnitKindName(CopyUnitKind kind) {
+  switch (kind) {
+    case CopyUnitKind::kAvx:
+      return "AVX";
+    case CopyUnitKind::kErms:
+      return "ERMS";
+    case CopyUnitKind::kDma:
+      return "DMA";
+  }
+  return "?";
+}
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__)
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+#if defined(__x86_64__)
+__attribute__((target("avx2"))) void AvxCopyImpl(void* dst, const void* src, size_t n) {
+  auto* d = static_cast<uint8_t*>(dst);
+  const auto* s = static_cast<const uint8_t*>(src);
+  // 64-byte unrolled vector loop, then a vector tail, then a scalar tail.
+  while (n >= 64) {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s));
+    const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d), a);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + 32), b);
+    d += 64;
+    s += 64;
+    n -= 64;
+  }
+  if (n >= 32) {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d), a);
+    d += 32;
+    s += 32;
+    n -= 32;
+  }
+  if (n > 0) {
+    std::memcpy(d, s, n);
+  }
+  _mm256_zeroupper();
+}
+#endif
+
+}  // namespace
+
+void AvxCopy(void* dst, const void* src, size_t n) {
+  if (n == 0) {
+    return;
+  }
+#if defined(__x86_64__)
+  if (CpuHasAvx2()) {
+    AvxCopyImpl(dst, src, n);
+    return;
+  }
+#endif
+  std::memcpy(dst, src, n);
+}
+
+void ErmsCopy(void* dst, const void* src, size_t n) {
+  if (n == 0) {
+    return;
+  }
+#if defined(__x86_64__)
+  void* d = dst;
+  const void* s = src;
+  size_t count = n;
+  asm volatile("rep movsb" : "+D"(d), "+S"(s), "+c"(count) : : "memory");
+#else
+  std::memcpy(dst, src, n);
+#endif
+}
+
+}  // namespace copier::hw

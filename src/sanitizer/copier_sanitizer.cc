@@ -1,0 +1,154 @@
+#include "src/sanitizer/copier_sanitizer.h"
+
+#include <algorithm>
+
+namespace copier::sanitizer {
+
+void CopierSanitizer::Poison(std::map<uint64_t, uint64_t>* set, uint64_t start, uint64_t end) {
+  if (start >= end) {
+    return;
+  }
+  Unpoison(set, start, end);  // normalize: remove overlaps first
+  (*set)[start] = end;
+  // Merge with neighbours.
+  auto it = set->find(start);
+  if (it != set->begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= it->first) {
+      prev->second = std::max(prev->second, it->second);
+      set->erase(it);
+      it = prev;
+    }
+  }
+  auto next = std::next(it);
+  while (next != set->end() && next->first <= it->second) {
+    it->second = std::max(it->second, next->second);
+    next = set->erase(next);
+  }
+}
+
+void CopierSanitizer::Unpoison(std::map<uint64_t, uint64_t>* set, uint64_t start, uint64_t end) {
+  if (start >= end) {
+    return;
+  }
+  auto it = set->lower_bound(start);
+  if (it != set->begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > start) {
+      it = prev;
+    }
+  }
+  while (it != set->end() && it->first < end) {
+    const uint64_t seg_start = it->first;
+    const uint64_t seg_end = it->second;
+    it = set->erase(it);
+    if (seg_start < start) {
+      (*set)[seg_start] = start;
+    }
+    if (seg_end > end) {
+      it = set->emplace(end, seg_end).first;
+      break;
+    }
+  }
+}
+
+bool CopierSanitizer::Overlaps(const std::map<uint64_t, uint64_t>& set, uint64_t start,
+                               uint64_t end) {
+  if (start >= end) {
+    return false;
+  }
+  auto it = set.lower_bound(start);
+  if (it != set.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > start) {
+      return true;
+    }
+  }
+  return it != set.end() && it->first < end;
+}
+
+void CopierSanitizer::OnAmemcpy(uint64_t dst, uint64_t src, size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Poison(&pending_dst_, dst, dst + n);
+  Poison(&pending_src_, src, src + n);
+  copies_.push_back(PendingCopy{dst, src, n});
+}
+
+void CopierSanitizer::OnCsync(uint64_t addr, size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Unpoison(&pending_dst_, addr, addr + n);
+  // csync of a destination also releases the corresponding source bytes.
+  for (auto it = copies_.begin(); it != copies_.end();) {
+    const uint64_t dst_end = it->dst + it->length;
+    const uint64_t ovl_start = std::max(it->dst, addr);
+    const uint64_t ovl_end = std::min(dst_end, addr + n);
+    if (ovl_start < ovl_end) {
+      const uint64_t src_start = it->src + (ovl_start - it->dst);
+      Unpoison(&pending_src_, src_start, src_start + (ovl_end - ovl_start));
+      if (ovl_start == it->dst && ovl_end == dst_end) {
+        it = copies_.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+}
+
+void CopierSanitizer::OnCsyncAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_dst_.clear();
+  pending_src_.clear();
+  copies_.clear();
+}
+
+void CopierSanitizer::Record(Violation::Kind kind, uint64_t addr, size_t n, const char* what) {
+  Violation v;
+  v.kind = kind;
+  v.address = addr;
+  v.length = n;
+  v.message = what;
+  violations_.push_back(std::move(v));
+}
+
+bool CopierSanitizer::CheckRead(uint64_t addr, size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Overlaps(pending_dst_, addr, addr + n)) {
+    Record(Violation::Kind::kReadPoisonedDst, addr, n,
+           "read of amemcpy destination before csync");
+    return false;
+  }
+  return true;  // reading a pending *source* is legal
+}
+
+bool CopierSanitizer::CheckWrite(uint64_t addr, size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Overlaps(pending_dst_, addr, addr + n)) {
+    Record(Violation::Kind::kWritePoisonedDst, addr, n,
+           "write to amemcpy destination before csync");
+    return false;
+  }
+  if (Overlaps(pending_src_, addr, addr + n)) {
+    Record(Violation::Kind::kWritePoisonedSrc, addr, n,
+           "write to amemcpy source before csync (guideline 1, §5.1.1)");
+    return false;
+  }
+  return true;
+}
+
+bool CopierSanitizer::CheckFree(uint64_t addr, size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Overlaps(pending_dst_, addr, addr + n) || Overlaps(pending_src_, addr, addr + n)) {
+    Record(Violation::Kind::kFreePoisoned, addr, n,
+           "free of buffer involved in un-synced amemcpy (guideline 2, §5.1.1)");
+    return false;
+  }
+  return true;
+}
+
+bool CopierSanitizer::IsPoisoned(uint64_t addr, size_t n, PoisonKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto& set = kind == PoisonKind::kPendingDst ? pending_dst_ : pending_src_;
+  return Overlaps(set, addr, addr + n);
+}
+
+}  // namespace copier::sanitizer

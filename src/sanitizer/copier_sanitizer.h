@@ -1,0 +1,89 @@
+// CopierSanitizer — shadow-memory detection of missing/incorrect csyncs
+// (§5.1.2).
+//
+// The paper's tool instruments loads/stores at compile time (AddressSanitizer
+// style); this reproduction implements the identical detection semantics as a
+// runtime checker:
+//   * amemcpy poisons the destination range (its contents are undefined until
+//     csync) and the source range (it must not be written or freed before the
+//     copy is synced or a post-copy handler runs);
+//   * csync unpoisons the involved ranges;
+//   * CheckRead/CheckWrite/CheckFree are the instrumentation points a checked
+//     build routes every access through; violations are recorded (and
+//     optionally fatal).
+//
+// Shadow granularity is byte-exact (interval set keyed by address space), so
+// partial csyncs unpoison exactly the synced segments.
+#ifndef COPIER_SRC_SANITIZER_COPIER_SANITIZER_H_
+#define COPIER_SRC_SANITIZER_COPIER_SANITIZER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace copier::sanitizer {
+
+enum class PoisonKind : uint8_t {
+  kPendingDst = 1,  // destination of an un-synced amemcpy
+  kPendingSrc = 2,  // source of an un-synced amemcpy (writes/frees illegal)
+};
+
+struct Violation {
+  enum class Kind { kReadPoisonedDst, kWritePoisonedDst, kWritePoisonedSrc, kFreePoisoned };
+  Kind kind;
+  uint64_t address = 0;
+  size_t length = 0;
+  std::string message;
+};
+
+class CopierSanitizer {
+ public:
+  // --- interposition points (called by the checked amemcpy/csync wrappers) ---
+  void OnAmemcpy(uint64_t dst, uint64_t src, size_t n);
+  void OnCsync(uint64_t addr, size_t n);
+  void OnCsyncAll();
+
+  // --- instrumentation points (every checked load/store/free) ---
+  // Each returns true when the access is legal; otherwise records a
+  // violation and returns false.
+  bool CheckRead(uint64_t addr, size_t n);
+  bool CheckWrite(uint64_t addr, size_t n);
+  bool CheckFree(uint64_t addr, size_t n);
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  void ClearViolations() { violations_.clear(); }
+
+  // Shadow introspection (tests).
+  bool IsPoisoned(uint64_t addr, size_t n, PoisonKind kind) const;
+
+ private:
+  struct Interval {
+    uint64_t start;
+    uint64_t end;  // half-open
+  };
+
+  static void Poison(std::map<uint64_t, uint64_t>* set, uint64_t start, uint64_t end);
+  static void Unpoison(std::map<uint64_t, uint64_t>* set, uint64_t start, uint64_t end);
+  static bool Overlaps(const std::map<uint64_t, uint64_t>& set, uint64_t start, uint64_t end);
+
+  void Record(Violation::Kind kind, uint64_t addr, size_t n, const char* what);
+
+  mutable std::mutex mu_;
+  // Interval sets: key = start, value = end (half-open, non-overlapping).
+  std::map<uint64_t, uint64_t> pending_dst_;
+  std::map<uint64_t, uint64_t> pending_src_;
+  // Maps each pending copy's src range to its dst (csync of dst clears src).
+  struct PendingCopy {
+    uint64_t dst;
+    uint64_t src;
+    size_t length;
+  };
+  std::vector<PendingCopy> copies_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace copier::sanitizer
+
+#endif  // COPIER_SRC_SANITIZER_COPIER_SANITIZER_H_

@@ -1,0 +1,79 @@
+#include "src/sanitizer/csync_advisor.h"
+
+#include <sstream>
+
+#include "src/common/align.h"
+#include "src/sanitizer/copier_sanitizer.h"
+
+namespace copier::sanitizer {
+
+std::vector<Advice> CsyncAdvisor::Analyze(const std::vector<TraceEvent>& trace) {
+  // Reuse the sanitizer's shadow semantics: poisoned-by-amemcpy ranges are
+  // exactly the ones that need a csync before the access in question.
+  CopierSanitizer shadow;
+  std::vector<Advice> advice;
+
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const TraceEvent& event = trace[i];
+    switch (event.kind) {
+      case TraceEvent::Kind::kAmemcpy:
+        shadow.OnAmemcpy(event.addr, event.addr2, event.length);
+        break;
+      case TraceEvent::Kind::kCsync: {
+        const bool covered_dst =
+            shadow.IsPoisoned(event.addr, event.length, PoisonKind::kPendingDst);
+        shadow.OnCsync(event.addr, event.length);
+        if (!covered_dst) {
+          advice.push_back({Advice::Kind::kRedundantCsync, i, event.addr, event.length,
+                            event.site, "csync covers no un-synced copy (wasted check)"});
+        }
+        break;
+      }
+      case TraceEvent::Kind::kRead:
+        if (!shadow.CheckRead(event.addr, event.length)) {
+          advice.push_back({Advice::Kind::kInsertCsync, i, event.addr, event.length,
+                            event.site,
+                            "read of amemcpy destination: insert csync(addr, len) before "
+                            "(guideline 1, §5.1.1)"});
+          shadow.OnCsync(event.addr, event.length);  // assume the fix; keep scanning
+        }
+        break;
+      case TraceEvent::Kind::kWrite:
+        if (!shadow.CheckWrite(event.addr, event.length)) {
+          advice.push_back({Advice::Kind::kInsertCsync, i, event.addr, event.length,
+                            event.site,
+                            "write to amemcpy destination or source: insert csync before "
+                            "(guideline 1, §5.1.1)"});
+          shadow.OnCsyncAll();  // a write to a source releases via its dst; be safe
+        }
+        break;
+      case TraceEvent::Kind::kFree:
+        if (!shadow.CheckFree(event.addr, event.length)) {
+          advice.push_back({Advice::Kind::kInsertCsync, i, event.addr, event.length,
+                            event.site,
+                            "free of buffer involved in un-synced copy: csync or use a "
+                            "post-copy handler (guideline 2, §4.1/§5.1.1)"});
+          shadow.OnCsyncAll();
+        }
+        break;
+    }
+  }
+  return advice;
+}
+
+std::string CsyncAdvisor::Render(const std::vector<Advice>& advice) {
+  std::ostringstream out;
+  if (advice.empty()) {
+    out << "csync-advisor: no issues found\n";
+    return out.str();
+  }
+  for (const Advice& a : advice) {
+    out << (a.kind == Advice::Kind::kInsertCsync ? "error" : "note") << ": "
+        << (a.site.empty() ? "<trace event " + std::to_string(a.event_index) + ">" : a.site)
+        << ": range [0x" << std::hex << a.addr << ", 0x" << a.addr + a.length << std::dec
+        << "): " << a.reason << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace copier::sanitizer

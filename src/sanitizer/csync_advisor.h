@@ -1,0 +1,62 @@
+// CsyncAdvisor — the CopierGen analogue (§5.1.3).
+//
+// The paper's CopierGen is an LLVM/MLIR pass that finds loads/stores on
+// amemcpy sources/destinations and inserts csync before them. This repository
+// has no compiler IR, so the same analysis runs on a recorded *access trace*:
+// feed it the program's amemcpy/csync/read/write/free events (e.g. captured
+// via the AppIo::on_use hook or CopierSanitizer instrumentation points) and
+// it reports, per the §5.1.1 guidelines, exactly where csyncs are missing —
+// i.e. the list of insertion points a porting engineer (or CopierGen) would
+// add. It also flags redundant csyncs (ranges that were already synced),
+// addressing the paper's note that over-frequent csync costs performance.
+#ifndef COPIER_SRC_SANITIZER_CSYNC_ADVISOR_H_
+#define COPIER_SRC_SANITIZER_CSYNC_ADVISOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace copier::sanitizer {
+
+struct TraceEvent {
+  enum class Kind {
+    kAmemcpy,  // dst, src, length
+    kCsync,    // addr, length
+    kRead,     // addr, length (direct data read)
+    kWrite,    // addr, length (direct data write)
+    kFree,     // addr, length (buffer free)
+  };
+  Kind kind;
+  uint64_t addr = 0;   // dst for kAmemcpy
+  uint64_t addr2 = 0;  // src for kAmemcpy
+  size_t length = 0;
+  // Source location / label supplied by the tracer ("kv.cc:112").
+  std::string site;
+};
+
+struct Advice {
+  enum class Kind {
+    kInsertCsync,     // a read/write/free needs csync(addr, length) before it
+    kRedundantCsync,  // this csync covers no pending copy
+  };
+  Kind kind;
+  size_t event_index = 0;  // index into the trace
+  uint64_t addr = 0;
+  size_t length = 0;
+  std::string site;
+  std::string reason;
+};
+
+class CsyncAdvisor {
+ public:
+  // Analyzes the trace and returns the advice list (stable order).
+  std::vector<Advice> Analyze(const std::vector<TraceEvent>& trace);
+
+  // Renders the advice like a compiler diagnostic listing.
+  static std::string Render(const std::vector<Advice>& advice);
+};
+
+}  // namespace copier::sanitizer
+
+#endif  // COPIER_SRC_SANITIZER_CSYNC_ADVISOR_H_

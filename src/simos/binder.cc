@@ -1,0 +1,84 @@
+#include "src/simos/binder.h"
+
+namespace copier::simos {
+
+BinderDriver::BinderDriver(SimKernel* kernel, size_t buffer_count) : kernel_(kernel) {
+  buffers_.resize(buffer_count);
+  for (Buffer& buf : buffers_) {
+    buf.data = std::make_unique<uint8_t[]>(kTxnBufferBytes);
+  }
+}
+
+StatusOr<BinderDriver::Transaction> BinderDriver::Transact(Process& client, uint64_t client_va,
+                                                           size_t length, ExecContext* ctx,
+                                                           void* descriptor) {
+  if (length > kTxnBufferBytes) {
+    return InvalidArgument("binder transaction exceeds buffer size");
+  }
+  kernel_->TrapEnter(client, ctx);
+
+  Buffer* buffer = nullptr;
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Buffer& buf : buffers_) {
+      if (!buf.in_use) {
+        buf.in_use = true;
+        id = buf.transaction_id = next_id_++;
+        buffer = &buf;
+        break;
+      }
+    }
+  }
+  if (buffer == nullptr) {
+    kernel_->TrapExit(client, ctx);
+    return ResourceExhausted("no free binder transaction buffer");
+  }
+
+  // Step 1: driver copies client data into the kernel transaction buffer.
+  UserCopyOp op;
+  op.proc = &client;
+  op.user_va = client_va;
+  op.kernel_buf = buffer->data.get();
+  op.length = length;
+  op.to_user = false;
+  op.descriptor = descriptor;
+  op.ctx = ctx;
+  const Status status = kernel_->copy_backend()->Copy(op);
+  if (!status.ok()) {
+    Release(id);
+    kernel_->TrapExit(client, ctx);
+    return status;
+  }
+
+  // Step 2: driver bookkeeping + scheduling the server thread — this is the
+  // Copy-Use window that hides the copy (§5.2). The buffer is mapped, not
+  // copied, into the server.
+  ChargeCtx(ctx, kernel_->timing().binder_transaction_cycles);
+
+  kernel_->TrapExit(client, ctx);
+  Transaction txn;
+  txn.data = buffer->data.get();
+  txn.length = length;
+  txn.id = id;
+  return txn;
+}
+
+Status BinderDriver::Reply(Process& server, ExecContext* ctx) {
+  kernel_->TrapEnter(server, ctx);
+  ChargeCtx(ctx, kernel_->timing().binder_transaction_cycles / 4);  // small control reply
+  kernel_->TrapExit(server, ctx);
+  return OkStatus();
+}
+
+void BinderDriver::Release(uint64_t transaction_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Buffer& buf : buffers_) {
+    if (buf.in_use && buf.transaction_id == transaction_id) {
+      buf.in_use = false;
+      return;
+    }
+  }
+}
+
+}  // namespace copier::simos

@@ -1,0 +1,66 @@
+// Binder-like IPC driver (§5.2, §6.1.2).
+//
+// Android Binder's two-step transfer, reproduced: the client's message is
+// copied into a kernel transaction buffer by the driver (the copy Copier
+// optimizes), and that kernel buffer is then *mapped* — not copied — into the
+// server's address space. The server parses it through the Parcel API
+// (src/apps/parcel.h), reading typed items one by one; with Copier, the
+// Parcel _csync()s against a descriptor placed at the front of the message
+// (shared memory) before each read, so the driver-side copy overlaps with
+// transaction bookkeeping and server wakeup.
+#ifndef COPIER_SRC_SIMOS_BINDER_H_
+#define COPIER_SRC_SIMOS_BINDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/exec_context.h"
+#include "src/common/status.h"
+#include "src/simos/kernel.h"
+
+namespace copier::simos {
+
+class BinderDriver {
+ public:
+  // Transaction buffers are physically contiguous kernel allocations.
+  static constexpr size_t kTxnBufferBytes = 1 * kMiB;
+
+  explicit BinderDriver(SimKernel* kernel, size_t buffer_count = 16);
+
+  struct Transaction {
+    // Kernel transaction buffer mapped (read-only) into the server; the
+    // server accesses it through this host pointer.
+    const uint8_t* data = nullptr;
+    size_t length = 0;
+    uint64_t id = 0;
+  };
+
+  // Client sends [client_va, client_va+length) to the server. `descriptor`
+  // is the libCopier descriptor for the driver-side copy (null = synchronous
+  // baseline). The returned transaction stays valid until Release(id).
+  StatusOr<Transaction> Transact(Process& client, uint64_t client_va, size_t length,
+                                 ExecContext* ctx, void* descriptor = nullptr);
+
+  // Server replies (small control message; modeled cost only).
+  Status Reply(Process& server, ExecContext* ctx);
+
+  void Release(uint64_t transaction_id);
+
+ private:
+  struct Buffer {
+    std::unique_ptr<uint8_t[]> data;
+    bool in_use = false;
+    uint64_t transaction_id = 0;
+  };
+
+  SimKernel* kernel_;
+  std::mutex mu_;
+  std::vector<Buffer> buffers_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace copier::simos
+
+#endif  // COPIER_SRC_SIMOS_BINDER_H_

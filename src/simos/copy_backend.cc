@@ -1,0 +1,36 @@
+#include "src/simos/copy_backend.h"
+
+#include "src/hw/copy_unit.h"
+
+namespace copier::simos {
+
+Status SyncErmsBackend::Copy(const UserCopyOp& op) {
+  // The blocking kernel copy: walk the user range page by page (faulting on
+  // demand, exactly like copy_{to,from}_user) and move bytes with ERMS.
+  Status status;
+  if (op.to_user) {
+    const uint8_t* src = op.kernel_buf;
+    status = op.proc->mem().ForEachChunk(op.user_va, op.length, /*for_write=*/true, op.ctx,
+                                         [&](uint8_t* host, size_t n) {
+                                           hw::ErmsCopy(host, src, n);
+                                           src += n;
+                                         });
+  } else {
+    uint8_t* dst = op.kernel_buf;
+    status = op.proc->mem().ForEachChunk(op.user_va, op.length, /*for_write=*/false, op.ctx,
+                                         [&](uint8_t* host, size_t n) {
+                                           hw::ErmsCopy(dst, host, n);
+                                           dst += n;
+                                         });
+  }
+  if (!status.ok()) {
+    return status;
+  }
+  ChargeCtx(op.ctx, timing_->CpuCopyCycles(hw::CopyUnitKind::kErms, op.length));
+  if (op.on_complete) {
+    op.on_complete(CtxNow(op.ctx));  // synchronous backend: completion is immediate
+  }
+  return OkStatus();
+}
+
+}  // namespace copier::simos

@@ -1,0 +1,68 @@
+// KernelCopyBackend — the pluggable user↔kernel copy mechanism.
+//
+// Every simulated syscall that moves data across the privilege boundary
+// (send/recv, Binder, CoW) funnels through this interface. Implementations:
+//   * SyncErmsBackend (here)     — stock-Linux behaviour: blocking `rep movsb`
+//     with modeled cost; this is the paper's baseline.
+//   * CopierKernelBackend (src/core/linux_glue.h) — submits asynchronous Copy
+//     Tasks to the process's k-mode queue with the app-provided descriptor
+//     and a KFUNC completion handler (§5.2).
+#ifndef COPIER_SRC_SIMOS_COPY_BACKEND_H_
+#define COPIER_SRC_SIMOS_COPY_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/exec_context.h"
+#include "src/common/status.h"
+#include "src/simos/process.h"
+
+namespace copier::simos {
+
+struct UserCopyOp {
+  Process* proc = nullptr;
+  uint64_t user_va = 0;       // user-side address
+  uint8_t* kernel_buf = nullptr;  // kernel-side host buffer (physically contiguous)
+  size_t length = 0;
+  bool to_user = false;  // true: kernel_buf -> user_va (recv); false: user -> kernel (send)
+
+  // Asynchronous-copy extras (ignored by synchronous backends):
+  void* descriptor = nullptr;      // app-provided descriptor (core::Descriptor*)
+  size_t descriptor_offset = 0;    // byte offset of this op within the descriptor
+  // KFUNC invoked when the copy completes (e.g. reclaim the skb, §4.1); the
+  // argument is the completion time on the executing context's clock.
+  std::function<void(Cycles)> on_complete;
+  bool lazy = false;  // Lazy Copy Task (§4.4): mediator for absorption
+
+  ExecContext* ctx = nullptr;  // the syscall's execution context (time charging)
+};
+
+class KernelCopyBackend {
+ public:
+  virtual ~KernelCopyBackend() = default;
+
+  virtual Status Copy(const UserCopyOp& op) = 0;
+
+  // Ensures all pending kernel-side copies for `proc` whose destination the
+  // kernel itself is about to consume are done (e.g. send: driver syncs
+  // before enqueueing packets into NIC TX queues, §5.2).
+  virtual Status SyncKernel(Process* proc, ExecContext* ctx) { return OkStatus(); }
+
+  virtual const char* name() const = 0;
+};
+
+// Baseline: synchronous ERMS copy_to_user/copy_from_user with modeled cost.
+class SyncErmsBackend : public KernelCopyBackend {
+ public:
+  explicit SyncErmsBackend(const hw::TimingModel* timing) : timing_(timing) {}
+
+  Status Copy(const UserCopyOp& op) override;
+  const char* name() const override { return "sync-erms"; }
+
+ private:
+  const hw::TimingModel* timing_;
+};
+
+}  // namespace copier::simos
+
+#endif  // COPIER_SRC_SIMOS_COPY_BACKEND_H_

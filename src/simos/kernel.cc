@@ -1,0 +1,164 @@
+#include "src/simos/kernel.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace copier::simos {
+
+SimKernel::SimKernel(Config config)
+    : timing_(config.timing != nullptr ? config.timing : &hw::TimingModel::Default()) {
+  phys_ = std::make_unique<PhysicalMemory>(config.phys_bytes, config.alloc_policy);
+  skb_pool_ = std::make_unique<SkbPool>(config.skb_pool_size, timing_);
+  default_backend_ = std::make_unique<SyncErmsBackend>(timing_);
+  backend_ = default_backend_.get();
+}
+
+Process* SimKernel::CreateProcess(std::string name) {
+  const uint32_t pid = next_pid_++;
+  auto space = std::make_unique<AddressSpace>(phys_.get(), pid, timing_);
+  processes_.push_back(std::make_unique<Process>(pid, std::move(space), std::move(name)));
+  return processes_.back().get();
+}
+
+StatusOr<Process*> SimKernel::Fork(Process& parent, ExecContext* ctx) {
+  TrapEnter(parent, ctx);
+  const uint32_t pid = next_pid_++;
+  auto child_space_or = parent.mem().ForkCow(pid);
+  if (!child_space_or.ok()) {
+    TrapExit(parent, ctx);
+    return child_space_or.status();
+  }
+  ChargeCtx(ctx, timing_->fork_base_cycles +
+                     timing_->fork_per_page_cycles * parent.mem().resident_pages());
+  processes_.push_back(std::make_unique<Process>(pid, std::move(*child_space_or),
+                                                 parent.name() + "-child"));
+  Process* child = processes_.back().get();
+  TrapExit(parent, ctx);
+  return child;
+}
+
+std::pair<SimSocket*, SimSocket*> SimKernel::CreateSocketPair() {
+  sockets_.push_back(std::make_unique<SimSocket>(skb_pool_.get()));
+  SimSocket* a = sockets_.back().get();
+  sockets_.push_back(std::make_unique<SimSocket>(skb_pool_.get()));
+  SimSocket* b = sockets_.back().get();
+  a->set_peer(b);
+  b->set_peer(a);
+  return {a, b};
+}
+
+void SimKernel::TrapEnter(Process& proc, ExecContext* ctx) {
+  ChargeCtx(ctx, timing_->syscall_entry_cycles);
+  if (trap_hooks_ != nullptr) {
+    trap_hooks_->OnTrapEnter(proc, ctx);
+  }
+}
+
+void SimKernel::TrapExit(Process& proc, ExecContext* ctx) {
+  if (trap_hooks_ != nullptr) {
+    trap_hooks_->OnTrapExit(proc, ctx);
+  }
+  ChargeCtx(ctx, timing_->syscall_exit_cycles);
+}
+
+StatusOr<size_t> SimKernel::Send(Process& proc, SimSocket* sock, uint64_t va, size_t length,
+                                 ExecContext* ctx, const SendOptions& opts) {
+  if (length == 0) {
+    return InvalidArgument("zero-length send");
+  }
+  TrapEnter(proc, ctx);
+  SimSocket* peer = sock->peer();
+  SkbPool* pool = sock->pool();
+  size_t sent = 0;
+  while (sent < length) {
+    auto skb_or = pool->Acquire(ctx);
+    if (!skb_or.ok()) {
+      break;  // Short send: pool exhausted (receiver must drain).
+    }
+    Skb* skb = *skb_or;
+    const size_t take = std::min(kMtu, length - sent);
+    skb->length = take;
+    // TCP/IP header processing (checksum offloaded: payload untouched, §5.2).
+    ChargeCtx(ctx, timing_->tcp_tx_per_packet_cycles);
+
+    UserCopyOp op;
+    op.proc = &proc;
+    op.user_va = va + sent;
+    op.kernel_buf = skb->data;
+    op.length = take;
+    op.to_user = false;
+    op.lazy = opts.lazy;
+    op.ctx = ctx;
+    // The driver syncs the data right before the NIC TX enqueue — i.e. at
+    // copy completion, which delivers the packet (this is the send-side
+    // Copy-Use window: socket-layer submit → driver enqueue).
+    const Cycles nic_tx = timing_->nic_tx_enqueue_cycles;
+    op.on_complete = [peer, skb, nic_tx](Cycles completion_time) {
+      skb->delivered_at = completion_time + nic_tx;
+      peer->EnqueueRx(skb);
+    };
+    const Status status = backend_->Copy(op);
+    if (!status.ok()) {
+      pool->Release(skb);
+      TrapExit(proc, ctx);
+      return status;
+    }
+    sent += take;
+  }
+  TrapExit(proc, ctx);
+  if (sent == 0) {
+    return ResourceExhausted("skb pool exhausted");
+  }
+  return sent;
+}
+
+StatusOr<size_t> SimKernel::Recv(Process& proc, SimSocket* sock, uint64_t va, size_t length,
+                                 ExecContext* ctx, const RecvOptions& opts) {
+  if (length == 0) {
+    return InvalidArgument("zero-length recv");
+  }
+  TrapEnter(proc, ctx);
+  SkbPool* pool = sock->pool();
+  size_t progress = 0;
+  size_t packets = 0;
+  Status copy_status;
+  Cycles latest_delivery = 0;
+  const size_t consumed =
+      sock->ConsumeRx(length, &latest_delivery, [&](Skb* skb, size_t offset, size_t take) {
+        ++packets;
+        skb->pending_copies.fetch_add(1, std::memory_order_acq_rel);
+        UserCopyOp op;
+        op.proc = &proc;
+        op.user_va = va + progress;
+        op.kernel_buf = skb->data + offset;
+        op.length = take;
+        op.to_user = true;
+        op.descriptor = opts.descriptor;
+        op.descriptor_offset = progress;
+        op.lazy = opts.lazy;
+        op.ctx = ctx;
+        op.on_complete = [pool, skb](Cycles) { SimSocket::CompleteCopy(pool, skb); };
+        const Status status = backend_->Copy(op);
+        if (!status.ok() && copy_status.ok()) {
+          copy_status = status;
+        }
+        progress += take;
+      });
+  if (consumed > 0 && ctx != nullptr) {
+    // Blocking semantics in virtual time: the receiver cannot observe a
+    // packet before the sender's NIC delivered it.
+    ctx->WaitUntil(latest_delivery);
+  }
+  ChargeCtx(ctx, timing_->tcp_rx_per_packet_cycles * packets + timing_->socket_status_cycles);
+  TrapExit(proc, ctx);
+  if (!copy_status.ok()) {
+    return copy_status;
+  }
+  if (consumed == 0) {
+    return Unavailable("no data (EAGAIN)");
+  }
+  return consumed;
+}
+
+}  // namespace copier::simos

@@ -1,0 +1,105 @@
+// SimKernel — the simulated OS: processes, fork/CoW, the socket stack, and
+// the Binder driver, with explicit trap-enter/trap-exit events.
+//
+// The trap events are load-bearing: Copier's order-dependency tracking
+// (§4.2.1) uses syscall trap and return as the indicators that delimit
+// k-mode task batches against the u-mode queue. The Copier-Linux glue
+// (src/core/linux_glue.h) registers a TrapHooks implementation that submits
+// Barrier Tasks on these events.
+#ifndef COPIER_SRC_SIMOS_KERNEL_H_
+#define COPIER_SRC_SIMOS_KERNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/exec_context.h"
+#include "src/common/status.h"
+#include "src/hw/timing_model.h"
+#include "src/simos/copy_backend.h"
+#include "src/simos/phys_memory.h"
+#include "src/simos/process.h"
+#include "src/simos/socket.h"
+
+namespace copier::simos {
+
+class SimKernel {
+ public:
+  struct Config {
+    size_t phys_bytes = 512 * kMiB;
+    PhysicalMemory::AllocPolicy alloc_policy = PhysicalMemory::AllocPolicy::kSequential;
+    const hw::TimingModel* timing = nullptr;  // defaults to TimingModel::Default()
+    size_t skb_pool_size = 4096;
+  };
+
+  // Observes privilege-boundary crossings (used for cross-queue barriers).
+  class TrapHooks {
+   public:
+    virtual ~TrapHooks() = default;
+    virtual void OnTrapEnter(Process& proc, ExecContext* ctx) {}
+    virtual void OnTrapExit(Process& proc, ExecContext* ctx) {}
+  };
+
+  SimKernel() : SimKernel(Config{}) {}
+  explicit SimKernel(Config config);
+
+  SimKernel(const SimKernel&) = delete;
+  SimKernel& operator=(const SimKernel&) = delete;
+
+  // --- Processes -------------------------------------------------------------
+
+  Process* CreateProcess(std::string name);
+  StatusOr<Process*> Fork(Process& parent, ExecContext* ctx);
+
+  // --- Sockets ---------------------------------------------------------------
+
+  // Creates a connected stream-socket pair; both endpoints stay owned by the
+  // kernel and valid for its lifetime.
+  std::pair<SimSocket*, SimSocket*> CreateSocketPair();
+
+  // send(2): copies user data into skbs via the copy backend; the driver
+  // delivers each skb to the peer when its copy completes (KFUNC). Returns
+  // bytes sent.
+  StatusOr<size_t> Send(Process& proc, SimSocket* sock, uint64_t va, size_t length,
+                        ExecContext* ctx, const SendOptions& opts = {});
+
+  // recv(2): copies pending skb payload into the user buffer via the backend.
+  // Returns bytes received; kUnavailable when no data is queued (EAGAIN).
+  StatusOr<size_t> Recv(Process& proc, SimSocket* sock, uint64_t va, size_t length,
+                        ExecContext* ctx, const RecvOptions& opts = {});
+
+  // --- Traps -------------------------------------------------------------------
+
+  // Explicit bracketing for syscalls implemented outside SimKernel (Binder,
+  // custom app syscalls). Charges entry/exit cost and fires hooks.
+  void TrapEnter(Process& proc, ExecContext* ctx);
+  void TrapExit(Process& proc, ExecContext* ctx);
+
+  // --- Wiring ------------------------------------------------------------------
+
+  void SetCopyBackend(KernelCopyBackend* backend) { backend_ = backend; }
+  KernelCopyBackend* copy_backend() { return backend_; }
+
+  void SetTrapHooks(TrapHooks* hooks) { trap_hooks_ = hooks; }
+
+  PhysicalMemory& phys() { return *phys_; }
+  SkbPool& skb_pool() { return *skb_pool_; }
+  const hw::TimingModel& timing() const { return *timing_; }
+
+ private:
+  const hw::TimingModel* timing_;
+  std::unique_ptr<PhysicalMemory> phys_;
+  std::unique_ptr<SkbPool> skb_pool_;
+  std::unique_ptr<SyncErmsBackend> default_backend_;
+  KernelCopyBackend* backend_ = nullptr;
+  TrapHooks* trap_hooks_ = nullptr;
+
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<std::unique_ptr<SimSocket>> sockets_;
+  uint32_t next_pid_ = 1;
+};
+
+}  // namespace copier::simos
+
+#endif  // COPIER_SRC_SIMOS_KERNEL_H_

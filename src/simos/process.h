@@ -1,0 +1,53 @@
+// Process — a simulated OS process: an address space, signal state, and the
+// per-process Copier attachment point.
+#ifndef COPIER_SRC_SIMOS_PROCESS_H_
+#define COPIER_SRC_SIMOS_PROCESS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/simos/address_space.h"
+
+namespace copier::simos {
+
+enum class Signal : int {
+  kNone = 0,
+  kSegv = 11,
+};
+
+class Process {
+ public:
+  Process(uint32_t pid, std::unique_ptr<AddressSpace> address_space, std::string name)
+      : pid_(pid), name_(std::move(name)), address_space_(std::move(address_space)) {}
+
+  uint32_t pid() const { return pid_; }
+  const std::string& name() const { return name_; }
+  AddressSpace& mem() { return *address_space_; }
+
+  // Signal delivery (Copier signals SIGSEGV for unresolvable copy faults,
+  // §4.5.4, exactly as a synchronous bad copy would have).
+  void Deliver(Signal sig) {
+    if (sig == Signal::kSegv) {
+      segv_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  uint64_t segv_count() const { return segv_count_.load(std::memory_order_relaxed); }
+
+  // Opaque Copier client id, assigned by CopierService::AttachProcess. Zero
+  // means not attached (pure-baseline process).
+  uint64_t copier_client_id() const { return copier_client_id_; }
+  void set_copier_client_id(uint64_t id) { copier_client_id_ = id; }
+
+ private:
+  uint32_t pid_;
+  std::string name_;
+  std::unique_ptr<AddressSpace> address_space_;
+  std::atomic<uint64_t> segv_count_{0};
+  uint64_t copier_client_id_ = 0;
+};
+
+}  // namespace copier::simos
+
+#endif  // COPIER_SRC_SIMOS_PROCESS_H_

@@ -1,0 +1,70 @@
+#include "src/simos/simfs.h"
+
+#include <cstring>
+
+namespace copier::simos {
+
+void SimFs::CreateFile(const std::string& name, const std::vector<uint8_t>& bytes) {
+  File file;
+  file.size = bytes.size();
+  file.cache = std::make_unique<uint8_t[]>(AlignUp(bytes.size(), kPageSize));
+  std::memcpy(file.cache.get(), bytes.data(), bytes.size());
+  files_[name] = std::move(file);
+}
+
+StatusOr<int> SimFs::Open(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return NotFound("no such file: " + name);
+  }
+  open_files_.push_back(OpenFile{&it->second, 0});
+  return static_cast<int>(open_files_.size() - 1);
+}
+
+Status SimFs::Seek(int fd, size_t offset) {
+  if (fd < 0 || static_cast<size_t>(fd) >= open_files_.size()) {
+    return InvalidArgument("bad fd");
+  }
+  open_files_[static_cast<size_t>(fd)].offset = offset;
+  return OkStatus();
+}
+
+StatusOr<size_t> SimFs::Read(Process& proc, int fd, uint64_t va, size_t length,
+                             ExecContext* ctx, void* descriptor) {
+  if (fd < 0 || static_cast<size_t>(fd) >= open_files_.size()) {
+    return InvalidArgument("bad fd");
+  }
+  OpenFile& of = open_files_[static_cast<size_t>(fd)];
+  if (of.offset >= of.file->size) {
+    return size_t{0};  // EOF
+  }
+  const size_t take = std::min(length, of.file->size - of.offset);
+
+  kernel_->TrapEnter(proc, ctx);
+  // VFS + page-cache lookup costs, then the kernel->user copy through the
+  // backend (asynchronous k-mode task under Copier-Linux, §5.2/§7).
+  ChargeCtx(ctx, 400 + 30 * static_cast<Cycles>(PagesSpanned(of.offset, take)));
+  UserCopyOp op;
+  op.proc = &proc;
+  op.user_va = va;
+  op.kernel_buf = of.file->cache.get() + of.offset;
+  op.length = take;
+  op.to_user = true;
+  op.descriptor = descriptor;
+  op.descriptor_offset = 0;
+  op.ctx = ctx;
+  const Status status = kernel_->copy_backend()->Copy(op);
+  kernel_->TrapExit(proc, ctx);
+  if (!status.ok()) {
+    return status;
+  }
+  of.offset += take;
+  return take;
+}
+
+size_t SimFs::FileSize(const std::string& name) const {
+  auto it = files_.find(name);
+  return it == files_.end() ? 0 : it->second.size;
+}
+
+}  // namespace copier::simos

@@ -1,0 +1,57 @@
+// SimFs — a minimal in-memory filesystem with a page cache, providing the
+// read(2) path the paper's libpng workload exercises (Fig. 2/3, §7 "file
+// I/O" applicability): file reads copy from kernel page-cache blocks into
+// the user buffer through the pluggable copy backend, so Copier-Linux turns
+// them into asynchronous k-mode tasks exactly like recv().
+#ifndef COPIER_SRC_SIMOS_SIMFS_H_
+#define COPIER_SRC_SIMOS_SIMFS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/simos/kernel.h"
+
+namespace copier::simos {
+
+class SimFs {
+ public:
+  explicit SimFs(SimKernel* kernel) : kernel_(kernel) {}
+
+  // Creates (or replaces) a file with the given contents.
+  void CreateFile(const std::string& name, const std::vector<uint8_t>& bytes);
+
+  StatusOr<int> Open(const std::string& name);
+
+  // read(2): copies up to `length` bytes from the file's page cache at the
+  // fd's offset into [va, va+length). `descriptor` (nullable) is the
+  // libCopier descriptor async reads report into.
+  StatusOr<size_t> Read(Process& proc, int fd, uint64_t va, size_t length, ExecContext* ctx,
+                        void* descriptor = nullptr);
+
+  // Sets the fd's offset (SEEK_SET).
+  Status Seek(int fd, size_t offset);
+
+  size_t FileSize(const std::string& name) const;
+
+ private:
+  struct File {
+    // Page-cache backing: one contiguous kernel allocation (block-aligned),
+    // physically contiguous by construction like the binder buffers.
+    std::unique_ptr<uint8_t[]> cache;
+    size_t size = 0;
+  };
+  struct OpenFile {
+    File* file = nullptr;
+    size_t offset = 0;
+  };
+
+  SimKernel* kernel_;
+  std::map<std::string, File> files_;
+  std::vector<OpenFile> open_files_;
+};
+
+}  // namespace copier::simos
+
+#endif  // COPIER_SRC_SIMOS_SIMFS_H_

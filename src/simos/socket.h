@@ -1,0 +1,118 @@
+// Simulated loopback socket stack.
+//
+// Reproduces the copy structure of Linux send()/recv() that Copier-Linux
+// optimizes (§5.2):
+//   * send(): user data is copied into kernel socket buffers (skbs); with
+//     checksum offloaded to the NIC the TCP/IP layers never touch the
+//     payload, so the driver only needs the data immediately before the NIC
+//     TX enqueue — that is the send-side Copy-Use window.
+//   * recv(): skb payloads are copied to the user buffer; the app touches the
+//     data only after the syscall returns and it has set up processing —
+//     the recv-side Copy-Use window.
+//
+// Skbs come from a bounded reuse pool (LIFO), reproducing the kernel-buffer
+// address recurrence that makes the ATCache effective (§4.3). Each skb is
+// released back to the pool by the copy's completion handler (KFUNC, §4.1).
+#ifndef COPIER_SRC_SIMOS_SOCKET_H_
+#define COPIER_SRC_SIMOS_SOCKET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/exec_context.h"
+#include "src/common/status.h"
+#include "src/hw/timing_model.h"
+#include "src/simos/copy_backend.h"
+#include "src/simos/process.h"
+
+namespace copier::simos {
+
+inline constexpr size_t kMtu = 4096;  // payload bytes per skb
+
+struct Skb {
+  uint8_t* data = nullptr;  // kMtu bytes, physically contiguous kernel memory
+  size_t length = 0;        // valid payload bytes
+  uint32_t id = 0;
+
+  // Delivery timestamp on the sender's clock; receivers in the virtual-time
+  // engine wait until this time (network propagation is modeled as zero).
+  Cycles delivered_at = 0;
+
+  // Receive-side consumption state: bytes already handed to recv() and copies
+  // still in flight; the skb returns to the pool when fully consumed and all
+  // asynchronous copies out of it have completed.
+  size_t consumed = 0;
+  std::atomic<uint32_t> pending_copies{0};
+  std::atomic<bool> drained{false};
+};
+
+// Bounded LIFO pool of kernel socket buffers.
+class SkbPool {
+ public:
+  SkbPool(size_t count, const hw::TimingModel* timing);
+
+  StatusOr<Skb*> Acquire(ExecContext* ctx);
+  void Release(Skb* skb);
+
+  size_t available() const;
+  uint64_t total_acquires() const { return total_acquires_; }
+
+ private:
+  const hw::TimingModel* timing_;
+  std::unique_ptr<uint8_t[]> slab_;
+  std::vector<std::unique_ptr<Skb>> all_;
+  mutable std::mutex mu_;
+  std::vector<Skb*> free_;
+  uint64_t total_acquires_ = 0;
+};
+
+struct SendOptions {
+  bool zerocopy = false;  // MSG_ZEROCOPY-like baseline (see src/baselines/)
+  bool lazy = false;      // submit the user->kernel copy as a Lazy Task (§4.4)
+};
+
+struct RecvOptions {
+  // libCopier descriptor the kernel-side Copy Tasks report into; the app
+  // csync()s against it. Null for synchronous receives.
+  void* descriptor = nullptr;
+  bool lazy = false;  // mark kernel->user copy lazy (proxy pattern, §4.4)
+};
+
+// One endpoint of a connected in-memory stream socket.
+class SimSocket {
+ public:
+  explicit SimSocket(SkbPool* pool) : pool_(pool) {}
+
+  void set_peer(SimSocket* peer) { peer_ = peer; }
+  SimSocket* peer() { return peer_; }
+  SkbPool* pool() { return pool_; }
+
+  void EnqueueRx(Skb* skb);
+  bool HasData() const;
+  size_t RxBytes() const;
+
+  // Pops payload for recv(): invokes `sink(skb, offset_in_skb, n)` for each
+  // consumed piece, tracking partial consumption, up to `max` bytes. The sink
+  // must bump skb->pending_copies for asynchronous consumption before
+  // returning. Returns bytes consumed (0 when empty).
+  size_t ConsumeRx(size_t max, Cycles* latest_delivery,
+                   const std::function<void(Skb*, size_t, size_t)>& sink);
+
+  // Marks an asynchronous copy out of `skb` complete; releases the skb to the
+  // pool once it is fully drained. Safe from any thread (KFUNC context).
+  static void CompleteCopy(SkbPool* pool, Skb* skb);
+
+ private:
+  SkbPool* pool_;
+  SimSocket* peer_ = nullptr;
+  mutable std::mutex mu_;
+  std::deque<Skb*> rx_;
+};
+
+}  // namespace copier::simos
+
+#endif  // COPIER_SRC_SIMOS_SOCKET_H_

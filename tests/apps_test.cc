@@ -1,0 +1,373 @@
+// Application tests, parameterized over execution mode: sync baseline,
+// Copier-ported, and zIO. Every app must produce byte-identical results in
+// all modes (TEST_P sweeps), since the modes differ only in *when* copies
+// happen, never in what the program observes after syncing.
+#include <gtest/gtest.h>
+
+#include "src/apps/avcodec.h"
+#include "src/apps/cipher.h"
+#include "src/apps/deflate.h"
+#include "src/apps/minikv.h"
+#include "src/apps/miniproxy.h"
+#include "src/apps/parcel.h"
+#include "src/apps/pngish.h"
+#include "src/apps/serde.h"
+#include "tests/test_util.h"
+
+namespace copier::apps {
+namespace {
+
+using copier::test::CopierStack;
+
+std::vector<uint8_t> PatternBytes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> bytes(n);
+  for (auto& b : bytes) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return bytes;
+}
+
+// Fixture owning a kernel + manual Copier service + glue; builds AppProcesses
+// in the parameterized mode.
+class AppModeTest : public ::testing::TestWithParam<Mode> {
+ protected:
+  AppModeTest() {
+    service_ = std::make_unique<core::CopierService>(core::CopierService::Options{});
+    glue_ = std::make_unique<core::CopierLinux>(service_.get(), &kernel_);
+    if (GetParam() == Mode::kCopier) {
+      glue_->Install();
+    }
+  }
+
+  std::unique_ptr<AppProcess> MakeApp(const std::string& name) {
+    return std::make_unique<AppProcess>(&kernel_, service_.get(), GetParam(), name);
+  }
+
+  // Client process that always uses the plain sync path (request generators).
+  std::unique_ptr<AppProcess> MakeSyncClient(const std::string& name) {
+    return std::make_unique<AppProcess>(&kernel_, service_.get(), Mode::kSync, name);
+  }
+
+  // In manual mode the Copier thread runs only when pumped: settle all async
+  // work (as the concurrently-polling service thread would have).
+  void Settle() {
+    if (GetParam() == Mode::kCopier) {
+      service_->DrainAll();
+    }
+  }
+
+  simos::SimKernel kernel_;
+  std::unique_ptr<core::CopierService> service_;
+  std::unique_ptr<core::CopierLinux> glue_;
+};
+
+TEST_P(AppModeTest, MiniKvSetGetRoundTrip) {
+  auto server = MakeApp("kv-server");
+  auto client = MakeSyncClient("kv-client");
+  MiniKv kv(server.get());
+  auto [client_sock, server_sock] = kernel_.CreateSocketPair();
+
+  const uint64_t client_buf = client->Map(1 * kMiB, "cbuf");
+  for (size_t vlen : {size_t{100}, size_t{4 * kKiB}, size_t{64 * kKiB}}) {
+    const auto value = PatternBytes(vlen, vlen);
+    const auto set_req = MiniKv::BuildSet("key" + std::to_string(vlen), value);
+    client->io().Write(client_buf, set_req.data(), set_req.size(), nullptr);
+    ASSERT_TRUE(kernel_.Send(*client->proc(), client_sock, client_buf, set_req.size(),
+                             nullptr).ok());
+    auto processed = kv.ProcessOne(server_sock, &server->ctx());
+    ASSERT_TRUE(processed.ok()) << processed.status().ToString();
+    Settle();
+    // +OK reply arrives.
+    auto reply = kernel_.Recv(*client->proc(), client_sock, client_buf, 16, nullptr);
+    ASSERT_TRUE(reply.ok());
+
+    // Stored value must equal what the client sent (after settling).
+    auto stored = kv.Lookup("key" + std::to_string(vlen));
+    ASSERT_TRUE(stored.ok());
+    EXPECT_EQ(*stored, value) << "vlen=" << vlen;
+
+    // GET round trip.
+    const auto get_req = MiniKv::BuildGet("key" + std::to_string(vlen));
+    client->io().Write(client_buf, get_req.data(), get_req.size(), nullptr);
+    ASSERT_TRUE(kernel_.Send(*client->proc(), client_sock, client_buf, get_req.size(),
+                             nullptr).ok());
+    processed = kv.ProcessOne(server_sock, &server->ctx());
+    ASSERT_TRUE(processed.ok()) << processed.status().ToString();
+    Settle();
+    const size_t reply_size = MiniKv::GetReplySize(vlen);
+    auto got = kernel_.Recv(*client->proc(), client_sock, client_buf, reply_size, nullptr);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(*got, reply_size);
+    std::vector<uint8_t> reply_bytes(reply_size);
+    ASSERT_TRUE(
+        client->proc()->mem().ReadBytes(client_buf, reply_bytes.data(), reply_size).ok());
+    const std::string header = "$" + std::to_string(vlen) + "\r\n";
+    std::vector<uint8_t> got_value(reply_bytes.begin() + header.size(),
+                                   reply_bytes.end() - 2);
+    EXPECT_EQ(got_value, value);
+  }
+}
+
+TEST_P(AppModeTest, MiniKvOverwriteKeepsLatest) {
+  auto server = MakeApp("kv-server");
+  auto client = MakeSyncClient("kv-client");
+  MiniKv kv(server.get());
+  auto [client_sock, server_sock] = kernel_.CreateSocketPair();
+  const uint64_t client_buf = client->Map(256 * kKiB, "cbuf");
+
+  std::vector<uint8_t> final_value;
+  for (int round = 0; round < 4; ++round) {
+    const auto value = PatternBytes(8 * kKiB, 1000 + round);
+    final_value = value;
+    const auto req = MiniKv::BuildSet("k", value);
+    client->io().Write(client_buf, req.data(), req.size(), nullptr);
+    ASSERT_TRUE(kernel_.Send(*client->proc(), client_sock, client_buf, req.size(),
+                             nullptr).ok());
+    ASSERT_TRUE(kv.ProcessOne(server_sock, &server->ctx()).ok());
+    Settle();
+    ASSERT_TRUE(kernel_.Recv(*client->proc(), client_sock, client_buf, 16, nullptr).ok());
+  }
+  auto stored = kv.Lookup("k");
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(*stored, final_value);
+}
+
+TEST_P(AppModeTest, ProxyForwardsBodyUntouched) {
+  auto proxy = MakeApp("proxy");
+  auto client = MakeSyncClient("downstream");
+  auto upstream = MakeSyncClient("upstream");
+  MiniProxy mp(proxy.get());
+  auto [client_sock, proxy_in] = kernel_.CreateSocketPair();
+  auto [proxy_out, upstream_sock] = kernel_.CreateSocketPair();
+
+  const uint64_t client_buf = client->Map(512 * kKiB, "cbuf");
+  const uint64_t upstream_buf = upstream->Map(512 * kKiB, "ubuf");
+  for (size_t body_len : {size_t{512}, size_t{16 * kKiB}, size_t{128 * kKiB}}) {
+    const auto body = PatternBytes(body_len, body_len * 3);
+    const auto msg = MiniProxy::BuildMessage(7, body);
+    client->io().Write(client_buf, msg.data(), msg.size(), nullptr);
+    ASSERT_TRUE(
+        kernel_.Send(*client->proc(), client_sock, client_buf, msg.size(), nullptr).ok());
+
+    auto forwarded = mp.ForwardOne(proxy_in, proxy_out, &proxy->ctx());
+    ASSERT_TRUE(forwarded.ok()) << forwarded.status().ToString();
+    ASSERT_TRUE(*forwarded);
+    Settle();
+
+    char expect_header[64];
+    const int hdr = snprintf(expect_header, sizeof(expect_header), "VIA 7 %zu\r\n", body_len);
+    const size_t expect_len = hdr + body_len;
+    auto got = kernel_.Recv(*upstream->proc(), upstream_sock, upstream_buf, expect_len,
+                            nullptr);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(*got, expect_len);
+    std::vector<uint8_t> wire(expect_len);
+    ASSERT_TRUE(
+        upstream->proc()->mem().ReadBytes(upstream_buf, wire.data(), expect_len).ok());
+    EXPECT_EQ(std::string(wire.begin(), wire.begin() + hdr), expect_header);
+    EXPECT_TRUE(std::equal(body.begin(), body.end(), wire.begin() + hdr));
+  }
+}
+
+TEST_P(AppModeTest, SerdeRoundTrip) {
+  auto app = MakeApp("serde");
+  auto sender = MakeSyncClient("sender");
+  Serde serde(app.get());
+  auto [tx, rx] = kernel_.CreateSocketPair();
+
+  std::vector<Serde::FieldSpec> fields;
+  for (uint32_t tag = 1; tag <= 5; ++tag) {
+    fields.push_back({tag, PatternBytes(tag * 3000, tag)});
+  }
+  const auto wire = Serde::Serialize(fields);
+  const uint64_t send_buf = sender->Map(AlignUp(wire.size(), kPageSize), "sbuf");
+  sender->io().Write(send_buf, wire.data(), wire.size(), nullptr);
+  ASSERT_TRUE(kernel_.Send(*sender->proc(), tx, send_buf, wire.size(), nullptr).ok());
+
+  auto parsed = serde.RecvAndParse(rx, &app->ctx());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].tag, fields[i].tag);
+    auto bytes = serde.FieldBytes((*parsed)[i]);
+    ASSERT_TRUE(bytes.ok());
+    EXPECT_EQ(*bytes, fields[i].payload) << "field " << i;
+  }
+}
+
+TEST_P(AppModeTest, CipherDecryptsCorrectly) {
+  auto receiver = MakeApp("tls-rx");
+  auto sender = MakeSyncClient("tls-tx");
+  std::array<uint8_t, 32> key;
+  for (size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<uint8_t>(i * 7 + 1);
+  }
+  SecureChannel rx_chan(receiver.get(), key);
+  SecureChannel tx_chan(sender.get(), key);
+  auto [tx, rx] = kernel_.CreateSocketPair();
+
+  for (size_t n : {size_t{900}, size_t{8 * kKiB}, size_t{16 * kKiB}}) {
+    const auto plaintext = PatternBytes(n, n + 1);
+    ASSERT_TRUE(tx_chan.SendEncrypted(tx, plaintext, &sender->ctx()).ok());
+    auto result = rx_chan.ReadDecrypted(rx, &receiver->ctx());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    auto decrypted = rx_chan.PlaintextBytes(*result);
+    ASSERT_TRUE(decrypted.ok());
+    EXPECT_EQ(*decrypted, plaintext) << "record " << n;
+  }
+}
+
+TEST_P(AppModeTest, DeflateRoundTripWithSlides) {
+  auto app = MakeApp("deflate");
+  Deflate deflate(app.get());
+  // Compressible input longer than the window so slides happen.
+  std::vector<uint8_t> input;
+  Rng rng(5);
+  while (input.size() < 100 * kKiB) {
+    const char* words[] = {"copier", "async", "memcpy", "window", "kernel", "absorb"};
+    const std::string word = words[rng.Below(6)];
+    input.insert(input.end(), word.begin(), word.end());
+    if (rng.OneIn(4)) {
+      input.push_back(static_cast<uint8_t>(rng.Next()));
+    }
+  }
+  const auto compressed = deflate.Compress(input, &app->ctx());
+  EXPECT_LT(compressed.size(), input.size());  // actually compresses
+  EXPECT_GE(deflate.window_slides(), 1u);
+  EXPECT_EQ(Deflate::Decompress(compressed), input);
+}
+
+TEST_P(AppModeTest, AvcodecChecksumStableAcrossModes) {
+  auto app = MakeApp("avc");
+  Avcodec codec(app.get(), 256 * kKiB);
+  const auto bitstream = PatternBytes(32 * kKiB, 9);
+  const auto stats = codec.DecodeFrame(bitstream, &app->ctx());
+  EXPECT_GT(stats.total_cycles, stats.decode_cycles);
+  // The checksum must match the sync-mode reference value (same pixels).
+  static uint64_t reference = 0;
+  if (GetParam() == Mode::kSync) {
+    reference = codec.last_render_checksum();
+  } else if (reference != 0) {
+    EXPECT_EQ(codec.last_render_checksum(), reference);
+  }
+  EXPECT_NE(codec.last_render_checksum(), 0u);
+}
+
+TEST_P(AppModeTest, BinderParcelDeliversStrings) {
+  if (GetParam() == Mode::kZio) {
+    GTEST_SKIP() << "zIO is user-mode only; no Binder integration";
+  }
+  auto client = MakeApp("binder-client");
+  auto server = MakeApp("binder-server");
+  simos::BinderDriver binder(&kernel_);
+  BinderParcelChannel channel(&binder, client.get(), server.get());
+
+  std::vector<std::string> strings;
+  for (int i = 0; i < 20; ++i) {
+    strings.push_back(std::string(1024, static_cast<char>('a' + i % 26)));
+  }
+  auto result = channel.Call(strings, &client->ctx(), &server->ctx());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, strings);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, AppModeTest,
+                         ::testing::Values(Mode::kSync, Mode::kCopier, Mode::kZio),
+                         [](const ::testing::TestParamInfo<Mode>& info) {
+                           return ModeName(info.param);
+                         });
+
+TEST_P(AppModeTest, PngishDecodeMatchesReference) {
+  auto app = MakeApp("png");
+  simos::SimFs fs(&kernel_);
+  apps::Pngish png(app.get(), &fs);
+  const auto file = apps::Pngish::EncodeImage(64, 48, 3, 77);
+  fs.CreateFile("img.png", file);
+
+  auto reference = apps::Pngish::DecodeBytes(file);
+  ASSERT_TRUE(reference.ok());
+  auto decoded = png.DecodeFile("img.png", &app->ctx());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->width, 64u);
+  EXPECT_EQ(decoded->height, 48u);
+  EXPECT_EQ(decoded->pixels, reference->pixels);
+  // Decode the same file twice (I/O buffer + descriptor reuse).
+  auto again = png.DecodeFile("img.png", &app->ctx());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->pixels, reference->pixels);
+}
+
+TEST(SimFsTest, ReadSeekEofSemantics) {
+  simos::SimKernel kernel;
+  simos::SimFs fs(&kernel);
+  simos::Process* proc = kernel.CreateProcess("fs");
+  std::vector<uint8_t> contents(10000);
+  for (size_t i = 0; i < contents.size(); ++i) {
+    contents[i] = static_cast<uint8_t>(i * 3);
+  }
+  fs.CreateFile("data", contents);
+  EXPECT_EQ(fs.FileSize("data"), contents.size());
+  EXPECT_FALSE(fs.Open("missing").ok());
+
+  auto fd = fs.Open("data");
+  ASSERT_TRUE(fd.ok());
+  auto buf = proc->mem().MapAnonymous(16 * 1024, "buf", true);
+  ASSERT_TRUE(buf.ok());
+  // Two sequential reads + EOF.
+  auto r1 = fs.Read(*proc, *fd, *buf, 6000, nullptr);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r1, 6000u);
+  auto r2 = fs.Read(*proc, *fd, *buf + 6000, 6000, nullptr);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, 4000u);
+  auto r3 = fs.Read(*proc, *fd, *buf, 100, nullptr);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(*r3, 0u);  // EOF
+
+  std::vector<uint8_t> out(contents.size());
+  ASSERT_TRUE(proc->mem().ReadBytes(*buf, out.data(), out.size()).ok());
+  EXPECT_EQ(out, contents);
+
+  // Seek back and re-read.
+  ASSERT_TRUE(fs.Seek(*fd, 4).ok());
+  auto r4 = fs.Read(*proc, *fd, *buf, 8, nullptr);
+  ASSERT_TRUE(r4.ok());
+  std::vector<uint8_t> eight(8);
+  ASSERT_TRUE(proc->mem().ReadBytes(*buf, eight.data(), 8).ok());
+  EXPECT_TRUE(std::equal(eight.begin(), eight.end(), contents.begin() + 4));
+}
+
+TEST(Varint, RoundTrip) {
+  uint8_t buf[10];
+  for (uint64_t v : std::initializer_list<uint64_t>{0, 1, 127, 128, 300, 1ull << 32, UINT64_MAX}) {
+    const size_t n = VarintEncode(v, buf);
+    uint64_t decoded = 0;
+    EXPECT_EQ(VarintDecode(buf, n, &decoded), n);
+    EXPECT_EQ(decoded, v);
+  }
+  uint64_t dummy;
+  EXPECT_EQ(VarintDecode(buf, 0, &dummy), 0u);  // truncated
+}
+
+TEST(ChaCha20Test, KnownAnswerSymmetry) {
+  std::array<uint8_t, 32> key = {};
+  std::array<uint8_t, 12> nonce = {};
+  key[0] = 1;
+  nonce[0] = 2;
+  std::vector<uint8_t> plain(1000);
+  for (size_t i = 0; i < plain.size(); ++i) {
+    plain[i] = static_cast<uint8_t>(i);
+  }
+  std::vector<uint8_t> cipher_text(plain.size());
+  std::vector<uint8_t> round_trip(plain.size());
+  ChaCha20 enc(key, nonce);
+  enc.Process(plain.data(), cipher_text.data(), plain.size());
+  EXPECT_NE(cipher_text, plain);
+  ChaCha20 dec(key, nonce);
+  dec.Process(cipher_text.data(), round_trip.data(), round_trip.size());
+  EXPECT_EQ(round_trip, plain);
+}
+
+}  // namespace
+}  // namespace copier::apps

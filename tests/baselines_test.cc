@@ -1,0 +1,175 @@
+// Tests for the comparison baselines: zIO deferral semantics, zero-copy
+// send costs, UB trap discounting, io_uring async ordering.
+#include <gtest/gtest.h>
+
+#include "src/baselines/syscall_baselines.h"
+#include "src/baselines/zio.h"
+#include "tests/test_util.h"
+
+namespace copier::baselines {
+namespace {
+
+using copier::test::FillPattern;
+using copier::test::ReadAll;
+
+class ZioTest : public ::testing::Test {
+ protected:
+  ZioTest() : zio_(&proc()->mem(), &kernel_.timing(), 16 * kKiB) {}
+
+  simos::Process* proc() {
+    if (proc_ == nullptr) {
+      proc_ = kernel_.CreateProcess("zio");
+    }
+    return proc_;
+  }
+  uint64_t Map(size_t n) {
+    auto va = proc()->mem().MapAnonymous(n, "buf", true);
+    EXPECT_TRUE(va.ok());
+    return *va;
+  }
+
+  simos::SimKernel kernel_;
+  simos::Process* proc_ = nullptr;
+  ZioRuntime zio_;
+};
+
+TEST_F(ZioTest, LargeAlignedCopyDefers) {
+  const size_t n = 64 * kKiB;
+  const uint64_t src = Map(n);
+  const uint64_t dst = Map(n);
+  FillPattern(proc()->mem(), src, n, 1);
+  ExecContext ctx;
+  zio_.Copy(dst, src, n, &ctx);
+  EXPECT_EQ(zio_.stats().copies_deferred, 1u);
+  EXPECT_GT(zio_.stats().bytes_deferred, 0u);
+  // Data correctness regardless of deferral.
+  EXPECT_EQ(ReadAll(proc()->mem(), dst, n), ReadAll(proc()->mem(), src, n));
+  // Deferral is much cheaper than the eager copy would have been.
+  EXPECT_LT(ctx.now(), kernel_.timing().CpuCopyCycles(hw::CopyUnitKind::kAvx, n));
+}
+
+TEST_F(ZioTest, SmallCopyStaysEager) {
+  const size_t n = 4 * kKiB;
+  const uint64_t src = Map(n);
+  const uint64_t dst = Map(n);
+  ExecContext ctx;
+  zio_.Copy(dst, src, n, &ctx);
+  EXPECT_EQ(zio_.stats().copies_deferred, 0u);
+  EXPECT_GE(ctx.now(), kernel_.timing().CpuCopyCycles(hw::CopyUnitKind::kAvx, n));
+}
+
+TEST_F(ZioTest, TouchMaterializesWithFault) {
+  const size_t n = 64 * kKiB;
+  const uint64_t src = Map(n);
+  const uint64_t dst = Map(n);
+  ExecContext ctx;
+  zio_.Copy(dst, src, n, &ctx);
+  const Cycles before = ctx.now();
+  zio_.Touch(dst + 8 * kKiB, 64, &ctx);
+  EXPECT_EQ(zio_.stats().faults, 1u);
+  EXPECT_GT(ctx.now() - before, kernel_.timing().page_fault_entry_cycles);
+  // Second touch: already materialized, no second fault.
+  zio_.Touch(dst, 64, &ctx);
+  EXPECT_EQ(zio_.stats().faults, 1u);
+}
+
+TEST_F(ZioTest, ConsumeElidesTheCopy) {
+  const size_t n = 64 * kKiB;
+  const uint64_t src = Map(n);
+  const uint64_t dst = Map(n);
+  ExecContext ctx;
+  zio_.Copy(dst, src, n, &ctx);
+  zio_.Consume(dst, n, &ctx);
+  EXPECT_GT(zio_.stats().bytes_elided, 0u);
+  EXPECT_EQ(zio_.stats().faults, 0u);
+}
+
+TEST_F(ZioTest, SourceReuseForcesMaterialization) {
+  // The Redis input-buffer pattern (§6.2.1): reusing the source faults.
+  const size_t n = 64 * kKiB;
+  const uint64_t src = Map(n);
+  const uint64_t dst = Map(n);
+  ExecContext ctx;
+  zio_.Copy(dst, src, n, &ctx);
+  zio_.SourceReused(src, n, &ctx);
+  EXPECT_EQ(zio_.stats().faults, 1u);
+  EXPECT_GT(zio_.stats().bytes_materialized, 0u);
+}
+
+TEST(ZeroCopySendTest, ChargesPinNotCopy) {
+  simos::SimKernel kernel;
+  simos::Process* proc = kernel.CreateProcess("zc");
+  auto [tx, rx] = kernel.CreateSocketPair();
+  const size_t n = 64 * kKiB;
+  auto buf = proc->mem().MapAnonymous(n, "b", true);
+  ASSERT_TRUE(buf.ok());
+
+  ExecContext base_ctx;
+  ASSERT_TRUE(kernel.Send(*proc, tx, *buf, n, &base_ctx).ok());
+  // Drain.
+  Cycles d = 0;
+  rx->ConsumeRx(SIZE_MAX, &d, [&](simos::Skb* skb, size_t, size_t) {
+    skb->pending_copies.fetch_add(1, std::memory_order_relaxed);
+    simos::SimSocket::CompleteCopy(&kernel.skb_pool(), skb);
+  });
+
+  ZeroCopySend zc(&kernel);
+  ExecContext zc_ctx;
+  ASSERT_TRUE(zc.Send(*proc, tx, *buf, n, &zc_ctx).ok());
+  // Large send: zero-copy must beat the copying baseline (>=10KiB claim).
+  EXPECT_LT(zc_ctx.now(), base_ctx.now());
+  // Data still arrives correctly.
+  std::vector<uint8_t> got;
+  rx->ConsumeRx(SIZE_MAX, &d, [&](simos::Skb* skb, size_t off, size_t take) {
+    got.insert(got.end(), skb->data + off, skb->data + off + take);
+    skb->pending_copies.fetch_add(1, std::memory_order_relaxed);
+    simos::SimSocket::CompleteCopy(&kernel.skb_pool(), skb);
+  });
+  EXPECT_EQ(got.size(), n);
+}
+
+TEST(UserspaceBypassTest, DiscountsTrapOnly) {
+  simos::SimKernel kernel;
+  simos::Process* proc = kernel.CreateProcess("ub");
+  auto [tx, rx] = kernel.CreateSocketPair();
+  const size_t n = 1 * kKiB;
+  auto buf = proc->mem().MapAnonymous(kPageSize, "b", true);
+  ASSERT_TRUE(buf.ok());
+
+  ExecContext base_ctx;
+  ASSERT_TRUE(kernel.Send(*proc, tx, *buf, n, &base_ctx).ok());
+  UserspaceBypass ub(&kernel);
+  ExecContext ub_ctx;
+  ASSERT_TRUE(ub.Send(*proc, tx, *buf, n, &ub_ctx).ok());
+  const Cycles trap =
+      kernel.timing().syscall_entry_cycles + kernel.timing().syscall_exit_cycles;
+  EXPECT_LT(ub_ctx.now(), base_ctx.now());
+  EXPECT_GT(ub_ctx.now() + trap, base_ctx.now());  // saved at most the trap
+}
+
+TEST(IoUringTest, AsyncCompletionOrderAndWait) {
+  simos::SimKernel kernel;
+  simos::Process* proc = kernel.CreateProcess("uring");
+  auto [tx, rx] = kernel.CreateSocketPair();
+  auto buf = proc->mem().MapAnonymous(16 * kKiB, "b", true);
+  ASSERT_TRUE(buf.ok());
+
+  IoUringSim uring(&kernel, /*batch_size=*/4);
+  ExecContext app;
+  std::vector<uint64_t> ops;
+  for (int i = 0; i < 4; ++i) {
+    ops.push_back(uring.SubmitSend(*proc, tx, *buf, 4 * kKiB, &app));
+  }
+  // Completion times are monotone (single worker).
+  Cycles prev = 0;
+  for (uint64_t op : ops) {
+    auto result = uring.Wait(op, &app);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(app.now(), prev);
+    prev = app.now();
+  }
+  EXPECT_FALSE(uring.Wait(999, &app).ok());  // unknown op
+}
+
+}  // namespace
+}  // namespace copier::baselines

@@ -1,0 +1,116 @@
+// CsyncAdvisor tests: the CopierGen-analogue must find every missing csync a
+// porting engineer would need and flag redundant ones (§5.1.3).
+#include "src/sanitizer/csync_advisor.h"
+
+#include <gtest/gtest.h>
+
+namespace copier::sanitizer {
+namespace {
+
+using Kind = TraceEvent::Kind;
+
+TraceEvent Copy(uint64_t dst, uint64_t src, size_t n, const char* site = "") {
+  return {Kind::kAmemcpy, dst, src, n, site};
+}
+TraceEvent Sync(uint64_t addr, size_t n, const char* site = "") {
+  return {Kind::kCsync, addr, 0, n, site};
+}
+TraceEvent Read(uint64_t addr, size_t n, const char* site = "") {
+  return {Kind::kRead, addr, 0, n, site};
+}
+TraceEvent Write(uint64_t addr, size_t n, const char* site = "") {
+  return {Kind::kWrite, addr, 0, n, site};
+}
+TraceEvent Free(uint64_t addr, size_t n, const char* site = "") {
+  return {Kind::kFree, addr, 0, n, site};
+}
+
+TEST(CsyncAdvisor, CleanProgramGetsNoAdvice) {
+  CsyncAdvisor advisor;
+  const auto advice = advisor.Analyze({
+      Copy(0x1000, 0x9000, 4096),
+      Sync(0x1000, 4096),
+      Read(0x1000, 4096),
+      Free(0x9000, 4096),
+  });
+  EXPECT_TRUE(advice.empty()) << CsyncAdvisor::Render(advice);
+}
+
+TEST(CsyncAdvisor, MissingCsyncBeforeReadIsReported) {
+  CsyncAdvisor advisor;
+  const auto advice = advisor.Analyze({
+      Copy(0x1000, 0x9000, 4096, "app.cc:10"),
+      Read(0x1000, 64, "app.cc:11"),
+  });
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_EQ(advice[0].kind, Advice::Kind::kInsertCsync);
+  EXPECT_EQ(advice[0].site, "app.cc:11");
+  EXPECT_EQ(advice[0].addr, 0x1000u);
+}
+
+TEST(CsyncAdvisor, SourceWriteAndFreeAreReported) {
+  CsyncAdvisor advisor;
+  const auto advice = advisor.Analyze({
+      Copy(0x1000, 0x9000, 4096),
+      Write(0x9000, 16, "w"),  // writing the source before sync
+      Copy(0x20000, 0x30000, 4096),
+      Free(0x30000, 4096, "f"),  // freeing the source before sync
+  });
+  ASSERT_EQ(advice.size(), 2u);
+  EXPECT_EQ(advice[0].site, "w");
+  EXPECT_EQ(advice[1].site, "f");
+  EXPECT_EQ(advice[1].kind, Advice::Kind::kInsertCsync);
+}
+
+TEST(CsyncAdvisor, RedundantCsyncIsANote) {
+  CsyncAdvisor advisor;
+  const auto advice = advisor.Analyze({
+      Copy(0x1000, 0x9000, 4096),
+      Sync(0x1000, 4096),
+      Sync(0x1000, 4096, "dup"),  // second sync of the same range
+      Sync(0x50000, 64, "cold"),  // sync of a never-copied range
+  });
+  ASSERT_EQ(advice.size(), 2u);
+  EXPECT_EQ(advice[0].kind, Advice::Kind::kRedundantCsync);
+  EXPECT_EQ(advice[0].site, "dup");
+  EXPECT_EQ(advice[1].site, "cold");
+}
+
+TEST(CsyncAdvisor, PartialCsyncOnlyCoversItsBytes) {
+  CsyncAdvisor advisor;
+  const auto advice = advisor.Analyze({
+      Copy(0x1000, 0x9000, 8192),
+      Sync(0x1000, 4096),
+      Read(0x1000, 4096),  // fine
+      Read(0x2000, 64, "tail"),  // unsynced second half
+  });
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_EQ(advice[0].site, "tail");
+}
+
+TEST(CsyncAdvisor, AssumesTheFixAndKeepsScanning) {
+  // After reporting a missing csync the advisor pretends it was inserted so
+  // one omission does not cascade into dozens of reports.
+  CsyncAdvisor advisor;
+  const auto advice = advisor.Analyze({
+      Copy(0x1000, 0x9000, 4096),
+      Read(0x1000, 64, "first"),
+      Read(0x1000, 64, "second"),  // would be legal once the first fix lands
+  });
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_EQ(advice[0].site, "first");
+}
+
+TEST(CsyncAdvisor, RenderFormatsLikeADiagnostic) {
+  CsyncAdvisor advisor;
+  const auto advice = advisor.Analyze({
+      Copy(0x1000, 0x9000, 4096),
+      Read(0x1000, 64, "kv.cc:112"),
+  });
+  const std::string rendered = CsyncAdvisor::Render(advice);
+  EXPECT_NE(rendered.find("error: kv.cc:112"), std::string::npos);
+  EXPECT_NE(rendered.find("guideline 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace copier::sanitizer

@@ -1,0 +1,292 @@
+// End-to-end tests of the libCopier API surface (Table 2) against a
+// manual-mode Copier service.
+#include "src/libcopier/libcopier.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace copier::test {
+namespace {
+
+TEST(LibCopier, AmemcpyThenCsyncEqualsMemcpy) {
+  CopierStack stack;
+  const size_t n = 32 * kKiB;
+  const uint64_t src = stack.Map(n);
+  const uint64_t dst = stack.Map(n);
+  FillPattern(stack.proc->mem(), src, n, 1);
+
+  stack.lib->amemcpy(dst, src, n);
+  ASSERT_TRUE(stack.lib->csync(dst, n).ok());
+  ExpectSameBytes(stack.proc->mem(), src, dst, n);
+}
+
+TEST(LibCopier, CsyncPartialRangeOnlyWaitsForItsSegments) {
+  CopierStack stack;
+  const size_t n = 64 * kKiB;
+  const uint64_t src = stack.Map(n);
+  const uint64_t dst = stack.Map(n);
+  FillPattern(stack.proc->mem(), src, n, 2);
+
+  stack.lib->amemcpy(dst, src, n);
+  // Sync only the first 4 KiB; it must be correct immediately.
+  ASSERT_TRUE(stack.lib->csync(dst, 4 * kKiB).ok());
+  const auto head_src = ReadAll(stack.proc->mem(), src, 4 * kKiB);
+  const auto head_dst = ReadAll(stack.proc->mem(), dst, 4 * kKiB);
+  EXPECT_EQ(head_src, head_dst);
+  // Now the rest.
+  ASSERT_TRUE(stack.lib->csync(dst + 4 * kKiB, n - 4 * kKiB).ok());
+  ExpectSameBytes(stack.proc->mem(), src, dst, n);
+}
+
+TEST(LibCopier, CsyncWithoutPriorCopyIsANoOp) {
+  CopierStack stack;
+  const uint64_t buf = stack.Map(kPageSize);
+  EXPECT_TRUE(stack.lib->csync(buf, kPageSize).ok());
+}
+
+TEST(LibCopier, CsyncAllWaitsForEverything) {
+  CopierStack stack;
+  const size_t n = 8 * kKiB;
+  std::vector<std::pair<uint64_t, uint64_t>> copies;
+  for (int i = 0; i < 5; ++i) {
+    const uint64_t src = stack.Map(n);
+    const uint64_t dst = stack.Map(n);
+    FillPattern(stack.proc->mem(), src, n, 100 + i);
+    stack.lib->amemcpy(dst, src, n);
+    copies.emplace_back(src, dst);
+  }
+  ASSERT_TRUE(stack.lib->csync_all().ok());
+  for (const auto& [src, dst] : copies) {
+    ExpectSameBytes(stack.proc->mem(), src, dst, n);
+  }
+}
+
+TEST(LibCopier, SequentialCopiesToSameDestinationKeepLastValue) {
+  CopierStack stack;
+  const size_t n = 8 * kKiB;
+  const uint64_t src1 = stack.Map(n);
+  const uint64_t src2 = stack.Map(n);
+  const uint64_t dst = stack.Map(n);
+  FillPattern(stack.proc->mem(), src1, n, 11);
+  FillPattern(stack.proc->mem(), src2, n, 22);
+
+  stack.lib->amemcpy(dst, src1, n);
+  stack.lib->amemcpy(dst, src2, n);  // WAW: must land after the first
+  ASSERT_TRUE(stack.lib->csync(dst, n).ok());
+  ExpectSameBytes(stack.proc->mem(), src2, dst, n);
+}
+
+TEST(LibCopier, ChainedCopyPropagatesThroughIntermediate) {
+  CopierStack stack;
+  const size_t n = 16 * kKiB;
+  const uint64_t a = stack.Map(n);
+  const uint64_t b = stack.Map(n);
+  const uint64_t c = stack.Map(n);
+  FillPattern(stack.proc->mem(), a, n, 7);
+
+  stack.lib->amemcpy(b, a, n);  // A -> B
+  stack.lib->amemcpy(c, b, n);  // B -> C (RAW on B; absorption reads through)
+  ASSERT_TRUE(stack.lib->csync(c, n).ok());
+  ExpectSameBytes(stack.proc->mem(), a, c, n);
+}
+
+TEST(LibCopier, AmemmoveOverlappingForward) {
+  CopierStack stack;
+  const size_t n = 8 * kKiB;
+  const uint64_t base = stack.Map(2 * n);
+  FillPattern(stack.proc->mem(), base, n, 31);
+  const auto original = ReadAll(stack.proc->mem(), base, n);
+
+  // Move forward by 1 KiB (overlapping; small displacement -> sync path).
+  stack.lib->amemmove(base + kKiB, base, n);
+  ASSERT_TRUE(stack.lib->csync(base + kKiB, n).ok());
+  const auto moved = ReadAll(stack.proc->mem(), base + kKiB, n);
+  EXPECT_EQ(original, moved);
+}
+
+TEST(LibCopier, AmemmoveOverlappingForwardLargeDisplacement) {
+  CopierStack stack;
+  const size_t n = 24 * kKiB;
+  const uint64_t base = stack.Map(2 * n);
+  FillPattern(stack.proc->mem(), base, n, 41);
+  const auto original = ReadAll(stack.proc->mem(), base, n);
+
+  // Displacement 5000 bytes: async chunked path, unaligned chunks.
+  stack.lib->amemmove(base + 5000, base, n);
+  ASSERT_TRUE(stack.lib->csync(base + 5000, n).ok());
+  const auto moved = ReadAll(stack.proc->mem(), base + 5000, n);
+  EXPECT_EQ(original, moved);
+}
+
+TEST(LibCopier, AmemmoveOverlappingBackwardLargeDisplacement) {
+  CopierStack stack;
+  const size_t n = 24 * kKiB;
+  const uint64_t base = stack.Map(2 * n);
+  FillPattern(stack.proc->mem(), base + 6000, n, 42);
+  const auto original = ReadAll(stack.proc->mem(), base + 6000, n);
+
+  stack.lib->amemmove(base, base + 6000, n);
+  ASSERT_TRUE(stack.lib->csync(base, n).ok());
+  const auto moved = ReadAll(stack.proc->mem(), base, n);
+  EXPECT_EQ(original, moved);
+}
+
+TEST(LibCopier, AmemmoveOverlappingBackward) {
+  CopierStack stack;
+  const size_t n = 8 * kKiB;
+  const uint64_t base = stack.Map(2 * n);
+  FillPattern(stack.proc->mem(), base + kKiB, n, 33);
+  const auto original = ReadAll(stack.proc->mem(), base + kKiB, n);
+
+  stack.lib->amemmove(base, base + kKiB, n);
+  ASSERT_TRUE(stack.lib->csync(base, n).ok());
+  const auto moved = ReadAll(stack.proc->mem(), base, n);
+  EXPECT_EQ(original, moved);
+}
+
+TEST(LibCopier, UfuncHandlerRunsAfterCompletion) {
+  CopierStack stack;
+  const size_t n = 4 * kKiB;
+  const uint64_t src = stack.Map(n);
+  const uint64_t dst = stack.Map(n);
+  FillPattern(stack.proc->mem(), src, n, 5);
+
+  bool handler_ran = false;
+  lib::AmemcpyOptions opts;
+  opts.ufunc = [&handler_ran](Cycles) { handler_ran = true; };
+  core::Descriptor* descriptor = stack.lib->_amemcpy(dst, src, n, opts);
+  ASSERT_NE(descriptor, nullptr);
+  ASSERT_TRUE(stack.lib->_csync(descriptor, 0, n).ok());
+  EXPECT_FALSE(handler_ran);  // UFUNC runs in the client, via post_handlers
+  EXPECT_GE(stack.lib->post_handlers(), size_t{1});
+  EXPECT_TRUE(handler_ran);
+}
+
+TEST(LibCopier, CustomDescriptorReuse) {
+  CopierStack stack;
+  const size_t n = 8 * kKiB;
+  const uint64_t src = stack.Map(n);
+  const uint64_t dst = stack.Map(n);
+  core::Descriptor descriptor(n);
+
+  for (int round = 0; round < 3; ++round) {
+    FillPattern(stack.proc->mem(), src, n, 40 + round);
+    descriptor.Reset(n);
+    lib::AmemcpyOptions opts;
+    opts.descriptor = &descriptor;
+    stack.lib->_amemcpy(dst, src, n, opts);
+    ASSERT_TRUE(stack.lib->_csync(&descriptor, 0, n).ok());
+    ExpectSameBytes(stack.proc->mem(), src, dst, n);
+  }
+}
+
+TEST(LibCopier, PerThreadQueues) {
+  CopierStack stack;
+  const int fd = stack.lib->create_queue();
+  EXPECT_GT(fd, 0);
+  const size_t n = 4 * kKiB;
+  const uint64_t src = stack.Map(n);
+  const uint64_t dst = stack.Map(n);
+  FillPattern(stack.proc->mem(), src, n, 9);
+
+  lib::AmemcpyOptions opts;
+  opts.fd = fd;
+  core::Descriptor* descriptor = stack.lib->_amemcpy(dst, src, n, opts);
+  ASSERT_TRUE(stack.lib->_csync(descriptor, 0, n).ok());
+  ExpectSameBytes(stack.proc->mem(), src, dst, n);
+}
+
+TEST(LibCopier, LazyTaskAbsorbsIntoDownstreamCopy) {
+  CopierStack stack;
+  const size_t n = 16 * kKiB;
+  const uint64_t a = stack.Map(n);
+  const uint64_t b = stack.Map(n);
+  const uint64_t c = stack.Map(n);
+  FillPattern(stack.proc->mem(), a, n, 55);
+
+  lib::AmemcpyOptions lazy_opts;
+  lazy_opts.lazy = true;
+  stack.lib->_amemcpy(b, a, n, lazy_opts);  // A -> B (lazy mediator)
+  stack.lib->amemcpy(c, b, n);              // B -> C: absorbs to A -> C
+  ASSERT_TRUE(stack.lib->csync(c, n).ok());
+  ExpectSameBytes(stack.proc->mem(), a, c, n);
+  EXPECT_GT(stack.service->engine().stats().bytes_absorbed, 0u);
+
+  // Discard the lazy task; its queued copy never needs to execute.
+  stack.lib->abort_range(b, n);
+  EXPECT_GE(stack.service->engine().stats().tasks_aborted, 1u);
+}
+
+TEST(LibCopier, ModifiedIntermediateUsesLayeredAbsorption) {
+  // Fig. 8: A->B submitted, client syncs + modifies part of B, then B->C.
+  // C must see the modified bytes for the touched segments and A's bytes
+  // elsewhere.
+  CopierStack stack;
+  const size_t n = 16 * kKiB;
+  const uint64_t a = stack.Map(n);
+  const uint64_t b = stack.Map(n);
+  const uint64_t c = stack.Map(n);
+  FillPattern(stack.proc->mem(), a, n, 66);
+
+  stack.lib->amemcpy(b, a, n);
+  // Touch the first 4 KiB of B (guideline: csync before writing dst).
+  ASSERT_TRUE(stack.lib->csync(b, 4 * kKiB).ok());
+  std::vector<uint8_t> patch(4 * kKiB, 0xEE);
+  ASSERT_TRUE(stack.proc->mem().WriteBytes(b, patch.data(), patch.size()).ok());
+
+  stack.lib->amemcpy(c, b, n);
+  ASSERT_TRUE(stack.lib->csync(c, n).ok());
+
+  const auto c_head = ReadAll(stack.proc->mem(), c, 4 * kKiB);
+  EXPECT_EQ(c_head, patch);
+  const auto c_tail = ReadAll(stack.proc->mem(), c + 4 * kKiB, n - 4 * kKiB);
+  const auto a_tail = ReadAll(stack.proc->mem(), a + 4 * kKiB, n - 4 * kKiB);
+  EXPECT_EQ(c_tail, a_tail);
+}
+
+TEST(LibCopier, FaultOnUnmappedDestinationSignalsProcess) {
+  CopierStack stack;
+  const size_t n = 4 * kKiB;
+  const uint64_t src = stack.Map(n);
+  FillPattern(stack.proc->mem(), src, n, 3);
+  const uint64_t bogus = 0x10;  // never mapped
+
+  stack.lib->amemcpy(bogus, src, n);
+  const Status status = stack.lib->csync(bogus, n);
+  EXPECT_FALSE(status.ok());
+  EXPECT_GE(stack.proc->segv_count(), 1u);
+}
+
+TEST(LibCopier, QueueFullFallsBackToSyncCopy) {
+  core::CopierConfig config;
+  config.queue_capacity = 2;  // tiny ring
+  CopierStack stack(config);
+  const size_t n = kPageSize;
+  const uint64_t src = stack.Map(16 * n);
+  const uint64_t dst = stack.Map(16 * n);
+  FillPattern(stack.proc->mem(), src, 16 * n, 77);
+
+  for (int i = 0; i < 16; ++i) {
+    stack.lib->amemcpy(dst + i * n, src + i * n, n);
+  }
+  ASSERT_TRUE(stack.lib->csync_all().ok());
+  ExpectSameBytes(stack.proc->mem(), src, dst, 16 * n);
+}
+
+TEST(LibCopier, OnDemandPagingDestination) {
+  // Destination pages are not populated: Copier's proactive fault handling
+  // must fault them in from its own context.
+  CopierStack stack;
+  const size_t n = 32 * kKiB;
+  const uint64_t src = stack.Map(n);
+  const uint64_t dst = stack.Map(n, "demand", /*populate=*/false);
+  FillPattern(stack.proc->mem(), src, n, 88);
+
+  stack.lib->amemcpy(dst, src, n);
+  ASSERT_TRUE(stack.lib->csync(dst, n).ok());
+  ExpectSameBytes(stack.proc->mem(), src, dst, n);
+}
+
+}  // namespace
+}  // namespace copier::test

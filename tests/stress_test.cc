@@ -1,0 +1,111 @@
+// Concurrency stress: threaded Copier service vs app threads issuing
+// overlapping copies with partial csyncs. This harness found two production
+// bugs during development:
+//   * tasks sharing a client descriptor at unaligned offsets starved forever
+//     (fixed by private per-task progress descriptors), and
+//   * an earlier task executing after a *newer overlapping task had completed
+//     and retired* overwrote the newer data with stale bytes (fixed by the
+//     completed-writes WAW log consulted by dead-write suppression).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "tests/test_util.h"
+
+namespace copier::test {
+namespace {
+
+struct StressParam {
+  int max_threads;
+  bool concurrent_workers;
+  bool use_dma;
+};
+
+class ThreadedStress : public ::testing::TestWithParam<StressParam> {};
+
+TEST_P(ThreadedStress, OverlappingCopiesStayRefined) {
+  const StressParam& p = GetParam();
+  simos::SimKernel kernel;
+  core::CopierService::Options options;
+  options.mode = core::CopierService::Mode::kThreaded;
+  options.config.max_threads = static_cast<size_t>(p.max_threads);
+  options.config.min_threads = static_cast<size_t>(p.max_threads);
+  options.config.use_dma = p.use_dma;
+  core::CopierService service(std::move(options));
+  service.Start();
+  simos::Process* proc = kernel.CreateProcess("stress");
+  core::Client* client = service.AttachProcess(proc);
+  lib::CopierLib lib(client, &service);
+
+  const size_t half = 64 * kKiB;
+  auto arena = proc->mem().MapAnonymous(2 * half, "arena", true);
+  ASSERT_TRUE(arena.ok());
+
+  std::atomic<int> failures{0};
+  auto worker = [&](int index) {
+    Rng rng(4242 + index * 31);
+    const uint64_t base = *arena + index * half;
+    std::vector<uint8_t> reference(half, 0);
+    for (int i = 0; i < 250 && failures.load() == 0; ++i) {
+      const size_t len = 64 + rng.Below(8 * kKiB);
+      const size_t dst = rng.Below(half - len);
+      const size_t src = rng.Below(half - len);
+      if (RangesOverlap(dst, len, src, len)) {
+        continue;
+      }
+      lib.amemcpy(base + dst, base + src, len);
+      std::memcpy(reference.data() + dst, reference.data() + src, len);
+      if (rng.OneIn(3)) {
+        ASSERT_TRUE(lib.csync(base + dst, len).ok());
+        std::vector<uint8_t> bytes(len);
+        ASSERT_TRUE(proc->mem().ReadBytes(base + dst, bytes.data(), len).ok());
+        if (std::memcmp(bytes.data(), reference.data() + dst, len) != 0) {
+          failures.fetch_add(1);
+        }
+      }
+      if (rng.OneIn(5)) {
+        const size_t wlen = 1 + rng.Below(2 * kKiB);
+        const size_t woff = rng.Below(half - wlen);
+        ASSERT_TRUE(lib.csync_all().ok());
+        std::vector<uint8_t> bytes(wlen);
+        for (auto& b : bytes) {
+          b = static_cast<uint8_t>(rng.Next());
+        }
+        ASSERT_TRUE(proc->mem().WriteBytes(base + woff, bytes.data(), wlen).ok());
+        std::memcpy(reference.data() + woff, bytes.data(), wlen);
+      }
+    }
+    ASSERT_TRUE(lib.csync_all().ok());
+    std::vector<uint8_t> final_bytes(half);
+    ASSERT_TRUE(proc->mem().ReadBytes(base, final_bytes.data(), half).ok());
+    if (std::memcmp(final_bytes.data(), reference.data(), half) != 0) {
+      failures.fetch_add(1);
+    }
+  };
+
+  if (p.concurrent_workers) {
+    std::thread t0(worker, 0);
+    std::thread t1(worker, 1);
+    t0.join();
+    t1.join();
+  } else {
+    worker(0);
+    worker(1);
+  }
+  service.Stop();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ThreadedStress,
+    ::testing::Values(StressParam{1, false, true}, StressParam{1, true, true},
+                      StressParam{2, true, true}, StressParam{2, true, false}),
+    [](const ::testing::TestParamInfo<StressParam>& info) {
+      const StressParam& p = info.param;
+      return "svc" + std::to_string(p.max_threads) +
+             (p.concurrent_workers ? "_par" : "_seq") + (p.use_dma ? "_dma" : "_cpu");
+    });
+
+}  // namespace
+}  // namespace copier::test
