@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_binder_ipc.dir/bench_binder_ipc.cc.o"
+  "CMakeFiles/bench_binder_ipc.dir/bench_binder_ipc.cc.o.d"
+  "bench_binder_ipc"
+  "bench_binder_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_binder_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_breakeven.dir/bench_breakeven.cc.o"
+  "CMakeFiles/bench_breakeven.dir/bench_breakeven.cc.o.d"
+  "bench_breakeven"
+  "bench_breakeven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_breakeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_syscalls.dir/bench_fig10_syscalls.cc.o"
+  "CMakeFiles/bench_fig10_syscalls.dir/bench_fig10_syscalls.cc.o.d"
+  "bench_fig10_syscalls"
+  "bench_fig10_syscalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_redis.dir/bench_fig11_redis.cc.o"
+  "CMakeFiles/bench_fig11_redis.dir/bench_fig11_redis.cc.o.d"
+  "bench_fig11_redis"
+  "bench_fig11_redis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_redis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig12_proxy.cc" "bench/CMakeFiles/bench_fig12_proxy.dir/bench_fig12_proxy.cc.o" "gcc" "bench/CMakeFiles/bench_fig12_proxy.dir/bench_fig12_proxy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/copier_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/libcopier/CMakeFiles/libcopier.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/copier_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/copier_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simos/CMakeFiles/copier_simos.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/copier_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/copier_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_libraries.dir/bench_fig13_libraries.cc.o"
+  "CMakeFiles/bench_fig13_libraries.dir/bench_fig13_libraries.cc.o.d"
+  "bench_fig13_libraries"
+  "bench_fig13_libraries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_libraries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

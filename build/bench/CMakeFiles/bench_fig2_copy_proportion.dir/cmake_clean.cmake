@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_copy_proportion.dir/bench_fig2_copy_proportion.cc.o"
+  "CMakeFiles/bench_fig2_copy_proportion.dir/bench_fig2_copy_proportion.cc.o.d"
+  "bench_fig2_copy_proportion"
+  "bench_fig2_copy_proportion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_copy_proportion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

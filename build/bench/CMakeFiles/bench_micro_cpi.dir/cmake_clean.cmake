@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_cpi.dir/bench_micro_cpi.cc.o"
+  "CMakeFiles/bench_micro_cpi.dir/bench_micro_cpi.cc.o.d"
+  "bench_micro_cpi"
+  "bench_micro_cpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_cpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

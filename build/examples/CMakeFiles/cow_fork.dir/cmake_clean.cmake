@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cow_fork.dir/cow_fork.cpp.o"
+  "CMakeFiles/cow_fork.dir/cow_fork.cpp.o.d"
+  "cow_fork"
+  "cow_fork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cow_fork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_pipeline.dir/proxy_pipeline.cpp.o"
+  "CMakeFiles/proxy_pipeline.dir/proxy_pipeline.cpp.o.d"
+  "proxy_pipeline"
+  "proxy_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

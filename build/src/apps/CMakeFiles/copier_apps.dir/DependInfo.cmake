@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_util.cc" "src/apps/CMakeFiles/copier_apps.dir/app_util.cc.o" "gcc" "src/apps/CMakeFiles/copier_apps.dir/app_util.cc.o.d"
+  "/root/repo/src/apps/avcodec.cc" "src/apps/CMakeFiles/copier_apps.dir/avcodec.cc.o" "gcc" "src/apps/CMakeFiles/copier_apps.dir/avcodec.cc.o.d"
+  "/root/repo/src/apps/cipher.cc" "src/apps/CMakeFiles/copier_apps.dir/cipher.cc.o" "gcc" "src/apps/CMakeFiles/copier_apps.dir/cipher.cc.o.d"
+  "/root/repo/src/apps/deflate.cc" "src/apps/CMakeFiles/copier_apps.dir/deflate.cc.o" "gcc" "src/apps/CMakeFiles/copier_apps.dir/deflate.cc.o.d"
+  "/root/repo/src/apps/minikv.cc" "src/apps/CMakeFiles/copier_apps.dir/minikv.cc.o" "gcc" "src/apps/CMakeFiles/copier_apps.dir/minikv.cc.o.d"
+  "/root/repo/src/apps/miniproxy.cc" "src/apps/CMakeFiles/copier_apps.dir/miniproxy.cc.o" "gcc" "src/apps/CMakeFiles/copier_apps.dir/miniproxy.cc.o.d"
+  "/root/repo/src/apps/parcel.cc" "src/apps/CMakeFiles/copier_apps.dir/parcel.cc.o" "gcc" "src/apps/CMakeFiles/copier_apps.dir/parcel.cc.o.d"
+  "/root/repo/src/apps/pngish.cc" "src/apps/CMakeFiles/copier_apps.dir/pngish.cc.o" "gcc" "src/apps/CMakeFiles/copier_apps.dir/pngish.cc.o.d"
+  "/root/repo/src/apps/serde.cc" "src/apps/CMakeFiles/copier_apps.dir/serde.cc.o" "gcc" "src/apps/CMakeFiles/copier_apps.dir/serde.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/libcopier/CMakeFiles/libcopier.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/copier_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/copier_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simos/CMakeFiles/copier_simos.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/copier_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/copier_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copier_apps.dir/app_util.cc.o"
+  "CMakeFiles/copier_apps.dir/app_util.cc.o.d"
+  "CMakeFiles/copier_apps.dir/avcodec.cc.o"
+  "CMakeFiles/copier_apps.dir/avcodec.cc.o.d"
+  "CMakeFiles/copier_apps.dir/cipher.cc.o"
+  "CMakeFiles/copier_apps.dir/cipher.cc.o.d"
+  "CMakeFiles/copier_apps.dir/deflate.cc.o"
+  "CMakeFiles/copier_apps.dir/deflate.cc.o.d"
+  "CMakeFiles/copier_apps.dir/minikv.cc.o"
+  "CMakeFiles/copier_apps.dir/minikv.cc.o.d"
+  "CMakeFiles/copier_apps.dir/miniproxy.cc.o"
+  "CMakeFiles/copier_apps.dir/miniproxy.cc.o.d"
+  "CMakeFiles/copier_apps.dir/parcel.cc.o"
+  "CMakeFiles/copier_apps.dir/parcel.cc.o.d"
+  "CMakeFiles/copier_apps.dir/pngish.cc.o"
+  "CMakeFiles/copier_apps.dir/pngish.cc.o.d"
+  "CMakeFiles/copier_apps.dir/serde.cc.o"
+  "CMakeFiles/copier_apps.dir/serde.cc.o.d"
+  "libcopier_apps.a"
+  "libcopier_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copier_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

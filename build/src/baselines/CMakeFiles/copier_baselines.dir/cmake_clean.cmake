@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copier_baselines.dir/syscall_baselines.cc.o"
+  "CMakeFiles/copier_baselines.dir/syscall_baselines.cc.o.d"
+  "CMakeFiles/copier_baselines.dir/zio.cc.o"
+  "CMakeFiles/copier_baselines.dir/zio.cc.o.d"
+  "libcopier_baselines.a"
+  "libcopier_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copier_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcopier_baselines.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copier_common.dir/cycle_clock.cc.o"
+  "CMakeFiles/copier_common.dir/cycle_clock.cc.o.d"
+  "CMakeFiles/copier_common.dir/histogram.cc.o"
+  "CMakeFiles/copier_common.dir/histogram.cc.o.d"
+  "CMakeFiles/copier_common.dir/logging.cc.o"
+  "CMakeFiles/copier_common.dir/logging.cc.o.d"
+  "CMakeFiles/copier_common.dir/status.cc.o"
+  "CMakeFiles/copier_common.dir/status.cc.o.d"
+  "CMakeFiles/copier_common.dir/table.cc.o"
+  "CMakeFiles/copier_common.dir/table.cc.o.d"
+  "libcopier_common.a"
+  "libcopier_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copier_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

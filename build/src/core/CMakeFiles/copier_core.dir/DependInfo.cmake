@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/atcache.cc" "src/core/CMakeFiles/copier_core.dir/atcache.cc.o" "gcc" "src/core/CMakeFiles/copier_core.dir/atcache.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/copier_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/copier_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/linux_glue.cc" "src/core/CMakeFiles/copier_core.dir/linux_glue.cc.o" "gcc" "src/core/CMakeFiles/copier_core.dir/linux_glue.cc.o.d"
+  "/root/repo/src/core/service.cc" "src/core/CMakeFiles/copier_core.dir/service.cc.o" "gcc" "src/core/CMakeFiles/copier_core.dir/service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/copier_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/copier_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/simos/CMakeFiles/copier_simos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

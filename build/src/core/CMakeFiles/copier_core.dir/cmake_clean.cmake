@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copier_core.dir/atcache.cc.o"
+  "CMakeFiles/copier_core.dir/atcache.cc.o.d"
+  "CMakeFiles/copier_core.dir/engine.cc.o"
+  "CMakeFiles/copier_core.dir/engine.cc.o.d"
+  "CMakeFiles/copier_core.dir/linux_glue.cc.o"
+  "CMakeFiles/copier_core.dir/linux_glue.cc.o.d"
+  "CMakeFiles/copier_core.dir/service.cc.o"
+  "CMakeFiles/copier_core.dir/service.cc.o.d"
+  "libcopier_core.a"
+  "libcopier_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copier_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

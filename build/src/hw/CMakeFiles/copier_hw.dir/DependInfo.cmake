@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cpu_copy.cc" "src/hw/CMakeFiles/copier_hw.dir/cpu_copy.cc.o" "gcc" "src/hw/CMakeFiles/copier_hw.dir/cpu_copy.cc.o.d"
+  "/root/repo/src/hw/dma_engine.cc" "src/hw/CMakeFiles/copier_hw.dir/dma_engine.cc.o" "gcc" "src/hw/CMakeFiles/copier_hw.dir/dma_engine.cc.o.d"
+  "/root/repo/src/hw/timing_model.cc" "src/hw/CMakeFiles/copier_hw.dir/timing_model.cc.o" "gcc" "src/hw/CMakeFiles/copier_hw.dir/timing_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/copier_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copier_hw.dir/cpu_copy.cc.o"
+  "CMakeFiles/copier_hw.dir/cpu_copy.cc.o.d"
+  "CMakeFiles/copier_hw.dir/dma_engine.cc.o"
+  "CMakeFiles/copier_hw.dir/dma_engine.cc.o.d"
+  "CMakeFiles/copier_hw.dir/timing_model.cc.o"
+  "CMakeFiles/copier_hw.dir/timing_model.cc.o.d"
+  "libcopier_hw.a"
+  "libcopier_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copier_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

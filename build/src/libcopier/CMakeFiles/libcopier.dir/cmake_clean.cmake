@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libcopier.dir/libcopier.cc.o"
+  "CMakeFiles/libcopier.dir/libcopier.cc.o.d"
+  "liblibcopier.a"
+  "liblibcopier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libcopier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

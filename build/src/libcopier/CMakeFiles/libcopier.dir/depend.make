@@ -1,0 +1,2 @@
+# Empty dependencies file for libcopier.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sanitizer/copier_sanitizer.cc" "src/sanitizer/CMakeFiles/copier_sanitizer.dir/copier_sanitizer.cc.o" "gcc" "src/sanitizer/CMakeFiles/copier_sanitizer.dir/copier_sanitizer.cc.o.d"
+  "/root/repo/src/sanitizer/csync_advisor.cc" "src/sanitizer/CMakeFiles/copier_sanitizer.dir/csync_advisor.cc.o" "gcc" "src/sanitizer/CMakeFiles/copier_sanitizer.dir/csync_advisor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/copier_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copier_sanitizer.dir/copier_sanitizer.cc.o"
+  "CMakeFiles/copier_sanitizer.dir/copier_sanitizer.cc.o.d"
+  "CMakeFiles/copier_sanitizer.dir/csync_advisor.cc.o"
+  "CMakeFiles/copier_sanitizer.dir/csync_advisor.cc.o.d"
+  "libcopier_sanitizer.a"
+  "libcopier_sanitizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copier_sanitizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simos/address_space.cc" "src/simos/CMakeFiles/copier_simos.dir/address_space.cc.o" "gcc" "src/simos/CMakeFiles/copier_simos.dir/address_space.cc.o.d"
+  "/root/repo/src/simos/binder.cc" "src/simos/CMakeFiles/copier_simos.dir/binder.cc.o" "gcc" "src/simos/CMakeFiles/copier_simos.dir/binder.cc.o.d"
+  "/root/repo/src/simos/copy_backend.cc" "src/simos/CMakeFiles/copier_simos.dir/copy_backend.cc.o" "gcc" "src/simos/CMakeFiles/copier_simos.dir/copy_backend.cc.o.d"
+  "/root/repo/src/simos/kernel.cc" "src/simos/CMakeFiles/copier_simos.dir/kernel.cc.o" "gcc" "src/simos/CMakeFiles/copier_simos.dir/kernel.cc.o.d"
+  "/root/repo/src/simos/phys_memory.cc" "src/simos/CMakeFiles/copier_simos.dir/phys_memory.cc.o" "gcc" "src/simos/CMakeFiles/copier_simos.dir/phys_memory.cc.o.d"
+  "/root/repo/src/simos/simfs.cc" "src/simos/CMakeFiles/copier_simos.dir/simfs.cc.o" "gcc" "src/simos/CMakeFiles/copier_simos.dir/simfs.cc.o.d"
+  "/root/repo/src/simos/socket.cc" "src/simos/CMakeFiles/copier_simos.dir/socket.cc.o" "gcc" "src/simos/CMakeFiles/copier_simos.dir/socket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/copier_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/copier_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

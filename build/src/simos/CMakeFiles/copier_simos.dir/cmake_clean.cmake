@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copier_simos.dir/address_space.cc.o"
+  "CMakeFiles/copier_simos.dir/address_space.cc.o.d"
+  "CMakeFiles/copier_simos.dir/binder.cc.o"
+  "CMakeFiles/copier_simos.dir/binder.cc.o.d"
+  "CMakeFiles/copier_simos.dir/copy_backend.cc.o"
+  "CMakeFiles/copier_simos.dir/copy_backend.cc.o.d"
+  "CMakeFiles/copier_simos.dir/kernel.cc.o"
+  "CMakeFiles/copier_simos.dir/kernel.cc.o.d"
+  "CMakeFiles/copier_simos.dir/phys_memory.cc.o"
+  "CMakeFiles/copier_simos.dir/phys_memory.cc.o.d"
+  "CMakeFiles/copier_simos.dir/simfs.cc.o"
+  "CMakeFiles/copier_simos.dir/simfs.cc.o.d"
+  "CMakeFiles/copier_simos.dir/socket.cc.o"
+  "CMakeFiles/copier_simos.dir/socket.cc.o.d"
+  "libcopier_simos.a"
+  "libcopier_simos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copier_simos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for copier_simos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csync_advisor_test.dir/csync_advisor_test.cc.o"
+  "CMakeFiles/csync_advisor_test.dir/csync_advisor_test.cc.o.d"
+  "csync_advisor_test"
+  "csync_advisor_test.pdb"
+  "csync_advisor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csync_advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

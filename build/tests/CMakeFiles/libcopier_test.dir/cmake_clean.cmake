@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libcopier_test.dir/libcopier_test.cc.o"
+  "CMakeFiles/libcopier_test.dir/libcopier_test.cc.o.d"
+  "libcopier_test"
+  "libcopier_test.pdb"
+  "libcopier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libcopier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

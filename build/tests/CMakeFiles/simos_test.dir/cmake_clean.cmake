@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simos_test.dir/simos_test.cc.o"
+  "CMakeFiles/simos_test.dir/simos_test.cc.o.d"
+  "simos_test"
+  "simos_test.pdb"
+  "simos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
