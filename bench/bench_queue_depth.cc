@@ -1,0 +1,200 @@
+// Queue-depth sweep: coordination cost of the Engine's pending-task lookups
+// as the outstanding-task count grows, with the pending-range interval index
+// (enable_range_index, the default) vs the linear-scan baseline.
+//
+// Every depth runs the SAME submission stream — mostly-disjoint small copies
+// through a shared working region, a slice of absorption chains, plus
+// promotes and aborts arriving at full depth — in both modes, and checks the
+// final memory images are identical. Reported per mode:
+//   * engine virtual cycles per task (the service-side cost of one task),
+//   * dep_tasks_scanned per task (candidates examined by all lookups),
+//   * dep_probes (lookups issued).
+// The index turns each lookup from O(pending) into O(log n + k), so cycles
+// and candidates per task should stay roughly flat while the baseline grows
+// linearly with depth (O(n²) total).
+//
+// --json additionally writes BENCH_queue_depth.json for scripts/bench_smoke.sh.
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/service.h"
+#include "src/libcopier/libcopier.h"
+
+namespace copier::bench {
+namespace {
+
+struct DepthResult {
+  size_t depth = 0;
+  size_t peak_pending = 0;
+  uint64_t engine_cycles = 0;
+  uint64_t dep_probes = 0;
+  uint64_t dep_tasks_scanned = 0;
+  uint64_t bytes_copied = 0;
+  uint64_t checksum = 0;  // FNV-1a over the final arena image
+};
+
+DepthResult RunDepth(const hw::TimingModel& timing, size_t depth, bool indexed) {
+  core::CopierConfig config;
+  config.enable_range_index = indexed;
+  config.queue_capacity = 16384;  // hold the whole wave before serving
+  BenchStack stack(&timing, config);
+  apps::AppProcess* app = stack.NewApp("depthbench");
+  core::Client* client = stack.service->ClientById(app->proc()->copier_client_id());
+
+  // Arena: S = read-only source pool; W = working region (2 slots of
+  // headroom per task keeps most writes disjoint, with real overlap chains);
+  // X = abort scratch, one slot per aborted task, never read.
+  const size_t kLen = kKiB;
+  const size_t kS = 512 * kKiB;
+  const size_t kW = depth * 2 * kLen;
+  const size_t kAborts = 8;
+  const uint64_t arena = app->Map(kS + kW + kAborts * kLen, "arena");
+  const uint64_t w_base = arena + kS;
+  const uint64_t x_base = arena + kS + kW;
+
+  Rng rng(0xC0FFEE ^ depth);
+  std::vector<uint64_t> recent_dsts;  // absorption-chain feeders
+  size_t aborts_submitted = 0;
+  for (size_t i = 0; i < depth; ++i) {
+    if (i % (depth / kAborts) == depth / kAborts - 1 && aborts_submitted < kAborts) {
+      // Abort victim: its X slot keeps the initial bytes in both modes.
+      app->lib()->amemcpy(x_base + aborts_submitted * kLen, arena + rng.Below(kS - kLen),
+                          kLen, &app->ctx());
+      ++aborts_submitted;
+      continue;
+    }
+    const uint64_t dst = w_base + (i * 2 * kLen) % kW;
+    uint64_t src;
+    if (i % 16 == 5 && !recent_dsts.empty()) {
+      src = recent_dsts[rng.Below(recent_dsts.size())];  // RAW on a pending write
+    } else {
+      src = arena + rng.Below(kS - kLen);
+    }
+    app->lib()->amemcpy(dst, src, kLen, &app->ctx());
+    recent_dsts.push_back(dst);
+    if (recent_dsts.size() > 8) {
+      recent_dsts.erase(recent_dsts.begin());
+    }
+  }
+
+  // Ingest the whole wave without executing (ingestion is capped per poll):
+  // the pending list reaches full depth before the first byte moves.
+  while (!client->default_pair().user.copy_q.Empty()) {
+    stack.service->Serve(*client, 0);
+  }
+  DepthResult result;
+  result.depth = depth;
+  result.peak_pending = client->pending.size();
+
+  // Sync traffic at full depth: abort the X writers, promote a few ranges.
+  for (size_t a = 0; a < aborts_submitted; ++a) {
+    core::SyncTask sync;
+    sync.kind = core::SyncTask::Kind::kAbort;
+    sync.addr = core::MemRef::User(client->space(), x_base + a * kLen);
+    sync.length = kLen;
+    client->default_pair().user.sync_q.TryPush(std::move(sync));
+  }
+  for (size_t p = 0; p < 4; ++p) {
+    core::SyncTask sync;
+    sync.kind = core::SyncTask::Kind::kPromote;
+    sync.addr = core::MemRef::User(client->space(), w_base + (p * kW / 4) % kW);
+    sync.length = 4 * kLen;
+    client->default_pair().user.sync_q.TryPush(std::move(sync));
+  }
+  stack.service->DrainAll();
+
+  const core::Engine::Stats& stats = stack.service->engine().stats();
+  result.engine_cycles = stack.service->engine_ctx().now();
+  result.dep_probes = stats.dep_probes;
+  result.dep_tasks_scanned = stats.dep_tasks_scanned;
+  result.bytes_copied = stats.bytes_copied;
+
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a over the final image
+  std::vector<uint8_t> image(kS + kW + kAborts * kLen);
+  if (!app->proc()->mem().ReadBytes(arena, image.data(), image.size()).ok()) {
+    std::fprintf(stderr, "arena readback failed at depth %zu\n", depth);
+  }
+  for (uint8_t byte : image) {
+    hash = (hash ^ byte) * 1099511628211ull;
+  }
+  result.checksum = hash;
+  return result;
+}
+
+void Run(int argc, char** argv) {
+  const hw::TimingModel& timing = SelectTiming(argc, argv);
+  PrintBanner("Queue-depth sweep: interval index vs linear pending-list scans");
+  const std::vector<size_t> depths = {16, 64, 256, 1024, 2048, 4096};
+
+  TextTable table({"depth", "cyc/task idx", "cyc/task lin", "speedup", "scanned/task idx",
+                   "scanned/task lin", "reduction", "identical"});
+  std::vector<std::pair<DepthResult, DepthResult>> rows;
+  for (size_t depth : depths) {
+    const DepthResult idx = RunDepth(timing, depth, /*indexed=*/true);
+    const DepthResult lin = RunDepth(timing, depth, /*indexed=*/false);
+    rows.emplace_back(idx, lin);
+    const double idx_cyc = static_cast<double>(idx.engine_cycles) / depth;
+    const double lin_cyc = static_cast<double>(lin.engine_cycles) / depth;
+    const double idx_scan = static_cast<double>(idx.dep_tasks_scanned) / depth;
+    const double lin_scan = static_cast<double>(lin.dep_tasks_scanned) / depth;
+    table.AddRow({TextTable::Num(depth, 0), TextTable::Num(idx_cyc, 0),
+                  TextTable::Num(lin_cyc, 0), TextTable::Num(lin_cyc / idx_cyc, 1) + "x",
+                  TextTable::Num(idx_scan, 1), TextTable::Num(lin_scan, 1),
+                  TextTable::Num(lin_scan / (idx_scan > 0 ? idx_scan : 1), 1) + "x",
+                  idx.checksum == lin.checksum ? "yes" : "NO"});
+    if (idx.checksum != lin.checksum) {
+      std::fprintf(stderr, "MISMATCH at depth %zu: indexed and linear images differ\n",
+                   depth);
+    }
+  }
+  table.Print();
+  std::printf("\npeak pending at the largest depth: %zu (indexed), %zu (linear)\n",
+              rows.back().first.peak_pending, rows.back().second.peak_pending);
+
+  if (HasFlag(argc, argv, "--json")) {
+    std::ofstream out("BENCH_queue_depth.json");
+    out << "{\n  \"bench\": \"queue_depth\",\n  \"depths\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const auto& [idx, lin] = rows[i];
+      out << "    {\"depth\": " << idx.depth << ",\n"
+          << "     \"indexed\": {\"engine_cycles\": " << idx.engine_cycles
+          << ", \"cycles_per_task\": " << idx.engine_cycles / idx.depth
+          << ", \"dep_probes\": " << idx.dep_probes
+          << ", \"dep_tasks_scanned\": " << idx.dep_tasks_scanned
+          << ", \"scanned_per_task\": "
+          << static_cast<double>(idx.dep_tasks_scanned) / idx.depth
+          << ", \"bytes_copied\": " << idx.bytes_copied
+          << ", \"peak_pending\": " << idx.peak_pending << "},\n"
+          << "     \"linear\": {\"engine_cycles\": " << lin.engine_cycles
+          << ", \"cycles_per_task\": " << lin.engine_cycles / lin.depth
+          << ", \"dep_probes\": " << lin.dep_probes
+          << ", \"dep_tasks_scanned\": " << lin.dep_tasks_scanned
+          << ", \"scanned_per_task\": "
+          << static_cast<double>(lin.dep_tasks_scanned) / lin.depth
+          << ", \"bytes_copied\": " << lin.bytes_copied
+          << ", \"peak_pending\": " << lin.peak_pending << "},\n"
+          << "     \"cycles_speedup\": "
+          << static_cast<double>(lin.engine_cycles) / idx.engine_cycles
+          << ", \"scanned_reduction\": "
+          << static_cast<double>(lin.dep_tasks_scanned) /
+                 (idx.dep_tasks_scanned > 0 ? idx.dep_tasks_scanned : 1)
+          << ", \"identical_result\": " << (idx.checksum == lin.checksum ? "true" : "false")
+          << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote BENCH_queue_depth.json\n");
+  }
+}
+
+}  // namespace
+}  // namespace copier::bench
+
+int main(int argc, char** argv) {
+  copier::bench::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Bench smoke: Release build + the two benches that gate engine performance
+# work. Writes BENCH_queue_depth.json (indexed vs linear queue-depth sweep)
+# at the repo root; fails if the sweep reports non-identical memory images.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build-release}
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_queue_depth bench_fig9_copy_throughput
+
+echo
+"$BUILD_DIR"/bench/bench_queue_depth --json | tee /tmp/bench_queue_depth.out
+if grep -q ' NO ' /tmp/bench_queue_depth.out; then
+  echo "bench_queue_depth: indexed and linear images differ" >&2
+  exit 1
+fi
+
+echo
+"$BUILD_DIR"/bench/bench_fig9_copy_throughput
+
+echo
+echo "bench smoke OK; results in BENCH_queue_depth.json"

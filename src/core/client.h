@@ -20,6 +20,7 @@
 #include "src/common/ring_buffer.h"
 #include "src/core/config.h"
 #include "src/core/descriptor.h"
+#include "src/core/range_index.h"
 #include "src/core/task.h"
 #include "src/simos/process.h"
 
@@ -75,6 +76,12 @@ struct PendingTask {
   size_t bytes_done = 0;
   bool handler_fired = false;
 
+  // Range-index bookkeeping: whether this task's dst/src entries are live in
+  // client.range_index, and whether its Done transition (index erase +
+  // completed-write log) has already been processed.
+  bool in_range_index = false;
+  bool done_processed = false;
+
   bool Done() const { return bytes_done >= task.length || aborted; }
 };
 
@@ -105,6 +112,17 @@ class Client {
   std::deque<std::unique_ptr<PendingTask>> pending;
   uint64_t next_order = 0;
   uint64_t next_task_id = 1;
+
+  // Interval index over the live (non-Done) tasks in `pending`: one dst and
+  // one src entry per task. Maintained by the Engine (AcceptTask inserts,
+  // the Done transition erases, RetireDone prunes); only populated when
+  // config.enable_range_index is set.
+  RangeIndex range_index;
+
+  // Number of live tasks with an unapplied abort request; lets
+  // ApplyDeferredAborts skip its pending-list walk when there is nothing to
+  // do (the common case — it runs after every ExecutePending pass).
+  size_t pending_abort_requests = 0;
 
   // Destinations of recently *completed* (retired) tasks, kept while any
   // still-pending task is ordered before them: an earlier task executing

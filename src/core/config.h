@@ -26,6 +26,12 @@ struct CopierConfig {
   // Global-view optimizations (§4.4).
   bool enable_absorption = true;
 
+  // Pending-range interval index: O(log n + k) dependency resolution,
+  // absorption lookup, promotion and abort matching instead of linear scans
+  // over the pending list. Off = the linear-scan baseline (ablation /
+  // bench_queue_depth "before" mode).
+  bool enable_range_index = true;
+
   // Scheduling (§4.5.3).
   size_t copy_slice_bytes = 256 * kKiB;  // max copy length per scheduling pick
 

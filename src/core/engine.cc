@@ -104,7 +104,11 @@ void Engine::AcceptTask(Client& client, QueuePair& pair, CopyTask task, bool ker
                  (unsigned long long)pt.task.dst.start(),
                  (unsigned long long)pt.task.src.start(), pt.task.length);
   }
+  PendingTask* accepted = pending.get();
   client.pending.push_back(std::move(pending));
+  if (config_.enable_range_index) {
+    IndexInsert(client, *accepted);
+  }
   ++stats_.tasks_ingested;
 }
 
@@ -191,13 +195,34 @@ void Engine::HandleSyncTask(Client& client, const SyncTask& sync) {
     // destination (its absorption chain runs through this task); handlers
     // still run at discard time (source buffers must be reclaimed). Copier
     // never discards implicitly.
-    for (auto& pending : client.pending) {
-      PendingTask& task = *pending;
-      if (task.Done()) {
-        continue;
-      }
-      if (RefsOverlap(task.task.dst, task.task.length, sync.addr, sync.length)) {
+    const auto request_abort = [&client](PendingTask& task) {
+      if (!task.abort_requested) {
         task.abort_requested = true;
+        ++client.pending_abort_requests;
+      }
+    };
+    ++stats_.dep_probes;
+    if (config_.enable_range_index) {
+      ChargeCtx(ctx_, timing_->absorption_match_cycles);
+      stats_.dep_tasks_scanned += client.range_index.ForEachOverlap(
+          RangeIndex::Side::kDst, sync.addr.domain(), sync.addr.start(), sync.length,
+          [&](const RangeIndex::Entry& entry) {
+            request_abort(*entry.task);
+            return true;
+          });
+    } else {
+      for (auto& pending : client.pending) {
+        PendingTask& task = *pending;
+        if (task.Done()) {
+          continue;
+        }
+        // Abort matching is the same per-candidate work as a promotion scan;
+        // it must not be free in virtual time.
+        ChargeCtx(ctx_, timing_->absorption_match_cycles);
+        ++stats_.dep_tasks_scanned;
+        if (RefsOverlap(task.task.dst, task.task.length, sync.addr, sync.length)) {
+          request_abort(task);
+        }
       }
     }
     ApplyDeferredAborts(client);
@@ -224,12 +249,49 @@ void Engine::PromoteRange(Client& client, const MemRef& addr, size_t length) {
   // Promote every pending task producing bytes of [addr, addr+length),
   // oldest first so newer writers land last (ResolveDependencies additionally
   // orders each one's prerequisites).
+  ++stats_.dep_probes;
+  if (config_.enable_range_index) {
+    struct Hit {
+      PendingTask* task;
+      uint64_t order;
+      uint64_t start;
+      uint64_t end;
+    };
+    std::vector<Hit> hits;
+    ChargeCtx(ctx_, timing_->absorption_match_cycles);
+    stats_.dep_tasks_scanned += client.range_index.ForEachOverlap(
+        RangeIndex::Side::kDst, addr.domain(), addr.start(), length,
+        [&](const RangeIndex::Entry& entry) {
+          hits.push_back({entry.task, entry.order, entry.start, entry.start + entry.length});
+          return true;
+        });
+    std::sort(hits.begin(), hits.end(),
+              [](const Hit& a, const Hit& b) { return a.order < b.order; });
+    for (const Hit& hit : hits) {
+      PendingTask& task = *hit.task;
+      if (task.Done()) {
+        continue;  // executed as a dependency of an older promoted task
+      }
+      const uint64_t ovl_start = std::max(hit.start, addr.start());
+      const uint64_t ovl_end = std::min(hit.end, addr.start() + length);
+      task.promoted = true;
+      const Status status =
+          ExecuteTaskRange(client, task, ovl_start - hit.start, ovl_end - ovl_start,
+                           /*depth=*/0);
+      if (!status.ok()) {
+        DropTask(client, task, status);
+      }
+    }
+    RetireDone(client);
+    return;
+  }
   for (auto it = client.pending.begin(); it != client.pending.end(); ++it) {
     PendingTask& task = **it;
     if (task.Done()) {
       continue;
     }
     ChargeCtx(ctx_, timing_->absorption_match_cycles);
+    ++stats_.dep_tasks_scanned;
     if (!RefsOverlap(task.task.dst, task.task.length, addr, length)) {
       continue;
     }
@@ -257,13 +319,59 @@ Status Engine::ResolveDependencies(Client& client, PendingTask& task, size_t off
   }
   const MemRef dst = task.task.dst.Offset(offset);
   const MemRef src = task.task.src.Offset(offset);
+  if (config_.enable_range_index) {
+    // Enumerate only the overlapping entries, then replay them in submission
+    // order (oldest first) with WAW before WAR before RAW per conflicting
+    // task — the order the linear scan visits them in.
+    struct Conflict {
+      PendingTask* task;
+      uint64_t order;
+      uint8_t kind;    // 0 = WAW, 1 = WAR, 2 = RAW
+      uint64_t start;  // overlap, in the conflicting task's domain addresses
+      uint64_t end;
+    };
+    std::vector<Conflict> conflicts;
+    const auto probe = [&](RangeIndex::Side side, const MemRef& ref, uint8_t kind) {
+      ++stats_.dep_probes;
+      ChargeCtx(ctx_, timing_->absorption_match_cycles);
+      stats_.dep_tasks_scanned += client.range_index.ForEachOverlap(
+          side, ref.domain(), ref.start(), length, [&](const RangeIndex::Entry& entry) {
+            if (entry.order < task.order) {
+              const uint64_t start = std::max(entry.start, ref.start());
+              const uint64_t end = std::min(entry.start + entry.length, ref.start() + length);
+              conflicts.push_back({entry.task, entry.order, kind, start, end});
+            }
+            return true;
+          });
+    };
+    probe(RangeIndex::Side::kDst, dst, 0);  // WAW: earlier writes of these bytes
+    probe(RangeIndex::Side::kSrc, dst, 1);  // WAR: earlier reads this overwrites
+    if (!config_.enable_absorption) {
+      probe(RangeIndex::Side::kDst, src, 2);  // RAW: producers must land first
+    }
+    std::sort(conflicts.begin(), conflicts.end(), [](const Conflict& a, const Conflict& b) {
+      return a.order != b.order ? a.order < b.order : a.kind < b.kind;
+    });
+    for (const Conflict& c : conflicts) {
+      // WAR overlaps are relative to the other task's source range; WAW/RAW
+      // to its destination. ExecuteTaskRange skips tasks an earlier conflict
+      // already completed.
+      const uint64_t base =
+          c.kind == 1 ? c.task->task.src.start() : c.task->task.dst.start();
+      COPIER_RETURN_IF_ERROR(
+          ExecuteTaskRange(client, *c.task, c.start - base, c.end - c.start, depth + 1));
+    }
+    return OkStatus();
+  }
   // Oldest-first so earlier conflicting writes land in submission order.
+  ++stats_.dep_probes;
   for (auto& other_ptr : client.pending) {
     PendingTask& other = *other_ptr;
     if (other.order >= task.order || other.Done()) {
       continue;
     }
     ChargeCtx(ctx_, timing_->absorption_match_cycles);
+    ++stats_.dep_tasks_scanned;
     const CopyTask& ot = other.task;
 
     // WAW: an earlier task writes bytes this range is about to write.
@@ -299,14 +407,72 @@ PendingTask* Engine::FindProducer(Client& client, const PendingTask& task, const
   // If none contains it, overlap_offset reports where the nearest producer
   // region begins (bounding the plain prefix) and nullptr is returned with
   // overlap_length untouched.
+  const uint64_t first_byte = ref.start();
+  if (config_.enable_range_index) {
+    // One overlap enumeration yields the stabbing answer (latest writer
+    // containing the first byte), the successor bound for the plain prefix,
+    // and the newer-writer clip — the linear version needed a second full
+    // scan for the clip. Index entries only cover live (non-Done) tasks; a
+    // completed producer's bytes have landed, so the plain path reading the
+    // actual source memory is equivalent (and dead-write suppression keeps
+    // those bytes WAW-consistent).
+    struct Cand {
+      PendingTask* task;
+      uint64_t order;
+      uint64_t start;
+      uint64_t end;
+    };
+    std::vector<Cand> cands;
+    ++stats_.dep_probes;
+    ChargeCtx(ctx_, timing_->absorption_match_cycles);
+    stats_.dep_tasks_scanned += client.range_index.ForEachOverlap(
+        RangeIndex::Side::kDst, ref.domain(), first_byte, length,
+        [&](const RangeIndex::Entry& entry) {
+          if (entry.order < task.order) {
+            cands.push_back(
+                {entry.task, entry.order, entry.start, entry.start + entry.length});
+          }
+          return true;
+        });
+    const Cand* best = nullptr;
+    uint64_t nearest_start = UINT64_MAX;
+    for (const Cand& cand : cands) {
+      if (first_byte >= cand.start && first_byte < cand.end) {
+        if (best == nullptr || cand.order > best->order) {
+          best = &cand;
+        }
+      } else if (cand.start > first_byte) {
+        nearest_start = std::min(nearest_start, cand.start);
+      }
+    }
+    if (best == nullptr) {
+      *overlap_offset = nearest_start == UINT64_MAX
+                            ? length
+                            : static_cast<size_t>(nearest_start - first_byte);
+      return nullptr;
+    }
+    uint64_t end = std::min(best->end, first_byte + length);
+    // Clip at the start of any LATER-ordered producer inside the piece: those
+    // bytes belong to the newer writer, which the next iteration picks up.
+    for (const Cand& cand : cands) {
+      if (cand.order > best->order && cand.start > first_byte && cand.start < end) {
+        end = cand.start;
+      }
+    }
+    *overlap_offset = 0;
+    *overlap_length = end - first_byte;
+    return best->task;
+  }
   PendingTask* best = nullptr;
   uint64_t nearest_start = UINT64_MAX;
-  const uint64_t first_byte = ref.start();
+  ++stats_.dep_probes;
   for (auto it = client.pending.rbegin(); it != client.pending.rend(); ++it) {
     PendingTask& other = **it;
     if (other.order >= task.order || other.aborted) {
       continue;
     }
+    ChargeCtx(ctx_, timing_->absorption_match_cycles);
+    ++stats_.dep_tasks_scanned;
     if (!RefsOverlap(other.task.dst, other.task.length, ref, length)) {
       continue;
     }
@@ -333,6 +499,8 @@ PendingTask* Engine::FindProducer(Client& client, const PendingTask& task, const
     if (other.order >= task.order || other.order <= best->order || other.aborted) {
       continue;
     }
+    ChargeCtx(ctx_, timing_->absorption_match_cycles);
+    ++stats_.dep_tasks_scanned;
     const uint64_t dst_start = other.task.dst.start();
     if (other.task.dst.domain() == ref.domain() && dst_start > first_byte && dst_start < end) {
       end = dst_start;
@@ -358,7 +526,8 @@ void Engine::ResolveSources(Client& client, PendingTask& task, size_t src_offset
   while (pos < length) {
     size_t ovl_off = 0;
     size_t ovl_len = 0;
-    ChargeCtx(ctx_, timing_->absorption_match_cycles);
+    // FindProducer charges the probe (per index lookup, or per candidate in
+    // the linear baseline).
     PendingTask* producer =
         FindProducer(client, task, src.Offset(pos), length - pos, &ovl_off, &ovl_len);
     if (producer == nullptr) {
@@ -512,7 +681,7 @@ Status Engine::BuildSubtasks(Client& client, PendingTask& task, size_t offset,
 // Piggyback-based dispatch and execution (§4.3)
 // ---------------------------------------------------------------------------
 
-void Engine::ExecuteRound(std::vector<Subtask>& subtasks) {
+void Engine::ExecuteRound(Client& client, std::vector<Subtask>& subtasks) {
   if (subtasks.empty()) {
     return;
   }
@@ -599,14 +768,14 @@ void Engine::ExecuteRound(std::vector<Subtask>& subtasks) {
         ChargeCtx(ctx_, timing_->dma_completion_check_cycles);
         stats_.dma_bytes += st.length;
         ++stats_.dma_batches;
-        MarkProgress(*st.owner, st.task_offset, st.length, CtxNow(ctx_));
+        MarkProgress(client, *st.owner, st.task_offset, st.length, CtxNow(ctx_));
         continue;
       }
     }
     hw::AvxCopy(st.dst, st.src, st.length);
     ChargeCtx(ctx_, timing_->CpuCopyCycles(hw::CopyUnitKind::kAvx, st.length));
     stats_.avx_bytes += st.length;
-    MarkProgress(*st.owner, st.task_offset, st.length, CtxNow(ctx_));
+    MarkProgress(client, *st.owner, st.task_offset, st.length, CtxNow(ctx_));
   }
 
   // Confirm DMA completion (the piggyback split keeps this wait near zero).
@@ -618,7 +787,7 @@ void Engine::ExecuteRound(std::vector<Subtask>& subtasks) {
     dma_.Poll(CtxNow(ctx_));
     for (size_t idx : dma_set) {
       Subtask& st = subtasks[idx];
-      MarkProgress(*st.owner, st.task_offset, st.length, CtxNow(ctx_));
+      MarkProgress(client, *st.owner, st.task_offset, st.length, CtxNow(ctx_));
     }
   }
   (void)round_start;
@@ -669,18 +838,8 @@ Status Engine::CopyRange(Client& client, PendingTask& task, size_t offset, size_
     std::vector<std::pair<size_t, size_t>> live;  // [start, end) task-local
     live.emplace_back(run_start, run_end);
     const uint64_t dst_base = task.task.dst.start();
-    // Bytes fully written by later tasks that already completed and retired.
-    for (const auto& done : client.completed_writes) {
-      if (done.order <= task.order || done.domain != task.task.dst.domain()) {
-        continue;
-      }
-      const uint64_t ovl_start = std::max(done.start, dst_base + run_start);
-      const uint64_t ovl_end = std::min(done.start + done.length, dst_base + run_end);
-      if (ovl_start >= ovl_end) {
-        continue;
-      }
-      const size_t dead_start = ovl_start - dst_base;
-      const size_t dead_end = ovl_end - dst_base;
+    // Removes [dead_start, dead_end) (task-local bytes) from `live`.
+    const auto subtract_dead = [&live](size_t dead_start, size_t dead_end) {
       std::vector<std::pair<size_t, size_t>> next;
       for (auto [ls, le] : live) {
         if (dead_end <= ls || dead_start >= le) {
@@ -695,20 +854,26 @@ Status Engine::CopyRange(Client& client, PendingTask& task, size_t offset, size_
         }
       }
       live = std::move(next);
+    };
+    // Bytes fully written by later tasks that already completed.
+    for (const auto& done : client.completed_writes) {
+      if (done.order <= task.order || done.domain != task.task.dst.domain()) {
+        continue;
+      }
+      const uint64_t ovl_start = std::max(done.start, dst_base + run_start);
+      const uint64_t ovl_end = std::min(done.start + done.length, dst_base + run_end);
+      if (ovl_start >= ovl_end) {
+        continue;
+      }
+      subtract_dead(ovl_start - dst_base, ovl_end - dst_base);
     }
-    for (const auto& other_ptr : client.pending) {
-      PendingTask& other = *other_ptr;
-      if (other.order <= task.order || other.aborted) {
-        continue;
-      }
+    // Bytes a later *pending* writer has already landed (segment-granular).
+    const auto suppress_from = [&](PendingTask& other) {
       const CopyTask& ot = other.task;
-      if (ot.dst.domain() != task.task.dst.domain()) {
-        continue;
-      }
       const uint64_t ovl_start = std::max(ot.dst.start(), dst_base + run_start);
       const uint64_t ovl_end = std::min(ot.dst.start() + ot.length, dst_base + run_end);
       if (ovl_start >= ovl_end) {
-        continue;
+        return;
       }
       // Walk the overlap in `other`'s progress segments; marked pieces are
       // dead for this task.
@@ -721,24 +886,38 @@ Status Engine::CopyRange(Client& client, PendingTask& task, size_t offset, size_
         const uint64_t piece_end = std::min<uint64_t>(
             ovl_end, ot.dst.start() - other.progress_offset + (o_seg + 1) * o_seg_size);
         if (other.progress->SegmentReady(o_seg)) {
-          const size_t dead_start = cursor - dst_base;
-          const size_t dead_end = piece_end - dst_base;
-          std::vector<std::pair<size_t, size_t>> next;
-          for (auto [ls, le] : live) {
-            if (dead_end <= ls || dead_start >= le) {
-              next.emplace_back(ls, le);
-              continue;
-            }
-            if (ls < dead_start) {
-              next.emplace_back(ls, dead_start);
-            }
-            if (dead_end < le) {
-              next.emplace_back(dead_end, le);
-            }
-          }
-          live = std::move(next);
+          subtract_dead(cursor - dst_base, piece_end - dst_base);
         }
         cursor = piece_end;
+      }
+    };
+    if (config_.enable_range_index) {
+      // Live later writers whose dst overlaps this run. Done tasks already
+      // left the index; their full write is covered by completed_writes above.
+      std::vector<PendingTask*> writers;
+      ++stats_.dep_probes;
+      ChargeCtx(ctx_, timing_->absorption_match_cycles);
+      stats_.dep_tasks_scanned += client.range_index.ForEachOverlap(
+          RangeIndex::Side::kDst, task.task.dst.domain(), dst_base + run_start,
+          run_end - run_start, [&](const RangeIndex::Entry& entry) {
+            if (entry.order > task.order && !entry.task->aborted) {
+              writers.push_back(entry.task);
+            }
+            return true;
+          });
+      for (PendingTask* other : writers) {
+        suppress_from(*other);
+      }
+    } else {
+      for (const auto& other_ptr : client.pending) {
+        PendingTask& other = *other_ptr;
+        ChargeCtx(ctx_, timing_->absorption_match_cycles);
+        ++stats_.dep_tasks_scanned;
+        if (other.order <= task.order || other.aborted ||
+            other.task.dst.domain() != task.task.dst.domain()) {
+          continue;
+        }
+        suppress_from(other);
       }
     }
 
@@ -755,7 +934,7 @@ Status Engine::CopyRange(Client& client, PendingTask& task, size_t offset, size_
       ResolveSources(client, task, ls, le - ls, depth, &sources);
       std::vector<Subtask> subtasks;
       COPIER_RETURN_IF_ERROR(BuildSubtasks(client, task, ls, sources, &subtasks));
-      ExecuteRound(subtasks);
+      ExecuteRound(client, subtasks);
       live_bytes += le - ls;
     }
     // Dead bytes: obligation satisfied by the newer writer; mark done.
@@ -763,12 +942,12 @@ Status Engine::CopyRange(Client& client, PendingTask& task, size_t offset, size_
       size_t cursor = run_start;
       for (auto [ls, le] : live) {
         if (cursor < ls) {
-          MarkProgress(task, cursor, ls - cursor, CtxNow(ctx_));
+          MarkProgress(client, task, cursor, ls - cursor, CtxNow(ctx_));
         }
         cursor = le;
       }
       if (cursor < run_end) {
-        MarkProgress(task, cursor, run_end - cursor, CtxNow(ctx_));
+        MarkProgress(client, task, cursor, run_end - cursor, CtxNow(ctx_));
       }
     }
   }
@@ -812,26 +991,51 @@ Status Engine::ExecuteTaskRange(Client& client, PendingTask& task, size_t offset
 }
 
 void Engine::ApplyDeferredAborts(Client& client) {
+  if (client.pending_abort_requests == 0) {
+    return;  // common case: nothing deferred (runs after every pending pass)
+  }
+  size_t remaining = 0;
   for (auto& pending : client.pending) {
     PendingTask& task = *pending;
     if (!task.abort_requested || task.Done()) {
       continue;
     }
     bool has_dependent = false;
-    for (const auto& other : client.pending) {
-      if (other->order > task.order && !other->Done() &&
-          RefsOverlap(task.task.dst, task.task.length, other->task.src, other->task.length)) {
-        has_dependent = true;
-        break;
+    if (config_.enable_range_index) {
+      // A dependent is a live, later-ordered reader of this task's dst.
+      ++stats_.dep_probes;
+      ChargeCtx(ctx_, timing_->absorption_match_cycles);
+      stats_.dep_tasks_scanned += client.range_index.ForEachOverlap(
+          RangeIndex::Side::kSrc, task.task.dst.domain(), task.task.dst.start(),
+          task.task.length, [&](const RangeIndex::Entry& entry) {
+            if (entry.order > task.order && !entry.task->Done()) {
+              has_dependent = true;
+              return false;
+            }
+            return true;
+          });
+    } else {
+      for (const auto& other : client.pending) {
+        ChargeCtx(ctx_, timing_->absorption_match_cycles);
+        ++stats_.dep_tasks_scanned;
+        if (other->order > task.order && !other->Done() &&
+            RefsOverlap(task.task.dst, task.task.length, other->task.src,
+                        other->task.length)) {
+          has_dependent = true;
+          break;
+        }
       }
     }
-    if (!has_dependent) {
+    if (has_dependent) {
+      ++remaining;
+    } else {
       if (getenv("COPIER_TRACE") != nullptr) {
         std::fprintf(stderr, "[abort] task=%llu order=%llu dst=%llx len=%zu\n",
                      (unsigned long long)task.task.id, (unsigned long long)task.order,
                      (unsigned long long)task.task.dst.start(), task.task.length);
       }
       task.aborted = true;
+      OnTaskDone(client, task);
       ++stats_.tasks_aborted;
       // Settle the client-visible descriptor: the client explicitly discarded
       // this copy and promised not to use the data (§4.4), but csync_all
@@ -843,6 +1047,7 @@ void Engine::ApplyDeferredAborts(Client& client) {
       CompleteTask(client, task);
     }
   }
+  client.pending_abort_requests = remaining;
 }
 
 uint64_t Engine::ExecutePending(Client& client, uint64_t budget) {
@@ -889,21 +1094,8 @@ uint64_t Engine::ExecutePending(Client& client, uint64_t budget) {
         break;
       }
     }
-    for (const auto& other : client.pending) {
-      if (!head_fusable) {
-        break;
-      }
-      if (other.get() == head || other->Done()) {
-        continue;
-      }
-      const CopyTask& a = other->task;
-      const CopyTask& b = head->task;
-      if (RefsOverlap(a.dst, a.length, b.dst, b.length) ||
-          RefsOverlap(a.dst, a.length, b.src, b.length) ||
-          RefsOverlap(a.src, a.length, b.dst, b.length)) {
-        head_fusable = false;
-        break;
-      }
+    if (head_fusable && HasAnyConflict(client, *head)) {
+      head_fusable = false;
     }
     // The fused path copies whole tasks without segment clipping, so only
     // fully-unstarted tasks may fuse: a partially-executed task re-copying
@@ -916,13 +1108,6 @@ uint64_t Engine::ExecutePending(Client& client, uint64_t budget) {
       // it must have no data dependency (RAW/WAW/WAR, either direction) with
       // round members *or* any unfinished task ordered before it — including
       // lazy/abort-deferred tasks sitting before the round head.
-      std::vector<PendingTask*> scanned;
-      for (auto& prior : client.pending) {
-        if (!prior->Done() && prior.get() != head) {
-          scanned.push_back(prior.get());
-        }
-      }
-      scanned.push_back(head);
       size_t round_bytes = head->task.length;
       for (size_t j = scan + 1; j < client.pending.size() && round.size() < kMaxFusedTasks;
            ++j) {
@@ -930,20 +1115,9 @@ uint64_t Engine::ExecutePending(Client& client, uint64_t budget) {
         if (cand.Done()) {
           continue;
         }
-        bool conflict = false;
-        for (PendingTask* prior : scanned) {
-          if (prior == &cand) {
-            continue;
-          }
-          const CopyTask& a = prior->task;
-          const CopyTask& b = cand.task;
-          if (RefsOverlap(a.dst, a.length, b.dst, b.length) ||
-              RefsOverlap(a.dst, a.length, b.src, b.length) ||
-              RefsOverlap(a.src, a.length, b.dst, b.length)) {
-            conflict = true;
-            break;
-          }
-        }
+        // Conflict with any live task (round members included — they are all
+        // live pending tasks, so one probe set covers them).
+        bool conflict = HasAnyConflict(client, cand);
         if (!conflict) {
           for (const auto& done : client.completed_writes) {
             if (done.order > cand.order &&
@@ -955,21 +1129,11 @@ uint64_t Engine::ExecutePending(Client& client, uint64_t budget) {
             }
           }
         }
-        scanned.push_back(&cand);
         if (conflict || cand.task.type == TaskType::kLazy || cand.bytes_done != 0) {
           continue;  // stays in place; later candidates are checked against it
         }
         // Tasks with producers need the ordered (absorption-aware) path.
-        bool has_producer = false;
-        for (const auto& other : client.pending) {
-          if (other->order < cand.order && !other->aborted && !other->Done() &&
-              RefsOverlap(other->task.dst, other->task.length, cand.task.src,
-                          cand.task.length)) {
-            has_producer = true;
-            break;
-          }
-        }
-        if (has_producer) {
+        if (HasEarlierLiveWriter(client, cand)) {
           continue;
         }
         round.push_back(&cand);
@@ -1008,7 +1172,7 @@ uint64_t Engine::ExecutePending(Client& client, uint64_t budget) {
         }
       }
       if (!fault) {
-        ExecuteRound(subtasks);
+        ExecuteRound(client, subtasks);
       }
       for (size_t i = 0; i < round.size(); ++i) {
         if (round[i]->bytes_done >= round[i]->task.length) {
@@ -1027,7 +1191,9 @@ uint64_t Engine::ExecutePending(Client& client, uint64_t budget) {
 // Completion, drops, retirement
 // ---------------------------------------------------------------------------
 
-void Engine::MarkProgress(PendingTask& task, size_t offset, size_t length, Cycles when) {
+void Engine::MarkProgress(Client& client, PendingTask& task, size_t offset, size_t length,
+                          Cycles when) {
+  const bool was_done = task.Done();
   task.progress->MarkRange(task.progress_offset + offset, length, when);
   // Mirror into the client-visible descriptor (§4.1): csync gates on it.
   if (task.task.descriptor != nullptr) {
@@ -1035,6 +1201,9 @@ void Engine::MarkProgress(PendingTask& task, size_t offset, size_t length, Cycle
   }
   task.bytes_done += length;
   stats_.bytes_copied += length;
+  if (!was_done && task.Done()) {
+    OnTaskDone(client, task);
+  }
 }
 
 void Engine::CompleteTask(Client& client, PendingTask& task) {
@@ -1075,6 +1244,7 @@ void Engine::DropTask(Client& client, PendingTask& task, const Status& reason) {
   COPIER_LOG(kDebug) << "dropping task " << task.task.id << ": " << reason.ToString();
   ++stats_.tasks_dropped;
   task.aborted = true;
+  OnTaskDone(client, task);
   task.handler_fired = true;  // handlers do not run for faulted tasks
   if (task.progress != nullptr) {
     task.progress->MarkFailed(CtxNow(ctx_));
@@ -1088,14 +1258,14 @@ void Engine::DropTask(Client& client, PendingTask& task, const Status& reason) {
 }
 
 void Engine::RetireDone(Client& client) {
-  std::erase_if(client.pending, [&client](const std::unique_ptr<PendingTask>& task) {
+  std::erase_if(client.pending, [this, &client](const std::unique_ptr<PendingTask>& task) {
     if (!task->Done() || !task->handler_fired) {
       return false;
     }
-    if (!task->aborted) {
-      client.completed_writes.push_back(Client::CompletedWrite{
-          task->order, task->task.dst.domain(), task->task.dst.start(), task->task.length});
-    }
+    // Done tasks normally had their index entries dropped and their
+    // destination logged at the Done transition (OnTaskDone); this is the
+    // safety net for any path that flipped Done() without going through it.
+    OnTaskDone(client, *task);
     return true;
   });
   // Prune: a completed write only matters while an EARLIER-ordered task could
@@ -1109,6 +1279,116 @@ void Engine::RetireDone(Client& client) {
   std::erase_if(client.completed_writes, [min_pending_order](const Client::CompletedWrite& w) {
     return w.order < min_pending_order || min_pending_order == UINT64_MAX;
   });
+}
+
+// ---------------------------------------------------------------------------
+// Pending-range interval index
+// ---------------------------------------------------------------------------
+
+void Engine::IndexInsert(Client& client, PendingTask& task) {
+  if (task.in_range_index || task.Done()) {
+    return;
+  }
+  client.range_index.Insert(RangeIndex::Side::kDst, task.task.dst.domain(),
+                            task.task.dst.start(), task.task.length, task.order, &task);
+  client.range_index.Insert(RangeIndex::Side::kSrc, task.task.src.domain(),
+                            task.task.src.start(), task.task.length, task.order, &task);
+  task.in_range_index = true;
+  stats_.index_entries = client.range_index.size();
+}
+
+void Engine::IndexErase(Client& client, PendingTask& task) {
+  if (!task.in_range_index) {
+    return;
+  }
+  client.range_index.Erase(RangeIndex::Side::kDst, task.task.dst.domain(),
+                           task.task.dst.start(), task.order);
+  client.range_index.Erase(RangeIndex::Side::kSrc, task.task.src.domain(),
+                           task.task.src.start(), task.order);
+  task.in_range_index = false;
+  stats_.index_entries = client.range_index.size();
+}
+
+void Engine::OnTaskDone(Client& client, PendingTask& task) {
+  if (task.done_processed) {
+    return;
+  }
+  task.done_processed = true;
+  IndexErase(client, task);
+  // Log the write so a still-pending earlier task executing late cannot
+  // overwrite it (WAW); pruned in RetireDone once no earlier task remains.
+  if (!task.aborted) {
+    client.completed_writes.push_back(Client::CompletedWrite{
+        task.order, task.task.dst.domain(), task.task.dst.start(), task.task.length});
+  }
+}
+
+bool Engine::HasAnyConflict(Client& client, const PendingTask& self) {
+  const CopyTask& b = self.task;
+  if (config_.enable_range_index) {
+    bool conflict = false;
+    const auto probe = [&](RangeIndex::Side side, const MemRef& ref) {
+      if (conflict) {
+        return;
+      }
+      ++stats_.dep_probes;
+      ChargeCtx(ctx_, timing_->absorption_match_cycles);
+      stats_.dep_tasks_scanned += client.range_index.ForEachOverlap(
+          side, ref.domain(), ref.start(), b.length, [&](const RangeIndex::Entry& entry) {
+            if (entry.task != &self && !entry.task->Done()) {
+              conflict = true;
+              return false;
+            }
+            return true;
+          });
+    };
+    probe(RangeIndex::Side::kDst, b.dst);  // WAW: another writer of our dst
+    probe(RangeIndex::Side::kSrc, b.dst);  // WAR: a reader of our dst
+    probe(RangeIndex::Side::kDst, b.src);  // RAW: a writer of our src
+    return conflict;
+  }
+  for (const auto& other : client.pending) {
+    ChargeCtx(ctx_, timing_->absorption_match_cycles);
+    ++stats_.dep_tasks_scanned;
+    if (other.get() == &self || other->Done()) {
+      continue;
+    }
+    const CopyTask& a = other->task;
+    if (RefsOverlap(a.dst, a.length, b.dst, b.length) ||
+        RefsOverlap(a.dst, a.length, b.src, b.length) ||
+        RefsOverlap(a.src, a.length, b.dst, b.length)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Engine::HasEarlierLiveWriter(Client& client, const PendingTask& reader) {
+  const CopyTask& b = reader.task;
+  if (config_.enable_range_index) {
+    bool found = false;
+    ++stats_.dep_probes;
+    ChargeCtx(ctx_, timing_->absorption_match_cycles);
+    stats_.dep_tasks_scanned += client.range_index.ForEachOverlap(
+        RangeIndex::Side::kDst, b.src.domain(), b.src.start(), b.length,
+        [&](const RangeIndex::Entry& entry) {
+          if (entry.order < reader.order && !entry.task->Done()) {
+            found = true;
+            return false;
+          }
+          return true;
+        });
+    return found;
+  }
+  for (const auto& other : client.pending) {
+    ChargeCtx(ctx_, timing_->absorption_match_cycles);
+    ++stats_.dep_tasks_scanned;
+    if (other->order < reader.order && !other->Done() &&
+        RefsOverlap(other->task.dst, other->task.length, b.src, b.length)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 // ---------------------------------------------------------------------------

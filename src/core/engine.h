@@ -56,6 +56,10 @@ class Engine {
     uint64_t kfuncs_run = 0;
     uint64_t ufuncs_queued = 0;
     uint64_t lazy_absorbed_bytes = 0;
+    // Coordination-lookup observability (range index vs linear baseline).
+    uint64_t dep_probes = 0;         // dependency/absorption/abort lookups issued
+    uint64_t dep_tasks_scanned = 0;  // candidate tasks examined across all probes
+    uint64_t index_entries = 0;      // live index entries (gauge, last-touched client)
   };
 
   Engine(const CopierConfig& config, const hw::TimingModel* timing, ExecContext* ctx);
@@ -145,7 +149,7 @@ class Engine {
   Status BuildSubtasks(Client& client, PendingTask& task, size_t offset,
                        const std::vector<SourcePiece>& sources, std::vector<Subtask>* out);
   // Executes one piggyback round over the subtasks; marks progress per owner.
-  void ExecuteRound(std::vector<Subtask>& subtasks);
+  void ExecuteRound(Client& client, std::vector<Subtask>& subtasks);
 
   // Resolves one user page to a host pointer through the ATCache; performs
   // proactive fault handling. Returns the host pointer for `va`'s page and
@@ -156,13 +160,27 @@ class Engine {
   // Security checks (§4.5.4): u-mode tasks may only touch their own space.
   Status ValidateTask(Client& client, const CopyTask& task, bool kernel_mode) const;
 
-  void MarkProgress(PendingTask& task, size_t offset, size_t length, Cycles when);
+  void MarkProgress(Client& client, PendingTask& task, size_t offset, size_t length,
+                    Cycles when);
   void CompleteTask(Client& client, PendingTask& task);
   void DropTask(Client& client, PendingTask& task, const Status& reason);
   void RetireDone(Client& client);
 
   PendingTask* FindProducer(Client& client, const PendingTask& task, const MemRef& ref,
                             size_t length, size_t* overlap_offset, size_t* overlap_length);
+
+  // --- pending-range interval index maintenance and fused-path probes ---
+  void IndexInsert(Client& client, PendingTask& task);
+  void IndexErase(Client& client, PendingTask& task);
+  // Done transition: drops the task's index entries and logs its destination
+  // in client.completed_writes (non-aborted tasks), exactly once per task.
+  void OnTaskDone(Client& client, PendingTask& task);
+  // True when any live pending task other than `self` has a data dependency
+  // (RAW/WAW/WAR, either direction) with `self`'s ranges (e-piggyback gate).
+  bool HasAnyConflict(Client& client, const PendingTask& self);
+  // True when an unfinished earlier-ordered task writes bytes `reader`'s
+  // source names (a live RAW producer — such tasks need the ordered path).
+  bool HasEarlierLiveWriter(Client& client, const PendingTask& reader);
 
   const CopierConfig& config_;
   const hw::TimingModel* timing_;

@@ -1,0 +1,151 @@
+// RangeIndex — ordered interval index over the live (non-Done) pending tasks
+// of one client.
+//
+// Every coordination decision the Engine makes on the hot path — RAW/WAW/WAR
+// dependency resolution (§4.2.2), layered-absorption producer lookup (§4.4),
+// sync-driven promotion and abort matching (§4.1, §4.4) — is an interval
+// question: "which live tasks touch [addr, addr+len) of this domain?".
+// Answering it by scanning the whole pending list makes every lookup
+// O(pending) and deep-queue workloads O(n²). This index answers it in
+// O(log n + k), where k is the number of entries that actually overlap.
+//
+// Two entry sets are kept, one for destination ranges and one for source
+// ranges of live pending tasks. Entries are keyed on (domain, address) packed
+// into a single 128-bit coordinate so ranges from different address spaces
+// never compare as neighbours. Each set is a treap augmented with the
+// subtree-max interval end (a classic dynamic interval tree), giving
+// O(log n) expected insert/erase and O(log n + k) overlap enumeration.
+//
+// Invariants (maintained by the Engine, see DESIGN.md "Pending-range
+// interval index"):
+//   * entries exist exactly for tasks in client.pending with !Done();
+//   * a task contributes exactly one kDst and one kSrc entry, inserted in
+//     AcceptTask and erased at its Done transition (completion, abort, or
+//     drop), with a final safety prune in RetireDone;
+//   * keys are (domain, start, order); `order` disambiguates tasks naming
+//     identical ranges, so erase is exact and enumeration order is
+//     deterministic: ascending (address, order).
+#ifndef COPIER_SRC_CORE_RANGE_INDEX_H_
+#define COPIER_SRC_CORE_RANGE_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace copier::core {
+
+struct PendingTask;
+
+class RangeIndex {
+ public:
+  enum class Side : uint8_t { kDst = 0, kSrc = 1 };
+
+  // One live interval, handed to ForEachOverlap callbacks. `start`/`length`
+  // are the entry's own range (not clipped to the probe window).
+  struct Entry {
+    PendingTask* task;
+    uint64_t order;
+    uint64_t start;
+    size_t length;
+  };
+
+  RangeIndex() = default;
+  ~RangeIndex();
+  RangeIndex(const RangeIndex&) = delete;
+  RangeIndex& operator=(const RangeIndex&) = delete;
+
+  void Insert(Side side, uint64_t domain, uint64_t start, size_t length, uint64_t order,
+              PendingTask* task);
+  // Erases the entry inserted under the same (side, domain, start, order);
+  // no-op when absent.
+  void Erase(Side side, uint64_t domain, uint64_t start, uint64_t order);
+
+  // Invokes fn(Entry) for every entry on `side` overlapping
+  // [start, start + length) of `domain`, in ascending (address, order) order.
+  // fn returning false stops the enumeration early. Returns the number of
+  // entries fn was invoked on (the probe's candidate count).
+  template <typename Fn>
+  size_t ForEachOverlap(Side side, uint64_t domain, uint64_t start, size_t length,
+                        Fn&& fn) const {
+    if (length == 0) {
+      return 0;
+    }
+    const Coord lo = Pack(domain, start);
+    size_t touched = 0;
+    Visit(roots_[static_cast<size_t>(side)], lo, lo + length, fn, &touched);
+    return touched;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  // (domain, address) packed so interval arithmetic stays one-dimensional.
+  // A range never crosses its domain's 2^64 boundary (task validation
+  // rejects wrapping virtual ranges and host buffers cannot wrap).
+  using Coord = unsigned __int128;
+
+  static Coord Pack(uint64_t domain, uint64_t addr) {
+    return (static_cast<Coord>(domain) << 64) | addr;
+  }
+
+  struct Node {
+    Coord lo;      // (domain, start)
+    Coord hi;      // lo + length
+    Coord max_hi;  // max hi over this node's subtree (interval-tree augment)
+    uint64_t order;
+    PendingTask* task;
+    uint32_t priority;
+    Node* left = nullptr;
+    Node* right = nullptr;
+  };
+
+  static bool KeyLess(Coord lo, uint64_t order, const Node& n) {
+    return lo != n.lo ? lo < n.lo : order < n.order;
+  }
+
+  static void Update(Node* n);
+  static Node* RotateLeft(Node* n);
+  static Node* RotateRight(Node* n);
+  static Node* InsertNode(Node* n, Node* fresh);
+  static Node* EraseNode(Node* n, Coord lo, uint64_t order, bool* erased);
+  static void FreeTree(Node* n);
+
+  // Interval-tree walk: prunes subtrees whose max_hi ends at or before the
+  // window, and right subtrees once keys pass the window's end.
+  template <typename Fn>
+  static bool Visit(const Node* n, Coord qlo, Coord qhi, Fn& fn, size_t* touched) {
+    if (n == nullptr || n->max_hi <= qlo) {
+      return true;
+    }
+    if (!Visit(n->left, qlo, qhi, fn, touched)) {
+      return false;
+    }
+    if (n->lo >= qhi) {
+      return true;  // this node and its whole right subtree start past the window
+    }
+    if (n->hi > qlo) {
+      ++*touched;
+      Entry entry{n->task, n->order, static_cast<uint64_t>(n->lo),
+                  static_cast<size_t>(n->hi - n->lo)};
+      if (!fn(entry)) {
+        return false;
+      }
+    }
+    return Visit(n->right, qlo, qhi, fn, touched);
+  }
+
+  uint32_t NextPriority() {
+    prio_state_ ^= prio_state_ << 13;
+    prio_state_ ^= prio_state_ >> 17;
+    prio_state_ ^= prio_state_ << 5;
+    return prio_state_;
+  }
+
+  Node* roots_[2] = {nullptr, nullptr};
+  size_t size_ = 0;
+  uint32_t prio_state_ = 0x9e3779b9u;  // deterministic treap rebalancing
+};
+
+}  // namespace copier::core
+
+#endif  // COPIER_SRC_CORE_RANGE_INDEX_H_

@@ -273,6 +273,9 @@ Engine::Stats CopierService::TotalStats() const {
     total.kfuncs_run += s.kfuncs_run;
     total.ufuncs_queued += s.ufuncs_queued;
     total.lazy_absorbed_bytes += s.lazy_absorbed_bytes;
+    total.dep_probes += s.dep_probes;
+    total.dep_tasks_scanned += s.dep_tasks_scanned;
+    total.index_entries += s.index_entries;
   }
   return total;
 }

@@ -87,7 +87,10 @@ struct TimingModel {
   Cycles poll_iteration_cycles = 55;       // scan one client's queues, empty
   Cycles schedule_pick_cycles = 45;        // CFS-style min-length pick (§4.5.3)
   Cycles barrier_process_cycles = 20;
-  Cycles absorption_match_cycles = 12;     // dependency scan per candidate (hash-indexed)
+  // Dependency/absorption matching: charged once per interval-index probe
+  // when the range index is enabled, or once per pending candidate examined
+  // in the linear-scan baseline (enable_range_index = false).
+  Cycles absorption_match_cycles = 12;
 
   // Dispatcher policy constants (§4.3).
   size_t dma_min_subtask_bytes = 2048;   // below this, DMA submission loses

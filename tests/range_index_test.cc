@@ -1,0 +1,218 @@
+// RangeIndex unit tests plus a randomized differential test: a long random
+// op stream (insert / erase / overlap query) replayed against a reference
+// linear-scan implementation, asserting identical answers — the same queries
+// the Engine issues (producer lookup, conflict matching, abort matching).
+#include "src/core/range_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace copier::core {
+namespace {
+
+using Side = RangeIndex::Side;
+
+std::vector<uint64_t> CollectOrders(RangeIndex& index, Side side, uint64_t domain,
+                                    uint64_t start, size_t length) {
+  std::vector<uint64_t> orders;
+  index.ForEachOverlap(side, domain, start, length, [&](const RangeIndex::Entry& entry) {
+    orders.push_back(entry.order);
+    return true;
+  });
+  return orders;
+}
+
+TEST(RangeIndex, EmptyIndexFindsNothing) {
+  RangeIndex index;
+  EXPECT_TRUE(index.empty());
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(CollectOrders(index, Side::kDst, 1, 0, 4096).empty());
+}
+
+TEST(RangeIndex, InsertAndStabbingQuery) {
+  RangeIndex index;
+  index.Insert(Side::kDst, 1, 0x1000, 0x100, /*order=*/1, nullptr);
+  index.Insert(Side::kDst, 1, 0x2000, 0x100, /*order=*/2, nullptr);
+  EXPECT_EQ(index.size(), 2u);
+
+  EXPECT_EQ(CollectOrders(index, Side::kDst, 1, 0x1080, 1), std::vector<uint64_t>{1});
+  EXPECT_EQ(CollectOrders(index, Side::kDst, 1, 0x2000, 1), std::vector<uint64_t>{2});
+  // Half-open: the byte one past the end does not match.
+  EXPECT_TRUE(CollectOrders(index, Side::kDst, 1, 0x1100, 1).empty());
+  // A spanning query returns both, ascending by address.
+  EXPECT_EQ(CollectOrders(index, Side::kDst, 1, 0x1000, 0x1100),
+            (std::vector<uint64_t>{1, 2}));
+}
+
+TEST(RangeIndex, SidesAreIndependent) {
+  RangeIndex index;
+  index.Insert(Side::kDst, 1, 0x1000, 0x100, 1, nullptr);
+  index.Insert(Side::kSrc, 1, 0x1000, 0x100, 2, nullptr);
+  EXPECT_EQ(CollectOrders(index, Side::kDst, 1, 0x1000, 0x100), std::vector<uint64_t>{1});
+  EXPECT_EQ(CollectOrders(index, Side::kSrc, 1, 0x1000, 0x100), std::vector<uint64_t>{2});
+}
+
+TEST(RangeIndex, DomainsDoNotBleed) {
+  RangeIndex index;
+  index.Insert(Side::kDst, 1, 0x1000, 0x100, 1, nullptr);
+  index.Insert(Side::kDst, 2, 0x1000, 0x100, 2, nullptr);
+  EXPECT_EQ(CollectOrders(index, Side::kDst, 1, 0x1000, 0x100), std::vector<uint64_t>{1});
+  EXPECT_EQ(CollectOrders(index, Side::kDst, 2, 0x1000, 0x100), std::vector<uint64_t>{2});
+  // Domain 1's address space ends where domain 2's begins (the packed key is
+  // (domain, addr)); a query at the top of domain 1 must not see domain 2.
+  index.Insert(Side::kDst, 1, UINT64_MAX - 0x10, 0x10, 3, nullptr);
+  EXPECT_EQ(CollectOrders(index, Side::kDst, 1, UINT64_MAX - 0x10, 0x10),
+            std::vector<uint64_t>{3});
+  EXPECT_EQ(CollectOrders(index, Side::kDst, 2, 0, 0x2000), std::vector<uint64_t>{2});
+}
+
+TEST(RangeIndex, DuplicateCoordinatesDistinguishedByOrder) {
+  RangeIndex index;
+  index.Insert(Side::kDst, 1, 0x1000, 0x100, 5, nullptr);
+  index.Insert(Side::kDst, 1, 0x1000, 0x200, 9, nullptr);
+  EXPECT_EQ(index.size(), 2u);
+  index.Erase(Side::kDst, 1, 0x1000, 5);
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_EQ(CollectOrders(index, Side::kDst, 1, 0x1000, 1), std::vector<uint64_t>{9});
+  // Erasing an absent entry is a no-op.
+  index.Erase(Side::kDst, 1, 0x1000, 5);
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(RangeIndex, ZeroLengthInsertIsIgnored) {
+  RangeIndex index;
+  index.Insert(Side::kDst, 1, 0x1000, 0, 1, nullptr);
+  EXPECT_TRUE(index.empty());
+}
+
+TEST(RangeIndex, EarlyStopReportsTouchedCount) {
+  RangeIndex index;
+  for (uint64_t i = 0; i < 16; ++i) {
+    index.Insert(Side::kDst, 1, 0x1000 + i * 0x100, 0x100, i, nullptr);
+  }
+  size_t seen = 0;
+  const size_t touched =
+      index.ForEachOverlap(Side::kDst, 1, 0x1000, 16 * 0x100, [&](const RangeIndex::Entry&) {
+        ++seen;
+        return seen < 3;  // stop after the third entry
+      });
+  EXPECT_EQ(seen, 3u);
+  EXPECT_EQ(touched, 3u);
+}
+
+// --- randomized differential test -----------------------------------------
+
+struct RefEntry {
+  uint64_t domain;
+  uint64_t start;
+  size_t length;
+  uint64_t order;
+};
+
+// Reference model: plain vectors + linear scans (the code path the index
+// replaces in the Engine).
+struct RefIndex {
+  std::vector<RefEntry> sides[2];
+
+  void Insert(Side side, uint64_t domain, uint64_t start, size_t length, uint64_t order) {
+    if (length == 0) {
+      return;
+    }
+    sides[static_cast<size_t>(side)].push_back({domain, start, length, order});
+  }
+  void Erase(Side side, uint64_t domain, uint64_t start, uint64_t order) {
+    auto& v = sides[static_cast<size_t>(side)];
+    for (auto it = v.begin(); it != v.end(); ++it) {
+      if (it->domain == domain && it->start == start && it->order == order) {
+        v.erase(it);
+        return;
+      }
+    }
+  }
+  // Overlap hits as (start, order) pairs in the index's enumeration order.
+  std::vector<std::pair<uint64_t, uint64_t>> Overlap(Side side, uint64_t domain,
+                                                     uint64_t start, size_t length) const {
+    std::vector<std::pair<uint64_t, uint64_t>> hits;
+    for (const RefEntry& e : sides[static_cast<size_t>(side)]) {
+      if (e.domain == domain && e.start < start + length && start < e.start + e.length) {
+        hits.emplace_back(e.start, e.order);
+      }
+    }
+    std::sort(hits.begin(), hits.end());
+    return hits;
+  }
+  size_t size() const { return sides[0].size() + sides[1].size(); }
+};
+
+// Deterministic PRNG (xorshift64*) so failures reproduce.
+struct Rng {
+  uint64_t state = 0x243f6a8885a308d3ull;
+  uint64_t Next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dull;
+  }
+  uint64_t Below(uint64_t n) { return Next() % n; }
+};
+
+TEST(RangeIndexDifferential, TenThousandRandomOpsMatchLinearReference) {
+  RangeIndex index;
+  RefIndex ref;
+  Rng rng;
+  uint64_t next_order = 0;
+  // Live entries for targeted erases, as (side, domain, start, order).
+  std::vector<std::tuple<Side, uint64_t, uint64_t, uint64_t>> live;
+
+  // Small universe so ranges overlap heavily: 2 domains, addresses < 4096,
+  // lengths 1..256.
+  const auto rand_domain = [&] { return 1 + rng.Below(2); };
+  const auto rand_side = [&] { return rng.Below(2) == 0 ? Side::kDst : Side::kSrc; };
+
+  for (int op = 0; op < 10000; ++op) {
+    const uint64_t kind = rng.Below(10);
+    if (kind < 5 || live.empty()) {  // insert (also forced while empty)
+      const Side side = rand_side();
+      const uint64_t domain = rand_domain();
+      const uint64_t start = rng.Below(4096);
+      const size_t length = 1 + rng.Below(256);
+      const uint64_t order = next_order++;
+      index.Insert(side, domain, start, length, order, nullptr);
+      ref.Insert(side, domain, start, length, order);
+      live.emplace_back(side, domain, start, order);
+    } else if (kind < 7) {  // erase a random live entry
+      const size_t victim = rng.Below(live.size());
+      const auto [side, domain, start, order] = live[victim];
+      index.Erase(side, domain, start, order);
+      ref.Erase(side, domain, start, order);
+      live[victim] = live.back();
+      live.pop_back();
+    } else {  // overlap query, compared element-for-element
+      const Side side = rand_side();
+      const uint64_t domain = rand_domain();
+      const uint64_t start = rng.Below(4096);
+      const size_t length = 1 + rng.Below(512);
+      std::vector<std::pair<uint64_t, uint64_t>> got;
+      index.ForEachOverlap(side, domain, start, length, [&](const RangeIndex::Entry& e) {
+        got.emplace_back(e.start, e.order);
+        return true;
+      });
+      ASSERT_EQ(got, ref.Overlap(side, domain, start, length))
+          << "op=" << op << " side=" << static_cast<int>(side) << " domain=" << domain
+          << " query=[" << start << "," << start + length << ")";
+    }
+    ASSERT_EQ(index.size(), ref.size()) << "op=" << op;
+  }
+
+  // Drain: erase everything and confirm the index empties cleanly.
+  for (const auto& [side, domain, start, order] : live) {
+    index.Erase(side, domain, start, order);
+  }
+  EXPECT_TRUE(index.empty());
+}
+
+}  // namespace
+}  // namespace copier::core

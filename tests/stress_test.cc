@@ -8,6 +8,7 @@
 //     completed-writes WAW log consulted by dead-write suppression).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <thread>
 
@@ -106,6 +107,112 @@ INSTANTIATE_TEST_SUITE_P(
       return "svc" + std::to_string(p.max_threads) +
              (p.concurrent_workers ? "_par" : "_seq") + (p.use_dma ? "_dma" : "_cpu");
     });
+
+// --- deep-queue stress ------------------------------------------------------
+//
+// Thousands of outstanding tasks with overlapping ranges, aborts arriving
+// mid-stream, and retirement churn across submission waves. Exercises the
+// pending-range interval index (and the linear-scan baseline) at the queue
+// depths bench_queue_depth measures, asserting both modes refine the same
+// in-order execution.
+
+struct DeepQueueResult {
+  std::vector<uint8_t> bytes;      // final arena contents
+  std::vector<uint8_t> reference;  // in-order model of the same submissions
+  size_t max_depth = 0;
+  uint64_t dep_probes = 0;
+};
+
+DeepQueueResult RunDeepQueueScenario(bool enable_range_index) {
+  // Arena layout: S (source pool, never written), W (working region with
+  // overlapping copy chains), X (abort scratch: each slot written by exactly
+  // one task that is aborted before executing, so it must keep its initial
+  // bytes — and is never read, so aborts apply immediately).
+  const size_t kS = 256 * kKiB;
+  const size_t kW = 256 * kKiB;
+  const size_t kSlot = kKiB;
+  const size_t kSlots = 256;
+  const size_t kTotal = kS + kW + kSlots * kSlot;
+
+  core::CopierConfig config;
+  config.enable_range_index = enable_range_index;
+  CopierStack stack(config);
+  const uint64_t arena = stack.Map(kTotal, "deep");
+  FillPattern(stack.proc->mem(), arena, kTotal, 77);
+
+  DeepQueueResult result;
+  result.reference = ReadAll(stack.proc->mem(), arena, kTotal);
+  Rng rng(20260807);
+  size_t abort_slot = 0;
+  // Wave 0 establishes >=1024 outstanding tasks; later waves churn the queue
+  // (retirement of old tasks interleaved with fresh submissions and aborts).
+  const size_t kWaves[] = {1400, 160, 160};
+  for (size_t wave = 0; wave < 3; ++wave) {
+    std::vector<std::pair<uint64_t, size_t>> abort_now;
+    for (size_t i = 0; i < kWaves[wave]; ++i) {
+      if (i % 8 == 7 && abort_slot < kSlots) {
+        const uint64_t dst = arena + kS + kW + abort_slot * kSlot;
+        const uint64_t src = arena + rng.Below(kS - kSlot);
+        ++abort_slot;
+        stack.lib->amemcpy(dst, src, kSlot);
+        abort_now.emplace_back(dst, kSlot);
+        continue;  // aborted before execution: no reference effect
+      }
+      const size_t len = 257 + rng.Below(4 * kKiB - 257);
+      size_t dst_off;
+      size_t src_off;
+      do {
+        dst_off = kS + rng.Below(kW - len);
+        src_off = rng.OneIn(3) ? rng.Below(kS - len) : kS + rng.Below(kW - len);
+      } while (RangesOverlap(dst_off, len, src_off, len));
+      stack.lib->amemcpy(arena + dst_off, arena + src_off, len);
+      std::memcpy(result.reference.data() + dst_off, result.reference.data() + src_off, len);
+    }
+    // Ingest the whole wave (ingestion is capped per poll) with zero-budget
+    // serves so the aborts below see every victim as a pending task.
+    while (!stack.client->default_pair().user.copy_q.Empty()) {
+      stack.service->Serve(*stack.client, 0);
+    }
+    // Queue the aborts directly: lib.abort_range() in manual mode pumps the
+    // whole engine, which would drain the deep queue we are trying to keep.
+    for (const auto& [addr, len] : abort_now) {
+      core::SyncTask sync;
+      sync.kind = core::SyncTask::Kind::kAbort;
+      sync.addr = core::MemRef::User(stack.client->space(), addr);
+      sync.length = len;
+      stack.client->default_pair().user.sync_q.TryPush(std::move(sync));
+    }
+    // Partially drain with a small budget: ingestion and the aborts happen on
+    // the first Serve; the queue stays deep across waves.
+    const size_t serves = wave == 0 ? 4 : 2;
+    for (size_t s = 0; s < serves; ++s) {
+      stack.service->Serve(*stack.client, 48 * kKiB);
+      result.max_depth = std::max(result.max_depth, stack.client->pending.size());
+    }
+  }
+  EXPECT_TRUE(stack.lib->csync_all().ok());
+  stack.service->DrainAll();
+  EXPECT_TRUE(stack.client->pending.empty());
+  EXPECT_EQ(stack.client->range_index.size(), 0u);
+  result.bytes = ReadAll(stack.proc->mem(), arena, kTotal);
+  result.dep_probes = stack.service->engine().stats().dep_probes;
+  return result;
+}
+
+TEST(DeepQueueStress, IndexedModeMatchesInOrderReferenceAtDepth1024) {
+  const DeepQueueResult indexed = RunDeepQueueScenario(/*enable_range_index=*/true);
+  EXPECT_GE(indexed.max_depth, 1024u);
+  EXPECT_GT(indexed.dep_probes, 0u);
+  ASSERT_EQ(indexed.bytes, indexed.reference);
+}
+
+TEST(DeepQueueStress, LinearBaselineMatchesIndexedModeByteForByte) {
+  const DeepQueueResult linear = RunDeepQueueScenario(/*enable_range_index=*/false);
+  EXPECT_GE(linear.max_depth, 1024u);
+  ASSERT_EQ(linear.bytes, linear.reference);
+  const DeepQueueResult indexed = RunDeepQueueScenario(/*enable_range_index=*/true);
+  ASSERT_EQ(linear.bytes, indexed.bytes);
+}
 
 }  // namespace
 }  // namespace copier::test
