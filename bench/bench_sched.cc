@@ -1,0 +1,255 @@
+// Scheduler sweep: host-side pick cost of the sharded run-queue scheduler
+// (service.h, DESIGN.md §7) vs the global-mutex linear double scan, under
+// real Copier threads.
+//
+// Every configuration runs the SAME submission stream — each client copies a
+// private source slot into `slots` destination slots, all submitted before
+// Start() — in both scheduler modes, and checks the final memory images are
+// identical. Reported per mode (host TSC, not the virtual cost model):
+//   * pick cyc/call   — TSC cycles per PickClient invocation,
+//   * scanned/call    — clients examined per call (linear baseline only),
+//   * steals, targeted vs broadcast wakeups, reconcile rescues.
+// The sharded pick is O(log n) under a per-shard lock, so cyc/call should
+// stay roughly flat as the client count sweeps 8 -> 1024 while the linear
+// baseline — which walks every client under the global mutex on every call —
+// grows linearly.
+//
+// --json additionally writes BENCH_sched.json for scripts/bench_smoke.sh.
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/service.h"
+#include "src/libcopier/libcopier.h"
+#include "src/simos/kernel.h"
+
+namespace copier::bench {
+namespace {
+
+// Total copy tasks per run is constant: sweeping the client count changes how
+// the same work is spread across run queues, not how much work there is.
+constexpr size_t kTotalTasks = 2048;
+constexpr size_t kSlotBytes = 4 * kKiB;
+
+struct ModeResult {
+  core::CopierService::SchedStats sched;
+  uint64_t bytes_copied = 0;
+  double wall_ms = 0;
+  uint64_t checksum = 0;  // FNV-1a over every worker's final arena image
+};
+
+// One attached process: a read-only source slot plus `slots` destinations.
+struct SchedWorker {
+  SchedWorker(simos::SimKernel& kernel, core::CopierService& service, size_t slots)
+      : slots(slots) {
+    proc = kernel.CreateProcess("schedbench");
+    client = service.AttachProcess(proc);
+    lib = std::make_unique<lib::CopierLib>(client, &service);
+    auto va = proc->mem().MapAnonymous((slots + 1) * kSlotBytes, "arena", true);
+    COPIER_CHECK(va.ok());
+    arena = *va;
+    Rng rng(0x5CED ^ client->id());
+    std::vector<uint8_t> pattern(kSlotBytes);
+    for (auto& b : pattern) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    COPIER_CHECK(proc->mem().WriteBytes(arena, pattern.data(), pattern.size()).ok());
+  }
+
+  size_t slots;
+  simos::Process* proc = nullptr;
+  core::Client* client = nullptr;
+  std::unique_ptr<lib::CopierLib> lib;
+  uint64_t arena = 0;
+};
+
+ModeResult RunConfig(size_t threads, size_t clients, bool sharded) {
+  simos::SimKernel kernel;
+  core::CopierService::Options options;
+  options.mode = core::CopierService::Mode::kThreaded;
+  options.config.min_threads = threads;
+  options.config.max_threads = threads;
+  options.config.enable_sharded_scheduler = sharded;
+  options.config.idle_spins_before_sleep = 256;  // reach the steal path
+  core::CopierService service(std::move(options));
+
+  const size_t slots = std::max<size_t>(1, kTotalTasks / clients);
+  std::vector<std::unique_ptr<SchedWorker>> workers;
+  workers.reserve(clients);
+  for (size_t i = 0; i < clients; ++i) {
+    workers.push_back(std::make_unique<SchedWorker>(kernel, service, slots));
+  }
+  // Submit the whole wave up front: every run queue is loaded before the
+  // first pick, so pick cost is measured at the full client count.
+  for (auto& worker : workers) {
+    for (size_t i = 0; i < worker->slots; ++i) {
+      worker->lib->amemcpy(worker->arena + (i + 1) * kSlotBytes, worker->arena, kSlotBytes);
+    }
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  service.Start();
+  for (auto& worker : workers) {
+    COPIER_CHECK_OK(worker->lib->csync_all());
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  ModeResult result;
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a
+  std::vector<uint8_t> image;
+  for (auto& worker : workers) {
+    image.resize((worker->slots + 1) * kSlotBytes);
+    COPIER_CHECK(worker->proc->mem().ReadBytes(worker->arena, image.data(), image.size()).ok());
+    for (uint8_t byte : image) {
+      hash = (hash ^ byte) * 1099511628211ull;
+    }
+  }
+  result.checksum = hash;
+  result.sched = service.sched_stats();
+  result.bytes_copied = service.TotalStats().bytes_copied;
+  service.Stop();
+  return result;
+}
+
+double CycPerCall(const ModeResult& r) {
+  return static_cast<double>(r.sched.pick_tsc_cycles) /
+         std::max<uint64_t>(1, r.sched.pick_calls);
+}
+
+double ScanPerCall(const ModeResult& r) {
+  return static_cast<double>(r.sched.clients_scanned) /
+         std::max<uint64_t>(1, r.sched.pick_calls);
+}
+
+struct Row {
+  size_t threads = 0;
+  size_t clients = 0;
+  ModeResult sharded;
+  ModeResult linear;
+};
+
+void AddRow(TextTable& table, const Row& row) {
+  const double shard_cyc = CycPerCall(row.sharded);
+  const double lin_cyc = CycPerCall(row.linear);
+  table.AddRow({TextTable::Num(row.threads, 0), TextTable::Num(row.clients, 0),
+                TextTable::Num(shard_cyc, 0), TextTable::Num(lin_cyc, 0),
+                TextTable::Num(lin_cyc / shard_cyc, 1) + "x",
+                TextTable::Num(ScanPerCall(row.linear), 1),
+                TextTable::Num(row.sharded.sched.steals, 0),
+                TextTable::Num(row.sharded.sched.targeted_wakeups, 0),
+                row.sharded.checksum == row.linear.checksum ? "yes" : "NO"});
+  if (row.sharded.checksum != row.linear.checksum) {
+    std::fprintf(stderr, "MISMATCH at %zu threads / %zu clients\n", row.threads,
+                 row.clients);
+  }
+}
+
+void EmitModeJson(std::ofstream& out, const char* key, const ModeResult& r) {
+  out << "     \"" << key << "\": {\"pick_calls\": " << r.sched.pick_calls
+      << ", \"picks\": " << r.sched.picks
+      << ", \"pick_tsc_cycles\": " << r.sched.pick_tsc_cycles
+      << ", \"cyc_per_pick_call\": " << CycPerCall(r)
+      << ", \"clients_scanned\": " << r.sched.clients_scanned
+      << ", \"scanned_per_call\": " << ScanPerCall(r)
+      << ", \"steals\": " << r.sched.steals
+      << ", \"steal_attempts\": " << r.sched.steal_attempts
+      << ", \"targeted_wakeups\": " << r.sched.targeted_wakeups
+      << ", \"broadcast_wakeups\": " << r.sched.broadcast_wakeups
+      << ", \"reconcile_marks\": " << r.sched.reconcile_marks
+      << ", \"bytes_copied\": " << r.bytes_copied
+      << ", \"wall_ms\": " << r.wall_ms << "}";
+}
+
+void EmitRowsJson(std::ofstream& out, const std::vector<Row>& rows) {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    out << "    {\"threads\": " << row.threads << ", \"clients\": " << row.clients
+        << ",\n";
+    EmitModeJson(out, "sharded", row.sharded);
+    out << ",\n";
+    EmitModeJson(out, "linear", row.linear);
+    out << ",\n     \"cyc_per_call_ratio\": "
+        << CycPerCall(row.linear) / CycPerCall(row.sharded)
+        << ", \"identical_result\": "
+        << (row.sharded.checksum == row.linear.checksum ? "true" : "false") << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+}
+
+void Run(int argc, char** argv) {
+  PrintBanner("Scheduler sweep: sharded run queues vs global-mutex linear scan");
+  std::printf("(host TSC per PickClient call; %zu tasks x %zu KiB per run, both modes "
+              "byte-checked)\n\n",
+              kTotalTasks, kSlotBytes / kKiB);
+
+  const std::vector<const char*> header = {"threads",   "clients",   "cyc/call shard",
+                                           "cyc/call lin", "ratio",  "scan/call lin",
+                                           "steals",    "targeted wakes", "identical"};
+
+  // Client sweep at a fixed thread count: pick cost vs run-queue population.
+  const size_t kSweepThreads = 4;
+  std::vector<Row> client_rows;
+  TextTable client_table({header.begin(), header.end()});
+  for (size_t clients : {size_t{8}, size_t{64}, size_t{256}, size_t{1024}}) {
+    Row row;
+    row.threads = kSweepThreads;
+    row.clients = clients;
+    row.sharded = RunConfig(kSweepThreads, clients, /*sharded=*/true);
+    row.linear = RunConfig(kSweepThreads, clients, /*sharded=*/false);
+    client_rows.push_back(row);
+    AddRow(client_table, row);
+  }
+  client_table.Print();
+
+  // Thread sweep at a fixed client count: contention on the pick path.
+  const size_t kSweepClients = 256;
+  std::vector<Row> thread_rows;
+  TextTable thread_table({header.begin(), header.end()});
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    Row row;
+    row.threads = threads;
+    row.clients = kSweepClients;
+    row.sharded = RunConfig(threads, kSweepClients, /*sharded=*/true);
+    row.linear = RunConfig(threads, kSweepClients, /*sharded=*/false);
+    thread_rows.push_back(row);
+    AddRow(thread_table, row);
+  }
+  std::printf("\n");
+  thread_table.Print();
+
+  const double flat = CycPerCall(client_rows.back().sharded) /
+                      CycPerCall(client_rows.front().sharded);
+  std::printf("\nsharded cyc/call growth 8 -> 1024 clients: %.2fx "
+              "(linear baseline: %.2fx)\n",
+              flat,
+              CycPerCall(client_rows.back().linear) /
+                  CycPerCall(client_rows.front().linear));
+
+  if (HasFlag(argc, argv, "--json")) {
+    std::ofstream out("BENCH_sched.json");
+    out << "{\n  \"bench\": \"sched\",\n  \"total_tasks\": " << kTotalTasks
+        << ",\n  \"slot_bytes\": " << kSlotBytes << ",\n  \"client_sweep_threads\": "
+        << kSweepThreads << ",\n  \"client_sweep\": [\n";
+    EmitRowsJson(out, client_rows);
+    out << "  ],\n  \"thread_sweep_clients\": " << kSweepClients
+        << ",\n  \"thread_sweep\": [\n";
+    EmitRowsJson(out, thread_rows);
+    out << "  ]\n}\n";
+    std::printf("wrote BENCH_sched.json\n");
+  }
+}
+
+}  // namespace
+}  // namespace copier::bench
+
+int main(int argc, char** argv) {
+  copier::bench::Run(argc, argv);
+  return 0;
+}

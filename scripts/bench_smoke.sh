@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
-# Bench smoke: Release build + the two benches that gate engine performance
-# work. Writes BENCH_queue_depth.json (indexed vs linear queue-depth sweep)
-# at the repo root; fails if the sweep reports non-identical memory images.
+# Bench smoke: Release build + the benches that gate engine/scheduler
+# performance work. Writes BENCH_queue_depth.json (indexed vs linear
+# queue-depth sweep) and BENCH_sched.json (sharded vs linear scheduler
+# sweep) at the repo root; fails if either sweep reports non-identical
+# memory images.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build-release}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_queue_depth bench_fig9_copy_throughput
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_queue_depth bench_sched bench_fig9_copy_throughput
 
 echo
 "$BUILD_DIR"/bench/bench_queue_depth --json | tee /tmp/bench_queue_depth.out
@@ -18,7 +20,14 @@ if grep -q ' NO ' /tmp/bench_queue_depth.out; then
 fi
 
 echo
+"$BUILD_DIR"/bench/bench_sched --json | tee /tmp/bench_sched.out
+if grep -q ' NO ' /tmp/bench_sched.out; then
+  echo "bench_sched: sharded and linear images differ" >&2
+  exit 1
+fi
+
+echo
 "$BUILD_DIR"/bench/bench_fig9_copy_throughput
 
 echo
-echo "bench smoke OK; results in BENCH_queue_depth.json"
+echo "bench smoke OK; results in BENCH_queue_depth.json + BENCH_sched.json"

@@ -1,0 +1,39 @@
+// RelaxedCounter — a monotone statistics counter safe to read from any
+// thread while another thread mutates it.
+//
+// Stats blocks (Engine::Stats, CopierService::SchedStats) are written by one
+// service thread on its hot path and aggregated by observers (TotalStats,
+// benches) while the threads keep running. Plain uint64_t fields make that a
+// data race; a relaxed atomic keeps the write a single unordered store/RMW —
+// no fences on x86 — while reads are well-defined. The operators mirror plain
+// integer usage so counting sites read identically to the pre-atomic code.
+#ifndef COPIER_SRC_COMMON_RELAXED_COUNTER_H_
+#define COPIER_SRC_COMMON_RELAXED_COUNTER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace copier {
+
+class RelaxedCounter {
+ public:
+  RelaxedCounter() = default;
+  RelaxedCounter(const RelaxedCounter&) = delete;
+  RelaxedCounter& operator=(const RelaxedCounter&) = delete;
+
+  void operator++() { value_.fetch_add(1, std::memory_order_relaxed); }
+  void operator+=(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  RelaxedCounter& operator=(uint64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+    return *this;
+  }
+  uint64_t load() const { return value_.load(std::memory_order_relaxed); }
+  operator uint64_t() const { return load(); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+}  // namespace copier
+
+#endif  // COPIER_SRC_COMMON_RELAXED_COUNTER_H_

@@ -8,6 +8,7 @@
 #ifndef COPIER_SRC_CORE_CGROUP_H_
 #define COPIER_SRC_CORE_CGROUP_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -25,18 +26,22 @@ class Cgroup {
   void set_shares(uint64_t shares) { shares_ = shares == 0 ? 1 : shares; }
 
   // Share-weighted virtual runtime: bytes * kDefaultCopierShares / shares.
-  // Smaller means less than fair service received so far.
-  uint64_t vruntime() const { return vruntime_; }
-  void Account(uint64_t bytes) { vruntime_ += bytes * kDefaultCopierShares / shares_; }
+  // Smaller means less than fair service received so far. Accounted with
+  // relaxed atomics: in threaded mode several Copier threads serve clients of
+  // the same cgroup concurrently.
+  uint64_t vruntime() const { return vruntime_.load(std::memory_order_relaxed); }
+  void Account(uint64_t bytes) {
+    vruntime_.fetch_add(bytes * kDefaultCopierShares / shares_, std::memory_order_relaxed);
+  }
 
-  uint64_t total_bytes() const { return total_bytes_; }
-  void AccountRaw(uint64_t bytes) { total_bytes_ += bytes; }
+  uint64_t total_bytes() const { return total_bytes_.load(std::memory_order_relaxed); }
+  void AccountRaw(uint64_t bytes) { total_bytes_.fetch_add(bytes, std::memory_order_relaxed); }
 
  private:
   std::string name_;
   uint64_t shares_;
-  uint64_t vruntime_ = 0;
-  uint64_t total_bytes_ = 0;
+  std::atomic<uint64_t> vruntime_{0};
+  std::atomic<uint64_t> total_bytes_{0};
 };
 
 }  // namespace copier::core

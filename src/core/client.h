@@ -137,12 +137,42 @@ class Client {
   std::deque<CompletedWrite> completed_writes;
 
   // Scheduler accounting (§4.5.3): total copy length served, CFS key.
-  uint64_t total_copy_length = 0;
+  // Relaxed atomic: written by the serving thread, read by scheduler picks
+  // and run-queue inserts on other threads.
+  std::atomic<uint64_t> total_copy_length{0};
   Cgroup* cgroup = nullptr;
 
   // Claimed by the Copier thread currently serving this client: auto-scaling
   // shifts the client→thread assignment, so exclusivity is enforced here.
   std::atomic<bool> serving{false};
+
+  // --- sharded-scheduler state (service.h) ---
+
+  // Home shard: `id % shard_count`, fixed at attach. The client's runnable
+  // marks always land on this shard's run queue; stealing moves a single
+  // serve, never the home.
+  size_t home_shard = 0;
+  // True while the client sits in its home shard's run queue. Toggled under
+  // that shard's lock; read lock-free to dedup runnable notifications.
+  std::atomic<bool> runnable{false};
+  // Set by DetachClient before teardown: suppresses re-notification.
+  std::atomic<bool> detached{false};
+  // Run-queue snapshot key (total_copy_length at insert); only touched under
+  // the home shard's run-queue lock while `runnable`.
+  uint64_t sched_key = 0;
+  // Backlog estimate for steal-victim choice: bytes submitted (counted at
+  // runnable notification) minus bytes served.
+  std::atomic<uint64_t> submitted_bytes{0};
+  std::atomic<uint64_t> served_bytes{0};
+  uint64_t BacklogBytes() const {
+    const uint64_t submitted = submitted_bytes.load(std::memory_order_relaxed);
+    const uint64_t served = served_bytes.load(std::memory_order_relaxed);
+    return submitted > served ? submitted - served : 0;
+  }
+
+  // Mirrors pending.size(); maintained by the Engine so HasQueuedWork can be
+  // called from any thread while the serving thread mutates the deque.
+  std::atomic<size_t> pending_count{0};
 
   bool HasQueuedWork() const {
     for (const auto& pair : queue_pairs_) {
@@ -151,7 +181,7 @@ class Client {
         return true;
       }
     }
-    return !pending.empty();
+    return pending_count.load(std::memory_order_acquire) != 0;
   }
 
  private:

@@ -35,6 +35,21 @@ struct CopierConfig {
   // Scheduling (§4.5.3).
   size_t copy_slice_bytes = 256 * kKiB;  // max copy length per scheduling pick
 
+  // Sharded scheduler (threaded mode): per-engine run queues with O(log n)
+  // picks, event-driven runnable marking, targeted wakeups and work stealing.
+  // Off = the global-mutex double-scan baseline (ablation / bench_sched
+  // "linear" mode). Manual mode always uses the linear scan: manual callers
+  // drive specific clients themselves and direct ring pushes (tests) never
+  // issue runnable notifications.
+  bool enable_sharded_scheduler = true;
+  // An idle shard steals the highest-backlog runnable client from the most
+  // loaded shard before sleeping. Required for full throughput when a hot
+  // client hashes onto a busy shard; disable only for ablation.
+  bool enable_work_stealing = true;
+  // Submission wakes only the thread owning the client's home shard instead
+  // of notify_all on every thread (the thundering herd baseline).
+  bool enable_targeted_wakeup = true;
+
   // Lazy tasks execute when depended upon, aborted, or after this age (§4.4).
   Cycles lazy_timeout_cycles = 10'000'000;
 

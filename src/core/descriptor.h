@@ -31,27 +31,32 @@ class Descriptor {
       : length_(length),
         segment_size_(segment_size),
         num_segments_((length + segment_size - 1) / segment_size),
-        capacity_segments_(num_segments_ == 0 ? 1 : num_segments_),
+        capacity_segments_(std::max<size_t>(1, (length + segment_size - 1) / segment_size)),
         bits_(capacity_segments_) {
     ready_times_ = std::make_unique<std::atomic<Cycles>[]>(capacity_segments_);
     Reset(length);
   }
 
-  size_t length() const { return length_; }
+  size_t length() const { return length_.load(std::memory_order_relaxed); }
   size_t segment_size() const { return segment_size_; }
-  size_t num_segments() const { return num_segments_; }
+  size_t num_segments() const { return num_segments_.load(std::memory_order_relaxed); }
 
   // Re-arms the descriptor for reuse (low-level API descriptor pooling,
   // §5.1.1), optionally resizing the covered byte length (same capacity).
+  // Geometry fields are relaxed atomics: a pooled descriptor can be re-armed
+  // by one app thread while another still polls a just-released range it
+  // looked up earlier (the stale waiter sees either geometry consistently
+  // enough to terminate — its own bytes were ready before the release).
   void Reset(size_t length) {
-    length_ = length;
-    num_segments_ = (length + segment_size_ - 1) / segment_size_;
-    COPIER_CHECK(num_segments_ <= capacity_segments_)
-        << "Reset beyond descriptor capacity: need " << num_segments_ << " segments, have "
+    const size_t segments = (length + segment_size_ - 1) / segment_size_;
+    COPIER_CHECK(segments <= capacity_segments_)
+        << "Reset beyond descriptor capacity: need " << segments << " segments, have "
         << capacity_segments_;
+    length_.store(length, std::memory_order_relaxed);
+    num_segments_.store(segments, std::memory_order_relaxed);
     bits_.Clear();
     failed_.store(false, std::memory_order_relaxed);
-    for (size_t i = 0; i < num_segments_; ++i) {
+    for (size_t i = 0; i < segments; ++i) {
       ready_times_[i].store(0, std::memory_order_relaxed);
     }
   }
@@ -65,34 +70,40 @@ class Descriptor {
     if (n == 0) {
       return;
     }
+    const size_t segments = num_segments();
     const size_t first = SegmentOf(offset);
     const size_t last = SegmentOf(offset + n - 1);
-    for (size_t seg = first; seg <= last && seg < num_segments_; ++seg) {
+    for (size_t seg = first; seg <= last && seg < segments; ++seg) {
       ready_times_[seg].store(when, std::memory_order_relaxed);
       bits_.Set(seg);
     }
   }
 
   bool RangeReady(size_t offset, size_t n) const {
-    if (n == 0 || num_segments_ == 0) {
+    const size_t segments = num_segments();
+    if (n == 0 || segments == 0) {
       return true;
     }
     const size_t first = SegmentOf(offset);
-    const size_t last = std::min(SegmentOf(offset + n - 1), num_segments_ - 1);
+    const size_t last = std::min(SegmentOf(offset + n - 1), segments - 1);
     return bits_.AllSetInRange(first, last);
   }
 
   bool SegmentReady(size_t segment) const { return bits_.Test(segment); }
-  bool AllReady() const { return num_segments_ == 0 || bits_.AllSetInRange(0, num_segments_ - 1); }
+  bool AllReady() const {
+    const size_t segments = num_segments();
+    return segments == 0 || bits_.AllSetInRange(0, segments - 1);
+  }
 
   // Latest ready time across segments covering [offset, offset+n); only
   // meaningful once RangeReady. Used by the virtual-time engine.
   Cycles ReadyTime(size_t offset, size_t n) const {
-    if (n == 0 || num_segments_ == 0) {
+    const size_t segments = num_segments();
+    if (n == 0 || segments == 0) {
       return 0;
     }
     const size_t first = SegmentOf(offset);
-    const size_t last = std::min(SegmentOf(offset + n - 1), num_segments_ - 1);
+    const size_t last = std::min(SegmentOf(offset + n - 1), segments - 1);
     Cycles latest = 0;
     for (size_t seg = first; seg <= last; ++seg) {
       latest = std::max(latest, ready_times_[seg].load(std::memory_order_relaxed));
@@ -103,14 +114,14 @@ class Descriptor {
   // Failure path: wakes every waiter with an error indication.
   void MarkFailed(Cycles when) {
     failed_.store(true, std::memory_order_release);
-    MarkRange(0, length_, when);
+    MarkRange(0, length(), when);
   }
   bool failed() const { return failed_.load(std::memory_order_acquire); }
 
  private:
-  size_t length_;
+  std::atomic<size_t> length_;
   size_t segment_size_;
-  size_t num_segments_;
+  std::atomic<size_t> num_segments_;
   size_t capacity_segments_;
   AtomicBitmap bits_;
   std::unique_ptr<std::atomic<Cycles>[]> ready_times_;

@@ -33,6 +33,28 @@ bool RefsOverlap(const MemRef& a, size_t alen, const MemRef& b, size_t blen) {
 Engine::Engine(const CopierConfig& config, const hw::TimingModel* timing, ExecContext* ctx)
     : config_(config), timing_(timing), ctx_(ctx), dma_(timing) {}
 
+Engine::Stats Engine::stats() const {
+  Stats s;
+  s.tasks_ingested = stats_.tasks_ingested;
+  s.tasks_completed = stats_.tasks_completed;
+  s.tasks_dropped = stats_.tasks_dropped;
+  s.tasks_aborted = stats_.tasks_aborted;
+  s.barriers_processed = stats_.barriers_processed;
+  s.sync_promotions = stats_.sync_promotions;
+  s.bytes_copied = stats_.bytes_copied;
+  s.bytes_absorbed = stats_.bytes_absorbed;
+  s.avx_bytes = stats_.avx_bytes;
+  s.dma_bytes = stats_.dma_bytes;
+  s.dma_batches = stats_.dma_batches;
+  s.kfuncs_run = stats_.kfuncs_run;
+  s.ufuncs_queued = stats_.ufuncs_queued;
+  s.lazy_absorbed_bytes = stats_.lazy_absorbed_bytes;
+  s.dep_probes = stats_.dep_probes;
+  s.dep_tasks_scanned = stats_.dep_tasks_scanned;
+  s.index_entries = stats_.index_entries;
+  return s;
+}
+
 // ---------------------------------------------------------------------------
 // Ingestion (§4.2.1)
 // ---------------------------------------------------------------------------
@@ -106,6 +128,7 @@ void Engine::AcceptTask(Client& client, QueuePair& pair, CopyTask task, bool ker
   }
   PendingTask* accepted = pending.get();
   client.pending.push_back(std::move(pending));
+  client.pending_count.store(client.pending.size(), std::memory_order_release);
   if (config_.enable_range_index) {
     IndexInsert(client, *accepted);
   }
@@ -1268,6 +1291,7 @@ void Engine::RetireDone(Client& client) {
     OnTaskDone(client, *task);
     return true;
   });
+  client.pending_count.store(client.pending.size(), std::memory_order_release);
   // Prune: a completed write only matters while an EARLIER-ordered task could
   // still execute late.
   uint64_t min_pending_order = UINT64_MAX;

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/common/exec_context.h"
+#include "src/common/relaxed_counter.h"
 #include "src/common/status.h"
 #include "src/core/atcache.h"
 #include "src/core/client.h"
@@ -41,6 +42,9 @@ namespace copier::core {
 
 class Engine {
  public:
+  // Snapshot of the engine's counters; see stats(). The live counters are
+  // relaxed atomics (AtomicStats) so observers — CopierService::TotalStats,
+  // benches — can read them while the owning Copier thread keeps serving.
   struct Stats {
     uint64_t tasks_ingested = 0;
     uint64_t tasks_completed = 0;
@@ -83,7 +87,8 @@ class Engine {
   ExecContext* ctx() { return ctx_; }
   ATCache& atcache() { return atcache_; }
   hw::DmaEngine& dma() { return dma_; }
-  const Stats& stats() const { return stats_; }
+  // Coherent snapshot of the counters, safe from any thread.
+  Stats stats() const;
   const CopierConfig& config() const { return config_; }
 
  private:
@@ -182,12 +187,34 @@ class Engine {
   // source names (a live RAW producer — such tasks need the ordered path).
   bool HasEarlierLiveWriter(Client& client, const PendingTask& reader);
 
+  // Live counters: field-for-field atomic mirror of Stats (same names, so
+  // counting sites read like plain integer code).
+  struct AtomicStats {
+    RelaxedCounter tasks_ingested;
+    RelaxedCounter tasks_completed;
+    RelaxedCounter tasks_dropped;
+    RelaxedCounter tasks_aborted;
+    RelaxedCounter barriers_processed;
+    RelaxedCounter sync_promotions;
+    RelaxedCounter bytes_copied;
+    RelaxedCounter bytes_absorbed;
+    RelaxedCounter avx_bytes;
+    RelaxedCounter dma_bytes;
+    RelaxedCounter dma_batches;
+    RelaxedCounter kfuncs_run;
+    RelaxedCounter ufuncs_queued;
+    RelaxedCounter lazy_absorbed_bytes;
+    RelaxedCounter dep_probes;
+    RelaxedCounter dep_tasks_scanned;
+    RelaxedCounter index_entries;
+  };
+
   const CopierConfig& config_;
   const hw::TimingModel* timing_;
   ExecContext* ctx_;
   ATCache atcache_;
   hw::DmaEngine dma_;
-  Stats stats_;
+  AtomicStats stats_;
   // The pair whose tasks are currently being accepted (handler routing).
   QueuePair* current_pair_ = nullptr;
 };

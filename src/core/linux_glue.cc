@@ -137,9 +137,7 @@ Status CopierLinux::Copy(const simos::UserCopyOp& op) {
   if (!pair.kernel.copy_q.TryPush(std::move(entry))) {
     return fallback_.Copy(op);  // ring full: synchronous fallback (§4.6)
   }
-  if (service_->mode() == CopierService::Mode::kThreaded) {
-    service_->Awaken();
-  }
+  service_->NotifyRunnable(*client, op.length);
   return OkStatus();
 }
 
@@ -155,7 +153,7 @@ Status CopierLinux::SyncKernel(simos::Process* proc, ExecContext* ctx) {
     }
   } else {
     while (client->HasQueuedWork()) {
-      service_->Awaken();
+      service_->NotifyRunnable(*client);
       std::this_thread::yield();
     }
   }
@@ -192,9 +190,7 @@ void CopierLinux::AccelerateCow(simos::Process& proc, double handler_fraction) {
         ChargeCtx(ctx, timing->CpuCopyCycles(hw::CopyUnitKind::kErms, len));
         return;
       }
-      if (service->mode() == CopierService::Mode::kThreaded) {
-        service->Awaken();
-      }
+      service->NotifyRunnable(*client, copier_part);
     }
 
     // Handler's own share, overlapped with Copier's.

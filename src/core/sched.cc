@@ -1,0 +1,77 @@
+#include "src/core/sched.h"
+
+namespace copier::core {
+
+void ShardRunQueue::Insert(Client& client) {
+  Cgroup* group = client.cgroup;
+  Bucket& bucket = buckets_[group];
+  if (bucket.clients.empty()) {
+    bucket.group_key = group->vruntime();
+    groups_.insert({bucket.group_key, group});
+  }
+  client.sched_key = client.total_copy_length.load(std::memory_order_relaxed);
+  bucket.clients.insert({client.sched_key, &client});
+  size_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Client* ShardRunQueue::PopMin() {
+  if (groups_.empty()) {
+    return nullptr;
+  }
+  const auto group_it = groups_.begin();
+  Cgroup* group = group_it->second;
+  Bucket& bucket = buckets_[group];
+  const auto client_it = bucket.clients.begin();
+  Client* client = client_it->second;
+  bucket.clients.erase(client_it);
+  if (bucket.clients.empty()) {
+    groups_.erase(group_it);
+  }
+  size_.fetch_sub(1, std::memory_order_relaxed);
+  return client;
+}
+
+Client* ShardRunQueue::PopMaxBacklog() {
+  Cgroup* best_group = nullptr;
+  Client* best = nullptr;
+  uint64_t best_backlog = 0;
+  for (auto& [group, bucket] : buckets_) {
+    for (const auto& [key, client] : bucket.clients) {
+      const uint64_t backlog = client->BacklogBytes();
+      if (best == nullptr || backlog > best_backlog) {
+        best_group = group;
+        best = client;
+        best_backlog = backlog;
+      }
+    }
+  }
+  if (best != nullptr) {
+    EraseFromBucket(buckets_[best_group], best_group, *best);
+  }
+  return best;
+}
+
+bool ShardRunQueue::Remove(Client& client) {
+  const auto bucket_it = buckets_.find(client.cgroup);
+  if (bucket_it == buckets_.end()) {
+    return false;
+  }
+  if (bucket_it->second.clients.erase({client.sched_key, &client}) == 0) {
+    return false;
+  }
+  if (bucket_it->second.clients.empty()) {
+    groups_.erase({bucket_it->second.group_key, client.cgroup});
+  }
+  size_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ShardRunQueue::EraseFromBucket(Bucket& bucket, Cgroup* group, Client& client) {
+  bucket.clients.erase({client.sched_key, &client});
+  if (bucket.clients.empty()) {
+    groups_.erase({bucket.group_key, group});
+  }
+  size_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace copier::core

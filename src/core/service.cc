@@ -15,6 +15,7 @@ CopierService::CopierService(Options options)
     engine_ctxs_.push_back(std::make_unique<ExecContext>("copier-" + std::to_string(i)));
     engines_.push_back(
         std::make_unique<Engine>(options_.config, timing_, engine_ctxs_.back().get()));
+    shards_.push_back(std::make_unique<Shard>());
   }
   cgroups_.push_back(std::make_unique<Cgroup>("root", kDefaultCopierShares));
   root_cgroup_ = cgroups_.back().get();
@@ -27,6 +28,10 @@ Client* CopierService::AttachProcess(simos::Process* process, Cgroup* cgroup) {
   clients_.push_back(std::make_unique<Client>(next_client_id_++, process, options_.config));
   Client* client = clients_.back().get();
   client->cgroup = cgroup != nullptr ? cgroup : root_cgroup_;
+  // Stable home shard: independent of the active thread count, so auto-scaling
+  // never reshuffles where a client's runnable marks land.
+  client->home_shard = client->id() % shards_.size();
+  client_index_.emplace(client->id(), client);
   if (process != nullptr) {
     process->set_copier_client_id(client->id());
   }
@@ -40,12 +45,31 @@ Client* CopierService::AttachKernelClient(const std::string& name, Cgroup* cgrou
 
 Client* CopierService::ClientById(uint64_t id) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& client : clients_) {
-    if (client->id() == id) {
-      return client.get();
+  const auto it = client_index_.find(id);
+  return it != client_index_.end() ? it->second : nullptr;
+}
+
+void CopierService::DetachClient(Client& client) {
+  client.detached.store(true, std::memory_order_release);
+  {
+    // After this critical section no picker can return the client: it is out
+    // of its home queue, and any earlier pop already holds `serving` (pop and
+    // serving-CAS are atomic under the shard lock).
+    Shard& shard = *shards_[client.home_shard];
+    std::lock_guard<std::mutex> lock(shard.queue.mu);
+    if (client.runnable.load(std::memory_order_relaxed)) {
+      shard.queue.Remove(client);
+      client.runnable.store(false, std::memory_order_relaxed);
     }
   }
-  return nullptr;
+  // Wait out an in-flight serve (home thread, a thief, or a csync pump).
+  // FinishServe sees `detached` and will not re-queue.
+  while (client.serving.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  client_index_.erase(client.id());
+  std::erase_if(clients_, [&client](const std::unique_ptr<Client>& c) { return c.get() == &client; });
 }
 
 Cgroup* CopierService::CreateCgroup(const std::string& name, uint64_t shares) {
@@ -59,7 +83,45 @@ Cgroup* CopierService::CreateCgroup(const std::string& name, uint64_t shares) {
 // ---------------------------------------------------------------------------
 
 Client* CopierService::PickClient(size_t index) {
+  ++sched_stats_.pick_calls;
+  const Cycles t0 = RealCycleClock::ReadTsc();
+  Client* picked = UseSharded() ? PickClientSharded(index) : PickClientLinear(index);
+  sched_stats_.pick_tsc_cycles += RealCycleClock::ReadTsc() - t0;
+  if (picked != nullptr) {
+    ++sched_stats_.picks;
+  }
+  return picked;
+}
+
+Client* CopierService::PickClientSharded(size_t index) {
+  // Shard coverage: thread i owns shards {i, i+active, i+2·active, ...}, so
+  // every shard keeps an owner while auto-scaling moves the active count.
+  const size_t active = std::max<size_t>(1, active_threads_.load(std::memory_order_acquire));
+  for (size_t s = index; s < shards_.size(); s += active) {
+    Shard& shard = *shards_[s];
+    if (shard.queue.Empty()) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(shard.queue.mu);
+    while (Client* client = shard.queue.PopMin()) {
+      client->runnable.store(false, std::memory_order_release);
+      ++sched_stats_.pick_attempts;
+      bool expected = false;
+      if (client->serving.compare_exchange_strong(expected, true, std::memory_order_acquire)) {
+        ChargeCtx(engine_ctxs_[index].get(), timing_->schedule_pick_cycles);
+        return client;
+      }
+      // Mid-serve elsewhere (a thief or a csync pump): drop the mark. The
+      // server's FinishServe re-queues the client if work remains, so no
+      // work is lost.
+    }
+  }
+  return nullptr;
+}
+
+Client* CopierService::PickClientLinear(size_t index) {
   std::lock_guard<std::mutex> lock(mu_);
+  uint64_t scanned = 0;
   // Pass 1: among cgroups with runnable clients assigned to this engine,
   // pick the minimum-vruntime cgroup.
   Cgroup* best_group = nullptr;
@@ -71,6 +133,7 @@ Client* CopierService::PickClient(size_t index) {
     return (client.id() % threads) == (index % threads);
   };
   for (auto& client : clients_) {
+    ++scanned;
     if (!assigned_here(*client) || !client->HasQueuedWork()) {
       continue;
     }
@@ -78,26 +141,77 @@ Client* CopierService::PickClient(size_t index) {
       best_group = client->cgroup;
     }
   }
-  if (best_group == nullptr) {
-    return nullptr;
-  }
-  // Pass 2: within the cgroup, minimum total copy length (CFS analogue).
   Client* best = nullptr;
-  for (auto& client : clients_) {
-    if (!assigned_here(*client) || client->cgroup != best_group || !client->HasQueuedWork()) {
-      continue;
-    }
-    if (best == nullptr || client->total_copy_length < best->total_copy_length) {
-      best = client.get();
+  if (best_group != nullptr) {
+    // Pass 2: within the cgroup, minimum total copy length (CFS analogue).
+    for (auto& client : clients_) {
+      ++scanned;
+      if (!assigned_here(*client) || client->cgroup != best_group || !client->HasQueuedWork()) {
+        continue;
+      }
+      if (best == nullptr || client->total_copy_length < best->total_copy_length) {
+        best = client.get();
+      }
     }
   }
+  // Honest virtual cost: the global double scan examines every client, and
+  // that O(clients) shape is exactly what the sharded run queues remove.
+  sched_stats_.clients_scanned += scanned;
+  ChargeCtx(engine_ctxs_[index].get(),
+            timing_->schedule_pick_cycles + scanned * timing_->schedule_scan_cycles_per_client);
   if (best != nullptr) {
+    ++sched_stats_.pick_attempts;
     bool expected = false;
     if (!best->serving.compare_exchange_strong(expected, true, std::memory_order_acquire)) {
       return nullptr;  // another thread is mid-serve on this client
     }
   }
   return best;
+}
+
+Client* CopierService::StealClient(size_t index) {
+  ++sched_stats_.steal_attempts;
+  const size_t active = std::max<size_t>(1, active_threads_.load(std::memory_order_acquire));
+  // Victim: the fullest shard not already covered by this thread.
+  size_t victim = shards_.size();
+  size_t victim_size = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (s % active == index % active) {
+      continue;
+    }
+    const size_t size = shards_[s]->queue.ApproxSize();
+    if (size > victim_size) {
+      victim = s;
+      victim_size = size;
+    }
+  }
+  if (victim == shards_.size()) {
+    return nullptr;
+  }
+  Shard& shard = *shards_[victim];
+  std::lock_guard<std::mutex> lock(shard.queue.mu);
+  while (Client* client = shard.queue.PopMaxBacklog()) {
+    client->runnable.store(false, std::memory_order_release);
+    bool expected = false;
+    if (client->serving.compare_exchange_strong(expected, true, std::memory_order_acquire)) {
+      ++sched_stats_.steals;
+      return client;
+    }
+  }
+  return nullptr;
+}
+
+void CopierService::ReconcileRunnable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& client : clients_) {
+    if (client->detached.load(std::memory_order_acquire) ||
+        client->runnable.load(std::memory_order_acquire) ||
+        client->serving.load(std::memory_order_acquire) || !client->HasQueuedWork()) {
+      continue;
+    }
+    ++sched_stats_.reconcile_marks;
+    NotifyRunnable(*client);
+  }
 }
 
 void CopierService::AccountService(Client& client, uint64_t bytes) {
@@ -108,16 +222,47 @@ void CopierService::AccountService(Client& client, uint64_t bytes) {
   client.cgroup->AccountRaw(bytes);
 }
 
+void CopierService::FinishServe(Client& client) {
+  if (!UseSharded()) {
+    client.serving.store(false, std::memory_order_release);
+    return;
+  }
+  // Re-queue and release atomically under the home shard's lock: a picker
+  // that popped this client and lost the serving-CAS dropped its runnable
+  // mark, and this is the covering re-notify. Doing both under the lock also
+  // lets DetachClient free the client the moment `serving` clears — after
+  // its own locked removal, no path here can touch the client again.
+  Shard& shard = *shards_[client.home_shard];
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.queue.mu);
+    if (!client.detached.load(std::memory_order_relaxed) &&
+        !client.runnable.load(std::memory_order_relaxed) && client.HasQueuedWork()) {
+      client.runnable.store(true, std::memory_order_relaxed);
+      shard.queue.Insert(client);
+      wake = true;
+    }
+    client.serving.store(false, std::memory_order_release);
+  }
+  if (wake) {
+    WakeShard(client.home_shard);
+  }
+}
+
+uint64_t CopierService::ServePicked(size_t index, Client& client, uint64_t max_bytes) {
+  const uint64_t served = engines_[index]->ServeClient(client, max_bytes);
+  AccountService(client, served);
+  client.served_bytes.fetch_add(served, std::memory_order_relaxed);
+  FinishServe(client);
+  return served;
+}
+
 uint64_t CopierService::RunOnce() {
-  ChargeCtx(engine_ctxs_[0].get(), timing_->schedule_pick_cycles);
   Client* client = PickClient(0);
   if (client == nullptr) {
     return 0;
   }
-  const uint64_t served = engines_[0]->ServeClient(*client, options_.config.copy_slice_bytes);
-  AccountService(*client, served);
-  client->serving.store(false, std::memory_order_release);
-  return served;
+  return ServePicked(0, *client, options_.config.copy_slice_bytes);
 }
 
 uint64_t CopierService::Serve(Client& client, uint64_t max_bytes) {
@@ -126,10 +271,7 @@ uint64_t CopierService::Serve(Client& client, uint64_t max_bytes) {
     expected = false;
     std::this_thread::yield();
   }
-  const uint64_t served = engines_[0]->ServeClient(client, max_bytes);
-  AccountService(client, served);
-  client.serving.store(false, std::memory_order_release);
-  return served;
+  return ServePicked(0, client, max_bytes);
 }
 
 void CopierService::DrainAll() {
@@ -158,6 +300,10 @@ void CopierService::DrainAll() {
         }
       }
     } else {
+      if (UseSharded()) {
+        // Callers may have pushed work to rings without a NotifyRunnable.
+        ReconcileRunnable();
+      }
       Awaken();
       std::this_thread::yield();
     }
@@ -193,9 +339,60 @@ void CopierService::Stop() {
 }
 
 void CopierService::Awaken() {
-  std::lock_guard<std::mutex> lock(wake_mu_);
-  wake_seq_.fetch_add(1, std::memory_order_release);
-  wake_cv_.notify_all();
+  ++sched_stats_.broadcast_wakeups;
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->wake_mu);
+      shard->wake_seq.fetch_add(1, std::memory_order_release);
+    }
+    shard->wake_cv.notify_all();
+  }
+}
+
+void CopierService::NotifyRunnable(Client& client, uint64_t bytes_hint) {
+  if (bytes_hint != 0) {
+    client.submitted_bytes.fetch_add(bytes_hint, std::memory_order_relaxed);
+  }
+  if (options_.mode != Mode::kThreaded) {
+    return;  // manual mode: the caller drives the engine directly
+  }
+  if (!options_.config.enable_sharded_scheduler) {
+    Awaken();  // linear baseline: scanning threads find the work
+    return;
+  }
+  if (client.detached.load(std::memory_order_acquire) ||
+      client.runnable.load(std::memory_order_acquire)) {
+    return;  // already queued (dedup fast path) or tearing down
+  }
+  Shard& shard = *shards_[client.home_shard];
+  {
+    std::lock_guard<std::mutex> lock(shard.queue.mu);
+    if (client.detached.load(std::memory_order_relaxed) ||
+        client.runnable.load(std::memory_order_relaxed)) {
+      return;
+    }
+    client.runnable.store(true, std::memory_order_relaxed);
+    shard.queue.Insert(client);
+  }
+  WakeShard(client.home_shard);
+}
+
+void CopierService::WakeShard(size_t shard_index) {
+  if (!options_.config.enable_targeted_wakeup) {
+    Awaken();
+    return;
+  }
+  // Redirect to the owning thread's wakeup channel (thread i sleeps on
+  // shards_[i]): shard s >= active is covered by thread s % active.
+  const size_t active = std::max<size_t>(1, active_threads_.load(std::memory_order_acquire));
+  const size_t owner = shard_index < active ? shard_index : shard_index % active;
+  ++sched_stats_.targeted_wakeups;
+  Shard& shard = *shards_[owner];
+  {
+    std::lock_guard<std::mutex> lock(shard.wake_mu);
+    shard.wake_seq.fetch_add(1, std::memory_order_release);
+  }
+  shard.wake_cv.notify_one();
 }
 
 void CopierService::ScenarioBegin() {
@@ -208,6 +405,7 @@ void CopierService::ScenarioEnd() { scenario_depth_.fetch_sub(1, std::memory_ord
 void CopierService::ThreadMain(size_t index) {
   // Auto-scaling: threads above active_threads_ park until load raises the
   // count; thread 0 owns the load measurement.
+  Shard& my_shard = *shards_[index];
   size_t idle_spins = 0;
   uint64_t busy_polls = 0;
   uint64_t total_polls = 0;
@@ -216,27 +414,50 @@ void CopierService::ThreadMain(size_t index) {
     const bool parked = index >= active_threads_.load(std::memory_order_acquire) ||
                         (scenario_mode && !scenario_active());
     if (parked) {
-      std::unique_lock<std::mutex> lock(wake_mu_);
-      wake_cv_.wait_for(lock, std::chrono::milliseconds(5));
+      const uint64_t seen = my_shard.wake_seq.load(std::memory_order_acquire);
+      std::unique_lock<std::mutex> lock(my_shard.wake_mu);
+      my_shard.wake_cv.wait_for(lock, std::chrono::milliseconds(5), [&] {
+        return my_shard.wake_seq.load(std::memory_order_acquire) != seen ||
+               !running_.load(std::memory_order_acquire);
+      });
       continue;
     }
 
+    // Capture the wakeup sequence BEFORE looking for work: a notification
+    // that lands between the failed pick and the sleep bumps the sequence,
+    // so the wait predicate fires immediately — no lost wakeup.
+    const uint64_t seen = my_shard.wake_seq.load(std::memory_order_acquire);
     Client* client = PickClient(index);
     ++total_polls;
     if (client != nullptr) {
-      const uint64_t served =
-          engines_[index]->ServeClient(*client, options_.config.copy_slice_bytes);
-      AccountService(*client, served);
-      client->serving.store(false, std::memory_order_release);
+      ServePicked(index, *client, options_.config.copy_slice_bytes);
       idle_spins = 0;
       ++busy_polls;
     } else {
       ++idle_spins;
       if (idle_spins >= options_.config.idle_spins_before_sleep) {
-        // NAPI-style back-off: sleep until awakened or timeout.
-        std::unique_lock<std::mutex> lock(wake_mu_);
-        wake_cv_.wait_for(lock, std::chrono::milliseconds(1));
         idle_spins = 0;
+        Client* rescued = nullptr;
+        if (UseSharded()) {
+          // Before sleeping: rescue unnotified work, then try to steal from
+          // the fullest foreign shard.
+          ReconcileRunnable();
+          rescued = PickClient(index);
+          if (rescued == nullptr && options_.config.enable_work_stealing) {
+            rescued = StealClient(index);
+          }
+        }
+        if (rescued != nullptr) {
+          ServePicked(index, *rescued, options_.config.copy_slice_bytes);
+          ++busy_polls;
+        } else {
+          // NAPI-style back-off: sleep until awakened or timeout.
+          std::unique_lock<std::mutex> lock(my_shard.wake_mu);
+          my_shard.wake_cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+            return my_shard.wake_seq.load(std::memory_order_acquire) != seen ||
+                   !running_.load(std::memory_order_acquire);
+          });
+        }
       }
     }
 
@@ -258,7 +479,7 @@ void CopierService::ThreadMain(size_t index) {
 Engine::Stats CopierService::TotalStats() const {
   Engine::Stats total;
   for (const auto& engine : engines_) {
-    const Engine::Stats& s = engine->stats();
+    const Engine::Stats s = engine->stats();
     total.tasks_ingested += s.tasks_ingested;
     total.tasks_completed += s.tasks_completed;
     total.tasks_dropped += s.tasks_dropped;
@@ -278,6 +499,21 @@ Engine::Stats CopierService::TotalStats() const {
     total.index_entries += s.index_entries;
   }
   return total;
+}
+
+CopierService::SchedStats CopierService::sched_stats() const {
+  SchedStats s;
+  s.picks = sched_stats_.picks;
+  s.pick_calls = sched_stats_.pick_calls;
+  s.pick_attempts = sched_stats_.pick_attempts;
+  s.pick_tsc_cycles = sched_stats_.pick_tsc_cycles;
+  s.clients_scanned = sched_stats_.clients_scanned;
+  s.steals = sched_stats_.steals;
+  s.steal_attempts = sched_stats_.steal_attempts;
+  s.targeted_wakeups = sched_stats_.targeted_wakeups;
+  s.broadcast_wakeups = sched_stats_.broadcast_wakeups;
+  s.reconcile_marks = sched_stats_.reconcile_marks;
+  return s;
 }
 
 }  // namespace copier::core

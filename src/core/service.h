@@ -12,6 +12,16 @@
 // share-weighted vruntime, then the client with minimum total copy length in
 // it, and serves at most one copy slice — CFS with copy length as the
 // resource (§4.5.2).
+//
+// Threaded mode runs that policy over *sharded run queues* (DESIGN.md §7):
+// every client has a stable home shard (id % shard_count); submitters mark it
+// runnable there (NotifyRunnable) and issue a targeted wakeup of the shard's
+// owning thread; a pick pops the best client from the thread's shards in
+// O(log n) under the shard lock instead of scanning every client under a
+// global mutex. Idle threads steal the highest-backlog runnable client from
+// the fullest foreign shard before sleeping. Manual mode — and threaded mode
+// with config.enable_sharded_scheduler off (ablation baseline) — keeps the
+// original global-mutex linear double scan.
 #ifndef COPIER_SRC_CORE_SERVICE_H_
 #define COPIER_SRC_CORE_SERVICE_H_
 
@@ -21,13 +31,16 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/exec_context.h"
+#include "src/common/relaxed_counter.h"
 #include "src/core/cgroup.h"
 #include "src/core/client.h"
 #include "src/core/config.h"
 #include "src/core/engine.h"
+#include "src/core/sched.h"
 #include "src/hw/timing_model.h"
 #include "src/simos/process.h"
 
@@ -46,6 +59,21 @@ class CopierService {
     Mode mode = Mode::kManual;
   };
 
+  // Scheduler observability (host-side, real counters — not the virtual cost
+  // model). Snapshot type; the live counters are relaxed atomics.
+  struct SchedStats {
+    uint64_t picks = 0;            // successful picks (a client was returned)
+    uint64_t pick_calls = 0;       // PickClient invocations, including idle
+    uint64_t pick_attempts = 0;    // serving-CAS attempts on popped clients
+    uint64_t pick_tsc_cycles = 0;  // host TSC cycles spent inside PickClient
+    uint64_t clients_scanned = 0;  // linear baseline: clients examined
+    uint64_t steals = 0;           // clients served off a foreign shard
+    uint64_t steal_attempts = 0;
+    uint64_t targeted_wakeups = 0;   // single-thread notify (sharded path)
+    uint64_t broadcast_wakeups = 0;  // Awaken() notify-all over every shard
+    uint64_t reconcile_marks = 0;    // idle-path rescues of unnotified work
+  };
+
   explicit CopierService(Options options);
   ~CopierService();
 
@@ -60,6 +88,10 @@ class CopierService {
   // Standalone kernel-service client (e.g. the CoW handler, §4.5).
   Client* AttachKernelClient(const std::string& name, Cgroup* cgroup = nullptr);
   Client* ClientById(uint64_t id);
+  // Detaches and destroys a client: marks it detached (suppressing further
+  // runnable notifications), removes it from its home shard's run queue,
+  // waits out any in-flight serve, then frees it. Safe while threads run.
+  void DetachClient(Client& client);
 
   Cgroup* CreateCgroup(const std::string& name, uint64_t shares);
   Cgroup* root_cgroup() { return root_cgroup_; }
@@ -80,13 +112,20 @@ class CopierService {
 
   void Start();
   void Stop();
-  // copier_awaken(fd): wakes sleeping Copier threads.
+  // copier_awaken(fd): wakes sleeping Copier threads (broadcast).
   void Awaken();
+  // Submission-side hook: marks `client` runnable on its home shard and wakes
+  // the shard's owner thread. `bytes_hint` (the submitted copy length, when
+  // the caller knows it) feeds the backlog estimate steal-victim selection
+  // uses. Falls back to Awaken() when the sharded scheduler is off. Safe to
+  // call redundantly — runnable marks dedup.
+  void NotifyRunnable(Client& client, uint64_t bytes_hint = 0);
   // Scenario-driven polling: threads serve only while a scenario is active.
   void ScenarioBegin();
   void ScenarioEnd();
   bool scenario_active() const { return scenario_depth_.load(std::memory_order_acquire) > 0; }
   size_t active_threads() const { return active_threads_.load(std::memory_order_acquire); }
+  size_t shard_count() const { return shards_.size(); }
 
   const CopierConfig& config() const { return options_.config; }
   const hw::TimingModel& timing() const { return *timing_; }
@@ -94,18 +133,70 @@ class CopierService {
 
   // Aggregated engine stats (all threads).
   Engine::Stats TotalStats() const;
+  // Scheduler counters snapshot, safe from any thread.
+  SchedStats sched_stats() const;
 
  private:
+  // One scheduler shard: a run queue plus the wakeup channel of the thread
+  // that owns it. Thread i sleeps on shards_[i]'s channel; shard s (s >=
+  // active_threads) is covered — and its wakeups redirected — via
+  // s % active_threads, so every shard stays owned as auto-scaling moves
+  // the active count.
+  struct Shard {
+    ShardRunQueue queue;
+    std::mutex wake_mu;
+    std::condition_variable wake_cv;
+    std::atomic<uint64_t> wake_seq{0};
+  };
+
+  // Live scheduler counters (field-for-field mirror of SchedStats).
+  struct AtomicSchedStats {
+    RelaxedCounter picks;
+    RelaxedCounter pick_calls;
+    RelaxedCounter pick_attempts;
+    RelaxedCounter pick_tsc_cycles;
+    RelaxedCounter clients_scanned;
+    RelaxedCounter steals;
+    RelaxedCounter steal_attempts;
+    RelaxedCounter targeted_wakeups;
+    RelaxedCounter broadcast_wakeups;
+    RelaxedCounter reconcile_marks;
+  };
+
+  bool UseSharded() const {
+    return options_.mode == Mode::kThreaded && options_.config.enable_sharded_scheduler;
+  }
+
   void ThreadMain(size_t index);
   // Scheduler: next client for engine `index` (nullptr = nothing runnable).
+  // The returned client's `serving` flag is held by the caller.
   Client* PickClient(size_t index);
+  Client* PickClientSharded(size_t index);
+  Client* PickClientLinear(size_t index);
+  // Steals the highest-backlog runnable client from the fullest shard not
+  // covered by thread `index`. Returns it with `serving` held, or nullptr.
+  Client* StealClient(size_t index);
+  // Idle-path safety net: marks runnable any client that has queued work but
+  // no runnable mark (work pushed to rings without a NotifyRunnable — tests
+  // and low-level users may do that legally).
+  void ReconcileRunnable();
+  // Wakes the thread owning `shard` (targeted), or everyone (broadcast) when
+  // targeted wakeups are disabled.
+  void WakeShard(size_t shard);
+  // Serves a picked client on engine `index` and releases it: accounts the
+  // bytes, clears `serving`, and — atomically with the release, under the
+  // home shard's lock — re-queues the client if work remains (the covering
+  // re-notify that makes dropped serving-CAS conflicts safe, DESIGN.md §7).
+  uint64_t ServePicked(size_t index, Client& client, uint64_t max_bytes);
+  void FinishServe(Client& client);
   void AccountService(Client& client, uint64_t bytes);
 
   Options options_;
   const hw::TimingModel* timing_;
 
-  mutable std::mutex mu_;  // guards clients_ / cgroups_ lists
+  mutable std::mutex mu_;  // guards clients_ / cgroups_ lists + client_index_
   std::vector<std::unique_ptr<Client>> clients_;
+  std::unordered_map<uint64_t, Client*> client_index_;  // id -> client
   std::vector<std::unique_ptr<Cgroup>> cgroups_;
   Cgroup* root_cgroup_ = nullptr;
   uint64_t next_client_id_ = 1;
@@ -115,14 +206,17 @@ class CopierService {
   std::vector<std::unique_ptr<ExecContext>> engine_ctxs_;
   std::vector<std::unique_ptr<Engine>> engines_;
 
+  // One shard per potential thread. Lock order: mu_ before any
+  // Shard::queue.mu; never the reverse. Shard queue locks never nest.
+  std::vector<std::unique_ptr<Shard>> shards_;
+
   // Threaded mode.
   std::vector<std::thread> threads_;
   std::atomic<bool> running_{false};
   std::atomic<size_t> active_threads_{0};
   std::atomic<int> scenario_depth_{0};
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
-  std::atomic<uint64_t> wake_seq_{0};
+
+  mutable AtomicSchedStats sched_stats_;
 };
 
 }  // namespace copier::core

@@ -86,6 +86,11 @@ struct TimingModel {
   // Copier service internals.
   Cycles poll_iteration_cycles = 55;       // scan one client's queues, empty
   Cycles schedule_pick_cycles = 45;        // CFS-style min-length pick (§4.5.3)
+  // Linear-scan scheduler baseline: the global pick examines every attached
+  // client (twice); charged once per client scanned so the threaded mode's
+  // virtual cost model reflects the O(clients) shape the sharded run queues
+  // remove (the sharded pick charges schedule_pick_cycles alone).
+  Cycles schedule_scan_cycles_per_client = 4;
   Cycles barrier_process_cycles = 20;
   // Dependency/absorption matching: charged once per interval-index probe
   // when the range index is enabled, or once per pending candidate examined

@@ -113,9 +113,7 @@ bool CopierLib::SubmitTask(uint64_t dst, uint64_t src, size_t n, core::Descripto
   if (!client_->pair(opts.fd).user.copy_q.TryPush(std::move(entry))) {
     return false;
   }
-  if (service_->mode() == core::CopierService::Mode::kThreaded) {
-    service_->Awaken();
-  }
+  service_->NotifyRunnable(*client_, n);
   return true;
 }
 
@@ -236,9 +234,7 @@ Status CopierLib::WaitRange(core::Descriptor* descriptor, size_t offset, size_t 
   ChargeCtx(ctx, timing_->csync_submit_cycles);
   if (sync.length > 0) {
     client_->default_pair().user.sync_q.TryPush(std::move(sync));
-    if (service_->mode() == core::CopierService::Mode::kThreaded) {
-      service_->Awaken();
-    }
+    service_->NotifyRunnable(*client_);
   }
   std::function<void()> pump;
   if (service_->mode() == core::CopierService::Mode::kManual) {
@@ -334,7 +330,7 @@ void CopierLib::abort_range(uint64_t addr, size_t n, ExecContext* ctx) {
   ChargeCtx(ctx, timing_->csync_submit_cycles);
   client_->default_pair().user.sync_q.TryPush(std::move(sync));
   if (service_->mode() == core::CopierService::Mode::kThreaded) {
-    service_->Awaken();
+    service_->NotifyRunnable(*client_);
   } else {
     service_->Serve(*client_);
   }
@@ -346,7 +342,7 @@ void CopierLib::Pump() {
   if (service_->mode() == core::CopierService::Mode::kManual) {
     service_->Serve(*client_);
   } else {
-    service_->Awaken();
+    service_->NotifyRunnable(*client_);
   }
 }
 

@@ -1,0 +1,361 @@
+// Threaded-scheduler tests: the sharded run-queue scheduler (service.h,
+// DESIGN.md §7) under real Copier threads — CFS-analogue fairness across
+// cgroups, work stealing, attach/detach churn while serving, and a
+// differential run asserting the sharded and global-mutex linear schedulers
+// complete identical task sets with identical bytes. Plus deterministic unit
+// tests of the ShardRunQueue ordering itself.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/core/sched.h"
+#include "tests/test_util.h"
+
+namespace copier::test {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ShardRunQueue unit tests (deterministic, no threads)
+// ---------------------------------------------------------------------------
+
+TEST(ShardRunQueue, PopMinOrdersByCgroupVruntimeThenClientLength) {
+  core::CopierConfig config;
+  core::Cgroup behind("behind", core::kDefaultCopierShares);
+  core::Cgroup ahead("ahead", core::kDefaultCopierShares);
+  ahead.Account(1000);  // larger vruntime: scheduled after `behind`
+  core::Client light(1, nullptr, config);
+  core::Client heavy(2, nullptr, config);
+  core::Client other(3, nullptr, config);
+  light.cgroup = &behind;
+  heavy.cgroup = &behind;
+  other.cgroup = &ahead;
+  heavy.total_copy_length.store(500, std::memory_order_relaxed);
+
+  core::ShardRunQueue queue;
+  std::lock_guard<std::mutex> lock(queue.mu);
+  queue.Insert(other);
+  queue.Insert(heavy);
+  queue.Insert(light);
+  EXPECT_EQ(queue.ApproxSize(), 3u);
+  // Min-vruntime cgroup first; inside it, min total copy length.
+  EXPECT_EQ(queue.PopMin(), &light);
+  EXPECT_EQ(queue.PopMin(), &heavy);
+  EXPECT_EQ(queue.PopMin(), &other);
+  EXPECT_EQ(queue.PopMin(), nullptr);
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(ShardRunQueue, PopMaxBacklogPicksHottestClientAcrossCgroups) {
+  core::CopierConfig config;
+  core::Cgroup group_a("a", core::kDefaultCopierShares);
+  core::Cgroup group_b("b", core::kDefaultCopierShares);
+  core::Client cold(1, nullptr, config);
+  core::Client hot(2, nullptr, config);
+  cold.cgroup = &group_a;
+  hot.cgroup = &group_b;
+  cold.submitted_bytes.store(1024, std::memory_order_relaxed);
+  hot.submitted_bytes.store(1 << 20, std::memory_order_relaxed);
+
+  core::ShardRunQueue queue;
+  std::lock_guard<std::mutex> lock(queue.mu);
+  queue.Insert(cold);
+  queue.Insert(hot);
+  EXPECT_EQ(queue.PopMaxBacklog(), &hot);
+  EXPECT_EQ(queue.PopMaxBacklog(), &cold);
+  EXPECT_EQ(queue.PopMaxBacklog(), nullptr);
+}
+
+// Deterministic CFS-analogue simulation: drive one shard's pick/serve/requeue
+// loop by hand and check the service split follows copier.shares (§4.5.2).
+TEST(ShardRunQueue, ServiceSplitFollowsShareRatio) {
+  core::CopierConfig config;
+  core::Cgroup favored("favored", 8 * core::kDefaultCopierShares);
+  core::Cgroup modest("modest", core::kDefaultCopierShares);
+  core::Client a(1, nullptr, config);
+  core::Client b(2, nullptr, config);
+  a.cgroup = &favored;
+  b.cgroup = &modest;
+
+  core::ShardRunQueue queue;
+  std::lock_guard<std::mutex> lock(queue.mu);
+  queue.Insert(a);
+  queue.Insert(b);
+  const uint64_t kSlice = 256 * kKiB;
+  uint64_t served_a = 0;
+  uint64_t served_b = 0;
+  for (int round = 0; round < 900; ++round) {
+    core::Client* picked = queue.PopMin();
+    ASSERT_NE(picked, nullptr);
+    picked->cgroup->Account(kSlice);
+    picked->cgroup->AccountRaw(kSlice);
+    picked->total_copy_length.fetch_add(kSlice, std::memory_order_relaxed);
+    (picked == &a ? served_a : served_b) += kSlice;
+    queue.Insert(*picked);  // still runnable: requeue with fresh keys
+  }
+  // Ideal split is 8:1; slice granularity leaves at most one slice of skew.
+  ASSERT_GT(served_b, 0u);
+  const double ratio = static_cast<double>(served_a) / static_cast<double>(served_b);
+  EXPECT_GE(ratio, 7.0);
+  EXPECT_LE(ratio, 9.0);
+}
+
+TEST(ShardRunQueue, RemoveDropsOnlyTheNamedClient) {
+  core::CopierConfig config;
+  core::Cgroup group("g", core::kDefaultCopierShares);
+  core::Client a(1, nullptr, config);
+  core::Client b(2, nullptr, config);
+  a.cgroup = &group;
+  b.cgroup = &group;
+
+  core::ShardRunQueue queue;
+  std::lock_guard<std::mutex> lock(queue.mu);
+  queue.Insert(a);
+  queue.Insert(b);
+  EXPECT_TRUE(queue.Remove(a));
+  EXPECT_FALSE(queue.Remove(a));  // already gone
+  EXPECT_EQ(queue.ApproxSize(), 1u);
+  EXPECT_EQ(queue.PopMin(), &b);
+  EXPECT_FALSE(queue.Remove(b));
+}
+
+// ---------------------------------------------------------------------------
+// Threaded-service harness
+// ---------------------------------------------------------------------------
+
+// One worker process + lib attached to a shared threaded service. The arena
+// holds a read-only source slot followed by `slots` destination slots; every
+// submitted copy reads the source slot into a distinct destination, so the
+// final bytes are order-independent (each slot equals the source pattern).
+struct Worker {
+  Worker(simos::SimKernel& kernel, core::CopierService& service, core::Cgroup* cgroup,
+         size_t slots, size_t slot_bytes)
+      : slots(slots), slot_bytes(slot_bytes) {
+    proc = kernel.CreateProcess("worker");
+    client = service.AttachProcess(proc, cgroup);
+    lib = std::make_unique<lib::CopierLib>(client, &service);
+    auto va = proc->mem().MapAnonymous((slots + 1) * slot_bytes, "arena", true);
+    EXPECT_TRUE(va.ok());
+    arena = *va;
+    FillPattern(proc->mem(), arena, slot_bytes, 0xC0FFEE + client->id());
+  }
+
+  void SubmitAll() {
+    for (size_t i = 0; i < slots; ++i) {
+      lib->amemcpy(arena + (i + 1) * slot_bytes, arena, slot_bytes);
+    }
+  }
+
+  void VerifyAll() {
+    ASSERT_TRUE(lib->csync_all().ok());
+    for (size_t i = 0; i < slots; ++i) {
+      ExpectSameBytes(proc->mem(), arena, arena + (i + 1) * slot_bytes, slot_bytes);
+    }
+  }
+
+  size_t slots;
+  size_t slot_bytes;
+  simos::Process* proc = nullptr;
+  core::Client* client = nullptr;
+  std::unique_ptr<lib::CopierLib> lib;
+  uint64_t arena = 0;
+};
+
+core::CopierService::Options ThreadedOptions(size_t threads, bool sharded) {
+  core::CopierService::Options options;
+  options.mode = core::CopierService::Mode::kThreaded;
+  options.config.min_threads = threads;
+  options.config.max_threads = threads;
+  options.config.enable_sharded_scheduler = sharded;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Cgroup fairness under 4 threads (§4.5.2)
+// ---------------------------------------------------------------------------
+
+TEST(ThreadedScheduler, ShareWeightedFairnessAcrossCgroups) {
+  simos::SimKernel kernel;
+  auto options = ThreadedOptions(4, /*sharded=*/true);
+  // Stealing is work conservation, not fairness: a thief takes the highest-
+  // backlog client — by construction the one fairness has served least. On an
+  // oversubscribed host, OS preemption makes sibling shards look idle and
+  // steals would blur the share split this test measures, so pin it off.
+  options.config.enable_work_stealing = false;
+  core::CopierService service(std::move(options));
+  core::Cgroup* favored = service.CreateCgroup("favored", 8 * core::kDefaultCopierShares);
+  core::Cgroup* modest = service.CreateCgroup("modest", core::kDefaultCopierShares);
+
+  // Four clients per group, attached so every shard holds one client of each
+  // (ids 1..4 -> favored, 5..8 -> modest; home shard = id % 4).
+  const size_t kSlots = 64;
+  const size_t kSlotBytes = 32 * kKiB;
+  std::vector<std::unique_ptr<Worker>> workers;
+  for (int i = 0; i < 8; ++i) {
+    workers.push_back(std::make_unique<Worker>(kernel, service, i < 4 ? favored : modest,
+                                               kSlots, kSlotBytes));
+  }
+  for (auto& worker : workers) {
+    worker->SubmitAll();
+  }
+  const uint64_t per_group = 4 * kSlots * kSlotBytes;
+  const uint64_t slack = 4 * service.config().copy_slice_bytes;  // in-flight slices
+
+  // With an 8:1 share split the favored group must never trail the modest one
+  // (beyond in-flight slice accounting) at any observable instant: the CFS
+  // pick always prefers the group with less weighted service.
+  service.Start();
+  uint64_t favored_bytes = 0;
+  uint64_t modest_bytes = 0;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < deadline) {
+    favored_bytes = favored->total_bytes();
+    modest_bytes = modest->total_bytes();
+    ASSERT_GE(favored_bytes + slack, modest_bytes);
+    if (favored_bytes + modest_bytes >= 2 * per_group) {
+      break;
+    }
+    std::this_thread::yield();
+  }
+  ASSERT_GE(favored_bytes + modest_bytes, per_group) << "service made no progress";
+
+  for (auto& worker : workers) {
+    worker->VerifyAll();
+  }
+  service.Stop();
+  // Every submitted byte lands eventually. csync promotions (PromoteRange)
+  // execute outside the slice accounting, so totals may fall short of the
+  // demand by in-flight promotion bytes — never exceed it.
+  EXPECT_GE(favored->total_bytes() + slack, per_group);
+  EXPECT_LE(favored->total_bytes(), per_group);
+  EXPECT_GE(modest->total_bytes() + slack, per_group);
+  EXPECT_LE(modest->total_bytes(), per_group);
+}
+
+// ---------------------------------------------------------------------------
+// Work stealing: hot shard, idle thieves
+// ---------------------------------------------------------------------------
+
+TEST(ThreadedScheduler, IdleThreadsStealFromHotShard) {
+  simos::SimKernel kernel;
+  auto options = ThreadedOptions(4, /*sharded=*/true);
+  options.config.idle_spins_before_sleep = 8;  // reach the steal path quickly
+  core::CopierService service(std::move(options));
+
+  // Five clients; ids 1 and 5 share home shard 1 (id % 4), the rest stay
+  // idle — so shard 1 is hot while threads 0, 2 and 3 have nothing local.
+  const size_t kSlots = 256;
+  const size_t kSlotBytes = 32 * kKiB;
+  std::vector<std::unique_ptr<Worker>> workers;
+  for (int i = 0; i < 5; ++i) {
+    workers.push_back(
+        std::make_unique<Worker>(kernel, service, nullptr, kSlots, kSlotBytes));
+  }
+  Worker& hot_a = *workers[0];
+  Worker& hot_b = *workers[4];
+  ASSERT_EQ(hot_a.client->home_shard, hot_b.client->home_shard);
+  hot_a.SubmitAll();
+  hot_b.SubmitAll();
+
+  service.Start();
+  hot_a.VerifyAll();
+  hot_b.VerifyAll();
+  service.Stop();
+
+  const auto stats = service.sched_stats();
+  EXPECT_GT(stats.steal_attempts, 0u);
+  EXPECT_GT(stats.steals, 0u) << "idle threads never stole from the hot shard";
+}
+
+// ---------------------------------------------------------------------------
+// Attach/detach churn while serving
+// ---------------------------------------------------------------------------
+
+TEST(ThreadedScheduler, AttachDetachChurnWhileServing) {
+  simos::SimKernel kernel;
+  auto options = ThreadedOptions(4, /*sharded=*/true);
+  options.config.idle_spins_before_sleep = 64;  // keep steal/reconcile hot too
+  core::CopierService service(std::move(options));
+
+  Worker stable(kernel, service, nullptr, 16, 16 * kKiB);
+  service.Start();
+
+  // Background load on a long-lived client while clients come and go.
+  std::atomic<bool> stop{false};
+  std::thread background([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      stable.SubmitAll();
+      ASSERT_TRUE(stable.lib->csync_all().ok());
+    }
+  });
+
+  for (int round = 0; round < 40; ++round) {
+    Worker churn(kernel, service, nullptr, 8, 16 * kKiB);
+    churn.SubmitAll();
+    churn.VerifyAll();
+    const uint64_t gone_id = churn.client->id();
+    service.DetachClient(*churn.client);
+    EXPECT_EQ(service.ClientById(gone_id), nullptr);
+  }
+
+  stop.store(true, std::memory_order_release);
+  background.join();
+  stable.VerifyAll();
+  service.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Differential: sharded vs linear scheduler, identical task sets
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> RunDifferentialScenario(bool sharded,
+                                             core::CopierService::SchedStats* stats_out) {
+  simos::SimKernel kernel;
+  core::CopierService service(ThreadedOptions(4, sharded));
+  const size_t kSlots = 48;
+  const size_t kSlotBytes = 16 * kKiB;
+  std::vector<std::unique_ptr<Worker>> workers;
+  for (int i = 0; i < 6; ++i) {
+    workers.push_back(
+        std::make_unique<Worker>(kernel, service, nullptr, kSlots, kSlotBytes));
+  }
+  service.Start();
+  for (auto& worker : workers) {
+    worker->SubmitAll();
+  }
+  std::vector<uint8_t> bytes;
+  for (auto& worker : workers) {
+    EXPECT_TRUE(worker->lib->csync_all().ok());
+    const auto arena =
+        ReadAll(worker->proc->mem(), worker->arena, (worker->slots + 1) * worker->slot_bytes);
+    bytes.insert(bytes.end(), arena.begin(), arena.end());
+  }
+  service.Stop();
+  if (stats_out != nullptr) {
+    *stats_out = service.sched_stats();
+  }
+  return bytes;
+}
+
+TEST(ThreadedScheduler, ShardedAndLinearCompleteIdenticalTaskSets) {
+  core::CopierService::SchedStats sharded_stats;
+  core::CopierService::SchedStats linear_stats;
+  const auto sharded_bytes = RunDifferentialScenario(/*sharded=*/true, &sharded_stats);
+  const auto linear_bytes = RunDifferentialScenario(/*sharded=*/false, &linear_stats);
+  ASSERT_EQ(sharded_bytes.size(), linear_bytes.size());
+  ASSERT_EQ(sharded_bytes, linear_bytes);
+
+  // Mode signatures: the sharded run used targeted wakeups and never ran the
+  // linear scan; the baseline scanned clients and broadcast its wakeups.
+  EXPECT_GT(sharded_stats.targeted_wakeups, 0u);
+  EXPECT_EQ(sharded_stats.clients_scanned, 0u);
+  EXPECT_GT(linear_stats.clients_scanned, 0u);
+  EXPECT_GT(linear_stats.broadcast_wakeups, 0u);
+  EXPECT_GT(sharded_stats.picks, 0u);
+  EXPECT_GT(linear_stats.picks, 0u);
+}
+
+}  // namespace
+}  // namespace copier::test
