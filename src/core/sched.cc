@@ -20,12 +20,14 @@ Client* ShardRunQueue::PopMin() {
   }
   const auto group_it = groups_.begin();
   Cgroup* group = group_it->second;
-  Bucket& bucket = buckets_[group];
+  const auto bucket_it = buckets_.find(group);
+  Bucket& bucket = bucket_it->second;
   const auto client_it = bucket.clients.begin();
   Client* client = client_it->second;
   bucket.clients.erase(client_it);
   if (bucket.clients.empty()) {
     groups_.erase(group_it);
+    buckets_.erase(bucket_it);
   }
   size_.fetch_sub(1, std::memory_order_relaxed);
   return client;
@@ -61,6 +63,7 @@ bool ShardRunQueue::Remove(Client& client) {
   }
   if (bucket_it->second.clients.empty()) {
     groups_.erase({bucket_it->second.group_key, client.cgroup});
+    buckets_.erase(bucket_it);
   }
   size_.fetch_sub(1, std::memory_order_relaxed);
   return true;
@@ -70,6 +73,7 @@ void ShardRunQueue::EraseFromBucket(Bucket& bucket, Cgroup* group, Client& clien
   bucket.clients.erase({client.sched_key, &client});
   if (bucket.clients.empty()) {
     groups_.erase({bucket.group_key, group});
+    buckets_.erase(group);  // invalidates `bucket`; must be the last touch
   }
   size_.fetch_sub(1, std::memory_order_relaxed);
 }

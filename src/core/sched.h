@@ -69,6 +69,9 @@ class ShardRunQueue {
 
   // Runnable cgroups keyed on (vruntime snapshot, pointer tiebreak).
   std::set<std::pair<uint64_t, Cgroup*>> groups_;
+  // Holds exactly the cgroups with a queued client: a bucket is erased the
+  // moment it drains, so this map (and the PopMaxBacklog scan over it) tracks
+  // currently-runnable cgroups, not every cgroup ever seen.
   std::unordered_map<Cgroup*, Bucket> buckets_;
   std::atomic<size_t> size_{0};
 };

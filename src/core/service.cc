@@ -52,9 +52,9 @@ Client* CopierService::ClientById(uint64_t id) {
 void CopierService::DetachClient(Client& client) {
   client.detached.store(true, std::memory_order_release);
   {
-    // After this critical section no picker can return the client: it is out
-    // of its home queue, and any earlier pop already holds `serving` (pop and
-    // serving-CAS are atomic under the shard lock).
+    // After this critical section no sharded picker can return the client: it
+    // is out of its home queue, and any earlier pop already holds `serving`
+    // (pop and serving-CAS are atomic under the shard lock).
     Shard& shard = *shards_[client.home_shard];
     std::lock_guard<std::mutex> lock(shard.queue.mu);
     if (client.runnable.load(std::memory_order_relaxed)) {
@@ -62,14 +62,29 @@ void CopierService::DetachClient(Client& client) {
       client.runnable.store(false, std::memory_order_relaxed);
     }
   }
+  // Take ownership out of the service BEFORE waiting out `serving`: the
+  // linear picker scans clients_ and CASes `serving` under mu_, so once this
+  // erase lands no scheduler path — sharded or linear — can reach the client,
+  // and any pick that already happened shows up in `serving` below.
+  std::unique_ptr<Client> owned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    client_index_.erase(client.id());
+    const auto it = std::find_if(
+        clients_.begin(), clients_.end(),
+        [&client](const std::unique_ptr<Client>& c) { return c.get() == &client; });
+    if (it != clients_.end()) {
+      owned = std::move(*it);
+      clients_.erase(it);
+    }
+  }
   // Wait out an in-flight serve (home thread, a thief, or a csync pump).
   // FinishServe sees `detached` and will not re-queue.
   while (client.serving.load(std::memory_order_acquire)) {
     std::this_thread::yield();
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  client_index_.erase(client.id());
-  std::erase_if(clients_, [&client](const std::unique_ptr<Client>& c) { return c.get() == &client; });
+  // `owned` destructs here: the client is freed only after the last server
+  // released it.
 }
 
 Cgroup* CopierService::CreateCgroup(const std::string& name, uint64_t shares) {
@@ -134,7 +149,8 @@ Client* CopierService::PickClientLinear(size_t index) {
   };
   for (auto& client : clients_) {
     ++scanned;
-    if (!assigned_here(*client) || !client->HasQueuedWork()) {
+    if (!assigned_here(*client) || client->detached.load(std::memory_order_acquire) ||
+        !client->HasQueuedWork()) {
       continue;
     }
     if (best_group == nullptr || client->cgroup->vruntime() < best_group->vruntime()) {
@@ -146,7 +162,8 @@ Client* CopierService::PickClientLinear(size_t index) {
     // Pass 2: within the cgroup, minimum total copy length (CFS analogue).
     for (auto& client : clients_) {
       ++scanned;
-      if (!assigned_here(*client) || client->cgroup != best_group || !client->HasQueuedWork()) {
+      if (!assigned_here(*client) || client->cgroup != best_group ||
+          client->detached.load(std::memory_order_acquire) || !client->HasQueuedWork()) {
         continue;
       }
       if (best == nullptr || client->total_copy_length < best->total_copy_length) {
@@ -231,8 +248,10 @@ void CopierService::FinishServe(Client& client) {
   // that popped this client and lost the serving-CAS dropped its runnable
   // mark, and this is the covering re-notify. Doing both under the lock also
   // lets DetachClient free the client the moment `serving` clears — after
-  // its own locked removal, no path here can touch the client again.
-  Shard& shard = *shards_[client.home_shard];
+  // its own locked removal, no path here may touch the client again, which is
+  // why `home` is captured before the store that makes the client freeable.
+  const size_t home = client.home_shard;
+  Shard& shard = *shards_[home];
   bool wake = false;
   {
     std::lock_guard<std::mutex> lock(shard.queue.mu);
@@ -245,7 +264,7 @@ void CopierService::FinishServe(Client& client) {
     client.serving.store(false, std::memory_order_release);
   }
   if (wake) {
-    WakeShard(client.home_shard);
+    WakeShard(home);
   }
 }
 
@@ -364,7 +383,11 @@ void CopierService::NotifyRunnable(Client& client, uint64_t bytes_hint) {
       client.runnable.load(std::memory_order_acquire)) {
     return;  // already queued (dedup fast path) or tearing down
   }
-  Shard& shard = *shards_[client.home_shard];
+  // Capture the home shard before the insert: once the client is queued it
+  // can be picked, served to completion, and freed by a concurrent
+  // DetachClient, so nothing after the critical section may dereference it.
+  const size_t home = client.home_shard;
+  Shard& shard = *shards_[home];
   {
     std::lock_guard<std::mutex> lock(shard.queue.mu);
     if (client.detached.load(std::memory_order_relaxed) ||
@@ -374,7 +397,7 @@ void CopierService::NotifyRunnable(Client& client, uint64_t bytes_hint) {
     client.runnable.store(true, std::memory_order_relaxed);
     shard.queue.Insert(client);
   }
-  WakeShard(client.home_shard);
+  WakeShard(home);
 }
 
 void CopierService::WakeShard(size_t shard_index) {
@@ -415,11 +438,23 @@ void CopierService::ThreadMain(size_t index) {
                         (scenario_mode && !scenario_active());
     if (parked) {
       const uint64_t seen = my_shard.wake_seq.load(std::memory_order_acquire);
-      std::unique_lock<std::mutex> lock(my_shard.wake_mu);
-      my_shard.wake_cv.wait_for(lock, std::chrono::milliseconds(5), [&] {
-        return my_shard.wake_seq.load(std::memory_order_acquire) != seen ||
-               !running_.load(std::memory_order_acquire);
-      });
+      {
+        std::unique_lock<std::mutex> lock(my_shard.wake_mu);
+        my_shard.wake_cv.wait_for(lock, std::chrono::milliseconds(5), [&] {
+          return my_shard.wake_seq.load(std::memory_order_acquire) != seen ||
+                 !running_.load(std::memory_order_acquire);
+        });
+      }
+      // A targeted wakeup can race with a scale-down and land here after this
+      // thread parked. Forward it: WakeShard(index) re-resolves the owner
+      // against the *current* active count, notifying the thread that now
+      // covers this shard (index % active != index while parked, so this
+      // never self-notifies). Guarded on index >= active so scenario-parked
+      // owners do not spin on their own queue.
+      if (index >= active_threads_.load(std::memory_order_acquire) &&
+          !my_shard.queue.Empty()) {
+        WakeShard(index);
+      }
       continue;
     }
 
@@ -471,6 +506,10 @@ void CopierService::ThreadMain(size_t index) {
         Awaken();
       } else if (load < options_.config.low_load && active > options_.config.min_threads) {
         active_threads_.store(active - 1, std::memory_order_release);
+        // A targeted wakeup computed against the old count may have landed on
+        // the thread that just parked; broadcast so the threads now covering
+        // its shards recheck instead of waiting for a timeout poll.
+        Awaken();
       }
     }
   }

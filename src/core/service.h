@@ -89,7 +89,8 @@ class CopierService {
   Client* AttachKernelClient(const std::string& name, Cgroup* cgroup = nullptr);
   Client* ClientById(uint64_t id);
   // Detaches and destroys a client: marks it detached (suppressing further
-  // runnable notifications), removes it from its home shard's run queue,
+  // runnable notifications), removes it from its home shard's run queue and
+  // the client tables (so no picker, sharded or linear, can still reach it),
   // waits out any in-flight serve, then frees it. Safe while threads run.
   void DetachClient(Client& client);
 

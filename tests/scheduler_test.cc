@@ -273,9 +273,9 @@ TEST(ThreadedScheduler, IdleThreadsStealFromHotShard) {
 // Attach/detach churn while serving
 // ---------------------------------------------------------------------------
 
-TEST(ThreadedScheduler, AttachDetachChurnWhileServing) {
+void RunAttachDetachChurn(bool sharded) {
   simos::SimKernel kernel;
-  auto options = ThreadedOptions(4, /*sharded=*/true);
+  auto options = ThreadedOptions(4, sharded);
   options.config.idle_spins_before_sleep = 64;  // keep steal/reconcile hot too
   core::CopierService service(std::move(options));
 
@@ -304,6 +304,17 @@ TEST(ThreadedScheduler, AttachDetachChurnWhileServing) {
   background.join();
   stable.VerifyAll();
   service.Stop();
+}
+
+TEST(ThreadedScheduler, AttachDetachChurnWhileServing) {
+  RunAttachDetachChurn(/*sharded=*/true);
+}
+
+// The linear baseline picks by scanning clients_ under mu_; detach must pull
+// the client out of that table before freeing it, or a concurrent pick races
+// the teardown.
+TEST(ThreadedScheduler, AttachDetachChurnWhileServingLinearBaseline) {
+  RunAttachDetachChurn(/*sharded=*/false);
 }
 
 // ---------------------------------------------------------------------------
