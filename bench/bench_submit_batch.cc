@@ -1,0 +1,165 @@
+// Vectored-submission sweep: submission-side cost of send() with the
+// scatter-gather batch path (enable_vectored_submit, the default) vs the
+// per-skb ablation baseline.
+//
+// Every size runs the SAME workload in both modes: the sender's send()
+// gathers size/4096 skbs and publishes them — as ONE scatter-gather Copy
+// Task in one ring transaction with one doorbell (vectored), or as one task
+// + one doorbell per skb (per-op). A plain synchronous receiver drains and
+// checksums the stream, so the modes must land byte-identical images.
+// Reported per mode:
+//   * submission-side cycles per byte (sender context across the syscall),
+//   * queue entries and doorbells (NotifyRunnable calls) per send,
+//   * per-skb completion handlers run (identical across modes).
+//
+// --quick runs a two-size subset (CI smoke); --json additionally writes
+// BENCH_submit_batch.json for scripts/bench_smoke.sh.
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/service.h"
+#include "src/libcopier/libcopier.h"
+
+namespace copier::bench {
+namespace {
+
+struct ModeResult {
+  size_t size = 0;
+  uint64_t sends = 0;
+  uint64_t submit_cycles = 0;    // sender ctx cycles across all send() calls
+  uint64_t submit_entries = 0;   // copy-queue entries ingested
+  uint64_t submit_batches = 0;   // scatter-gather tasks among them
+  uint64_t notify_calls = 0;     // doorbells
+  uint64_t kfuncs_run = 0;       // per-skb completion handlers
+  uint64_t checksum = 0;         // FNV-1a over the received image
+  double cycles_per_byte() const {
+    return static_cast<double>(submit_cycles) / (static_cast<double>(sends) * size);
+  }
+};
+
+ModeResult RunMode(const hw::TimingModel& timing, size_t size, bool vectored, int iters) {
+  core::CopierConfig config;
+  config.enable_vectored_submit = vectored;
+  BenchStack stack(&timing, config);
+  apps::AppProcess* tx = stack.NewApp("tx");
+  apps::AppProcess* rx = stack.NewSyncApp("rx");  // unattached: sync recv drains
+  auto [tx_sock, rx_sock] = stack.kernel->CreateSocketPair();
+  core::Client* client = stack.service->ClientById(tx->proc()->copier_client_id());
+
+  const uint64_t src = tx->Map(size, "src");
+  const uint64_t dst = rx->Map(size, "dst");
+  Rng rng(0xBA7C4 ^ size);
+  std::vector<uint8_t> pattern(size);
+  for (auto& b : pattern) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  tx->io().Write(src, pattern.data(), size, nullptr);
+
+  const core::Engine::Stats before = stack.service->TotalStats();
+  ModeResult result;
+  result.size = size;
+  result.checksum = 1469598103934665603ull;
+  std::vector<uint8_t> image(size);
+  for (int i = 0; i < iters; ++i) {
+    ExecContext& ctx = tx->ctx();
+    const Cycles start = ctx.now();
+    auto sent = stack.kernel->Send(*tx->proc(), tx_sock, src, size, &ctx);
+    COPIER_CHECK(sent.ok() && *sent == size) << "short send at size " << size;
+    result.submit_cycles += ctx.now() - start;
+    ++result.sends;
+    // The Copier core drains the submission off the sender's critical path.
+    while (client->HasQueuedWork()) {
+      stack.service->Serve(*client);
+    }
+    auto got = stack.kernel->Recv(*rx->proc(), rx_sock, dst, size, nullptr);
+    COPIER_CHECK(got.ok() && *got == size) << "short recv at size " << size;
+    COPIER_CHECK_OK(rx->proc()->mem().ReadBytes(dst, image.data(), size));
+    for (uint8_t byte : image) {
+      result.checksum = (result.checksum ^ byte) * 1099511628211ull;
+    }
+  }
+  const core::Engine::Stats after = stack.service->TotalStats();
+  result.submit_entries = after.submit_entries - before.submit_entries;
+  result.submit_batches = after.submit_batches - before.submit_batches;
+  result.notify_calls = after.notify_calls - before.notify_calls;
+  result.kfuncs_run = after.kfuncs_run - before.kfuncs_run;
+  return result;
+}
+
+void Run(int argc, char** argv) {
+  const hw::TimingModel& timing = SelectTiming(argc, argv);
+  const bool quick = HasFlag(argc, argv, "--quick");
+  PrintBanner("Vectored submission: scatter-gather batch vs per-skb tasks");
+  const std::vector<size_t> sizes =
+      quick ? std::vector<size_t>{64 * kKiB, kMiB}
+            : std::vector<size_t>{4 * kKiB, 16 * kKiB, 64 * kKiB, 256 * kKiB, kMiB, 4 * kMiB};
+  const int iters = quick ? 4 : 12;
+
+  TextTable table({"size", "cyc/B vec", "cyc/B per-op", "speedup", "doorbells/send vec",
+                   "doorbells/send per-op", "entries/send vec", "entries/send per-op",
+                   "identical"});
+  std::vector<std::pair<ModeResult, ModeResult>> rows;
+  for (size_t size : sizes) {
+    const ModeResult vec = RunMode(timing, size, /*vectored=*/true, iters);
+    const ModeResult per_op = RunMode(timing, size, /*vectored=*/false, iters);
+    rows.emplace_back(vec, per_op);
+    table.AddRow({TextTable::Bytes(size), TextTable::Num(vec.cycles_per_byte(), 4),
+                  TextTable::Num(per_op.cycles_per_byte(), 4),
+                  TextTable::Num(per_op.cycles_per_byte() / vec.cycles_per_byte(), 2) + "x",
+                  TextTable::Num(static_cast<double>(vec.notify_calls) / vec.sends, 1),
+                  TextTable::Num(static_cast<double>(per_op.notify_calls) / per_op.sends, 1),
+                  TextTable::Num(static_cast<double>(vec.submit_entries) / vec.sends, 1),
+                  TextTable::Num(static_cast<double>(per_op.submit_entries) / per_op.sends, 1),
+                  vec.checksum == per_op.checksum ? "yes" : "NO"});
+    if (vec.checksum != per_op.checksum) {
+      std::fprintf(stderr, "MISMATCH at size %zu: vectored and per-op images differ\n", size);
+    }
+    if (vec.kfuncs_run != per_op.kfuncs_run) {
+      std::fprintf(stderr, "KFUNC MISMATCH at size %zu: %llu vectored vs %llu per-op\n", size,
+                   (unsigned long long)vec.kfuncs_run, (unsigned long long)per_op.kfuncs_run);
+    }
+  }
+  table.Print();
+  std::printf("\nvectored publishes the syscall's whole skb op-list as one scatter-gather\n"
+              "task: one ring transaction, one doorbell, one barrier-state check per send.\n");
+
+  if (HasFlag(argc, argv, "--json")) {
+    std::ofstream out("BENCH_submit_batch.json");
+    out << "{\n  \"bench\": \"submit_batch\",\n  \"sizes\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const auto& [vec, per_op] = rows[i];
+      const auto mode_json = [&](const ModeResult& r) {
+        std::string s;
+        s += "{\"submit_cycles\": " + std::to_string(r.submit_cycles);
+        s += ", \"cycles_per_byte\": " + std::to_string(r.cycles_per_byte());
+        s += ", \"sends\": " + std::to_string(r.sends);
+        s += ", \"submit_entries\": " + std::to_string(r.submit_entries);
+        s += ", \"submit_batches\": " + std::to_string(r.submit_batches);
+        s += ", \"notify_calls\": " + std::to_string(r.notify_calls);
+        s += ", \"kfuncs_run\": " + std::to_string(r.kfuncs_run) + "}";
+        return s;
+      };
+      out << "    {\"size\": " << vec.size << ",\n"
+          << "     \"vectored\": " << mode_json(vec) << ",\n"
+          << "     \"per_op\": " << mode_json(per_op) << ",\n"
+          << "     \"submit_speedup\": " << per_op.cycles_per_byte() / vec.cycles_per_byte()
+          << ", \"identical_result\": " << (vec.checksum == per_op.checksum ? "true" : "false")
+          << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote BENCH_submit_batch.json\n");
+  }
+}
+
+}  // namespace
+}  // namespace copier::bench
+
+int main(int argc, char** argv) {
+  copier::bench::Run(argc, argv);
+  return 0;
+}

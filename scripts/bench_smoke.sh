@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
-# Bench smoke: Release build + the benches that gate engine/scheduler
-# performance work. Writes BENCH_queue_depth.json (indexed vs linear
-# queue-depth sweep) and BENCH_sched.json (sharded vs linear scheduler
-# sweep) at the repo root; fails if either sweep reports non-identical
-# memory images.
+# Bench smoke: Release build + the benches that gate engine/scheduler/
+# submission performance work. Writes BENCH_queue_depth.json (indexed vs
+# linear queue-depth sweep), BENCH_sched.json (sharded vs linear scheduler
+# sweep), and BENCH_submit_batch.json (vectored vs per-skb submission sweep)
+# at the repo root; fails if any sweep reports non-identical memory images.
+#
+# Usage: scripts/bench_smoke.sh [quick]
+#   quick — CI mode: the vectored-submission sweep runs its two-size subset
+#           and the throughput figure is skipped.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build-release}
+QUICK=${1:-}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_queue_depth bench_sched bench_fig9_copy_throughput
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_queue_depth bench_sched bench_submit_batch bench_fig9_copy_throughput
 
 echo
 "$BUILD_DIR"/bench/bench_queue_depth --json | tee /tmp/bench_queue_depth.out
@@ -27,7 +32,20 @@ if grep -q ' NO ' /tmp/bench_sched.out; then
 fi
 
 echo
-"$BUILD_DIR"/bench/bench_fig9_copy_throughput
+if [[ "$QUICK" == "quick" ]]; then
+  "$BUILD_DIR"/bench/bench_submit_batch --json --quick | tee /tmp/bench_submit_batch.out
+else
+  "$BUILD_DIR"/bench/bench_submit_batch --json | tee /tmp/bench_submit_batch.out
+fi
+if grep -q ' NO ' /tmp/bench_submit_batch.out; then
+  echo "bench_submit_batch: vectored and per-op images differ" >&2
+  exit 1
+fi
+
+if [[ "$QUICK" != "quick" ]]; then
+  echo
+  "$BUILD_DIR"/bench/bench_fig9_copy_throughput
+fi
 
 echo
-echo "bench smoke OK; results in BENCH_queue_depth.json + BENCH_sched.json"
+echo "bench smoke OK; results in BENCH_queue_depth.json + BENCH_sched.json + BENCH_submit_batch.json"

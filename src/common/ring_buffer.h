@@ -10,6 +10,11 @@
 // Task order follows the order of *acquiring*, matching §5.1.1. The queue is
 // bounded; producers get false when the ring is full and fall back to
 // synchronous copy (the paper's recommended fallback, §4.6).
+//
+// Vectored submission (one doorbell per syscall) adds a batch producer path:
+// TryReserveBatch acquires N contiguous slots with a single head CAS, the
+// producer fills all payloads, and Batch::Commit publishes them with one
+// release fence — one ring transaction for the whole syscall's op-list.
 #ifndef COPIER_SRC_COMMON_RING_BUFFER_H_
 #define COPIER_SRC_COMMON_RING_BUFFER_H_
 
@@ -48,6 +53,66 @@ class MpscRingBuffer {
     Slot& slot = slots_[head & mask_];
     slot.value = std::move(value);
     slot.valid.store(true, std::memory_order_release);
+    return true;
+  }
+
+  // A batch of contiguously reserved, not-yet-published slots. Fill every
+  // payload via operator[] and then Commit() exactly once. The consumer stalls
+  // at the batch's first slot until Commit, so reservations must be
+  // short-lived; a Batch must not outlive the ring.
+  class Batch {
+   public:
+    Batch() = default;
+
+    size_t size() const { return count_; }
+
+    T& operator[](size_t i) {
+      COPIER_DCHECK(ring_ != nullptr && i < count_);
+      return ring_->slots_[(base_ + i) & ring_->mask_].value;
+    }
+
+    // Publishes the whole batch: one release fence, then relaxed valid-flag
+    // stores. The consumer's acquire load of any slot's flag synchronizes with
+    // the fence, so all payload writes are visible before any slot is exposed
+    // — the single release-store of the vectored submission protocol.
+    void Commit() {
+      COPIER_DCHECK(ring_ != nullptr);
+      std::atomic_thread_fence(std::memory_order_release);
+      for (size_t i = 0; i < count_; ++i) {
+        ring_->slots_[(base_ + i) & ring_->mask_].valid.store(true, std::memory_order_relaxed);
+      }
+      ring_ = nullptr;
+      count_ = 0;
+    }
+
+   private:
+    friend class MpscRingBuffer;
+    MpscRingBuffer* ring_ = nullptr;
+    uint64_t base_ = 0;
+    size_t count_ = 0;
+  };
+
+  // Reserves `count` contiguous slots with one head CAS. All-or-nothing: when
+  // fewer than `count` slots are free nothing is acquired and the ring state
+  // is untouched (the producer falls back to per-op submission).
+  bool TryReserveBatch(size_t count, Batch* out) {
+    if (count == 0 || count > capacity_) {
+      return false;
+    }
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    while (true) {
+      const uint64_t tail = tail_.load(std::memory_order_acquire);
+      if (head - tail + count > capacity_) {
+        return false;  // Not enough contiguous room.
+      }
+      if (head_.compare_exchange_weak(head, head + count, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    out->ring_ = this;
+    out->base_ = head;
+    out->count_ = count;
     return true;
   }
 

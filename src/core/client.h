@@ -12,9 +12,11 @@
 #define COPIER_SRC_CORE_CLIENT_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/common/ring_buffer.h"
@@ -81,6 +83,14 @@ struct PendingTask {
   // completed-write log) has already been processed.
   bool in_range_index = false;
   bool done_processed = false;
+
+  // Scatter-gather accounting (task.sg != nullptr): bytes still outstanding
+  // and whether the per-segment KFUNC has fired, per segment. Handlers fire
+  // in segment order — the op-list is a stream (skbs of one syscall), so the
+  // firing prefix only advances when every earlier segment has landed.
+  std::vector<size_t> sg_remaining;
+  std::vector<bool> sg_fired;
+  size_t sg_next_fire = 0;
 
   bool Done() const { return bytes_done >= task.length || aborted; }
 };
@@ -173,6 +183,24 @@ class Client {
   // Mirrors pending.size(); maintained by the Engine so HasQueuedWork can be
   // called from any thread while the serving thread mutates the deque.
   std::atomic<size_t> pending_count{0};
+
+  // --- submitter-side syscall state (CopierLinux, §4.2.1) ---
+
+  // Barrier bracket state of the in-flight syscall executing in this
+  // process's context. Only the process's own thread reads or writes it
+  // (trap enter/exit and Copy/CopyV all run on that thread), so it needs no
+  // lock — this is what keeps concurrent processes from serializing on a
+  // glue-global mutex during submission.
+  struct KSyscallState {
+    bool in_syscall = false;
+    bool barrier_submitted = false;
+  };
+  KSyscallState ksyscall;
+
+  // Drain waiters (SyncKernel in threaded mode): the serving thread signals
+  // after a pass that leaves the client with no queued or pending work.
+  std::mutex drain_mu;
+  std::condition_variable drain_cv;
 
   bool HasQueuedWork() const {
     for (const auto& pair : queue_pairs_) {

@@ -26,6 +26,12 @@ struct CopierConfig {
   // Global-view optimizations (§4.4).
   bool enable_absorption = true;
 
+  // Vectored submission: Send/Recv/Binder publish one scatter-gather Copy
+  // Task per syscall (one ring transaction, one barrier check, one doorbell)
+  // instead of one entry per skb. Off = the per-skb submission baseline
+  // (ablation / bench_submit_batch "per-op" mode).
+  bool enable_vectored_submit = true;
+
   // Pending-range interval index: O(log n + k) dependency resolution,
   // absorption lookup, promotion and abort matching instead of linear scans
   // over the pending list. Off = the linear-scan baseline (ablation /

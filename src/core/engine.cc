@@ -21,6 +21,95 @@ constexpr size_t kMaxFusedTasks = 8;
 // publish incrementally (copy-use pipelining, §4.1).
 constexpr size_t kMaxSubtaskBytes = 16 * kKiB;
 
+// True when `dst_side` of `t` is the segment list of a scatter-gather task.
+bool SideIsSg(const CopyTask& t, bool dst_side) {
+  return t.sg != nullptr && t.sg->kernel_is_dst == dst_side;
+}
+
+// A contiguous piece of one side of a task: `ref` names the memory at
+// task-local byte `task_offset`, `length` bytes long. A plain side is one
+// piece; the scatter-gather side of a vectored task is one piece per segment.
+// All coordination arithmetic (overlap windows, index entries, producer
+// lookups) runs over pieces so it never assumes a side is contiguous.
+struct RefPiece {
+  MemRef ref;
+  size_t task_offset = 0;
+  size_t length = 0;
+};
+
+// Appends the pieces of the chosen side of `t` covering task-local
+// [offset, offset + length), clipped to the task's extent.
+void CollectPieces(const CopyTask& t, bool dst_side, size_t offset, size_t length,
+                   std::vector<RefPiece>* out) {
+  if (offset >= t.length) {
+    return;
+  }
+  length = std::min(length, t.length - offset);
+  if (!SideIsSg(t, dst_side)) {
+    const MemRef& side = dst_side ? t.dst : t.src;
+    out->push_back({side.Offset(offset), offset, length});
+    return;
+  }
+  const size_t end = offset + length;
+  size_t seg_base = 0;
+  for (const SgSegment& seg : t.sg->segs) {
+    const size_t seg_end = seg_base + seg.length;
+    if (seg_end > offset) {
+      const size_t lo = std::max(offset, seg_base);
+      const size_t hi = std::min(end, seg_end);
+      if (lo >= hi) {
+        break;
+      }
+      out->push_back({MemRef::Kernel(seg.kernel + (lo - seg_base)), lo, hi - lo});
+      if (hi == end) {
+        break;
+      }
+    }
+    seg_base = seg_end;
+  }
+}
+
+// Resolves the memory at task-local byte `offset` of a side; *contig reports
+// how many bytes are contiguous from there (clipped at the segment end for a
+// scatter-gather side).
+MemRef SideRefAt(const CopyTask& t, bool dst_side, size_t offset, size_t* contig) {
+  if (!SideIsSg(t, dst_side)) {
+    *contig = t.length - offset;
+    return (dst_side ? t.dst : t.src).Offset(offset);
+  }
+  size_t seg_base = 0;
+  for (const SgSegment& seg : t.sg->segs) {
+    const size_t seg_end = seg_base + seg.length;
+    if (offset < seg_end) {
+      *contig = seg_end - offset;
+      return MemRef::Kernel(seg.kernel + (offset - seg_base));
+    }
+    seg_base = seg_end;
+  }
+  COPIER_CHECK(false) << "task-local offset " << offset << " past scatter-gather extent";
+  return {};
+}
+
+// True when any piece of `a_dst` of `a` overlaps any piece of `b_dst` of `b`
+// (the piece-aware generalization of RefsOverlap for whole task sides).
+bool SidesOverlap(const CopyTask& a, bool a_dst, const CopyTask& b, bool b_dst) {
+  if (!SideIsSg(a, a_dst) && !SideIsSg(b, b_dst)) {
+    return RefsOverlap(a_dst ? a.dst : a.src, a.length, b_dst ? b.dst : b.src, b.length);
+  }
+  std::vector<RefPiece> ap;
+  std::vector<RefPiece> bp;
+  CollectPieces(a, a_dst, 0, a.length, &ap);
+  CollectPieces(b, b_dst, 0, b.length, &bp);
+  for (const RefPiece& pa : ap) {
+    for (const RefPiece& pb : bp) {
+      if (RefsOverlap(pa.ref, pa.length, pb.ref, pb.length)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 bool RefsOverlap(const MemRef& a, size_t alen, const MemRef& b, size_t blen) {
@@ -52,6 +141,10 @@ Engine::Stats Engine::stats() const {
   s.dep_probes = stats_.dep_probes;
   s.dep_tasks_scanned = stats_.dep_tasks_scanned;
   s.index_entries = stats_.index_entries;
+  s.submit_entries = stats_.submit_entries;
+  s.submit_batches = stats_.submit_batches;
+  // notify_calls is a service-side counter (the doorbell fires before any
+  // engine sees the work); CopierService::TotalStats fills it in.
   return s;
 }
 
@@ -62,6 +155,16 @@ Engine::Stats Engine::stats() const {
 Status Engine::ValidateTask(Client& client, const CopyTask& task, bool kernel_mode) const {
   if (task.length == 0) {
     return InvalidArgument("zero-length copy task");
+  }
+  if (task.sg != nullptr) {
+    // Scatter-gather tasks name raw kernel buffers; only kernel submitters
+    // (which own the buffer lifecycle) may build them.
+    if (!kernel_mode) {
+      return PermissionDenied("u-mode task carries a scatter-gather list");
+    }
+    if (task.sg->segs.empty() || task.sg->total_length() != task.length) {
+      return InvalidArgument("scatter-gather segments do not sum to task length");
+    }
   }
   if (!kernel_mode) {
     // Security checks: a u-mode task may only name its own address space —
@@ -109,6 +212,18 @@ void Engine::AcceptTask(Client& client, QueuePair& pair, CopyTask task, bool ker
   pending->internal_progress = std::make_unique<Descriptor>(pending->task.length, seg_size);
   pending->progress = pending->internal_progress.get();
   pending->progress_offset = 0;
+  if (pending->task.sg != nullptr && valid.ok()) {
+    const auto& segs = pending->task.sg->segs;
+    pending->sg_remaining.resize(segs.size());
+    for (size_t i = 0; i < segs.size(); ++i) {
+      pending->sg_remaining[i] = segs[i].length;
+    }
+    pending->sg_fired.assign(segs.size(), false);
+  }
+  ++stats_.submit_entries;
+  if (pending->task.sg != nullptr) {
+    ++stats_.submit_batches;
+  }
 
   if (!valid.ok()) {
     DropTask(client, *pending, valid);
@@ -243,8 +358,13 @@ void Engine::HandleSyncTask(Client& client, const SyncTask& sync) {
         // it must not be free in virtual time.
         ChargeCtx(ctx_, timing_->absorption_match_cycles);
         ++stats_.dep_tasks_scanned;
-        if (RefsOverlap(task.task.dst, task.task.length, sync.addr, sync.length)) {
-          request_abort(task);
+        std::vector<RefPiece> pieces;
+        CollectPieces(task.task, /*dst_side=*/true, 0, task.task.length, &pieces);
+        for (const RefPiece& p : pieces) {
+          if (RefsOverlap(p.ref, p.length, sync.addr, sync.length)) {
+            request_abort(task);
+            break;
+          }
         }
       }
     }
@@ -279,13 +399,15 @@ void Engine::PromoteRange(Client& client, const MemRef& addr, size_t length) {
       uint64_t order;
       uint64_t start;
       uint64_t end;
+      size_t task_offset;
     };
     std::vector<Hit> hits;
     ChargeCtx(ctx_, timing_->absorption_match_cycles);
     stats_.dep_tasks_scanned += client.range_index.ForEachOverlap(
         RangeIndex::Side::kDst, addr.domain(), addr.start(), length,
         [&](const RangeIndex::Entry& entry) {
-          hits.push_back({entry.task, entry.order, entry.start, entry.start + entry.length});
+          hits.push_back({entry.task, entry.order, entry.start, entry.start + entry.length,
+                          entry.task_offset});
           return true;
         });
     std::sort(hits.begin(), hits.end(),
@@ -299,8 +421,8 @@ void Engine::PromoteRange(Client& client, const MemRef& addr, size_t length) {
       const uint64_t ovl_end = std::min(hit.end, addr.start() + length);
       task.promoted = true;
       const Status status =
-          ExecuteTaskRange(client, task, ovl_start - hit.start, ovl_end - ovl_start,
-                           /*depth=*/0);
+          ExecuteTaskRange(client, task, ovl_start - hit.start + hit.task_offset,
+                           ovl_end - ovl_start, /*depth=*/0);
       if (!status.ok()) {
         DropTask(client, task, status);
       }
@@ -315,17 +437,28 @@ void Engine::PromoteRange(Client& client, const MemRef& addr, size_t length) {
     }
     ChargeCtx(ctx_, timing_->absorption_match_cycles);
     ++stats_.dep_tasks_scanned;
-    if (!RefsOverlap(task.task.dst, task.task.length, addr, length)) {
-      continue;
-    }
-    const uint64_t ovl_start = std::max(task.task.dst.start(), addr.start());
-    const uint64_t ovl_end =
-        std::min(task.task.dst.start() + task.task.length, addr.start() + length);
-    task.promoted = true;
-    const Status status = ExecuteTaskRange(client, task, ovl_start - task.task.dst.start(),
-                                           ovl_end - ovl_start, /*depth=*/0);
-    if (!status.ok()) {
-      DropTask(client, task, status);
+    std::vector<RefPiece> pieces;
+    CollectPieces(task.task, /*dst_side=*/true, 0, task.task.length, &pieces);
+    for (const RefPiece& p : pieces) {
+      if (task.Done()) {
+        break;
+      }
+      if (p.ref.domain() != addr.domain()) {
+        continue;
+      }
+      const uint64_t ovl_start = std::max(p.ref.start(), addr.start());
+      const uint64_t ovl_end = std::min(p.ref.start() + p.length, addr.start() + length);
+      if (ovl_start >= ovl_end) {
+        continue;
+      }
+      task.promoted = true;
+      const Status status =
+          ExecuteTaskRange(client, task, ovl_start - p.ref.start() + p.task_offset,
+                           ovl_end - ovl_start, /*depth=*/0);
+      if (!status.ok()) {
+        DropTask(client, task, status);
+        break;
+      }
     }
   }
   RetireDone(client);
@@ -340,8 +473,14 @@ Status Engine::ResolveDependencies(Client& client, PendingTask& task, size_t off
   if (depth >= config_.max_dependency_depth) {
     return FailedPrecondition("dependency chain too deep");
   }
-  const MemRef dst = task.task.dst.Offset(offset);
-  const MemRef src = task.task.src.Offset(offset);
+  // Probe windows: the task's own dst and src over [offset, offset+length),
+  // piece by piece (a scatter-gather side probes once per covered segment).
+  std::vector<RefPiece> dst_windows;
+  std::vector<RefPiece> src_windows;
+  CollectPieces(task.task, /*dst_side=*/true, offset, length, &dst_windows);
+  if (!config_.enable_absorption) {
+    CollectPieces(task.task, /*dst_side=*/false, offset, length, &src_windows);
+  }
   if (config_.enable_range_index) {
     // Enumerate only the overlapping entries, then replay them in submission
     // order (oldest first) with WAW before WAR before RAW per conflicting
@@ -352,37 +491,43 @@ Status Engine::ResolveDependencies(Client& client, PendingTask& task, size_t off
       uint8_t kind;    // 0 = WAW, 1 = WAR, 2 = RAW
       uint64_t start;  // overlap, in the conflicting task's domain addresses
       uint64_t end;
+      uint64_t entry_start;      // the conflicting entry's own start address
+      size_t entry_task_offset;  // task-local byte at entry_start
     };
     std::vector<Conflict> conflicts;
-    const auto probe = [&](RangeIndex::Side side, const MemRef& ref, uint8_t kind) {
+    const auto probe = [&](RangeIndex::Side side, const RefPiece& w, uint8_t kind) {
       ++stats_.dep_probes;
       ChargeCtx(ctx_, timing_->absorption_match_cycles);
       stats_.dep_tasks_scanned += client.range_index.ForEachOverlap(
-          side, ref.domain(), ref.start(), length, [&](const RangeIndex::Entry& entry) {
+          side, w.ref.domain(), w.ref.start(), w.length, [&](const RangeIndex::Entry& entry) {
             if (entry.order < task.order) {
-              const uint64_t start = std::max(entry.start, ref.start());
-              const uint64_t end = std::min(entry.start + entry.length, ref.start() + length);
-              conflicts.push_back({entry.task, entry.order, kind, start, end});
+              const uint64_t start = std::max(entry.start, w.ref.start());
+              const uint64_t end =
+                  std::min(entry.start + entry.length, w.ref.start() + w.length);
+              conflicts.push_back(
+                  {entry.task, entry.order, kind, start, end, entry.start, entry.task_offset});
             }
             return true;
           });
     };
-    probe(RangeIndex::Side::kDst, dst, 0);  // WAW: earlier writes of these bytes
-    probe(RangeIndex::Side::kSrc, dst, 1);  // WAR: earlier reads this overwrites
-    if (!config_.enable_absorption) {
-      probe(RangeIndex::Side::kDst, src, 2);  // RAW: producers must land first
+    for (const RefPiece& w : dst_windows) {
+      probe(RangeIndex::Side::kDst, w, 0);  // WAW: earlier writes of these bytes
+      probe(RangeIndex::Side::kSrc, w, 1);  // WAR: earlier reads this overwrites
+    }
+    for (const RefPiece& w : src_windows) {
+      probe(RangeIndex::Side::kDst, w, 2);  // RAW: producers must land first
     }
     std::sort(conflicts.begin(), conflicts.end(), [](const Conflict& a, const Conflict& b) {
       return a.order != b.order ? a.order < b.order : a.kind < b.kind;
     });
     for (const Conflict& c : conflicts) {
-      // WAR overlaps are relative to the other task's source range; WAW/RAW
-      // to its destination. ExecuteTaskRange skips tasks an earlier conflict
-      // already completed.
-      const uint64_t base =
-          c.kind == 1 ? c.task->task.src.start() : c.task->task.dst.start();
-      COPIER_RETURN_IF_ERROR(
-          ExecuteTaskRange(client, *c.task, c.start - base, c.end - c.start, depth + 1));
+      // The entry carries its own (start, task_offset), so the overlap maps to
+      // the conflicting task's local bytes without assuming its side is
+      // contiguous. ExecuteTaskRange skips tasks an earlier conflict already
+      // completed.
+      COPIER_RETURN_IF_ERROR(ExecuteTaskRange(client, *c.task,
+                                              c.start - c.entry_start + c.entry_task_offset,
+                                              c.end - c.start, depth + 1));
     }
     return OkStatus();
   }
@@ -395,29 +540,38 @@ Status Engine::ResolveDependencies(Client& client, PendingTask& task, size_t off
     }
     ChargeCtx(ctx_, timing_->absorption_match_cycles);
     ++stats_.dep_tasks_scanned;
-    const CopyTask& ot = other.task;
-
+    std::vector<RefPiece> other_dst;
+    std::vector<RefPiece> other_src;
+    CollectPieces(other.task, /*dst_side=*/true, 0, other.task.length, &other_dst);
+    CollectPieces(other.task, /*dst_side=*/false, 0, other.task.length, &other_src);
+    // Executes the other task's local range for every overlap between its
+    // side pieces and this task's windows.
+    const auto run_overlaps = [&](const std::vector<RefPiece>& opieces,
+                                  const std::vector<RefPiece>& windows) -> Status {
+      for (const RefPiece& w : windows) {
+        for (const RefPiece& op : opieces) {
+          if (op.ref.domain() != w.ref.domain()) {
+            continue;
+          }
+          const uint64_t start = std::max(op.ref.start(), w.ref.start());
+          const uint64_t end = std::min(op.ref.start() + op.length, w.ref.start() + w.length);
+          if (start >= end) {
+            continue;
+          }
+          COPIER_RETURN_IF_ERROR(ExecuteTaskRange(
+              client, other, start - op.ref.start() + op.task_offset, end - start, depth + 1));
+        }
+      }
+      return OkStatus();
+    };
     // WAW: an earlier task writes bytes this range is about to write.
-    if (RefsOverlap(ot.dst, ot.length, dst, length)) {
-      const uint64_t start = std::max(ot.dst.start(), dst.start());
-      const uint64_t end = std::min(ot.dst.start() + ot.length, dst.start() + length);
-      COPIER_RETURN_IF_ERROR(
-          ExecuteTaskRange(client, other, start - ot.dst.start(), end - start, depth + 1));
-    }
+    COPIER_RETURN_IF_ERROR(run_overlaps(other_dst, dst_windows));
     // WAR: an earlier task still needs to *read* bytes this range overwrites.
-    if (RefsOverlap(ot.src, ot.length, dst, length)) {
-      const uint64_t start = std::max(ot.src.start(), dst.start());
-      const uint64_t end = std::min(ot.src.start() + ot.length, dst.start() + length);
-      COPIER_RETURN_IF_ERROR(
-          ExecuteTaskRange(client, other, start - ot.src.start(), end - start, depth + 1));
-    }
+    COPIER_RETURN_IF_ERROR(run_overlaps(other_src, dst_windows));
     // RAW: with absorption enabled, ResolveSources reads through the producer
     // (layered absorption); otherwise the producer must execute first.
-    if (!config_.enable_absorption && RefsOverlap(ot.dst, ot.length, src, length)) {
-      const uint64_t start = std::max(ot.dst.start(), src.start());
-      const uint64_t end = std::min(ot.dst.start() + ot.length, src.start() + length);
-      COPIER_RETURN_IF_ERROR(
-          ExecuteTaskRange(client, other, start - ot.dst.start(), end - start, depth + 1));
+    if (!config_.enable_absorption) {
+      COPIER_RETURN_IF_ERROR(run_overlaps(other_dst, src_windows));
     }
   }
   return OkStatus();
@@ -425,12 +579,23 @@ Status Engine::ResolveDependencies(Client& client, PendingTask& task, size_t off
 
 PendingTask* Engine::FindProducer(Client& client, const PendingTask& task, const MemRef& ref,
                                   size_t length, size_t* overlap_offset,
-                                  size_t* overlap_length) {
+                                  size_t* overlap_length, size_t* producer_local) {
   // Latest-order earlier task whose destination contains ref's FIRST byte.
   // If none contains it, overlap_offset reports where the nearest producer
   // region begins (bounding the plain prefix) and nullptr is returned with
-  // overlap_length untouched.
+  // overlap_length/producer_local untouched. Candidates are per contiguous
+  // destination *piece*, so a scatter-gather producer contributes one
+  // candidate per segment and producer_local maps through the segment list.
   const uint64_t first_byte = ref.start();
+  struct Cand {
+    PendingTask* task;
+    uint64_t order;
+    uint64_t start;
+    uint64_t end;
+    size_t task_offset;  // task-local byte of the candidate piece's start
+  };
+  std::vector<Cand> cands;
+  ++stats_.dep_probes;
   if (config_.enable_range_index) {
     // One overlap enumeration yields the stabbing answer (latest writer
     // containing the first byte), the successor bound for the plain prefix,
@@ -439,73 +604,47 @@ PendingTask* Engine::FindProducer(Client& client, const PendingTask& task, const
     // completed producer's bytes have landed, so the plain path reading the
     // actual source memory is equivalent (and dead-write suppression keeps
     // those bytes WAW-consistent).
-    struct Cand {
-      PendingTask* task;
-      uint64_t order;
-      uint64_t start;
-      uint64_t end;
-    };
-    std::vector<Cand> cands;
-    ++stats_.dep_probes;
     ChargeCtx(ctx_, timing_->absorption_match_cycles);
     stats_.dep_tasks_scanned += client.range_index.ForEachOverlap(
         RangeIndex::Side::kDst, ref.domain(), first_byte, length,
         [&](const RangeIndex::Entry& entry) {
           if (entry.order < task.order) {
-            cands.push_back(
-                {entry.task, entry.order, entry.start, entry.start + entry.length});
+            cands.push_back({entry.task, entry.order, entry.start,
+                             entry.start + entry.length, entry.task_offset});
           }
           return true;
         });
-    const Cand* best = nullptr;
-    uint64_t nearest_start = UINT64_MAX;
-    for (const Cand& cand : cands) {
-      if (first_byte >= cand.start && first_byte < cand.end) {
-        if (best == nullptr || cand.order > best->order) {
-          best = &cand;
+  } else {
+    for (auto it = client.pending.rbegin(); it != client.pending.rend(); ++it) {
+      PendingTask& other = **it;
+      if (other.order >= task.order || other.aborted) {
+        continue;
+      }
+      ChargeCtx(ctx_, timing_->absorption_match_cycles);
+      ++stats_.dep_tasks_scanned;
+      std::vector<RefPiece> dpieces;
+      CollectPieces(other.task, /*dst_side=*/true, 0, other.task.length, &dpieces);
+      for (const RefPiece& p : dpieces) {
+        if (p.ref.domain() != ref.domain()) {
+          continue;
         }
-      } else if (cand.start > first_byte) {
-        nearest_start = std::min(nearest_start, cand.start);
+        const uint64_t p_start = p.ref.start();
+        const uint64_t p_end = p_start + p.length;
+        if (p_start < first_byte + length && p_end > first_byte) {
+          cands.push_back({&other, other.order, p_start, p_end, p.task_offset});
+        }
       }
     }
-    if (best == nullptr) {
-      *overlap_offset = nearest_start == UINT64_MAX
-                            ? length
-                            : static_cast<size_t>(nearest_start - first_byte);
-      return nullptr;
-    }
-    uint64_t end = std::min(best->end, first_byte + length);
-    // Clip at the start of any LATER-ordered producer inside the piece: those
-    // bytes belong to the newer writer, which the next iteration picks up.
-    for (const Cand& cand : cands) {
-      if (cand.order > best->order && cand.start > first_byte && cand.start < end) {
-        end = cand.start;
-      }
-    }
-    *overlap_offset = 0;
-    *overlap_length = end - first_byte;
-    return best->task;
   }
-  PendingTask* best = nullptr;
+  const Cand* best = nullptr;
   uint64_t nearest_start = UINT64_MAX;
-  ++stats_.dep_probes;
-  for (auto it = client.pending.rbegin(); it != client.pending.rend(); ++it) {
-    PendingTask& other = **it;
-    if (other.order >= task.order || other.aborted) {
-      continue;
-    }
-    ChargeCtx(ctx_, timing_->absorption_match_cycles);
-    ++stats_.dep_tasks_scanned;
-    if (!RefsOverlap(other.task.dst, other.task.length, ref, length)) {
-      continue;
-    }
-    const uint64_t dst_start = other.task.dst.start();
-    if (first_byte >= dst_start && first_byte < dst_start + other.task.length) {
-      if (best == nullptr || other.order > best->order) {
-        best = &other;
+  for (const Cand& cand : cands) {
+    if (first_byte >= cand.start && first_byte < cand.end) {
+      if (best == nullptr || cand.order > best->order) {
+        best = &cand;
       }
-    } else if (dst_start > first_byte) {
-      nearest_start = std::min(nearest_start, dst_start);
+    } else if (cand.start > first_byte) {
+      nearest_start = std::min(nearest_start, cand.start);
     }
   }
   if (best == nullptr) {
@@ -514,24 +653,18 @@ PendingTask* Engine::FindProducer(Client& client, const PendingTask& task, const
                           : static_cast<size_t>(nearest_start - first_byte);
     return nullptr;
   }
-  uint64_t end = std::min(best->task.dst.start() + best->task.length, first_byte + length);
-  // Clip at the start of any LATER-ordered producer inside the piece: those
-  // bytes belong to the newer writer, which the next iteration picks up.
-  for (auto it = client.pending.rbegin(); it != client.pending.rend(); ++it) {
-    PendingTask& other = **it;
-    if (other.order >= task.order || other.order <= best->order || other.aborted) {
-      continue;
-    }
-    ChargeCtx(ctx_, timing_->absorption_match_cycles);
-    ++stats_.dep_tasks_scanned;
-    const uint64_t dst_start = other.task.dst.start();
-    if (other.task.dst.domain() == ref.domain() && dst_start > first_byte && dst_start < end) {
-      end = dst_start;
+  uint64_t end = std::min(best->end, first_byte + length);
+  // Clip at the start of any LATER-ordered producer piece inside the overlap:
+  // those bytes belong to the newer writer, which the next iteration picks up.
+  for (const Cand& cand : cands) {
+    if (cand.order > best->order && cand.start > first_byte && cand.start < end) {
+      end = cand.start;
     }
   }
   *overlap_offset = 0;
   *overlap_length = end - first_byte;
-  return best;
+  *producer_local = static_cast<size_t>(first_byte - best->start) + best->task_offset;
+  return best->task;
 }
 
 // ---------------------------------------------------------------------------
@@ -540,19 +673,32 @@ PendingTask* Engine::FindProducer(Client& client, const PendingTask& task, const
 
 void Engine::ResolveSources(Client& client, PendingTask& task, size_t src_offset, size_t length,
                             int depth, std::vector<SourcePiece>* out) {
-  const MemRef src = task.task.src.Offset(src_offset);
-  if (!config_.enable_absorption || depth >= config_.max_dependency_depth) {
-    out->push_back({src, length, false});
-    return;
+  // Per contiguous piece of the task's source side: a scatter-gather source
+  // resolves segment by segment, so absorption chains can pass *through* a
+  // vectored producer exactly as through a plain one.
+  std::vector<RefPiece> pieces;
+  CollectPieces(task.task, /*dst_side=*/false, src_offset, length, &pieces);
+  const bool absorb = config_.enable_absorption && depth < config_.max_dependency_depth;
+  for (const RefPiece& p : pieces) {
+    if (!absorb) {
+      out->push_back({p.ref, p.length, false});
+    } else {
+      ResolveSourcesContig(client, task, p.ref, p.length, depth, out);
+    }
   }
+}
+
+void Engine::ResolveSourcesContig(Client& client, PendingTask& task, const MemRef& src,
+                                  size_t length, int depth, std::vector<SourcePiece>* out) {
   size_t pos = 0;
   while (pos < length) {
     size_t ovl_off = 0;
     size_t ovl_len = 0;
+    size_t producer_base = 0;
     // FindProducer charges the probe (per index lookup, or per candidate in
     // the linear baseline).
-    PendingTask* producer =
-        FindProducer(client, task, src.Offset(pos), length - pos, &ovl_off, &ovl_len);
+    PendingTask* producer = FindProducer(client, task, src.Offset(pos), length - pos, &ovl_off,
+                                         &ovl_len, &producer_base);
     if (producer == nullptr) {
       // Plain piece up to the nearest producer-covered byte (ovl_off).
       const size_t plain = std::min(length - pos, ovl_off);
@@ -565,10 +711,9 @@ void Engine::ResolveSources(Client& client, PendingTask& task, size_t src_offset
     // intermediate buffer (this task's src) is authoritative; unmarked
     // segments cannot have been touched (the client would have csync'd
     // first), so read through to the producer's own source (Fig. 8-b).
-    const uint64_t piece_start = src.start() + pos;  // address within producer's dst
     size_t done = 0;
     while (done < ovl_len) {
-      const size_t producer_local = piece_start + done - producer->task.dst.start();
+      const size_t producer_local = producer_base + done;
       const size_t seg_size = producer->progress->segment_size();
       const size_t seg_space_off = producer->progress_offset + producer_local;
       const size_t seg_index = producer->progress->SegmentOf(seg_space_off);
@@ -669,11 +814,14 @@ Status Engine::BuildSubtasks(Client& client, PendingTask& task, size_t offset,
     size_t piece_pos = 0;
     while (piece_pos < piece.length) {
       // Resolve at most one subtask's worth per iteration so pages are
-      // translated exactly once each (no redundant walks).
-      const size_t remaining = std::min(piece.length - piece_pos, kMaxSubtaskBytes);
+      // translated exactly once each (no redundant walks). A scatter-gather
+      // destination additionally bounds the subtask at its segment edge.
+      size_t dst_contig = 0;
+      const MemRef dref = SideRefAt(task.task, /*dst_side=*/true, dst_cursor, &dst_contig);
+      const size_t remaining =
+          std::min({piece.length - piece_pos, kMaxSubtaskBytes, dst_contig});
       HostRunExtra extra;
-      auto dst_or = ResolveHostRun(task.task.dst.Offset(dst_cursor), remaining,
-                                   /*for_write=*/true, &extra);
+      auto dst_or = ResolveHostRun(dref, remaining, /*for_write=*/true, &extra);
       if (!dst_or.ok()) {
         return dst_or.status();
       }
@@ -692,6 +840,11 @@ Status Engine::BuildSubtasks(Client& client, PendingTask& task, size_t offset,
       st.dma_eligible = config_.use_dma && st.length >= timing_->dma_min_subtask_bytes;
       st.pages_cached = extra.pages_cached;
       st.pages_uncached = extra.pages_uncached;
+      if (getenv("COPIER_TRACE") != nullptr) {
+        std::fprintf(stderr, "[st] task=%llu off=%zu len=%zu dst=%p src=%p\n",
+                     (unsigned long long)task.task.id, st.task_offset, st.length,
+                     (void*)st.dst, (void*)st.src);
+      }
       out->push_back(st);
       piece_pos += st.length;
       dst_cursor += st.length;
@@ -733,6 +886,7 @@ void Engine::ExecuteRound(Client& client, std::vector<Subtask>& subtasks) {
       // leaving the second unit idle.
       if (dma_time + st_dma <= (avx_time - st_avx) + (avx_time - st_avx) * 15 / 100) {
         dma_set.push_back(i);
+        subtasks[i].on_dma = true;
         dma_time += st_dma;
         avx_time -= st_avx;
       }
@@ -763,19 +917,18 @@ void Engine::ExecuteRound(Client& client, std::vector<Subtask>& subtasks) {
       }
     } else {
       // Ring full: fall back to the CPU for this round.
+      for (size_t idx : dma_set) {
+        subtasks[idx].on_dma = false;
+      }
       dma_set.clear();
       dma_completion = 0;
     }
   }
 
-  auto in_dma_set = [&dma_set](size_t i) {
-    return std::find(dma_set.begin(), dma_set.end(), i) != dma_set.end();
-  };
-
   // CPU side: AVX subtasks run while the DMA transfer is in flight. Each
   // subtask's segments become ready as soon as its bytes land.
   for (size_t i = 0; i < subtasks.size(); ++i) {
-    if (in_dma_set(i)) {
+    if (subtasks[i].on_dma) {
       continue;
     }
     Subtask& st = subtasks[i];
@@ -860,7 +1013,6 @@ Status Engine::CopyRange(Client& client, PendingTask& task, size_t offset, size_
     // semantics intact. Dead bytes are marked done without copying.
     std::vector<std::pair<size_t, size_t>> live;  // [start, end) task-local
     live.emplace_back(run_start, run_end);
-    const uint64_t dst_base = task.task.dst.start();
     // Removes [dead_start, dead_end) (task-local bytes) from `live`.
     const auto subtract_dead = [&live](size_t dead_start, size_t dead_end) {
       std::vector<std::pair<size_t, size_t>> next;
@@ -878,69 +1030,88 @@ Status Engine::CopyRange(Client& client, PendingTask& task, size_t offset, size_
       }
       live = std::move(next);
     };
-    // Bytes fully written by later tasks that already completed.
-    for (const auto& done : client.completed_writes) {
-      if (done.order <= task.order || done.domain != task.task.dst.domain()) {
-        continue;
-      }
-      const uint64_t ovl_start = std::max(done.start, dst_base + run_start);
-      const uint64_t ovl_end = std::min(done.start + done.length, dst_base + run_end);
-      if (ovl_start >= ovl_end) {
-        continue;
-      }
-      subtract_dead(ovl_start - dst_base, ovl_end - dst_base);
-    }
-    // Bytes a later *pending* writer has already landed (segment-granular).
-    const auto suppress_from = [&](PendingTask& other) {
-      const CopyTask& ot = other.task;
-      const uint64_t ovl_start = std::max(ot.dst.start(), dst_base + run_start);
-      const uint64_t ovl_end = std::min(ot.dst.start() + ot.length, dst_base + run_end);
-      if (ovl_start >= ovl_end) {
-        return;
-      }
-      // Walk the overlap in `other`'s progress segments; marked pieces are
-      // dead for this task.
-      uint64_t cursor = ovl_start;
-      while (cursor < ovl_end) {
-        const size_t other_local = cursor - ot.dst.start();
-        const size_t o_seg_size = other.progress->segment_size();
-        const size_t o_space = other.progress_offset + other_local;
-        const size_t o_seg = other.progress->SegmentOf(o_space);
-        const uint64_t piece_end = std::min<uint64_t>(
-            ovl_end, ot.dst.start() - other.progress_offset + (o_seg + 1) * o_seg_size);
-        if (other.progress->SegmentReady(o_seg)) {
-          subtract_dead(cursor - dst_base, piece_end - dst_base);
-        }
-        cursor = piece_end;
-      }
-    };
-    if (config_.enable_range_index) {
-      // Live later writers whose dst overlaps this run. Done tasks already
-      // left the index; their full write is covered by completed_writes above.
-      std::vector<PendingTask*> writers;
-      ++stats_.dep_probes;
-      ChargeCtx(ctx_, timing_->absorption_match_cycles);
-      stats_.dep_tasks_scanned += client.range_index.ForEachOverlap(
-          RangeIndex::Side::kDst, task.task.dst.domain(), dst_base + run_start,
-          run_end - run_start, [&](const RangeIndex::Entry& entry) {
-            if (entry.order > task.order && !entry.task->aborted) {
-              writers.push_back(entry.task);
-            }
-            return true;
-          });
-      for (PendingTask* other : writers) {
-        suppress_from(*other);
-      }
-    } else {
-      for (const auto& other_ptr : client.pending) {
-        PendingTask& other = *other_ptr;
-        ChargeCtx(ctx_, timing_->absorption_match_cycles);
-        ++stats_.dep_tasks_scanned;
-        if (other.order <= task.order || other.aborted ||
-            other.task.dst.domain() != task.task.dst.domain()) {
+    // Suppression runs per contiguous destination piece of the run: a
+    // scatter-gather destination checks each covered segment against later
+    // writers of *that* segment's addresses.
+    std::vector<RefPiece> dpieces;
+    CollectPieces(task.task, /*dst_side=*/true, run_start, run_end - run_start, &dpieces);
+    for (const RefPiece& dp : dpieces) {
+      const uint64_t dbase = dp.ref.start();
+      const uint64_t ddomain = dp.ref.domain();
+      // Bytes fully written by later tasks that already completed.
+      for (const auto& done : client.completed_writes) {
+        if (done.order <= task.order || done.domain != ddomain) {
           continue;
         }
-        suppress_from(other);
+        const uint64_t ovl_start = std::max(done.start, dbase);
+        const uint64_t ovl_end = std::min(done.start + done.length, dbase + dp.length);
+        if (ovl_start >= ovl_end) {
+          continue;
+        }
+        subtract_dead(ovl_start - dbase + dp.task_offset, ovl_end - dbase + dp.task_offset);
+      }
+      // Bytes a later *pending* writer has already landed (segment-granular).
+      const auto suppress_from = [&](PendingTask& other) {
+        std::vector<RefPiece> opieces;
+        CollectPieces(other.task, /*dst_side=*/true, 0, other.task.length, &opieces);
+        for (const RefPiece& op : opieces) {
+          if (op.ref.domain() != ddomain) {
+            continue;
+          }
+          const uint64_t obase = op.ref.start();
+          const uint64_t ovl_start = std::max(obase, dbase);
+          const uint64_t ovl_end = std::min(obase + op.length, dbase + dp.length);
+          if (ovl_start >= ovl_end) {
+            continue;
+          }
+          // Walk the overlap in `other`'s progress segments; marked pieces
+          // are dead for this task.
+          uint64_t cursor = ovl_start;
+          while (cursor < ovl_end) {
+            const size_t other_local = cursor - obase + op.task_offset;
+            const size_t o_seg_size = other.progress->segment_size();
+            const size_t o_space = other.progress_offset + other_local;
+            const size_t o_seg = other.progress->SegmentOf(o_space);
+            const size_t seg_room = (o_seg + 1) * o_seg_size - o_space;
+            const uint64_t piece_end = std::min<uint64_t>(ovl_end, cursor + seg_room);
+            if (other.progress->SegmentReady(o_seg)) {
+              subtract_dead(cursor - dbase + dp.task_offset,
+                            piece_end - dbase + dp.task_offset);
+            }
+            cursor = piece_end;
+          }
+        }
+      };
+      if (config_.enable_range_index) {
+        // Live later writers whose dst overlaps this piece. Done tasks
+        // already left the index; their full write is covered by
+        // completed_writes above. An SG writer has one entry per segment —
+        // dedup so suppress_from walks it once.
+        std::vector<PendingTask*> writers;
+        ++stats_.dep_probes;
+        ChargeCtx(ctx_, timing_->absorption_match_cycles);
+        stats_.dep_tasks_scanned += client.range_index.ForEachOverlap(
+            RangeIndex::Side::kDst, ddomain, dbase, dp.length,
+            [&](const RangeIndex::Entry& entry) {
+              if (entry.order > task.order && !entry.task->aborted &&
+                  std::find(writers.begin(), writers.end(), entry.task) == writers.end()) {
+                writers.push_back(entry.task);
+              }
+              return true;
+            });
+        for (PendingTask* other : writers) {
+          suppress_from(*other);
+        }
+      } else {
+        for (const auto& other_ptr : client.pending) {
+          PendingTask& other = *other_ptr;
+          ChargeCtx(ctx_, timing_->absorption_match_cycles);
+          ++stats_.dep_tasks_scanned;
+          if (other.order <= task.order || other.aborted) {
+            continue;
+          }
+          suppress_from(other);
+        }
       }
     }
 
@@ -955,6 +1126,17 @@ Status Engine::CopyRange(Client& client, PendingTask& task, size_t offset, size_
     for (auto [ls, le] : live) {
       std::vector<SourcePiece> sources;
       ResolveSources(client, task, ls, le - ls, depth, &sources);
+      if (getenv("COPIER_TRACE") != nullptr) {
+        size_t total = 0;
+        std::fprintf(stderr, "[src] task=%llu run=[%zu,%zu):",
+                     (unsigned long long)task.task.id, ls, le);
+        for (const SourcePiece& sp : sources) {
+          std::fprintf(stderr, " {%llx,%zu%s}", (unsigned long long)sp.ref.start(), sp.length,
+                       sp.absorbed ? ",A" : "");
+          total += sp.length;
+        }
+        std::fprintf(stderr, " total=%zu\n", total);
+      }
       std::vector<Subtask> subtasks;
       COPIER_RETURN_IF_ERROR(BuildSubtasks(client, task, ls, sources, &subtasks));
       ExecuteRound(client, subtasks);
@@ -1025,25 +1207,32 @@ void Engine::ApplyDeferredAborts(Client& client) {
     }
     bool has_dependent = false;
     if (config_.enable_range_index) {
-      // A dependent is a live, later-ordered reader of this task's dst.
-      ++stats_.dep_probes;
-      ChargeCtx(ctx_, timing_->absorption_match_cycles);
-      stats_.dep_tasks_scanned += client.range_index.ForEachOverlap(
-          RangeIndex::Side::kSrc, task.task.dst.domain(), task.task.dst.start(),
-          task.task.length, [&](const RangeIndex::Entry& entry) {
-            if (entry.order > task.order && !entry.task->Done()) {
-              has_dependent = true;
-              return false;
-            }
-            return true;
-          });
+      // A dependent is a live, later-ordered reader of this task's dst
+      // (probed per contiguous destination piece).
+      std::vector<RefPiece> dpieces;
+      CollectPieces(task.task, /*dst_side=*/true, 0, task.task.length, &dpieces);
+      for (const RefPiece& dp : dpieces) {
+        ++stats_.dep_probes;
+        ChargeCtx(ctx_, timing_->absorption_match_cycles);
+        stats_.dep_tasks_scanned += client.range_index.ForEachOverlap(
+            RangeIndex::Side::kSrc, dp.ref.domain(), dp.ref.start(), dp.length,
+            [&](const RangeIndex::Entry& entry) {
+              if (entry.order > task.order && !entry.task->Done()) {
+                has_dependent = true;
+                return false;
+              }
+              return true;
+            });
+        if (has_dependent) {
+          break;
+        }
+      }
     } else {
       for (const auto& other : client.pending) {
         ChargeCtx(ctx_, timing_->absorption_match_cycles);
         ++stats_.dep_tasks_scanned;
         if (other->order > task.order && !other->Done() &&
-            RefsOverlap(task.task.dst, task.task.length, other->task.src,
-                        other->task.length)) {
+            SidesOverlap(task.task, /*a_dst=*/true, other->task, /*b_dst=*/false)) {
           has_dependent = true;
           break;
         }
@@ -1109,12 +1298,18 @@ uint64_t Engine::ExecutePending(Client& client, uint64_t budget) {
     // The fused path bypasses per-task dependency resolution, so the head
     // itself must also be conflict-free against every unfinished task ordered
     // before it (it may have been scheduled past skipped lazy tasks).
-    bool head_fusable = true;
-    for (const auto& done : client.completed_writes) {
-      if (done.order > head->order && done.domain == head->task.dst.domain() &&
-          RangesOverlap(done.start, done.length, head->task.dst.start(), head->task.length)) {
-        head_fusable = false;
-        break;
+    // Scatter-gather tasks never fuse: per-segment KFUNC timing depends on
+    // the ordered per-task path, and their round-size economics differ (one
+    // SG task already fills a round).
+    bool head_fusable = head->task.sg == nullptr;
+    if (head_fusable) {
+      for (const auto& done : client.completed_writes) {
+        if (done.order > head->order && done.domain == head->task.dst.domain() &&
+            RangesOverlap(done.start, done.length, head->task.dst.start(),
+                          head->task.length)) {
+          head_fusable = false;
+          break;
+        }
       }
     }
     if (head_fusable && HasAnyConflict(client, *head)) {
@@ -1152,7 +1347,8 @@ uint64_t Engine::ExecutePending(Client& client, uint64_t budget) {
             }
           }
         }
-        if (conflict || cand.task.type == TaskType::kLazy || cand.bytes_done != 0) {
+        if (conflict || cand.task.type == TaskType::kLazy || cand.bytes_done != 0 ||
+            cand.task.sg != nullptr) {
           continue;  // stays in place; later candidates are checked against it
         }
         // Tasks with producers need the ordered (absorption-aware) path.
@@ -1224,9 +1420,66 @@ void Engine::MarkProgress(Client& client, PendingTask& task, size_t offset, size
   }
   task.bytes_done += length;
   stats_.bytes_copied += length;
+  if (task.task.sg != nullptr) {
+    CreditSgSegments(client, task, offset, length, when);
+  }
   if (!was_done && task.Done()) {
     OnTaskDone(client, task);
   }
+}
+
+void Engine::CreditSgSegments(Client& client, PendingTask& task, size_t offset, size_t length,
+                              Cycles when) {
+  (void)client;
+  const auto& segs = task.task.sg->segs;
+  const size_t end = offset + length;
+  size_t seg_start = 0;
+  for (size_t i = 0; i < segs.size() && seg_start < end; ++i) {
+    const size_t seg_end = seg_start + segs[i].length;
+    if (seg_end > offset) {
+      const size_t ovl = std::min(end, seg_end) - std::max(offset, seg_start);
+      task.sg_remaining[i] -= std::min(ovl, task.sg_remaining[i]);
+    }
+    seg_start = seg_end;
+  }
+  // Fire the longest fully-credited prefix, IN SEGMENT ORDER. Progress can
+  // land out of order within a round (DMA takes the tail while the CPU
+  // finishes the head), but the op-list is a stream: segment k's handler
+  // (skb delivery on the send path) must not run before segment k-1's, or
+  // the receiver reassembles the bytes in the wrong order — exactly the
+  // per-op path's task-order firing.
+  while (task.sg_next_fire < segs.size() && task.sg_remaining[task.sg_next_fire] == 0) {
+    const size_t i = task.sg_next_fire++;
+    task.sg_fired[i] = true;
+    if (segs[i].on_complete != nullptr) {
+      // The per-segment KFUNC is the per-skb completion handler of the
+      // per-op path: same dispatch charge, same kfuncs_run accounting.
+      ChargeCtx(ctx_, timing_->handler_dispatch_cycles);
+      segs[i].on_complete(when);
+      ++stats_.kfuncs_run;
+    }
+  }
+}
+
+void Engine::FireRemainingSgSegments(Client& client, PendingTask& task, Cycles when) {
+  (void)client;
+  if (task.task.sg == nullptr) {
+    return;
+  }
+  const auto& segs = task.task.sg->segs;
+  for (size_t i = 0; i < segs.size(); ++i) {
+    if (task.sg_fired[i]) {
+      continue;
+    }
+    task.sg_fired[i] = true;
+    task.sg_remaining[i] = 0;
+    if (segs[i].on_complete != nullptr) {
+      ChargeCtx(ctx_, timing_->handler_dispatch_cycles);
+      segs[i].on_complete(when);
+      ++stats_.kfuncs_run;
+    }
+  }
+  task.sg_next_fire = segs.size();
 }
 
 void Engine::CompleteTask(Client& client, PendingTask& task) {
@@ -1238,6 +1491,10 @@ void Engine::CompleteTask(Client& client, PendingTask& task) {
     ++stats_.tasks_completed;
   }
   client.total_copy_length += task.task.length;
+  // Any segment KFUNC not yet fired through progress fires now: the kernel
+  // buffers behind an aborted vectored task must be reclaimed exactly as the
+  // per-op path's completion handlers would have.
+  FireRemainingSgSegments(client, task, CtxNow(ctx_));
   PostHandler& handler = task.task.handler;
   switch (handler.kind) {
     case PostHandler::Kind::kNone:
@@ -1313,10 +1570,21 @@ void Engine::IndexInsert(Client& client, PendingTask& task) {
   if (task.in_range_index || task.Done()) {
     return;
   }
-  client.range_index.Insert(RangeIndex::Side::kDst, task.task.dst.domain(),
-                            task.task.dst.start(), task.task.length, task.order, &task);
-  client.range_index.Insert(RangeIndex::Side::kSrc, task.task.src.domain(),
-                            task.task.src.start(), task.task.length, task.order, &task);
+  // One entry per contiguous piece of each side: a scatter-gather side
+  // contributes one entry per segment, carrying the segment's task-local
+  // prefix offset so probes map hits back to task bytes.
+  std::vector<RefPiece> pieces;
+  CollectPieces(task.task, /*dst_side=*/true, 0, task.task.length, &pieces);
+  for (const RefPiece& p : pieces) {
+    client.range_index.Insert(RangeIndex::Side::kDst, p.ref.domain(), p.ref.start(), p.length,
+                              task.order, &task, p.task_offset);
+  }
+  pieces.clear();
+  CollectPieces(task.task, /*dst_side=*/false, 0, task.task.length, &pieces);
+  for (const RefPiece& p : pieces) {
+    client.range_index.Insert(RangeIndex::Side::kSrc, p.ref.domain(), p.ref.start(), p.length,
+                              task.order, &task, p.task_offset);
+  }
   task.in_range_index = true;
   stats_.index_entries = client.range_index.size();
 }
@@ -1325,10 +1593,16 @@ void Engine::IndexErase(Client& client, PendingTask& task) {
   if (!task.in_range_index) {
     return;
   }
-  client.range_index.Erase(RangeIndex::Side::kDst, task.task.dst.domain(),
-                           task.task.dst.start(), task.order);
-  client.range_index.Erase(RangeIndex::Side::kSrc, task.task.src.domain(),
-                           task.task.src.start(), task.order);
+  std::vector<RefPiece> pieces;
+  CollectPieces(task.task, /*dst_side=*/true, 0, task.task.length, &pieces);
+  for (const RefPiece& p : pieces) {
+    client.range_index.Erase(RangeIndex::Side::kDst, p.ref.domain(), p.ref.start(), task.order);
+  }
+  pieces.clear();
+  CollectPieces(task.task, /*dst_side=*/false, 0, task.task.length, &pieces);
+  for (const RefPiece& p : pieces) {
+    client.range_index.Erase(RangeIndex::Side::kSrc, p.ref.domain(), p.ref.start(), task.order);
+  }
   task.in_range_index = false;
   stats_.index_entries = client.range_index.size();
 }
@@ -1341,9 +1615,14 @@ void Engine::OnTaskDone(Client& client, PendingTask& task) {
   IndexErase(client, task);
   // Log the write so a still-pending earlier task executing late cannot
   // overwrite it (WAW); pruned in RetireDone once no earlier task remains.
+  // One log entry per contiguous destination piece.
   if (!task.aborted) {
-    client.completed_writes.push_back(Client::CompletedWrite{
-        task.order, task.task.dst.domain(), task.task.dst.start(), task.task.length});
+    std::vector<RefPiece> pieces;
+    CollectPieces(task.task, /*dst_side=*/true, 0, task.task.length, &pieces);
+    for (const RefPiece& p : pieces) {
+      client.completed_writes.push_back(
+          Client::CompletedWrite{task.order, p.ref.domain(), p.ref.start(), p.length});
+    }
   }
 }
 
@@ -1351,14 +1630,14 @@ bool Engine::HasAnyConflict(Client& client, const PendingTask& self) {
   const CopyTask& b = self.task;
   if (config_.enable_range_index) {
     bool conflict = false;
-    const auto probe = [&](RangeIndex::Side side, const MemRef& ref) {
+    const auto probe = [&](RangeIndex::Side side, const RefPiece& p) {
       if (conflict) {
         return;
       }
       ++stats_.dep_probes;
       ChargeCtx(ctx_, timing_->absorption_match_cycles);
       stats_.dep_tasks_scanned += client.range_index.ForEachOverlap(
-          side, ref.domain(), ref.start(), b.length, [&](const RangeIndex::Entry& entry) {
+          side, p.ref.domain(), p.ref.start(), p.length, [&](const RangeIndex::Entry& entry) {
             if (entry.task != &self && !entry.task->Done()) {
               conflict = true;
               return false;
@@ -1366,9 +1645,17 @@ bool Engine::HasAnyConflict(Client& client, const PendingTask& self) {
             return true;
           });
     };
-    probe(RangeIndex::Side::kDst, b.dst);  // WAW: another writer of our dst
-    probe(RangeIndex::Side::kSrc, b.dst);  // WAR: a reader of our dst
-    probe(RangeIndex::Side::kDst, b.src);  // RAW: a writer of our src
+    std::vector<RefPiece> pieces;
+    CollectPieces(b, /*dst_side=*/true, 0, b.length, &pieces);
+    for (const RefPiece& p : pieces) {
+      probe(RangeIndex::Side::kDst, p);  // WAW: another writer of our dst
+      probe(RangeIndex::Side::kSrc, p);  // WAR: a reader of our dst
+    }
+    pieces.clear();
+    CollectPieces(b, /*dst_side=*/false, 0, b.length, &pieces);
+    for (const RefPiece& p : pieces) {
+      probe(RangeIndex::Side::kDst, p);  // RAW: a writer of our src
+    }
     return conflict;
   }
   for (const auto& other : client.pending) {
@@ -1378,9 +1665,9 @@ bool Engine::HasAnyConflict(Client& client, const PendingTask& self) {
       continue;
     }
     const CopyTask& a = other->task;
-    if (RefsOverlap(a.dst, a.length, b.dst, b.length) ||
-        RefsOverlap(a.dst, a.length, b.src, b.length) ||
-        RefsOverlap(a.src, a.length, b.dst, b.length)) {
+    if (SidesOverlap(a, /*a_dst=*/true, b, /*b_dst=*/true) ||
+        SidesOverlap(a, /*a_dst=*/true, b, /*b_dst=*/false) ||
+        SidesOverlap(a, /*a_dst=*/false, b, /*b_dst=*/true)) {
       return true;
     }
   }
@@ -1391,24 +1678,31 @@ bool Engine::HasEarlierLiveWriter(Client& client, const PendingTask& reader) {
   const CopyTask& b = reader.task;
   if (config_.enable_range_index) {
     bool found = false;
-    ++stats_.dep_probes;
-    ChargeCtx(ctx_, timing_->absorption_match_cycles);
-    stats_.dep_tasks_scanned += client.range_index.ForEachOverlap(
-        RangeIndex::Side::kDst, b.src.domain(), b.src.start(), b.length,
-        [&](const RangeIndex::Entry& entry) {
-          if (entry.order < reader.order && !entry.task->Done()) {
-            found = true;
-            return false;
-          }
-          return true;
-        });
+    std::vector<RefPiece> pieces;
+    CollectPieces(b, /*dst_side=*/false, 0, b.length, &pieces);
+    for (const RefPiece& p : pieces) {
+      ++stats_.dep_probes;
+      ChargeCtx(ctx_, timing_->absorption_match_cycles);
+      stats_.dep_tasks_scanned += client.range_index.ForEachOverlap(
+          RangeIndex::Side::kDst, p.ref.domain(), p.ref.start(), p.length,
+          [&](const RangeIndex::Entry& entry) {
+            if (entry.order < reader.order && !entry.task->Done()) {
+              found = true;
+              return false;
+            }
+            return true;
+          });
+      if (found) {
+        break;
+      }
+    }
     return found;
   }
   for (const auto& other : client.pending) {
     ChargeCtx(ctx_, timing_->absorption_match_cycles);
     ++stats_.dep_tasks_scanned;
     if (other->order < reader.order && !other->Done() &&
-        RefsOverlap(other->task.dst, other->task.length, b.src, b.length)) {
+        SidesOverlap(other->task, /*a_dst=*/true, b, /*b_dst=*/false)) {
       return true;
     }
   }

@@ -64,6 +64,11 @@ class Engine {
     uint64_t dep_probes = 0;         // dependency/absorption/abort lookups issued
     uint64_t dep_tasks_scanned = 0;  // candidate tasks examined across all probes
     uint64_t index_entries = 0;      // live index entries (gauge, last-touched client)
+    // Submission-path observability (vectored submission vs per-op baseline).
+    uint64_t submit_entries = 0;   // copy-queue Copy entries ingested
+    uint64_t submit_batches = 0;   // of those, scatter-gather (vectored) tasks
+    uint64_t notify_calls = 0;     // NotifyRunnable doorbells (service-wide;
+                                   // filled in by CopierService::TotalStats)
   };
 
   Engine(const CopierConfig& config, const hw::TimingModel* timing, ExecContext* ctx);
@@ -99,6 +104,7 @@ class Engine {
     PendingTask* owner = nullptr;
     size_t task_offset = 0;  // byte offset of this subtask within the task
     bool dma_eligible = false;
+    bool on_dma = false;  // selected for the round's DMA batch (ExecuteRound)
     // Translation work owed if this subtask goes to DMA (§4.3 ATCache): CPU
     // copies translate through the MMU for free; DMA needs explicit VA->PA.
     uint32_t pages_cached = 0;    // translations served by the ATCache
@@ -136,6 +142,10 @@ class Engine {
   };
   void ResolveSources(Client& client, PendingTask& task, size_t src_offset, size_t length,
                       int depth, std::vector<SourcePiece>* out);
+  // Absorption worker for one contiguous source piece (`src` is a piece of
+  // `task`'s source side covering `length` bytes).
+  void ResolveSourcesContig(Client& client, PendingTask& task, const MemRef& src, size_t length,
+                            int depth, std::vector<SourcePiece>* out);
 
   // --- hardware dispatch (§4.3) -------------------------------------------------
   struct HostRun {
@@ -171,8 +181,23 @@ class Engine {
   void DropTask(Client& client, PendingTask& task, const Status& reason);
   void RetireDone(Client& client);
 
+  // Finds the latest-ordered unfinished earlier task writing the memory at
+  // `ref` (the absorption producer). On a hit, *overlap_offset/*overlap_length
+  // describe the overlap within [ref, ref+length) and *producer_local is the
+  // producer-local byte offset of the overlap's first byte (piece-aware: for
+  // a scatter-gather producer this maps through its segment list).
   PendingTask* FindProducer(Client& client, const PendingTask& task, const MemRef& ref,
-                            size_t length, size_t* overlap_offset, size_t* overlap_length);
+                            size_t length, size_t* overlap_offset, size_t* overlap_length,
+                            size_t* producer_local);
+
+  // Scatter-gather segment accounting: credits bytes landing at task-local
+  // [offset, offset+length) against the covering segments and fires each
+  // segment's KFUNC exactly once when its remaining byte count hits zero.
+  void CreditSgSegments(Client& client, PendingTask& task, size_t offset, size_t length,
+                        Cycles when);
+  // Fires every still-unfired segment KFUNC (task completion / abort — the
+  // kernel buffers must be reclaimed exactly as the per-op path would).
+  void FireRemainingSgSegments(Client& client, PendingTask& task, Cycles when);
 
   // --- pending-range interval index maintenance and fused-path probes ---
   void IndexInsert(Client& client, PendingTask& task);
@@ -207,6 +232,8 @@ class Engine {
     RelaxedCounter dep_probes;
     RelaxedCounter dep_tasks_scanned;
     RelaxedCounter index_entries;
+    RelaxedCounter submit_entries;
+    RelaxedCounter submit_batches;
   };
 
   const CopierConfig& config_;

@@ -1,6 +1,7 @@
 #include "src/core/linux_glue.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "src/common/logging.h"
@@ -59,35 +60,49 @@ Client* CopierLinux::ClientFor(simos::Process& proc) {
 }
 
 void CopierLinux::OnTrapEnter(simos::Process& proc, ExecContext* ctx) {
-  std::lock_guard<std::mutex> lock(mu_);
-  SyscallState& state = syscall_state_[proc.pid()];
-  state.in_syscall = true;
-  state.barrier_submitted = false;
+  Client* client = ClientFor(proc);
+  if (client != nullptr) {
+    client->ksyscall.in_syscall = true;
+    client->ksyscall.barrier_submitted = false;
+  }
+  (void)ctx;
 }
 
 void CopierLinux::OnTrapExit(simos::Process& proc, ExecContext* ctx) {
   Client* client = ClientFor(proc);
-  bool emit_exit = false;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    SyscallState& state = syscall_state_[proc.pid()];
-    emit_exit = state.in_syscall && state.barrier_submitted;
-    state.in_syscall = false;
-    state.barrier_submitted = false;
+  if (client == nullptr) {
+    return;
   }
-  if (emit_exit && client != nullptr) {
+  const bool emit_exit = client->ksyscall.in_syscall && client->ksyscall.barrier_submitted;
+  client->ksyscall.in_syscall = false;
+  client->ksyscall.barrier_submitted = false;
+  if (emit_exit) {
     CopyQueueEntry exit_barrier;
     exit_barrier.kind = CopyQueueEntry::Kind::kBarrierExit;
     // The exit barrier closes the syscall's k-mode bracket (§4.2.1); the ring
     // is sized so this cannot fail while the bracket is open.
     COPIER_CHECK(client->default_pair().kernel.copy_q.TryPush(std::move(exit_barrier)));
   }
+  (void)ctx;
 }
 
-bool CopierLinux::BracketOpen(uint32_t pid) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = syscall_state_.find(pid);
-  return it != syscall_state_.end() && it->second.in_syscall && it->second.barrier_submitted;
+bool CopierLinux::BracketOpen(simos::Process& proc) {
+  Client* client = ClientFor(proc);
+  return client != nullptr && client->ksyscall.in_syscall && client->ksyscall.barrier_submitted;
+}
+
+bool CopierLinux::EnsureEnterBarrier(Client& client, QueuePair& pair) {
+  if (!client.ksyscall.in_syscall || client.ksyscall.barrier_submitted) {
+    return true;
+  }
+  CopyQueueEntry barrier;
+  barrier.kind = CopyQueueEntry::Kind::kBarrierEnter;
+  barrier.user_queue_position = pair.user.copy_q.HeadPosition();
+  if (!pair.kernel.copy_q.TryPush(std::move(barrier))) {
+    return false;  // ring full
+  }
+  client.ksyscall.barrier_submitted = true;
+  return true;
 }
 
 Status CopierLinux::Copy(const simos::UserCopyOp& op) {
@@ -100,18 +115,8 @@ Status CopierLinux::Copy(const simos::UserCopyOp& op) {
 
   // Lazily submit the enter barrier before the syscall's first Copy Task,
   // recording the current u-mode queue position (§4.2.1).
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    SyscallState& state = syscall_state_[op.proc->pid()];
-    if (state.in_syscall && !state.barrier_submitted) {
-      CopyQueueEntry barrier;
-      barrier.kind = CopyQueueEntry::Kind::kBarrierEnter;
-      barrier.user_queue_position = pair.user.copy_q.HeadPosition();
-      if (!pair.kernel.copy_q.TryPush(std::move(barrier))) {
-        return fallback_.Copy(op);  // ring full: fall back to sync copy
-      }
-      state.barrier_submitted = true;
-    }
+  if (!EnsureEnterBarrier(*client, pair)) {
+    return fallback_.Copy(op);  // ring full: fall back to sync copy
   }
 
   CopyQueueEntry entry;
@@ -141,6 +146,79 @@ Status CopierLinux::Copy(const simos::UserCopyOp& op) {
   return OkStatus();
 }
 
+Status CopierLinux::CopyV(const simos::UserCopyVecOp& op, size_t* segs_submitted) {
+  Client* client = op.proc != nullptr ? ClientFor(*op.proc) : nullptr;
+  if (client == nullptr || !service_->config().enable_vectored_submit) {
+    // Per-segment path: unattached process (stock kernel behaviour) or the
+    // per-op ablation baseline.
+    return KernelCopyBackend::CopyV(op, segs_submitted);
+  }
+  if (op.segs.empty()) {
+    if (segs_submitted != nullptr) {
+      *segs_submitted = 0;
+    }
+    return OkStatus();
+  }
+  QueuePair& pair = client->default_pair();
+
+  // One ring transaction for the whole syscall: the enter barrier (when this
+  // is the bracket's first submission) and the scatter-gather Copy Task are
+  // reserved together and published with a single release (§4.2.1 ordering is
+  // preserved — the barrier occupies the earlier slot).
+  const bool need_barrier =
+      client->ksyscall.in_syscall && !client->ksyscall.barrier_submitted;
+  MpscRingBuffer<CopyQueueEntry>::Batch batch;
+  if (!pair.kernel.copy_q.TryReserveBatch(need_barrier ? 2 : 1, &batch)) {
+    // Ring full: per-segment fallback (which itself falls back to the
+    // synchronous copy per segment when the ring stays full).
+    return KernelCopyBackend::CopyV(op, segs_submitted);
+  }
+  size_t slot = 0;
+  if (need_barrier) {
+    CopyQueueEntry barrier;
+    barrier.kind = CopyQueueEntry::Kind::kBarrierEnter;
+    barrier.user_queue_position = pair.user.copy_q.HeadPosition();
+    batch[slot++] = std::move(barrier);
+    client->ksyscall.barrier_submitted = true;
+  }
+
+  auto sg = std::make_shared<SgList>();
+  sg->kernel_is_dst = !op.to_user;
+  sg->segs.reserve(op.segs.size());
+  size_t total = 0;
+  for (const simos::UserCopySeg& seg : op.segs) {
+    sg->segs.push_back(SgSegment{seg.kernel_buf, seg.length, seg.on_complete});
+    total += seg.length;
+  }
+
+  CopyQueueEntry entry;
+  entry.kind = CopyQueueEntry::Kind::kCopy;
+  CopyTask& task = entry.task;
+  if (op.to_user) {
+    task.dst = MemRef::User(&op.proc->mem(), op.user_va);
+  } else {
+    task.src = MemRef::User(&op.proc->mem(), op.user_va);
+  }
+  task.sg = std::move(sg);
+  task.length = total;
+  task.descriptor = static_cast<Descriptor*>(op.descriptor);
+  task.descriptor_offset = op.descriptor_offset;
+  task.type = op.lazy ? TaskType::kLazy : TaskType::kNormal;
+  task.submit_time = CtxNow(op.ctx);
+  batch[slot] = std::move(entry);
+  batch.Commit();
+
+  // Amortized submission cost and ONE doorbell carrying the accumulated
+  // length, however many segments the syscall gathered.
+  ChargeCtx(op.ctx, service_->timing().task_submitv_base_cycles +
+                        op.segs.size() * service_->timing().task_submitv_per_seg_cycles);
+  service_->NotifyRunnable(*client, total);
+  if (segs_submitted != nullptr) {
+    *segs_submitted = op.segs.size();
+  }
+  return OkStatus();
+}
+
 Status CopierLinux::SyncKernel(simos::Process* proc, ExecContext* ctx) {
   Client* client = proc != nullptr ? ClientFor(*proc) : nullptr;
   if (client == nullptr) {
@@ -152,9 +230,20 @@ Status CopierLinux::SyncKernel(simos::Process* proc, ExecContext* ctx) {
       ctx->WaitUntil(service_->engine_ctx().now());
     }
   } else {
+    // Bounded condition-wait on queue/pending drain: the serving thread
+    // signals drain_cv after any pass that leaves the client idle. The
+    // periodic timeout re-rings the doorbell in case the runnable mark was
+    // consumed before the last submission landed (never signal-and-wait on a
+    // lock held across NotifyRunnable — the service may serve inline).
+    service_->NotifyRunnable(*client);
+    std::unique_lock<std::mutex> lock(client->drain_mu);
     while (client->HasQueuedWork()) {
-      service_->NotifyRunnable(*client);
-      std::this_thread::yield();
+      const auto status = client->drain_cv.wait_for(lock, std::chrono::microseconds(200));
+      if (status == std::cv_status::timeout && client->HasQueuedWork()) {
+        lock.unlock();
+        service_->NotifyRunnable(*client);
+        lock.lock();
+      }
     }
   }
   return OkStatus();

@@ -13,9 +13,6 @@
 #ifndef COPIER_SRC_CORE_LINUX_GLUE_H_
 #define COPIER_SRC_CORE_LINUX_GLUE_H_
 
-#include <mutex>
-#include <unordered_map>
-
 #include "src/core/service.h"
 #include "src/simos/copy_backend.h"
 #include "src/simos/kernel.h"
@@ -43,6 +40,13 @@ class CopierLinux : public simos::SimKernel::TrapHooks, public simos::KernelCopy
 
   // --- simos::KernelCopyBackend ---
   Status Copy(const simos::UserCopyOp& op) override;
+  // Vectored submission (one doorbell per syscall): publishes the syscall's
+  // whole op-list as ONE scatter-gather Copy Task in a single ring
+  // transaction, with one barrier-state check and one NotifyRunnable carrying
+  // the accumulated length. Falls back to the per-segment default when the
+  // process is unattached, vectored submission is disabled (ablation), or the
+  // batch reservation fails.
+  Status CopyV(const simos::UserCopyVecOp& op, size_t* segs_submitted = nullptr) override;
   Status SyncKernel(simos::Process* proc, ExecContext* ctx) override;
   const char* name() const override { return "copier-linux"; }
 
@@ -56,23 +60,20 @@ class CopierLinux : public simos::SimKernel::TrapHooks, public simos::KernelCopy
 
   CopierService* service() { return service_; }
 
-  // Per-syscall-bracket bookkeeping, exposed for tests.
-  bool BracketOpen(uint32_t pid) const;
+  // Per-syscall-bracket bookkeeping, exposed for tests. The state lives on
+  // the Client (Client::ksyscall), touched only by the process's own thread —
+  // concurrent processes never serialize on a glue-global lock to submit.
+  bool BracketOpen(simos::Process& proc);
 
  private:
-  struct SyscallState {
-    bool in_syscall = false;
-    bool barrier_submitted = false;
-  };
-
   Client* ClientFor(simos::Process& proc);
+  // Lazily submits the syscall's enter barrier before its first Copy Task
+  // (§4.2.1). Returns false when the k-mode ring is full.
+  bool EnsureEnterBarrier(Client& client, QueuePair& pair);
 
   CopierService* service_;
   simos::SimKernel* kernel_;
   simos::SyncErmsBackend fallback_;
-
-  mutable std::mutex mu_;
-  std::unordered_map<uint32_t, SyscallState> syscall_state_;
 };
 
 }  // namespace copier::core

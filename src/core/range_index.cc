@@ -96,7 +96,7 @@ RangeIndex::Node* RangeIndex::EraseNode(Node* n, Coord lo, uint64_t order, bool*
 }
 
 void RangeIndex::Insert(Side side, uint64_t domain, uint64_t start, size_t length,
-                        uint64_t order, PendingTask* task) {
+                        uint64_t order, PendingTask* task, size_t task_offset) {
   if (length == 0) {
     return;
   }
@@ -104,6 +104,7 @@ void RangeIndex::Insert(Side side, uint64_t domain, uint64_t start, size_t lengt
   fresh->lo = Pack(domain, start);
   fresh->hi = fresh->lo + length;
   fresh->order = order;
+  fresh->task_offset = task_offset;
   fresh->task = task;
   fresh->priority = NextPriority();
   Node*& root = roots_[static_cast<size_t>(side)];

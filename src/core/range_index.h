@@ -19,9 +19,11 @@
 // Invariants (maintained by the Engine, see DESIGN.md "Pending-range
 // interval index"):
 //   * entries exist exactly for tasks in client.pending with !Done();
-//   * a task contributes exactly one kDst and one kSrc entry, inserted in
-//     AcceptTask and erased at its Done transition (completion, abort, or
-//     drop), with a final safety prune in RetireDone;
+//   * a task contributes one kDst and one kSrc entry per contiguous piece of
+//     each side — exactly one each for plain tasks, one per segment for the
+//     scatter-gather side of a vectored task — inserted in AcceptTask and
+//     erased at its Done transition (completion, abort, or drop), with a
+//     final safety prune in RetireDone;
 //   * keys are (domain, start, order); `order` disambiguates tasks naming
 //     identical ranges, so erase is exact and enumeration order is
 //     deterministic: ascending (address, order).
@@ -41,11 +43,16 @@ class RangeIndex {
 
   // One live interval, handed to ForEachOverlap callbacks. `start`/`length`
   // are the entry's own range (not clipped to the probe window).
+  // `task_offset` is the task-local byte the entry starts at: 0 for a
+  // contiguous task side, the segment's prefix offset for a scatter-gather
+  // side (which contributes one entry per segment). An address `a` inside the
+  // entry maps to task-local byte (a - start) + task_offset.
   struct Entry {
     PendingTask* task;
     uint64_t order;
     uint64_t start;
     size_t length;
+    size_t task_offset;
   };
 
   RangeIndex() = default;
@@ -54,7 +61,7 @@ class RangeIndex {
   RangeIndex& operator=(const RangeIndex&) = delete;
 
   void Insert(Side side, uint64_t domain, uint64_t start, size_t length, uint64_t order,
-              PendingTask* task);
+              PendingTask* task, size_t task_offset = 0);
   // Erases the entry inserted under the same (side, domain, start, order);
   // no-op when absent.
   void Erase(Side side, uint64_t domain, uint64_t start, uint64_t order);
@@ -93,6 +100,7 @@ class RangeIndex {
     Coord hi;      // lo + length
     Coord max_hi;  // max hi over this node's subtree (interval-tree augment)
     uint64_t order;
+    size_t task_offset;
     PendingTask* task;
     uint32_t priority;
     Node* left = nullptr;
@@ -126,7 +134,7 @@ class RangeIndex {
     if (n->hi > qlo) {
       ++*touched;
       Entry entry{n->task, n->order, static_cast<uint64_t>(n->lo),
-                  static_cast<size_t>(n->hi - n->lo)};
+                  static_cast<size_t>(n->hi - n->lo), n->task_offset};
       if (!fn(entry)) {
         return false;
       }

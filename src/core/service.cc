@@ -272,6 +272,14 @@ uint64_t CopierService::ServePicked(size_t index, Client& client, uint64_t max_b
   const uint64_t served = engines_[index]->ServeClient(client, max_bytes);
   AccountService(client, served);
   client.served_bytes.fetch_add(served, std::memory_order_relaxed);
+  // Wake drain waiters (SyncKernel's bounded condition-wait) while `serving`
+  // is still held, so the client cannot be detached and freed between the
+  // check and the notify. The empty lock/unlock pairs with the waiter's
+  // predicate check under drain_mu (no lost wakeup).
+  if (!client.HasQueuedWork()) {
+    { std::lock_guard<std::mutex> lock(client.drain_mu); }
+    client.drain_cv.notify_all();
+  }
   FinishServe(client);
   return served;
 }
@@ -369,6 +377,7 @@ void CopierService::Awaken() {
 }
 
 void CopierService::NotifyRunnable(Client& client, uint64_t bytes_hint) {
+  ++notify_calls_;  // doorbell count: the vectored path's headline metric
   if (bytes_hint != 0) {
     client.submitted_bytes.fetch_add(bytes_hint, std::memory_order_relaxed);
   }
@@ -536,7 +545,10 @@ Engine::Stats CopierService::TotalStats() const {
     total.dep_probes += s.dep_probes;
     total.dep_tasks_scanned += s.dep_tasks_scanned;
     total.index_entries += s.index_entries;
+    total.submit_entries += s.submit_entries;
+    total.submit_batches += s.submit_batches;
   }
+  total.notify_calls = notify_calls_;
   return total;
 }
 

@@ -218,6 +218,9 @@ class CopierService {
   std::atomic<int> scenario_depth_{0};
 
   mutable AtomicSchedStats sched_stats_;
+  // Doorbell count (NotifyRunnable calls), service-wide: the vectored
+  // submission path's O(1)-per-syscall claim is measured against this.
+  mutable RelaxedCounter notify_calls_;
 };
 
 }  // namespace copier::core

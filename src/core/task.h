@@ -12,6 +12,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "src/common/cycle_clock.h"
 #include "src/simos/address_space.h"
@@ -80,6 +82,36 @@ struct PostHandler {
 
 using TaskId = uint64_t;
 
+// One segment of a scatter-gather Copy Task: a physically contiguous kernel
+// buffer (an skb, a Binder buffer) plus the per-segment KFUNC that fires when
+// every byte of the segment has landed — e.g. skb delivery on the send path.
+struct SgSegment {
+  uint8_t* kernel = nullptr;
+  size_t length = 0;
+  std::function<void(Cycles)> on_complete;  // may be empty
+};
+
+// Segment list of a scatter-gather Copy Task (vectored submission): one side
+// of the task is the concatenation of `segs` in order, the other side is the
+// single contiguous range in CopyTask::dst/src as usual. Task-local byte k
+// lives in the segment containing k under the prefix sums of `segs`. Only
+// k-mode submitters build these (the kernel owns the buffers); the segments
+// are exclusive to the task for its lifetime by the skb/Binder buffer
+// lifecycle.
+struct SgList {
+  bool kernel_is_dst = false;  // true: gather (user -> segments, send path);
+                               // false: scatter (segments -> user, recv path)
+  std::vector<SgSegment> segs;
+
+  size_t total_length() const {
+    size_t sum = 0;
+    for (const SgSegment& seg : segs) {
+      sum += seg.length;
+    }
+    return sum;
+  }
+};
+
 struct CopyTask {
   TaskId id = 0;  // assigned by the service at ingestion
   MemRef dst;
@@ -95,6 +127,12 @@ struct CopyTask {
   TaskType type = TaskType::kNormal;
   PostHandler handler;
   Cycles submit_time = 0;
+
+  // Non-null for scatter-gather tasks: the side named by sg->kernel_is_dst is
+  // the segment list (dst or src above is then ignored for that side), and
+  // `length` equals sg->total_length(). Shared because queue entries may be
+  // peeked/copied; the list itself is immutable after submission.
+  std::shared_ptr<const SgList> sg;
 };
 
 // Copy Queue entries: Copy Tasks interleaved (k-mode) with Barrier Tasks.

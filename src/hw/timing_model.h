@@ -55,6 +55,11 @@ struct TimingModel {
 
   // Copier client-side primitives (§4.6 break-even discussion).
   Cycles task_submit_cycles = 90;   // alloc descriptor + ring enqueue
+  // Vectored submission (copier_submitv / k-mode CopyV): one ring reservation
+  // + one doorbell for the whole batch plus a per-segment descriptor write —
+  // the same per-batch amortization shape as dma_submit_cycles above.
+  Cycles task_submitv_base_cycles = 140;
+  Cycles task_submitv_per_seg_cycles = 20;
   Cycles csync_check_cycles = 28;   // descriptor bitmap check (ready case)
   Cycles csync_submit_cycles = 70;  // Sync Task enqueue (unready case)
   Cycles handler_dispatch_cycles = 60;

@@ -190,6 +190,74 @@ void CopierLib::amemmove(uint64_t dst, uint64_t src, size_t n, ExecContext* ctx)
   }
 }
 
+void CopierLib::copier_submitv(const std::vector<CopyVecEntry>& entries, ExecContext* ctx,
+                               int fd) {
+  size_t count = 0;
+  size_t total = 0;
+  for (const CopyVecEntry& e : entries) {
+    if (e.length > 0) {
+      ++count;
+      total += e.length;
+    }
+  }
+  if (count == 0) {
+    return;
+  }
+  auto per_entry = [&] {
+    AmemcpyOptions opts;
+    opts.fd = fd;
+    for (const CopyVecEntry& e : entries) {
+      if (e.length > 0) {
+        _amemcpy(e.dst, e.src, e.length, opts, ctx);
+      }
+    }
+  };
+  if (!service_->config().enable_vectored_submit) {
+    per_entry();  // ablation baseline: one task, one doorbell per entry
+    return;
+  }
+  simos::AddressSpace* space = client_->space();
+  COPIER_CHECK(space != nullptr) << "CopierLib requires a process-backed client";
+
+  // One ring transaction for the whole vector: reserve N contiguous slots,
+  // fill them, publish with a single release (§4.2.1 order is the slot
+  // order). Each entry stays an independent Copy Task with its own pooled
+  // descriptor so csync per destination range still works.
+  MpscRingBuffer<core::CopyQueueEntry>::Batch batch;
+  if (!client_->pair(fd).user.copy_q.TryReserveBatch(count, &batch)) {
+    per_entry();  // ring too full for the batch: degrade, don't drop
+    return;
+  }
+  std::vector<ActiveCopy> registered;
+  registered.reserve(count);
+  size_t slot = 0;
+  for (const CopyVecEntry& e : entries) {
+    if (e.length == 0) {
+      continue;
+    }
+    core::Descriptor* descriptor = pool_.Acquire(e.length);
+    core::CopyQueueEntry entry;
+    entry.kind = core::CopyQueueEntry::Kind::kCopy;
+    core::CopyTask& task = entry.task;
+    task.dst = core::MemRef::User(space, e.dst);
+    task.src = core::MemRef::User(space, e.src);
+    task.length = e.length;
+    task.descriptor = descriptor;
+    task.descriptor_offset = 0;
+    task.submit_time = CtxNow(ctx);
+    batch[slot++] = std::move(entry);
+    registered.push_back(ActiveCopy{e.dst, e.length, descriptor, 0, true, false});
+  }
+  batch.Commit();
+  ChargeCtx(ctx, timing_->task_submitv_base_cycles +
+                     count * timing_->task_submitv_per_seg_cycles);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.insert(active_.end(), registered.begin(), registered.end());
+  }
+  service_->NotifyRunnable(*client_, total);
+}
+
 CopierLib::ActiveCopy* CopierLib::FindActive(uint64_t addr) {
   for (auto it = active_.rbegin(); it != active_.rend(); ++it) {
     if (addr >= it->dst && addr < it->dst + it->length) {

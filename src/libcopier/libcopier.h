@@ -60,6 +60,14 @@ struct AmemcpyOptions {
   std::function<void(Cycles)> ufunc;       // post-copy handler run by post_handlers()
 };
 
+// One entry of a vectored submission (copier_submitv): an independent
+// dst/src/length copy in the caller's address space.
+struct CopyVecEntry {
+  uint64_t dst = 0;
+  uint64_t src = 0;
+  size_t length = 0;
+};
+
 class CopierLib {
  public:
   // Binds the library to an attached client. In manual-mode services csync
@@ -97,6 +105,14 @@ class CopierLib {
   // Submits an abort Sync Task discarding still-queued copies writing the
   // range (§4.4).
   void abort_range(uint64_t addr, size_t n, ExecContext* ctx = nullptr);
+
+  // copier_submitv(): vectored submission — N independent copies published
+  // with ONE ring transaction and ONE doorbell carrying the accumulated
+  // length. Each entry gets a pooled descriptor registered for csync. Falls
+  // back to per-entry _amemcpy when vectored submission is disabled
+  // (ablation) or the batch reservation fails.
+  void copier_submitv(const std::vector<CopyVecEntry>& entries, ExecContext* ctx = nullptr,
+                      int fd = 0);
 
   // copier_create_queue(): per-thread queue pair; returns its fd.
   int create_queue();

@@ -35,16 +35,17 @@ StatusOr<BinderDriver::Transaction> BinderDriver::Transact(Process& client, uint
     return ResourceExhausted("no free binder transaction buffer");
   }
 
-  // Step 1: driver copies client data into the kernel transaction buffer.
-  UserCopyOp op;
+  // Step 1: driver copies client data into the kernel transaction buffer —
+  // a single-segment vectored op, so the syscall still publishes with one
+  // ring transaction and one doorbell on the Copier backend.
+  UserCopyVecOp op;
   op.proc = &client;
   op.user_va = client_va;
-  op.kernel_buf = buffer->data.get();
-  op.length = length;
   op.to_user = false;
   op.descriptor = descriptor;
   op.ctx = ctx;
-  const Status status = kernel_->copy_backend()->Copy(op);
+  op.segs.push_back(UserCopySeg{buffer->data.get(), length, nullptr});
+  const Status status = kernel_->copy_backend()->CopyV(op);
   if (!status.ok()) {
     Release(id);
     kernel_->TrapExit(client, ctx);

@@ -4,6 +4,41 @@
 
 namespace copier::simos {
 
+Status KernelCopyBackend::CopyV(const UserCopyVecOp& op, size_t* segs_submitted) {
+  // Default: unroll into per-segment ops — one barrier check, one submission
+  // charge and one doorbell per segment, exactly the pre-vectored behaviour.
+  UserCopyOp seg_op;
+  seg_op.proc = op.proc;
+  seg_op.to_user = op.to_user;
+  seg_op.descriptor = op.descriptor;
+  seg_op.lazy = op.lazy;
+  seg_op.ctx = op.ctx;
+  uint64_t va = op.user_va;
+  size_t descriptor_offset = op.descriptor_offset;
+  size_t submitted = 0;
+  for (const UserCopySeg& seg : op.segs) {
+    seg_op.user_va = va;
+    seg_op.kernel_buf = seg.kernel_buf;
+    seg_op.length = seg.length;
+    seg_op.descriptor_offset = descriptor_offset;
+    seg_op.on_complete = seg.on_complete;
+    Status status = Copy(seg_op);
+    if (!status.ok()) {
+      if (segs_submitted != nullptr) {
+        *segs_submitted = submitted;
+      }
+      return status;
+    }
+    ++submitted;
+    va += seg.length;
+    descriptor_offset += seg.length;
+  }
+  if (segs_submitted != nullptr) {
+    *segs_submitted = submitted;
+  }
+  return OkStatus();
+}
+
 Status SyncErmsBackend::Copy(const UserCopyOp& op) {
   // The blocking kernel copy: walk the user range page by page (faulting on
   // demand, exactly like copy_{to,from}_user) and move bytes with ERMS.

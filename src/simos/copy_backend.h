@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "src/common/exec_context.h"
 #include "src/common/status.h"
@@ -37,11 +38,54 @@ struct UserCopyOp {
   ExecContext* ctx = nullptr;  // the syscall's execution context (time charging)
 };
 
+// One kernel-side segment of a vectored copy: a contiguous buffer plus the
+// completion KFUNC that fires when every byte of the segment has landed.
+struct UserCopySeg {
+  uint8_t* kernel_buf = nullptr;
+  size_t length = 0;
+  std::function<void(Cycles)> on_complete;
+};
+
+// A syscall's full op-list (vectored submission): the user side is the single
+// contiguous range [user_va, user_va + total_length()); the kernel side is
+// `segs` in order. Send/Recv/Binder always build one of these per syscall;
+// whether it becomes one scatter-gather Copy Task or degenerates to per-
+// segment Copy() calls is the backend's choice.
+struct UserCopyVecOp {
+  Process* proc = nullptr;
+  uint64_t user_va = 0;
+  bool to_user = false;  // true: segments -> user (recv); false: user -> segments (send)
+
+  void* descriptor = nullptr;    // app-provided descriptor covering the user range
+  size_t descriptor_offset = 0;  // byte offset of the op within the descriptor
+  bool lazy = false;
+  ExecContext* ctx = nullptr;
+
+  std::vector<UserCopySeg> segs;
+
+  size_t total_length() const {
+    size_t sum = 0;
+    for (const UserCopySeg& seg : segs) {
+      sum += seg.length;
+    }
+    return sum;
+  }
+};
+
 class KernelCopyBackend {
  public:
   virtual ~KernelCopyBackend() = default;
 
   virtual Status Copy(const UserCopyOp& op) = 0;
+
+  // Vectored copy. The default unrolls the op-list into per-segment Copy()
+  // calls (synchronous backends and the per-skb ablation baseline); Copier
+  // overrides it with a single scatter-gather Copy Task + one doorbell.
+  // Returns the first per-segment error, with earlier segments already
+  // submitted (matching the historical per-op loop in Send/Recv); when
+  // `segs_submitted` is non-null it reports how many leading segments were
+  // accepted, so callers can reclaim the buffers of the rest.
+  virtual Status CopyV(const UserCopyVecOp& op, size_t* segs_submitted = nullptr);
 
   // Ensures all pending kernel-side copies for `proc` whose destination the
   // kernel itself is about to consume are done (e.g. send: driver syncs

@@ -70,7 +70,18 @@ StatusOr<size_t> SimKernel::Send(Process& proc, SimSocket* sock, uint64_t va, si
   TrapEnter(proc, ctx);
   SimSocket* peer = sock->peer();
   SkbPool* pool = sock->pool();
+  // Gather the syscall's whole skb op-list, then submit it with ONE vectored
+  // copy — one ring transaction and one doorbell on the Copier backend, a
+  // per-segment loop on synchronous backends.
+  UserCopyVecOp vop;
+  vop.proc = &proc;
+  vop.user_va = va;
+  vop.to_user = false;
+  vop.lazy = opts.lazy;
+  vop.ctx = ctx;
+  std::vector<Skb*> acquired;
   size_t sent = 0;
+  const Cycles nic_tx = timing_->nic_tx_enqueue_cycles;
   while (sent < length) {
     auto skb_or = pool->Acquire(ctx);
     if (!skb_or.ok()) {
@@ -81,35 +92,33 @@ StatusOr<size_t> SimKernel::Send(Process& proc, SimSocket* sock, uint64_t va, si
     skb->length = take;
     // TCP/IP header processing (checksum offloaded: payload untouched, §5.2).
     ChargeCtx(ctx, timing_->tcp_tx_per_packet_cycles);
-
-    UserCopyOp op;
-    op.proc = &proc;
-    op.user_va = va + sent;
-    op.kernel_buf = skb->data;
-    op.length = take;
-    op.to_user = false;
-    op.lazy = opts.lazy;
-    op.ctx = ctx;
     // The driver syncs the data right before the NIC TX enqueue — i.e. at
-    // copy completion, which delivers the packet (this is the send-side
+    // segment completion, which delivers the packet (this is the send-side
     // Copy-Use window: socket-layer submit → driver enqueue).
-    const Cycles nic_tx = timing_->nic_tx_enqueue_cycles;
-    op.on_complete = [peer, skb, nic_tx](Cycles completion_time) {
-      skb->delivered_at = completion_time + nic_tx;
-      peer->EnqueueRx(skb);
-    };
-    const Status status = backend_->Copy(op);
-    if (!status.ok()) {
-      pool->Release(skb);
-      TrapExit(proc, ctx);
-      return status;
-    }
+    acquired.push_back(skb);
+    vop.segs.push_back(UserCopySeg{skb->data, take, [peer, skb, nic_tx](Cycles when) {
+                                     skb->delivered_at = when + nic_tx;
+                                     peer->EnqueueRx(skb);
+                                   }});
     sent += take;
   }
-  TrapExit(proc, ctx);
   if (sent == 0) {
+    TrapExit(proc, ctx);
     return ResourceExhausted("skb pool exhausted");
   }
+  size_t segs_submitted = 0;
+  const Status status = backend_->CopyV(vop, &segs_submitted);
+  if (!status.ok()) {
+    // Segments past the failure point were never submitted: their skbs still
+    // belong to the sender (submitted ones are delivered/reclaimed by their
+    // completion handlers).
+    for (size_t i = segs_submitted; i < acquired.size(); ++i) {
+      pool->Release(acquired[i]);
+    }
+    TrapExit(proc, ctx);
+    return status;
+  }
+  TrapExit(proc, ctx);
   return sent;
 }
 
@@ -120,37 +129,48 @@ StatusOr<size_t> SimKernel::Recv(Process& proc, SimSocket* sock, uint64_t va, si
   }
   TrapEnter(proc, ctx);
   SkbPool* pool = sock->pool();
-  size_t progress = 0;
   size_t packets = 0;
-  Status copy_status;
   Cycles latest_delivery = 0;
+  // Gather the consumed skb pieces into one op-list; each piece's completion
+  // handler releases its skb once drained.
+  UserCopyVecOp vop;
+  vop.proc = &proc;
+  vop.user_va = va;
+  vop.to_user = true;
+  vop.descriptor = opts.descriptor;
+  vop.descriptor_offset = 0;
+  vop.lazy = opts.lazy;
+  vop.ctx = ctx;
+  std::vector<Skb*> consumed_skbs;
   const size_t consumed =
       sock->ConsumeRx(length, &latest_delivery, [&](Skb* skb, size_t offset, size_t take) {
         ++packets;
         skb->pending_copies.fetch_add(1, std::memory_order_acq_rel);
-        UserCopyOp op;
-        op.proc = &proc;
-        op.user_va = va + progress;
-        op.kernel_buf = skb->data + offset;
-        op.length = take;
-        op.to_user = true;
-        op.descriptor = opts.descriptor;
-        op.descriptor_offset = progress;
-        op.lazy = opts.lazy;
-        op.ctx = ctx;
-        op.on_complete = [pool, skb](Cycles) { SimSocket::CompleteCopy(pool, skb); };
-        const Status status = backend_->Copy(op);
-        if (!status.ok() && copy_status.ok()) {
-          copy_status = status;
-        }
-        progress += take;
+        consumed_skbs.push_back(skb);
+        vop.segs.push_back(UserCopySeg{
+            skb->data + offset, take,
+            [pool, skb](Cycles) { SimSocket::CompleteCopy(pool, skb); }});
       });
   if (consumed > 0 && ctx != nullptr) {
     // Blocking semantics in virtual time: the receiver cannot observe a
-    // packet before the sender's NIC delivered it.
+    // packet before the sender's NIC delivered it. Submitting after the wait
+    // also keeps the Copy Task's submit time at/after delivery.
     ctx->WaitUntil(latest_delivery);
   }
   ChargeCtx(ctx, timing_->tcp_rx_per_packet_cycles * packets + timing_->socket_status_cycles);
+  Status copy_status;
+  if (consumed > 0) {
+    size_t segs_submitted = 0;
+    copy_status = backend_->CopyV(vop, &segs_submitted);
+    if (!copy_status.ok()) {
+      // Unsubmitted pieces never got their completion handler: balance the
+      // pending-copies count so the skbs can return to the pool (the bytes
+      // are lost to the caller either way — the error is returned).
+      for (size_t i = segs_submitted; i < consumed_skbs.size(); ++i) {
+        SimSocket::CompleteCopy(pool, consumed_skbs[i]);
+      }
+    }
+  }
   TrapExit(proc, ctx);
   if (!copy_status.ok()) {
     return copy_status;

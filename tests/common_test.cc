@@ -158,6 +158,121 @@ TEST(MpscRingBuffer, ConcurrentProducersPreserveAllItems) {
   }
 }
 
+TEST(MpscRingBuffer, BatchReserveFillCommitPopsInOrder) {
+  MpscRingBuffer<int> ring(8);
+  ring.TryPush(1);
+  MpscRingBuffer<int>::Batch batch;
+  ASSERT_TRUE(ring.TryReserveBatch(3, &batch));
+  EXPECT_EQ(batch.size(), 3u);
+  batch[0] = 2;
+  batch[1] = 3;
+  batch[2] = 4;
+  // Unpublished slots stall the consumer at the batch boundary; the earlier
+  // per-op push is still consumable.
+  EXPECT_EQ(*ring.TryPop(), 1);
+  EXPECT_FALSE(ring.TryPop().has_value());
+  batch.Commit();
+  for (int want = 2; want <= 4; ++want) {
+    auto v = ring.TryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, want);
+  }
+  EXPECT_FALSE(ring.TryPop().has_value());
+}
+
+TEST(MpscRingBuffer, BatchWrapsAroundRing) {
+  MpscRingBuffer<int> ring(4);
+  // Advance head/tail so a batch straddles the physical end of the ring.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ring.TryPush(i));
+    ASSERT_TRUE(ring.TryPop().has_value());
+  }
+  MpscRingBuffer<int>::Batch batch;
+  ASSERT_TRUE(ring.TryReserveBatch(4, &batch));
+  for (int i = 0; i < 4; ++i) {
+    batch[i] = 100 + i;
+  }
+  batch.Commit();
+  for (int i = 0; i < 4; ++i) {
+    auto v = ring.TryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 100 + i);
+  }
+}
+
+TEST(MpscRingBuffer, BatchReserveIsAllOrNothing) {
+  MpscRingBuffer<int> ring(4);
+  ASSERT_TRUE(ring.TryPush(7));
+  MpscRingBuffer<int>::Batch batch;
+  // 4 slots requested, 3 free: nothing is acquired and the ring is intact.
+  EXPECT_FALSE(ring.TryReserveBatch(4, &batch));
+  EXPECT_EQ(ring.SizeApprox(), 1u);
+  EXPECT_FALSE(ring.TryReserveBatch(0, &batch));
+  EXPECT_FALSE(ring.TryReserveBatch(5, &batch));  // larger than capacity
+  ASSERT_TRUE(ring.TryReserveBatch(3, &batch));   // exact remaining room
+  batch[0] = 8;
+  batch[1] = 9;
+  batch[2] = 10;
+  batch.Commit();
+  EXPECT_FALSE(ring.TryPush(11));  // full
+  for (int want = 7; want <= 10; ++want) {
+    EXPECT_EQ(*ring.TryPop(), want);
+  }
+}
+
+TEST(MpscRingBuffer, ConcurrentBatchProducersKeepBatchesContiguous) {
+  constexpr int kProducers = 4;
+  constexpr int kBatches = 800;
+  constexpr int kBatchLen = 3;
+  MpscRingBuffer<uint64_t> ring(64);
+  std::atomic<bool> done{false};
+  std::vector<uint64_t> seen;
+  std::thread consumer([&] {
+    while (!done.load() || !ring.Empty()) {
+      if (auto v = ring.TryPop()) {
+        seen.push_back(*v);
+      }
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      for (int b = 0; b < kBatches; ++b) {
+        MpscRingBuffer<uint64_t>::Batch batch;
+        while (!ring.TryReserveBatch(kBatchLen, &batch)) {
+          std::this_thread::yield();
+        }
+        for (int i = 0; i < kBatchLen; ++i) {
+          batch[i] = (static_cast<uint64_t>(p) << 32) |
+                     static_cast<uint32_t>(b * kBatchLen + i);
+        }
+        batch.Commit();
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  done.store(true);
+  consumer.join();
+
+  ASSERT_EQ(seen.size(), static_cast<size_t>(kProducers * kBatches * kBatchLen));
+  // Batches are contiguous (a single reservation owns adjacent slots) and
+  // per-producer batch order follows reservation order.
+  std::vector<int> next(kProducers, 0);
+  for (size_t s = 0; s < seen.size(); ++s) {
+    const int p = static_cast<int>(seen[s] >> 32);
+    const int i = static_cast<int>(seen[s] & 0xffffffff);
+    EXPECT_EQ(i, next[p]) << "at slot " << s;
+    next[p] = i + 1;
+    if (i % kBatchLen != kBatchLen - 1) {
+      // Not the batch's last element: the next slot must continue this batch.
+      ASSERT_LT(s + 1, seen.size());
+      EXPECT_EQ(seen[s + 1], seen[s] + 1) << "batch split at slot " << s;
+    }
+  }
+}
+
 TEST(Histogram, Percentiles) {
   Histogram h;
   for (int i = 1; i <= 100; ++i) {
