@@ -14,9 +14,11 @@ namespace copier::bench {
 namespace {
 
 // Virtual time for Copier to drain `count` copies of `size`, with the given
-// buffer-repetition rate.
+// buffer-repetition rate. `stats_out` (optional) receives the engine
+// counters of the run — the DMA dispatch picture behind the throughput.
 Cycles CopierDrainTime(const hw::TimingModel& timing, size_t size, int count,
-                       double repetition, bool atcache, uint64_t seed) {
+                       double repetition, bool atcache, uint64_t seed,
+                       core::Engine::Stats* stats_out = nullptr) {
   core::CopierConfig config;
   config.enable_atcache = atcache;
   BenchStack stack(&timing, config);
@@ -52,6 +54,9 @@ Cycles CopierDrainTime(const hw::TimingModel& timing, size_t size, int count,
     }
   }
   stack.service->DrainAll();
+  if (stats_out != nullptr) {
+    *stats_out = stack.service->TotalStats();
+  }
   return stack.service->engine_ctx().now();
 }
 
@@ -62,14 +67,21 @@ void Run(const hw::TimingModel& t) {
     std::printf("\n-- buffer repetition %.0f%% --\n", repetition * 100);
     TextTable table({"size", "ERMS", "AVX2", "Copier", "Copier/noATC", "vs ERMS", "vs AVX2",
                      "ATCache gain"});
+    core::Engine::Stats dma_totals;
     for (size_t size : StandardSizes()) {
       const uint64_t bytes = static_cast<uint64_t>(size) * kCount;
       const double erms = GiBps(bytes, t.erms.CopyCycles(size) * kCount);
       const double avx = GiBps(bytes, t.avx.CopyCycles(size) * kCount);
+      core::Engine::Stats stats;
       const double copier =
-          GiBps(bytes, CopierDrainTime(t, size, kCount, repetition, true, 42));
+          GiBps(bytes, CopierDrainTime(t, size, kCount, repetition, true, 42, &stats));
       const double copier_noatc =
           GiBps(bytes, CopierDrainTime(t, size, kCount, repetition, false, 42));
+      dma_totals.dma_bytes_completed += stats.dma_bytes_completed;
+      dma_totals.dma_rounds_parked += stats.dma_rounds_parked;
+      dma_totals.dma_ring_full_fallbacks += stats.dma_ring_full_fallbacks;
+      dma_totals.dma_stall_cycles += stats.dma_stall_cycles;
+      dma_totals.dma_drain_wait_cycles += stats.dma_drain_wait_cycles;
       table.AddRow({TextTable::Bytes(size), TextTable::Num(erms), TextTable::Num(avx),
                     TextTable::Num(copier), TextTable::Num(copier_noatc),
                     TextTable::Num((copier / erms - 1) * 100, 0) + "%",
@@ -77,6 +89,13 @@ void Run(const hw::TimingModel& t) {
                     TextTable::Num((copier / copier_noatc - 1) * 100, 1) + "%"});
     }
     table.Print();
+    std::printf("Copier DMA dispatch: %s offloaded, %llu parked rounds, %llu ring-full "
+                "fallbacks, %llu stall cyc, %llu drain cyc\n",
+                TextTable::Bytes(dma_totals.dma_bytes_completed).c_str(),
+                static_cast<unsigned long long>(dma_totals.dma_rounds_parked),
+                static_cast<unsigned long long>(dma_totals.dma_ring_full_fallbacks),
+                static_cast<unsigned long long>(dma_totals.dma_stall_cycles),
+                static_cast<unsigned long long>(dma_totals.dma_drain_wait_cycles));
   }
 }
 

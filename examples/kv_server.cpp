@@ -54,7 +54,7 @@ double RunOnce(apps::Mode mode) {
     std::printf("  [copier] tasks=%llu absorbed=%llu bytes, DMA=%llu bytes, barriers=%llu\n",
                 static_cast<unsigned long long>(stats.tasks_completed),
                 static_cast<unsigned long long>(stats.bytes_absorbed),
-                static_cast<unsigned long long>(stats.dma_bytes),
+                static_cast<unsigned long long>(stats.dma_bytes_completed),
                 static_cast<unsigned long long>(stats.barriers_processed));
   }
   return static_cast<double>(total) / 32 / 2900.0;  // us at 2.9 GHz

@@ -65,6 +65,6 @@ int main() {
               out == message ? "verified" : "MISMATCH",
               static_cast<unsigned long long>(app.now()),
               static_cast<unsigned long long>(service.engine().stats().bytes_copied),
-              static_cast<unsigned long long>(service.engine().stats().dma_bytes));
+              static_cast<unsigned long long>(service.engine().stats().dma_bytes_completed));
   return out == message ? 0 : 1;
 }

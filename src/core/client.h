@@ -92,6 +92,19 @@ struct PendingTask {
   std::vector<bool> sg_fired;
   size_t sg_next_fire = 0;
 
+  // Task-local [start, end) byte ranges currently in flight on a DMA channel
+  // (DESIGN.md §9): submitted but not yet reaped. Parked bytes are excluded
+  // from execution (CopyRange) and do not count toward bytes_done until the
+  // reap lands them; any conflicting access must settle them first.
+  std::vector<std::pair<size_t, size_t>> dma_parked;
+  size_t dma_parked_bytes() const {
+    size_t n = 0;
+    for (const auto& [s, e] : dma_parked) {
+      n += e - s;
+    }
+    return n;
+  }
+
   bool Done() const { return bytes_done >= task.length || aborted; }
 };
 
@@ -145,6 +158,25 @@ class Client {
     size_t length = 0;
   };
   std::deque<CompletedWrite> completed_writes;
+
+  // In-flight DMA batches parked by asynchronous execution rounds (DESIGN.md
+  // §9), in submission order. The completion time is captured at submission,
+  // so reaping — possibly by a different engine after a steal — never touches
+  // the submitting engine's channel state. Mutated only while `serving` is
+  // held; dma_inflight_bytes mirrors the total for lock-free observers
+  // (scheduler re-queue accounting, utilization benches).
+  struct ParkedDma {
+    Cycles completion_time = 0;
+    uint64_t bytes = 0;
+    struct Seg {
+      PendingTask* task = nullptr;
+      size_t offset = 0;  // task-local first byte
+      size_t length = 0;
+    };
+    std::vector<Seg> segs;
+  };
+  std::deque<ParkedDma> parked_dma;
+  std::atomic<uint64_t> dma_inflight_bytes{0};
 
   // Scheduler accounting (§4.5.3): total copy length served, CFS key.
   // Relaxed atomic: written by the serving thread, read by scheduler picks

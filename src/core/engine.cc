@@ -120,7 +120,10 @@ bool RefsOverlap(const MemRef& a, size_t alen, const MemRef& b, size_t blen) {
 }
 
 Engine::Engine(const CopierConfig& config, const hw::TimingModel* timing, ExecContext* ctx)
-    : config_(config), timing_(timing), ctx_(ctx), dma_(timing) {}
+    : config_(config),
+      timing_(timing),
+      ctx_(ctx),
+      dma_(timing, config.dma_channel_count, config.dma_ring_slots) {}
 
 Engine::Stats Engine::stats() const {
   Stats s;
@@ -133,8 +136,14 @@ Engine::Stats Engine::stats() const {
   s.bytes_copied = stats_.bytes_copied;
   s.bytes_absorbed = stats_.bytes_absorbed;
   s.avx_bytes = stats_.avx_bytes;
-  s.dma_bytes = stats_.dma_bytes;
-  s.dma_batches = stats_.dma_batches;
+  s.dma_bytes_submitted = stats_.dma_bytes_submitted;
+  s.dma_bytes_completed = stats_.dma_bytes_completed;
+  s.dma_batches_submitted = stats_.dma_batches_submitted;
+  s.dma_batches_completed = stats_.dma_batches_completed;
+  s.dma_ring_full_fallbacks = stats_.dma_ring_full_fallbacks;
+  s.dma_stall_cycles = stats_.dma_stall_cycles;
+  s.dma_drain_wait_cycles = stats_.dma_drain_wait_cycles;
+  s.dma_rounds_parked = stats_.dma_rounds_parked;
   s.kfuncs_run = stats_.kfuncs_run;
   s.ufuncs_queued = stats_.ufuncs_queued;
   s.lazy_absorbed_bytes = stats_.lazy_absorbed_bytes;
@@ -422,7 +431,7 @@ void Engine::PromoteRange(Client& client, const MemRef& addr, size_t length) {
       task.promoted = true;
       const Status status =
           ExecuteTaskRange(client, task, ovl_start - hit.start + hit.task_offset,
-                           ovl_end - ovl_start, /*depth=*/0);
+                           ovl_end - ovl_start, /*depth=*/0, /*must_land=*/true);
       if (!status.ok()) {
         DropTask(client, task, status);
       }
@@ -454,7 +463,7 @@ void Engine::PromoteRange(Client& client, const MemRef& addr, size_t length) {
       task.promoted = true;
       const Status status =
           ExecuteTaskRange(client, task, ovl_start - p.ref.start() + p.task_offset,
-                           ovl_end - ovl_start, /*depth=*/0);
+                           ovl_end - ovl_start, /*depth=*/0, /*must_land=*/true);
       if (!status.ok()) {
         DropTask(client, task, status);
         break;
@@ -527,7 +536,8 @@ Status Engine::ResolveDependencies(Client& client, PendingTask& task, size_t off
       // completed.
       COPIER_RETURN_IF_ERROR(ExecuteTaskRange(client, *c.task,
                                               c.start - c.entry_start + c.entry_task_offset,
-                                              c.end - c.start, depth + 1));
+                                              c.end - c.start, depth + 1,
+                                              /*must_land=*/true));
     }
     return OkStatus();
   }
@@ -558,8 +568,10 @@ Status Engine::ResolveDependencies(Client& client, PendingTask& task, size_t off
           if (start >= end) {
             continue;
           }
-          COPIER_RETURN_IF_ERROR(ExecuteTaskRange(
-              client, other, start - op.ref.start() + op.task_offset, end - start, depth + 1));
+          COPIER_RETURN_IF_ERROR(ExecuteTaskRange(client, other,
+                                                  start - op.ref.start() + op.task_offset,
+                                                  end - start, depth + 1,
+                                                  /*must_land=*/true));
         }
       }
       return OkStatus();
@@ -861,6 +873,7 @@ void Engine::ExecuteRound(Client& client, std::vector<Subtask>& subtasks) {
   if (subtasks.empty()) {
     return;
   }
+  const size_t nch = dma_.channel_count();
 
   // Pick the DMA set. Piggybacking draws DMA candidates from the *tail* of
   // the round (latter part of a large task — i-piggyback — or latter tasks of
@@ -872,7 +885,16 @@ void Engine::ExecuteRound(Client& client, std::vector<Subtask>& subtasks) {
     avx_time += timing_->CpuCopyCycles(hw::CopyUnitKind::kAvx, st.length);
   }
   if (config_.use_dma && config_.enable_piggyback) {
-    Cycles dma_time = 0;  // DmaTransferCycles already includes engine startup
+    // Channel-aware greedy split: a candidate moves to DMA while the
+    // *aggregate* DMA makespan — each candidate placed on the least-loaded
+    // channel — stays within the tolerance over the remaining AVX time.
+    // Both units finish close together and the CPU never idles waiting
+    // (§4.3); the slack biases toward engaging DMA — a short confirmed wait
+    // beats leaving the second unit idle. Loads start at zero: the round
+    // balances its own work (with one channel this is exactly the serial
+    // dma_time accumulation of the single-engine split).
+    std::vector<Cycles> load(nch, 0);
+    const size_t tol = timing_->piggyback_greedy_tolerance_pct;
     for (size_t i = subtasks.size(); i-- > 0;) {
       const Subtask& st = subtasks[i];
       if (!st.dma_eligible) {
@@ -880,52 +902,111 @@ void Engine::ExecuteRound(Client& client, std::vector<Subtask>& subtasks) {
       }
       const Cycles st_avx = timing_->CpuCopyCycles(hw::CopyUnitKind::kAvx, st.length);
       const Cycles st_dma = timing_->DmaTransferCycles(st.length);
-      // Move to DMA while DMA stays (roughly) the shorter side: both units
-      // finish close together and the CPU never idles waiting (§4.3). The
-      // 15% slack biases toward engaging DMA — a short confirmed wait beats
-      // leaving the second unit idle.
-      if (dma_time + st_dma <= (avx_time - st_avx) + (avx_time - st_avx) * 15 / 100) {
+      size_t least = 0;
+      for (size_t c = 1; c < nch; ++c) {
+        if (load[c] < load[least]) {
+          least = c;
+        }
+      }
+      Cycles makespan = load[least] + st_dma;
+      for (size_t c = 0; c < nch; ++c) {
+        if (c != least) {
+          makespan = std::max(makespan, load[c]);
+        }
+      }
+      const Cycles rem_avx = avx_time - st_avx;
+      if (makespan <= rem_avx + rem_avx * tol / 100) {
         dma_set.push_back(i);
         subtasks[i].on_dma = true;
-        dma_time += st_dma;
+        load[least] += st_dma;
         avx_time -= st_avx;
       }
     }
   }
 
-  const Cycles round_start = CtxNow(ctx_);
-  Cycles dma_completion = 0;
-
+  // Submit the DMA side: one descriptor batch per channel, chunks assigned
+  // least-loaded-first. A large subtask is chunked across channels only when
+  // the round has fewer DMA subtasks than channels (otherwise whole subtasks
+  // already spread, and chunking would just multiply per-descriptor cost).
+  struct RoundChunk {
+    size_t subtask = 0;  // index into `subtasks`
+    size_t offset = 0;   // byte offset within the subtask
+    size_t length = 0;
+  };
+  struct SubmittedBatch {
+    Cycles completion = 0;
+    uint64_t bytes = 0;
+    std::vector<RoundChunk> chunks;
+  };
+  std::vector<SubmittedBatch> submitted;
+  std::vector<RoundChunk> ring_full_chunks;  // partial fallbacks, AVX below
   if (!dma_set.empty()) {
-    std::vector<hw::DmaDescriptor> batch;
-    batch.reserve(dma_set.size());
+    struct ChannelBatch {
+      std::vector<hw::DmaDescriptor> descs;
+      std::vector<RoundChunk> chunks;
+      uint64_t bytes = 0;
+    };
+    std::vector<ChannelBatch> batches(nch);
+    std::vector<Cycles> load(nch, 0);
+    const bool chunk_large = nch > 1 && dma_set.size() < nch;
     Cycles translate = 0;
     for (size_t idx : dma_set) {
-      batch.push_back({subtasks[idx].dst, subtasks[idx].src, subtasks[idx].length});
+      const Subtask& st = subtasks[idx];
       // DMA needs explicit physical addresses: ~240 cycles per page-table
       // walk, amortized by the ATCache (§4.3). CPU copies pay nothing (MMU).
-      translate += subtasks[idx].pages_cached * timing_->atcache_hit_cycles +
-                   subtasks[idx].pages_uncached * timing_->va_translate_cycles_per_page;
+      translate += st.pages_cached * timing_->atcache_hit_cycles +
+                   st.pages_uncached * timing_->va_translate_cycles_per_page;
+      size_t pieces = 1;
+      if (chunk_large && st.length >= 2 * timing_->dma_min_subtask_bytes) {
+        pieces = std::min(nch, st.length / timing_->dma_min_subtask_bytes);
+      }
+      const size_t base = st.length / pieces;
+      size_t off = 0;
+      for (size_t p = 0; p < pieces; ++p) {
+        const size_t len = (p + 1 == pieces) ? st.length - off : base;
+        size_t least = 0;
+        for (size_t c = 1; c < nch; ++c) {
+          if (load[c] < load[least]) {
+            least = c;
+          }
+        }
+        batches[least].descs.push_back({st.dst + off, st.src + off, len});
+        batches[least].chunks.push_back({idx, off, len});
+        batches[least].bytes += len;
+        load[least] += timing_->DmaTransferCycles(len);
+        off += len;
+      }
     }
-    ChargeCtx(ctx_, translate + dma_.SubmissionCost(batch.size()));
-    auto cookie_or = dma_.SubmitBatch(batch, CtxNow(ctx_));
-    if (cookie_or.ok()) {
-      dma_completion = dma_.CompletionTime(*cookie_or);
-      ++stats_.dma_batches;
-      for (size_t idx : dma_set) {
-        stats_.dma_bytes += subtasks[idx].length;
+    ChargeCtx(ctx_, translate);
+    for (size_t c = 0; c < nch; ++c) {
+      ChannelBatch& b = batches[c];
+      if (b.descs.empty()) {
+        continue;
       }
-    } else {
-      // Ring full: fall back to the CPU for this round.
-      for (size_t idx : dma_set) {
-        subtasks[idx].on_dma = false;
+      ChargeCtx(ctx_, dma_.SubmissionCost(b.descs.size()));
+      auto sub_or = dma_.SubmitOn(c, b.descs, CtxNow(ctx_));
+      if (!sub_or.ok()) {
+        // Ring full on this channel: its chunks fall back to the CPU (the
+        // failed attempt stays charged — the descriptors were written before
+        // the doorbell bounced). Whole subtasks rejoin the AVX loop; partial
+        // chunks of a split subtask run separately below.
+        ++stats_.dma_ring_full_fallbacks;
+        for (const RoundChunk& ch : b.chunks) {
+          if (ch.offset == 0 && ch.length == subtasks[ch.subtask].length) {
+            subtasks[ch.subtask].on_dma = false;
+          } else {
+            ring_full_chunks.push_back(ch);
+          }
+        }
+        continue;
       }
-      dma_set.clear();
-      dma_completion = 0;
+      submitted.push_back({sub_or->completion_time, b.bytes, std::move(b.chunks)});
+      stats_.dma_bytes_submitted += b.bytes;
+      ++stats_.dma_batches_submitted;
     }
   }
 
-  // CPU side: AVX subtasks run while the DMA transfer is in flight. Each
+  // CPU side: AVX subtasks run while the DMA transfers are in flight. Each
   // subtask's segments become ready as soon as its bytes land.
   for (size_t i = 0; i < subtasks.size(); ++i) {
     if (subtasks[i].on_dma) {
@@ -936,37 +1017,89 @@ void Engine::ExecuteRound(Client& client, std::vector<Subtask>& subtasks) {
       // Naive DMA (ablation): submit and busy-wait per subtask.
       hw::DmaDescriptor desc{st.dst, st.src, st.length};
       ChargeCtx(ctx_, dma_.SubmissionCost(1));
-      auto cookie_or = dma_.SubmitBatch({&desc, 1}, CtxNow(ctx_));
-      if (cookie_or.ok()) {
-        if (ctx_ != nullptr) {
-          ctx_->WaitUntil(dma_.CompletionTime(*cookie_or));
+      const size_t ch = dma_.PickChannel(1);
+      if (ch < nch) {
+        auto sub_or = dma_.SubmitOn(ch, {&desc, 1}, CtxNow(ctx_));
+        if (sub_or.ok()) {
+          if (ctx_ != nullptr) {
+            const Cycles stall_from = ctx_->now();
+            ctx_->WaitUntil(sub_or->completion_time);
+            stats_.dma_stall_cycles += ctx_->now() - stall_from;
+          }
+          ChargeCtx(ctx_, timing_->dma_completion_check_cycles);
+          stats_.dma_bytes_submitted += st.length;
+          ++stats_.dma_batches_submitted;
+          stats_.dma_bytes_completed += st.length;
+          ++stats_.dma_batches_completed;
+          MarkProgress(client, *st.owner, st.task_offset, st.length, CtxNow(ctx_));
+          continue;
         }
-        ChargeCtx(ctx_, timing_->dma_completion_check_cycles);
-        stats_.dma_bytes += st.length;
-        ++stats_.dma_batches;
-        MarkProgress(client, *st.owner, st.task_offset, st.length, CtxNow(ctx_));
-        continue;
       }
+      ++stats_.dma_ring_full_fallbacks;
     }
     hw::AvxCopy(st.dst, st.src, st.length);
     ChargeCtx(ctx_, timing_->CpuCopyCycles(hw::CopyUnitKind::kAvx, st.length));
     stats_.avx_bytes += st.length;
     MarkProgress(client, *st.owner, st.task_offset, st.length, CtxNow(ctx_));
   }
+  for (const RoundChunk& ch : ring_full_chunks) {
+    Subtask& st = subtasks[ch.subtask];
+    hw::AvxCopy(st.dst + ch.offset, st.src + ch.offset, ch.length);
+    ChargeCtx(ctx_, timing_->CpuCopyCycles(hw::CopyUnitKind::kAvx, ch.length));
+    stats_.avx_bytes += ch.length;
+    MarkProgress(client, *st.owner, st.task_offset + ch.offset, ch.length, CtxNow(ctx_));
+  }
 
-  // Confirm DMA completion (the piggyback split keeps this wait near zero).
-  if (!dma_set.empty()) {
-    if (ctx_ != nullptr) {
-      ctx_->WaitUntil(dma_completion);
+  if (submitted.empty()) {
+    return;
+  }
+  if (config_.enable_async_dma_completion && ctx_ != nullptr) {
+    // Park the in-flight batches instead of waiting them out (DESIGN.md §9):
+    // the round retires with its DMA bytes outstanding, the serve returns to
+    // the scheduler, and ReapParkedDma lands the bytes on a later pass.
+    // Completion times were captured at submission, so even an engine that
+    // later steals this client never touches this engine's channels.
+    ++stats_.dma_rounds_parked;
+    for (SubmittedBatch& b : submitted) {
+      Client::ParkedDma parked;
+      parked.completion_time = b.completion;
+      parked.bytes = b.bytes;
+      parked.segs.reserve(b.chunks.size());
+      for (const RoundChunk& ch : b.chunks) {
+        Subtask& st = subtasks[ch.subtask];
+        const size_t task_off = st.task_offset + ch.offset;
+        parked.segs.push_back({st.owner, task_off, ch.length});
+        st.owner->dma_parked.emplace_back(task_off, task_off + ch.length);
+      }
+      client.parked_dma.push_back(std::move(parked));
+      client.dma_inflight_bytes.fetch_add(b.bytes, std::memory_order_relaxed);
     }
+    return;
+  }
+  // Blocking completion (ablation baseline; also any engine without an
+  // ExecContext, whose clock cannot advance to a later reap): wait out the
+  // slowest channel, then confirm each batch.
+  Cycles last_completion = 0;
+  for (const SubmittedBatch& b : submitted) {
+    last_completion = std::max(last_completion, b.completion);
+  }
+  if (ctx_ != nullptr) {
+    const Cycles stall_from = ctx_->now();
+    ctx_->WaitUntil(last_completion);
+    stats_.dma_stall_cycles += ctx_->now() - stall_from;
+  }
+  for (const SubmittedBatch& b : submitted) {
     ChargeCtx(ctx_, timing_->dma_completion_check_cycles);
-    dma_.Poll(CtxNow(ctx_));
-    for (size_t idx : dma_set) {
-      Subtask& st = subtasks[idx];
-      MarkProgress(client, *st.owner, st.task_offset, st.length, CtxNow(ctx_));
+    stats_.dma_bytes_completed += b.bytes;
+    ++stats_.dma_batches_completed;
+  }
+  dma_.Poll(CtxNow(ctx_));
+  for (const SubmittedBatch& b : submitted) {
+    for (const RoundChunk& ch : b.chunks) {
+      Subtask& st = subtasks[ch.subtask];
+      MarkProgress(client, *st.owner, st.task_offset + ch.offset, ch.length, CtxNow(ctx_));
     }
   }
-  (void)round_start;
 }
 
 // ---------------------------------------------------------------------------
@@ -1013,23 +1146,32 @@ Status Engine::CopyRange(Client& client, PendingTask& task, size_t offset, size_
     // semantics intact. Dead bytes are marked done without copying.
     std::vector<std::pair<size_t, size_t>> live;  // [start, end) task-local
     live.emplace_back(run_start, run_end);
-    // Removes [dead_start, dead_end) (task-local bytes) from `live`.
-    const auto subtract_dead = [&live](size_t dead_start, size_t dead_end) {
+    // Removes [cut_start, cut_end) (task-local bytes) from `ranges`.
+    const auto subtract_range = [](std::vector<std::pair<size_t, size_t>>& ranges,
+                                   size_t cut_start, size_t cut_end) {
       std::vector<std::pair<size_t, size_t>> next;
-      for (auto [ls, le] : live) {
-        if (dead_end <= ls || dead_start >= le) {
+      for (auto [ls, le] : ranges) {
+        if (cut_end <= ls || cut_start >= le) {
           next.emplace_back(ls, le);
           continue;
         }
-        if (ls < dead_start) {
-          next.emplace_back(ls, dead_start);
+        if (ls < cut_start) {
+          next.emplace_back(ls, cut_start);
         }
-        if (dead_end < le) {
-          next.emplace_back(dead_end, le);
+        if (cut_end < le) {
+          next.emplace_back(cut_end, le);
         }
       }
-      live = std::move(next);
+      ranges = std::move(next);
     };
+    const auto subtract_dead = [&live, &subtract_range](size_t dead_start, size_t dead_end) {
+      subtract_range(live, dead_start, dead_end);
+    };
+    // Bytes of this run already in flight on a DMA channel execute on nobody:
+    // their batch lands them at the reap. Snapshot before suppression runs —
+    // a later-writer settle below may reap this task's own batches mid-run,
+    // and re-copying bytes that just landed would double-count progress.
+    const std::vector<std::pair<size_t, size_t>> parked_before = task.dma_parked;
     // Suppression runs per contiguous destination piece of the run: a
     // scatter-gather destination checks each covered segment against later
     // writers of *that* segment's addresses.
@@ -1052,6 +1194,13 @@ Status Engine::CopyRange(Client& client, PendingTask& task, size_t offset, size_
       }
       // Bytes a later *pending* writer has already landed (segment-granular).
       const auto suppress_from = [&](PendingTask& other) {
+        // A later writer with bytes still in flight must land first: its
+        // unreaped segments read as "unready" here, and copying this task's
+        // older data under them would then be overwritten-in-reverse when the
+        // newer batch is reaped (a WAW inversion against in-flight hardware).
+        if (!other.dma_parked.empty()) {
+          SettleTaskParked(client, other);
+        }
         std::vector<RefPiece> opieces;
         CollectPieces(other.task, /*dst_side=*/true, 0, other.task.length, &opieces);
         for (const RefPiece& op : opieces) {
@@ -1124,23 +1273,32 @@ Status Engine::CopyRange(Client& client, PendingTask& task, size_t offset, size_
     }
     size_t live_bytes = 0;
     for (auto [ls, le] : live) {
-      std::vector<SourcePiece> sources;
-      ResolveSources(client, task, ls, le - ls, depth, &sources);
-      if (getenv("COPIER_TRACE") != nullptr) {
-        size_t total = 0;
-        std::fprintf(stderr, "[src] task=%llu run=[%zu,%zu):",
-                     (unsigned long long)task.task.id, ls, le);
-        for (const SourcePiece& sp : sources) {
-          std::fprintf(stderr, " {%llx,%zu%s}", (unsigned long long)sp.ref.start(), sp.length,
-                       sp.absorbed ? ",A" : "");
-          total += sp.length;
-        }
-        std::fprintf(stderr, " total=%zu\n", total);
-      }
-      std::vector<Subtask> subtasks;
-      COPIER_RETURN_IF_ERROR(BuildSubtasks(client, task, ls, sources, &subtasks));
-      ExecuteRound(client, subtasks);
       live_bytes += le - ls;
+      // Parked bytes stay out of the executed set but still count as live:
+      // they are neither dead nor this round's work.
+      std::vector<std::pair<size_t, size_t>> exec;
+      exec.emplace_back(ls, le);
+      for (auto [ps, pe] : parked_before) {
+        subtract_range(exec, ps, pe);
+      }
+      for (auto [xs, xe] : exec) {
+        std::vector<SourcePiece> sources;
+        ResolveSources(client, task, xs, xe - xs, depth, &sources);
+        if (getenv("COPIER_TRACE") != nullptr) {
+          size_t total = 0;
+          std::fprintf(stderr, "[src] task=%llu run=[%zu,%zu):",
+                       (unsigned long long)task.task.id, xs, xe);
+          for (const SourcePiece& sp : sources) {
+            std::fprintf(stderr, " {%llx,%zu%s}", (unsigned long long)sp.ref.start(), sp.length,
+                         sp.absorbed ? ",A" : "");
+            total += sp.length;
+          }
+          std::fprintf(stderr, " total=%zu\n", total);
+        }
+        std::vector<Subtask> subtasks;
+        COPIER_RETURN_IF_ERROR(BuildSubtasks(client, task, xs, sources, &subtasks));
+        ExecuteRound(client, subtasks);
+      }
     }
     // Dead bytes: obligation satisfied by the newer writer; mark done.
     if (live_bytes < run_end - run_start) {
@@ -1160,7 +1318,7 @@ Status Engine::CopyRange(Client& client, PendingTask& task, size_t offset, size_
 }
 
 Status Engine::ExecuteTaskRange(Client& client, PendingTask& task, size_t offset, size_t length,
-                                int depth) {
+                                int depth, bool must_land) {
   if (getenv("COPIER_TRACE") != nullptr) {
     std::fprintf(stderr, "[range] task=%llu off=%zu len=%zu depth=%d done=%d bytes=%zu\n",
                  (unsigned long long)task.task.id, offset, length, depth, task.Done(),
@@ -1187,10 +1345,20 @@ Status Engine::ExecuteTaskRange(Client& client, PendingTask& task, size_t offset
       AlignUp(task.progress_offset + offset + length, seg) - task.progress_offset);
   offset = aligned_offset;
   length = aligned_end - aligned_offset;
+  // Barrier-drain rule (DESIGN.md §9): a synchronizing or conflicting access
+  // (promotion, csync, dependency resolution) may not proceed past bytes the
+  // hardware still has in flight — settle them to their completion first.
+  // Plain FIFO passes skip this; their parked bytes land via the reaper.
+  if (must_land && !task.dma_parked.empty()) {
+    SettleParkedRange(client, task, offset, length);
+    if (task.Done()) {
+      return OkStatus();
+    }
+  }
   COPIER_RETURN_IF_ERROR(ResolveDependencies(client, task, offset, length, depth));
   COPIER_RETURN_IF_ERROR(CopyRange(client, task, offset, length, depth));
   if (task.bytes_done >= task.task.length) {
-    CompleteTask(client, task);
+    CompleteTask(client, task, /*fifo_ordered=*/!must_land);
   }
   return OkStatus();
 }
@@ -1245,6 +1413,15 @@ void Engine::ApplyDeferredAborts(Client& client) {
         std::fprintf(stderr, "[abort] task=%llu order=%llu dst=%llx len=%zu\n",
                      (unsigned long long)task.task.id, (unsigned long long)task.order,
                      (unsigned long long)task.task.dst.start(), task.task.length);
+      }
+      // Bytes already on a DMA channel cannot be recalled: settle them first
+      // so the abort never leaves parked references to a retiring task. If
+      // the landing completes the task, the abort raced completion and lost.
+      if (!task.dma_parked.empty()) {
+        SettleTaskParked(client, task);
+        if (task.Done()) {
+          continue;
+        }
       }
       task.aborted = true;
       OnTaskDone(client, task);
@@ -1319,8 +1496,11 @@ uint64_t Engine::ExecutePending(Client& client, uint64_t budget) {
     // fully-unstarted tasks may fuse: a partially-executed task re-copying
     // its done segments would re-read sources that later tasks have since
     // legally overwritten (found by the concurrency stress harness).
-    if (head_fusable && head->bytes_done == 0 && config_.use_dma &&
-        config_.enable_piggyback &&
+    // Tasks with bytes parked on a DMA channel look unstarted (bytes_done is
+    // credited only at the reap) but are not: re-copying them whole would
+    // double their progress.
+    if (head_fusable && head->bytes_done == 0 && head->dma_parked.empty() &&
+        config_.use_dma && config_.enable_piggyback &&
         head->task.length < timing_->ipiggyback_min_task_bytes) {
       // A fused candidate executes ahead of every task it is hoisted over, so
       // it must have no data dependency (RAW/WAW/WAR, either direction) with
@@ -1348,7 +1528,7 @@ uint64_t Engine::ExecutePending(Client& client, uint64_t budget) {
           }
         }
         if (conflict || cand.task.type == TaskType::kLazy || cand.bytes_done != 0 ||
-            cand.task.sg != nullptr) {
+            !cand.dma_parked.empty() || cand.task.sg != nullptr) {
           continue;  // stays in place; later candidates are checked against it
         }
         // Tasks with producers need the ordered (absorption-aware) path.
@@ -1364,13 +1544,18 @@ uint64_t Engine::ExecutePending(Client& client, uint64_t budget) {
     }
 
     if (round.size() == 1) {
-      const uint64_t before = head->bytes_done;
-      const Status status = ExecuteTaskRange(client, *head, 0, head->task.length, 0);
+      // Parked (submitted, unreaped) bytes count as progress here: the slice
+      // already paid their submission, and the reap that lands them is free
+      // work the scheduler should not bill twice.
+      const uint64_t before = head->bytes_done + head->dma_parked_bytes();
+      const Status status =
+          ExecuteTaskRange(client, *head, 0, head->task.length, 0, /*must_land=*/false);
       if (!status.ok()) {
         DropTask(client, *head, status);
       }
-      served += head->bytes_done - before;
-      if (head->bytes_done == before && !head->Done()) {
+      const uint64_t after = head->bytes_done + head->dma_parked_bytes();
+      served += after - before;
+      if (after == before && !head->Done()) {
         ++scan;  // no forward progress on this task: move past it this pass
       }
     } else {
@@ -1380,7 +1565,7 @@ uint64_t Engine::ExecutePending(Client& client, uint64_t budget) {
       std::vector<uint64_t> before;
       bool fault = false;
       for (PendingTask* member : round) {
-        before.push_back(member->bytes_done);
+        before.push_back(member->bytes_done + member->dma_parked_bytes());
         std::vector<SourcePiece> sources;
         ResolveSources(client, *member, 0, member->task.length, 0, &sources);
         const Status status = BuildSubtasks(client, *member, 0, sources, &subtasks);
@@ -1395,9 +1580,10 @@ uint64_t Engine::ExecutePending(Client& client, uint64_t budget) {
       }
       for (size_t i = 0; i < round.size(); ++i) {
         if (round[i]->bytes_done >= round[i]->task.length) {
-          CompleteTask(client, *round[i]);
+          CompleteTask(client, *round[i], /*fifo_ordered=*/true);
         }
-        served += round[i]->bytes_done - (i < before.size() ? before[i] : 0);
+        served += round[i]->bytes_done + round[i]->dma_parked_bytes() -
+                  (i < before.size() ? before[i] : 0);
       }
     }
   }
@@ -1447,7 +1633,18 @@ void Engine::CreditSgSegments(Client& client, PendingTask& task, size_t offset, 
   // finishes the head), but the op-list is a stream: segment k's handler
   // (skb delivery on the send path) must not run before segment k-1's, or
   // the receiver reassembles the bytes in the wrong order — exactly the
-  // per-op path's task-order firing.
+  // per-op path's task-order firing. The same stream can also span several
+  // tasks: while an earlier-ordered task still has bytes in flight, defer
+  // the firing too — FireOrderedCompletions replays it at the reap.
+  if (HasEarlierParked(client, task.order)) {
+    return;
+  }
+  FireReadySgSegments(client, task, when);
+}
+
+void Engine::FireReadySgSegments(Client& client, PendingTask& task, Cycles when) {
+  (void)client;
+  const auto& segs = task.task.sg->segs;
   while (task.sg_next_fire < segs.size() && task.sg_remaining[task.sg_next_fire] == 0) {
     const size_t i = task.sg_next_fire++;
     task.sg_fired[i] = true;
@@ -1482,8 +1679,16 @@ void Engine::FireRemainingSgSegments(Client& client, PendingTask& task, Cycles w
   task.sg_next_fire = segs.size();
 }
 
-void Engine::CompleteTask(Client& client, PendingTask& task) {
+void Engine::CompleteTask(Client& client, PendingTask& task, bool fifo_ordered) {
   if (task.handler_fired) {
+    return;
+  }
+  // FIFO-ordered completions must not overtake an earlier task whose bytes
+  // are still on a DMA channel: in blocking mode rounds retire in submission
+  // order, and the socket paths reassemble streams in handler order. The
+  // handler stays unfired; FireOrderedCompletions delivers it at the reap
+  // that lands the blocking task.
+  if (fifo_ordered && HasEarlierParked(client, task.order)) {
     return;
   }
   task.handler_fired = true;
@@ -1522,6 +1727,11 @@ void Engine::CompleteTask(Client& client, PendingTask& task) {
 
 void Engine::DropTask(Client& client, PendingTask& task, const Status& reason) {
   COPIER_LOG(kDebug) << "dropping task " << task.task.id << ": " << reason.ToString();
+  // Bytes already on a DMA channel land regardless of the fault; settle them
+  // so no parked batch keeps a reference to the retiring task.
+  if (!task.dma_parked.empty()) {
+    SettleTaskParked(client, task);
+  }
   ++stats_.tasks_dropped;
   task.aborted = true;
   OnTaskDone(client, task);
@@ -1539,7 +1749,9 @@ void Engine::DropTask(Client& client, PendingTask& task, const Status& reason) {
 
 void Engine::RetireDone(Client& client) {
   std::erase_if(client.pending, [this, &client](const std::unique_ptr<PendingTask>& task) {
-    if (!task->Done() || !task->handler_fired) {
+    // A task with bytes still parked on a DMA channel must outlive the reap
+    // (the parked batch holds a pointer to it), Done or not.
+    if (!task->Done() || !task->handler_fired || !task->dma_parked.empty()) {
       return false;
     }
     // Done tasks normally had their index entries dropped and their
@@ -1710,14 +1922,140 @@ bool Engine::HasEarlierLiveWriter(Client& client, const PendingTask& reader) {
 }
 
 // ---------------------------------------------------------------------------
+// Asynchronous DMA completion (DESIGN.md §9)
+// ---------------------------------------------------------------------------
+
+uint64_t Engine::ReapParkedDma(Client& client, Cycles now) {
+  if (client.parked_dma.empty()) {
+    return 0;
+  }
+  // Land ripe batches in completion order (ties: submission order), so
+  // progress marks, SG-segment credits and completion handlers replay exactly
+  // as the hardware retired them.
+  std::vector<size_t> ripe;
+  for (size_t i = 0; i < client.parked_dma.size(); ++i) {
+    if (client.parked_dma[i].completion_time <= now) {
+      ripe.push_back(i);
+    }
+  }
+  if (ripe.empty()) {
+    return 0;
+  }
+  std::stable_sort(ripe.begin(), ripe.end(), [&client](size_t a, size_t b) {
+    return client.parked_dma[a].completion_time < client.parked_dma[b].completion_time;
+  });
+  uint64_t landed = 0;
+  for (size_t i : ripe) {
+    Client::ParkedDma& batch = client.parked_dma[i];
+    // One completion check per batch — the charge the blocking path paid.
+    ChargeCtx(ctx_, timing_->dma_completion_check_cycles);
+    stats_.dma_bytes_completed += batch.bytes;
+    ++stats_.dma_batches_completed;
+    landed += batch.bytes;
+    for (const Client::ParkedDma::Seg& seg : batch.segs) {
+      std::erase(seg.task->dma_parked, std::make_pair(seg.offset, seg.offset + seg.length));
+      MarkProgress(client, *seg.task, seg.offset, seg.length, batch.completion_time);
+    }
+    client.dma_inflight_bytes.fetch_sub(batch.bytes, std::memory_order_relaxed);
+  }
+  // Erase reaped entries back-to-front so earlier indices stay valid.
+  std::sort(ripe.begin(), ripe.end(), std::greater<size_t>());
+  for (size_t i : ripe) {
+    client.parked_dma.erase(client.parked_dma.begin() + static_cast<ptrdiff_t>(i));
+  }
+  // Handlers deferred behind the landed batches fire now, in task order —
+  // never in batch-completion order, which multi-channel submission permutes.
+  FireOrderedCompletions(client, now);
+  return landed;
+}
+
+bool Engine::HasEarlierParked(const Client& client, uint64_t order) const {
+  for (const Client::ParkedDma& batch : client.parked_dma) {
+    for (const Client::ParkedDma::Seg& seg : batch.segs) {
+      if (seg.task->order < order) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void Engine::FireOrderedCompletions(Client& client, Cycles when) {
+  for (auto& pending : client.pending) {
+    PendingTask& task = *pending;
+    if (!task.dma_parked.empty()) {
+      break;  // everything behind this task waits for its landing
+    }
+    if (task.handler_fired) {
+      continue;
+    }
+    if (task.task.sg != nullptr) {
+      FireReadySgSegments(client, task, when);
+    }
+    if (task.bytes_done >= task.task.length) {
+      CompleteTask(client, task);
+    }
+  }
+}
+
+void Engine::SettleParkedRange(Client& client, PendingTask& task, size_t offset, size_t length) {
+  if (client.parked_dma.empty()) {
+    return;
+  }
+  const size_t end = offset + length;
+  Cycles target = 0;
+  for (const Client::ParkedDma& batch : client.parked_dma) {
+    for (const Client::ParkedDma::Seg& seg : batch.segs) {
+      if (seg.task == &task && seg.offset < end && seg.offset + seg.length > offset) {
+        target = std::max(target, batch.completion_time);
+        break;
+      }
+    }
+  }
+  if (target == 0) {
+    return;  // nothing of this range is in flight
+  }
+  if (ctx_ != nullptr && target > ctx_->now()) {
+    stats_.dma_drain_wait_cycles += target - ctx_->now();
+    ctx_->WaitUntil(target);
+  }
+  ReapParkedDma(client, CtxNow(ctx_));
+}
+
+// ---------------------------------------------------------------------------
 // Top-level serving
 // ---------------------------------------------------------------------------
 
 uint64_t Engine::ServeClient(Client& client, uint64_t max_bytes) {
   ChargeCtx(ctx_, timing_->poll_iteration_cycles);
+  // Land whatever the hardware finished since the last serve before taking
+  // new work: reaps unblock csync gates and retire parked tasks. This is the
+  // scheduler-integrated reaper — FinishServe re-queues a client that still
+  // has pending (possibly only parked) tasks, so the next pick lands here.
+  ReapParkedDma(client, CtxNow(ctx_));
   IngestClient(client);
   ProcessSyncQueues(client);
   const uint64_t served = ExecutePending(client, max_bytes);
+  ReapParkedDma(client, CtxNow(ctx_));
+  if (served == 0 && !client.parked_dma.empty()) {
+    // Nothing executable and nothing newly landed: only in-flight hardware
+    // remains. Advance to the completions instead of spinning serve after
+    // serve with the clock stuck before them (virtual time moves only by
+    // charges and waits). The wait is drain time, not an execution stall —
+    // the engine had no other work for this client.
+    while (!client.parked_dma.empty()) {
+      Cycles earliest = client.parked_dma.front().completion_time;
+      for (const Client::ParkedDma& batch : client.parked_dma) {
+        earliest = std::min(earliest, batch.completion_time);
+      }
+      if (ctx_ != nullptr && earliest > ctx_->now()) {
+        stats_.dma_drain_wait_cycles += earliest - ctx_->now();
+        ctx_->WaitUntil(earliest);
+      }
+      ReapParkedDma(client, CtxNow(ctx_));
+    }
+    RetireDone(client);
+  }
   dma_.Poll(CtxNow(ctx_));
   return served;
 }

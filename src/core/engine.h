@@ -35,7 +35,7 @@
 #include "src/core/atcache.h"
 #include "src/core/client.h"
 #include "src/core/config.h"
-#include "src/hw/dma_engine.h"
+#include "src/hw/dma_channel_pool.h"
 #include "src/hw/timing_model.h"
 
 namespace copier::core {
@@ -55,8 +55,23 @@ class Engine {
     uint64_t bytes_copied = 0;    // bytes physically moved by this engine
     uint64_t bytes_absorbed = 0;  // bytes short-circuited past an intermediate
     uint64_t avx_bytes = 0;
-    uint64_t dma_bytes = 0;
-    uint64_t dma_batches = 0;
+    // DMA accounting is split at the submission/completion boundary so
+    // observers can compute genuinely in-flight work (submitted − completed)
+    // while rounds are parked (DESIGN.md §9).
+    uint64_t dma_bytes_submitted = 0;
+    uint64_t dma_bytes_completed = 0;
+    uint64_t dma_batches_submitted = 0;
+    uint64_t dma_batches_completed = 0;
+    // Ring-full submissions that fell back to the CPU (the failed attempt is
+    // still charged — descriptors were written before the doorbell bounced).
+    uint64_t dma_ring_full_fallbacks = 0;
+    // Engine-thread cycles blocked in end-of-round DMA completion waits
+    // (blocking mode; ~0 with enable_async_dma_completion).
+    uint64_t dma_stall_cycles = 0;
+    // Cycles spent force-settling or idle-advancing past parked batches
+    // (barrier/csync drains, dependency settles, end-of-work reaps).
+    uint64_t dma_drain_wait_cycles = 0;
+    uint64_t dma_rounds_parked = 0;  // rounds returned with DMA in flight
     uint64_t kfuncs_run = 0;
     uint64_t ufuncs_queued = 0;
     uint64_t lazy_absorbed_bytes = 0;
@@ -91,7 +106,7 @@ class Engine {
 
   ExecContext* ctx() { return ctx_; }
   ATCache& atcache() { return atcache_; }
-  hw::DmaEngine& dma() { return dma_; }
+  hw::DmaChannelPool& dma() { return dma_; }
   // Coherent snapshot of the counters, safe from any thread.
   Stats stats() const;
   const CopierConfig& config() const { return config_; }
@@ -124,8 +139,11 @@ class Engine {
   uint64_t ExecutePending(Client& client, uint64_t budget);
   // Executes [offset, offset+length) of `task` (clipped to unfinished
   // segments), resolving dependencies first. Depth guards recursion.
+  // `must_land` is the barrier-drain rule (DESIGN.md §9): promotion/csync and
+  // dependency-resolution calls force any overlapping dma-in-flight bytes to
+  // settle; plain FIFO passes skip them instead (they land via the reaper).
   Status ExecuteTaskRange(Client& client, PendingTask& task, size_t offset, size_t length,
-                          int depth);
+                          int depth, bool must_land);
   Status ResolveDependencies(Client& client, PendingTask& task, size_t offset, size_t length,
                              int depth);
   // Physically copies [offset, offset+length) of the task (sources resolved
@@ -175,9 +193,38 @@ class Engine {
   // Security checks (§4.5.4): u-mode tasks may only touch their own space.
   Status ValidateTask(Client& client, const CopyTask& task, bool kernel_mode) const;
 
+  // --- asynchronous DMA completion (DESIGN.md §9) -----------------------------
+  // Lands every parked batch whose completion time has passed: marks progress
+  // at the batch's completion time, fires completions, frees the parked
+  // ranges. Returns the bytes landed.
+  uint64_t ReapParkedDma(Client& client, Cycles now);
+  // Forces the parked batches holding bytes of `task` overlapping task-local
+  // [offset, offset+length) to land, advancing the clock to their completion
+  // (the barrier-drain rule: conflicting or synchronizing accesses may not
+  // proceed past in-flight hardware).
+  void SettleParkedRange(Client& client, PendingTask& task, size_t offset, size_t length);
+  void SettleTaskParked(Client& client, PendingTask& task) {
+    SettleParkedRange(client, task, 0, task.task.length);
+  }
+  // True when a pending task ordered before `order` still has bytes on a DMA
+  // channel. FIFO-ordered completions (and SG segment kfuncs) defer behind
+  // such a task: blocking mode retires rounds in submission order, so a later
+  // task's handler must not overtake an earlier in-flight one — the socket
+  // paths reassemble byte streams in handler-delivery order.
+  bool HasEarlierParked(const Client& client, uint64_t order) const;
+  // Fires deferred handlers in task order once the tasks blocking them have
+  // landed: walks pending front-to-back, firing credited SG prefixes and
+  // completion handlers, stopping at the first task still in flight.
+  void FireOrderedCompletions(Client& client, Cycles when);
+
   void MarkProgress(Client& client, PendingTask& task, size_t offset, size_t length,
                     Cycles when);
-  void CompleteTask(Client& client, PendingTask& task);
+  // `fifo_ordered` marks completions reached through the plain FIFO pass:
+  // they defer while an earlier-ordered task has parked bytes (see
+  // HasEarlierParked) and fire later via FireOrderedCompletions. Promotion,
+  // dependency resolution and abort paths complete immediately, exactly as
+  // the blocking engine does.
+  void CompleteTask(Client& client, PendingTask& task, bool fifo_ordered = false);
   void DropTask(Client& client, PendingTask& task, const Status& reason);
   void RetireDone(Client& client);
 
@@ -195,6 +242,8 @@ class Engine {
   // segment's KFUNC exactly once when its remaining byte count hits zero.
   void CreditSgSegments(Client& client, PendingTask& task, size_t offset, size_t length,
                         Cycles when);
+  // Fires the longest fully-credited segment prefix, in segment order.
+  void FireReadySgSegments(Client& client, PendingTask& task, Cycles when);
   // Fires every still-unfired segment KFUNC (task completion / abort — the
   // kernel buffers must be reclaimed exactly as the per-op path would).
   void FireRemainingSgSegments(Client& client, PendingTask& task, Cycles when);
@@ -224,8 +273,14 @@ class Engine {
     RelaxedCounter bytes_copied;
     RelaxedCounter bytes_absorbed;
     RelaxedCounter avx_bytes;
-    RelaxedCounter dma_bytes;
-    RelaxedCounter dma_batches;
+    RelaxedCounter dma_bytes_submitted;
+    RelaxedCounter dma_bytes_completed;
+    RelaxedCounter dma_batches_submitted;
+    RelaxedCounter dma_batches_completed;
+    RelaxedCounter dma_ring_full_fallbacks;
+    RelaxedCounter dma_stall_cycles;
+    RelaxedCounter dma_drain_wait_cycles;
+    RelaxedCounter dma_rounds_parked;
     RelaxedCounter kfuncs_run;
     RelaxedCounter ufuncs_queued;
     RelaxedCounter lazy_absorbed_bytes;
@@ -240,7 +295,7 @@ class Engine {
   const hw::TimingModel* timing_;
   ExecContext* ctx_;
   ATCache atcache_;
-  hw::DmaEngine dma_;
+  hw::DmaChannelPool dma_;
   AtomicStats stats_;
   // The pair whose tasks are currently being accepted (handler routing).
   QueuePair* current_pair_ = nullptr;

@@ -260,6 +260,12 @@ void CopierService::FinishServe(Client& client) {
       client.runnable.store(true, std::memory_order_relaxed);
       shard.queue.Insert(client);
       wake = true;
+      // A re-queue while DMA bytes are still in flight is the parked round's
+      // ride back to a reaping serve (DESIGN.md §9): no poll thread watches
+      // the channels, so this is what guarantees the completions get observed.
+      if (client.dma_inflight_bytes.load(std::memory_order_relaxed) > 0) {
+        ++sched_stats_.dma_reap_requeues;
+      }
     }
     client.serving.store(false, std::memory_order_release);
   }
@@ -537,8 +543,14 @@ Engine::Stats CopierService::TotalStats() const {
     total.bytes_copied += s.bytes_copied;
     total.bytes_absorbed += s.bytes_absorbed;
     total.avx_bytes += s.avx_bytes;
-    total.dma_bytes += s.dma_bytes;
-    total.dma_batches += s.dma_batches;
+    total.dma_bytes_submitted += s.dma_bytes_submitted;
+    total.dma_bytes_completed += s.dma_bytes_completed;
+    total.dma_batches_submitted += s.dma_batches_submitted;
+    total.dma_batches_completed += s.dma_batches_completed;
+    total.dma_ring_full_fallbacks += s.dma_ring_full_fallbacks;
+    total.dma_stall_cycles += s.dma_stall_cycles;
+    total.dma_drain_wait_cycles += s.dma_drain_wait_cycles;
+    total.dma_rounds_parked += s.dma_rounds_parked;
     total.kfuncs_run += s.kfuncs_run;
     total.ufuncs_queued += s.ufuncs_queued;
     total.lazy_absorbed_bytes += s.lazy_absorbed_bytes;
@@ -564,6 +576,7 @@ CopierService::SchedStats CopierService::sched_stats() const {
   s.targeted_wakeups = sched_stats_.targeted_wakeups;
   s.broadcast_wakeups = sched_stats_.broadcast_wakeups;
   s.reconcile_marks = sched_stats_.reconcile_marks;
+  s.dma_reap_requeues = sched_stats_.dma_reap_requeues;
   return s;
 }
 

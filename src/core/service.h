@@ -72,6 +72,10 @@ class CopierService {
     uint64_t targeted_wakeups = 0;   // single-thread notify (sharded path)
     uint64_t broadcast_wakeups = 0;  // Awaken() notify-all over every shard
     uint64_t reconcile_marks = 0;    // idle-path rescues of unnotified work
+    uint64_t dma_reap_requeues = 0;  // serve-end re-queues issued while the
+                                     // client still had DMA bytes in flight
+                                     // (the parked round's path back to a
+                                     // reaping serve, DESIGN.md §9)
   };
 
   explicit CopierService(Options options);
@@ -162,6 +166,7 @@ class CopierService {
     RelaxedCounter targeted_wakeups;
     RelaxedCounter broadcast_wakeups;
     RelaxedCounter reconcile_marks;
+    RelaxedCounter dma_reap_requeues;
   };
 
   bool UseSharded() const {

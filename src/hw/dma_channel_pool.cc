@@ -1,0 +1,84 @@
+#include "src/hw/dma_channel_pool.h"
+
+#include <algorithm>
+
+namespace copier::hw {
+
+DmaChannelPool::DmaChannelPool(const TimingModel* model, size_t channels, size_t ring_slots) {
+  channels_.reserve(std::max<size_t>(channels, 1));
+  for (size_t i = 0; i < std::max<size_t>(channels, 1); ++i) {
+    channels_.push_back(std::make_unique<DmaEngine>(model, ring_slots));
+  }
+}
+
+size_t DmaChannelPool::PickChannel(size_t slots_needed) const {
+  size_t best = channels_.size();
+  Cycles best_busy = 0;
+  for (size_t i = 0; i < channels_.size(); ++i) {
+    if (channels_[i]->ring_free() < slots_needed) {
+      continue;
+    }
+    if (best == channels_.size() || channels_[i]->busy_until() < best_busy) {
+      best = i;
+      best_busy = channels_[i]->busy_until();
+    }
+  }
+  return best;
+}
+
+StatusOr<DmaChannelPool::Submission> DmaChannelPool::SubmitOn(
+    size_t channel, std::span<const DmaDescriptor> batch, Cycles now) {
+  if (channel >= channels_.size()) {
+    return InvalidArgument("DMA channel out of range");
+  }
+  auto cookie_or = channels_[channel]->SubmitBatch(batch, now);
+  if (!cookie_or.ok()) {
+    return cookie_or.status();
+  }
+  // Capture the completion time at submission: parked callers must never
+  // query the channel later (a foreign serving thread would race the owning
+  // engine's Poll).
+  return Submission{channel, *cookie_or, channels_[channel]->CompletionTime(*cookie_or)};
+}
+
+size_t DmaChannelPool::Poll(Cycles now) {
+  size_t retired = 0;
+  for (auto& channel : channels_) {
+    retired += channel->Poll(now);
+  }
+  return retired;
+}
+
+Cycles DmaChannelPool::busy_until() const {
+  Cycles busy = 0;
+  for (const auto& channel : channels_) {
+    busy = std::max(busy, channel->busy_until());
+  }
+  return busy;
+}
+
+size_t DmaChannelPool::in_flight() const {
+  size_t n = 0;
+  for (const auto& channel : channels_) {
+    n += channel->in_flight();
+  }
+  return n;
+}
+
+uint64_t DmaChannelPool::total_bytes() const {
+  uint64_t n = 0;
+  for (const auto& channel : channels_) {
+    n += channel->total_bytes();
+  }
+  return n;
+}
+
+uint64_t DmaChannelPool::total_batches() const {
+  uint64_t n = 0;
+  for (const auto& channel : channels_) {
+    n += channel->total_batches();
+  }
+  return n;
+}
+
+}  // namespace copier::hw

@@ -63,6 +63,10 @@ class DmaEngine {
   // Wall-clock time at which the channel becomes idle.
   Cycles busy_until() const { return busy_until_; }
   size_t in_flight() const { return in_flight_.size(); }
+  // Free descriptor-ring slots (a batch of n needs n; see SubmitBatch).
+  size_t ring_free() const {
+    return ring_slots_ > in_flight_.size() ? ring_slots_ - in_flight_.size() : 0;
+  }
 
   uint64_t total_bytes() const { return total_bytes_; }
   uint64_t total_batches() const { return total_batches_; }

@@ -100,9 +100,11 @@ TEST(Dispatch, LargeTaskUsesBothUnits) {
   stack.lib->amemcpy(dst, src, n);
   ASSERT_TRUE(stack.lib->csync(dst, n).ok());
   const auto& stats = stack.service->engine().stats();
-  EXPECT_GT(stats.dma_bytes, 0u) << "i-piggyback should offload part to DMA";
+  EXPECT_GT(stats.dma_bytes_completed, 0u) << "i-piggyback should offload part to DMA";
   EXPECT_GT(stats.avx_bytes, 0u);
-  EXPECT_EQ(stats.dma_bytes + stats.avx_bytes, n);
+  EXPECT_EQ(stats.dma_bytes_completed + stats.avx_bytes, n);
+  EXPECT_EQ(stats.dma_bytes_submitted, stats.dma_bytes_completed)
+      << "after csync every submitted byte has landed";
   ExpectSameBytes(stack.proc->mem(), src, dst, n);
 }
 
@@ -123,7 +125,7 @@ TEST(Dispatch, EPiggybackFusesSmallAdjacentTasks) {
   const auto& stats = stack.service->engine().stats();
   // Several 4 KiB tasks fused into rounds: DMA participated even though each
   // task is below the 12 KiB i-piggyback threshold.
-  EXPECT_GT(stats.dma_bytes, 0u);
+  EXPECT_GT(stats.dma_bytes_completed, 0u);
   for (const auto& [src, dst] : copies) {
     ExpectSameBytes(stack.proc->mem(), src, dst, n);
   }
@@ -139,7 +141,7 @@ TEST(Dispatch, DmaDisabledUsesAvxOnly) {
   FillPattern(stack.proc->mem(), src, n, 6);
   stack.lib->amemcpy(dst, src, n);
   ASSERT_TRUE(stack.lib->csync(dst, n).ok());
-  EXPECT_EQ(stack.service->engine().stats().dma_bytes, 0u);
+  EXPECT_EQ(stack.service->engine().stats().dma_bytes_submitted, 0u);
   ExpectSameBytes(stack.proc->mem(), src, dst, n);
 }
 
