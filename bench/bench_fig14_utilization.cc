@@ -173,6 +173,22 @@ void RunThreadedUtilization() {
        TextTable::Num(sched.steals, 0), TextTable::Num(sched.targeted_wakeups, 0),
        TextTable::Num(sched.broadcast_wakeups, 0)});
   sched_table.Print();
+  // Per-engine utilization (DESIGN.md §10): how evenly the pool shared the
+  // load — serving cycles, tasks, cross-engine steals and shared-range
+  // dependency traffic, per engine.
+  TextTable engine_util_table({"engine", "serve cyc", "tasks", "bytes", "steals in",
+                               "steals out", "x-probes", "x-settles", "x-defers"});
+  for (size_t e = 0; e < service.engine_count(); ++e) {
+    const core::CopierService::EngineUtil util = service.engine_util(e);
+    engine_util_table.AddRow(
+        {std::to_string(e), TextTable::Num(util.stats.serve_cycles, 0),
+         TextTable::Num(util.stats.tasks_completed, 0), TextTable::Bytes(util.stats.bytes_copied),
+         TextTable::Num(util.steals_in, 0), TextTable::Num(util.steals_out, 0),
+         TextTable::Num(util.stats.cross_dep_probes, 0),
+         TextTable::Num(util.stats.cross_dep_settles, 0),
+         TextTable::Num(util.stats.cross_dep_defers, 0)});
+  }
+  engine_util_table.Print();
   std::printf("(low hit rate = threads polling idle shards; the figure's dedicated core "
               "is busy only while clients submit)\n");
 }

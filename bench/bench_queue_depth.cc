@@ -108,7 +108,7 @@ DepthResult RunDepth(const hw::TimingModel& timing, size_t depth, bool indexed) 
   }
   stack.service->DrainAll();
 
-  const core::Engine::Stats& stats = stack.service->engine().stats();
+  const core::Engine::Stats stats = stack.service->TotalStats();
   result.engine_cycles = stack.service->engine_ctx().now();
   result.dep_probes = stats.dep_probes;
   result.dep_tasks_scanned = stats.dep_tasks_scanned;

@@ -3,9 +3,10 @@
 # submission performance work. Writes BENCH_queue_depth.json (indexed vs
 # linear queue-depth sweep), BENCH_sched.json (sharded vs linear scheduler
 # sweep), BENCH_submit_batch.json (vectored vs per-skb submission sweep),
-# and BENCH_dma_channels.json (async multi-channel DMA sweep vs the blocking
-# single-channel baseline) at the repo root; fails if any sweep reports
-# non-identical memory images.
+# BENCH_dma_channels.json (async multi-channel DMA sweep vs the blocking
+# single-channel baseline), and BENCH_engines.json (engine-pool sweep, 1 -> 8
+# copier engines) at the repo root; fails if any sweep reports non-identical
+# memory images.
 #
 # Usage: scripts/bench_smoke.sh [quick]
 #   quick — CI mode: the vectored-submission sweep runs its two-size subset
@@ -17,7 +18,7 @@ BUILD_DIR=${BUILD_DIR:-build-release}
 QUICK=${1:-}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_queue_depth bench_sched bench_submit_batch bench_dma_channels bench_fig9_copy_throughput
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_queue_depth bench_sched bench_submit_batch bench_dma_channels bench_engines bench_fig9_copy_throughput
 
 echo
 "$BUILD_DIR"/bench/bench_queue_depth --json | tee /tmp/bench_queue_depth.out
@@ -51,10 +52,17 @@ if grep -q ' NO ' /tmp/bench_dma_channels.out; then
   exit 1
 fi
 
+echo
+"$BUILD_DIR"/bench/bench_engines --json | tee /tmp/bench_engines.out
+if grep -q ' NO ' /tmp/bench_engines.out; then
+  echo "bench_engines: pooled image differs from the 1-engine run" >&2
+  exit 1
+fi
+
 if [[ "$QUICK" != "quick" ]]; then
   echo
   "$BUILD_DIR"/bench/bench_fig9_copy_throughput
 fi
 
 echo
-echo "bench smoke OK; results in BENCH_queue_depth.json + BENCH_sched.json + BENCH_submit_batch.json + BENCH_dma_channels.json"
+echo "bench smoke OK; results in BENCH_queue_depth.json + BENCH_sched.json + BENCH_submit_batch.json + BENCH_dma_channels.json + BENCH_engines.json"

@@ -63,6 +63,16 @@ struct PendingTask {
   bool abort_requested = false;  // abort deferred until dependents finish
   uint64_t order = 0;      // global ingestion sequence within the client
 
+  // Service-global submission sequence (DESIGN.md §10): total order across
+  // clients for cross-engine conflict resolution. Monotone with `order`
+  // within one client (per-client submission order is ingestion order).
+  uint64_t gseq = 0;
+  // True when any dst/src piece can overlap another client's tasks: kernel
+  // host memory, a foreign address space, or the own space of a domain some
+  // foreign client has ranges registered in. Only shared-visible tasks pay
+  // the cross-engine ledger probe.
+  bool shared_visible = false;
+
   // Progress descriptor: the task's own descriptor, or a service-allocated
   // internal one when the submitter did not provide any (e.g. send()).
   // Progress bits live at [progress_offset, progress_offset + task.length) of
@@ -151,8 +161,12 @@ class Client {
   // still-pending task is ordered before them: an earlier task executing
   // late must not overwrite a newer completed write (WAW), even though the
   // newer task is no longer in the pending list. Pruned in RetireDone.
+  // Ordered by gseq (the service-global submission sequence) so entries
+  // imported from a *foreign* client's landed writes (cross-engine dead-write
+  // suppression, DESIGN.md §10) compare correctly against local tasks; for
+  // local entries gseq order equals the old per-client `order` order.
   struct CompletedWrite {
-    uint64_t order = 0;
+    uint64_t gseq = 0;
     uint64_t domain = 0;
     uint64_t start = 0;
     size_t length = 0;

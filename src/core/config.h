@@ -53,6 +53,16 @@ struct CopierConfig {
   // Scheduling (§4.5.3).
   size_t copy_slice_bytes = 256 * kKiB;  // max copy length per scheduling pick
 
+  // Engine pool (DESIGN.md §10): the service runs `engine_count` copier
+  // instances, each owning a disjoint slice of the DMA channel pool, with
+  // client home-engine affinity (id % engine_count) and cross-engine work
+  // stealing. Off = exactly one engine and no cross-engine range ledger —
+  // bit-for-bit the single-engine path.
+  bool enable_engine_pool = true;
+  // 0 = auto: one engine per service thread in threaded mode (max_threads),
+  // one engine in manual mode (manual callers drive engines explicitly).
+  size_t engine_count = 0;
+
   // Sharded scheduler (threaded mode): per-engine run queues with O(log n)
   // picks, event-driven runnable marking, targeted wakeups and work stealing.
   // Off = the global-mutex double-scan baseline (ablation / bench_sched

@@ -110,6 +110,14 @@ bool SidesOverlap(const CopyTask& a, bool a_dst, const CopyTask& b, bool b_dst) 
   return false;
 }
 
+// Depth of cross-engine settles on this thread (DESIGN.md §10). While > 0,
+// force-landed tasks deliver their completion handlers in per-client task
+// order — a landing that overtakes an unfired predecessor stays done-but-
+// unfired until the predecessor's own completion cascades it — so KFUNC
+// firing order is identical for every engine-pool size.
+thread_local int t_cross_settle = 0;
+thread_local bool t_fire_cascade = false;
+
 }  // namespace
 
 bool RefsOverlap(const MemRef& a, size_t alen, const MemRef& b, size_t blen) {
@@ -123,7 +131,13 @@ Engine::Engine(const CopierConfig& config, const hw::TimingModel* timing, ExecCo
     : config_(config),
       timing_(timing),
       ctx_(ctx),
-      dma_(timing, config.dma_channel_count, config.dma_ring_slots) {}
+      own_dma_(std::make_unique<hw::DmaChannelPool>(timing, config.dma_channel_count,
+                                                    config.dma_ring_slots)),
+      dma_(own_dma_.get()) {}
+
+Engine::Engine(const CopierConfig& config, const hw::TimingModel* timing, ExecContext* ctx,
+               hw::DmaChannelSlice dma)
+    : config_(config), timing_(timing), ctx_(ctx), dma_(dma) {}
 
 Engine::Stats Engine::stats() const {
   Stats s;
@@ -152,6 +166,11 @@ Engine::Stats Engine::stats() const {
   s.index_entries = stats_.index_entries;
   s.submit_entries = stats_.submit_entries;
   s.submit_batches = stats_.submit_batches;
+  s.serve_cycles = stats_.serve_cycles;
+  s.cross_dep_probes = stats_.cross_dep_probes;
+  s.cross_dep_settles = stats_.cross_dep_settles;
+  s.cross_dep_defers = stats_.cross_dep_defers;
+  s.cross_dep_wait_cycles = stats_.cross_dep_wait_cycles;
   // notify_calls is a service-side counter (the doorbell fires before any
   // engine sees the work); CopierService::TotalStats fills it in.
   return s;
@@ -250,13 +269,44 @@ void Engine::AcceptTask(Client& client, QueuePair& pair, CopyTask task, bool ker
                  (unsigned long long)pt.task.dst.start(),
                  (unsigned long long)pt.task.src.start(), pt.task.length);
   }
+  // Cross-engine ordering (DESIGN.md §10): give the task its place in the
+  // service-global submission sequence — the submitter's stamp when present,
+  // else the next sequence number at ingestion — and register shared-visible
+  // ranges in the service ledger so foreign engines can order against them.
+  if (cross_ != nullptr) {
+    pending->gseq = pending->task.gseq != 0 ? pending->task.gseq : cross_->NextGlobalSeq();
+    pending->shared_visible = TaskIsSharedVisible(client, *pending);
+  } else {
+    // Standalone engine: per-client order doubles as the sequence (monotone,
+    // and only ever compared against this client's own entries).
+    pending->gseq = pending->task.gseq != 0 ? pending->task.gseq : pending->order;
+  }
   PendingTask* accepted = pending.get();
   client.pending.push_back(std::move(pending));
   client.pending_count.store(client.pending.size(), std::memory_order_release);
   if (config_.enable_range_index) {
     IndexInsert(client, *accepted);
   }
+  if (cross_ != nullptr && accepted->shared_visible) {
+    cross_->RegisterShared(client, *accepted);
+  }
   ++stats_.tasks_ingested;
+}
+
+bool Engine::TaskIsSharedVisible(Client& client, const PendingTask& task) const {
+  std::vector<RefPiece> pieces;
+  CollectPieces(task.task, /*dst_side=*/true, 0, task.task.length, &pieces);
+  CollectPieces(task.task, /*dst_side=*/false, 0, task.task.length, &pieces);
+  simos::AddressSpace* own = client.space();
+  for (const RefPiece& piece : pieces) {
+    if (!piece.ref.is_user() || piece.ref.space != own) {
+      return true;  // kernel host memory or a foreign address space
+    }
+    if (cross_->DomainShared(piece.ref.domain(), client)) {
+      return true;  // own space, but a foreign client has ranges here
+    }
+  }
+  return false;
 }
 
 void Engine::IngestPair(Client& client, QueuePair& pair) {
@@ -432,7 +482,9 @@ void Engine::PromoteRange(Client& client, const MemRef& addr, size_t length) {
       const Status status =
           ExecuteTaskRange(client, task, ovl_start - hit.start + hit.task_offset,
                            ovl_end - ovl_start, /*depth=*/0, /*must_land=*/true);
-      if (!status.ok()) {
+      if (!status.ok() && status.code() != StatusCode::kUnavailable) {
+        // kUnavailable: a cross-engine settle bounced off a held foreign
+        // client. The promotion stays incomplete; the waiter's pump retries.
         DropTask(client, task, status);
       }
     }
@@ -464,7 +516,7 @@ void Engine::PromoteRange(Client& client, const MemRef& addr, size_t length) {
       const Status status =
           ExecuteTaskRange(client, task, ovl_start - p.ref.start() + p.task_offset,
                            ovl_end - ovl_start, /*depth=*/0, /*must_land=*/true);
-      if (!status.ok()) {
+      if (!status.ok() && status.code() != StatusCode::kUnavailable) {
         DropTask(client, task, status);
         break;
       }
@@ -1180,9 +1232,11 @@ Status Engine::CopyRange(Client& client, PendingTask& task, size_t offset, size_
     for (const RefPiece& dp : dpieces) {
       const uint64_t dbase = dp.ref.start();
       const uint64_t ddomain = dp.ref.domain();
-      // Bytes fully written by later tasks that already completed.
+      // Bytes fully written by later tasks that already completed. Entries
+      // are gseq-keyed: locally retired writes and imported foreign landed
+      // writes (cross-engine dead-write suppression) compare uniformly.
       for (const auto& done : client.completed_writes) {
-        if (done.order <= task.order || done.domain != ddomain) {
+        if (done.gseq <= task.gseq || done.domain != ddomain) {
           continue;
         }
         const uint64_t ovl_start = std::max(done.start, dbase);
@@ -1355,11 +1409,144 @@ Status Engine::ExecuteTaskRange(Client& client, PendingTask& task, size_t offset
       return OkStatus();
     }
   }
+  // Cross-engine shared-range protocol (DESIGN.md §10): before executing a
+  // window other clients may also name, import landed foreign writes ordered
+  // after us (dead-write suppression) and force-land live foreign conflicts
+  // ordered before us. kUnavailable from a held foreign client propagates to
+  // the caller as a defer — never a drop.
+  if (cross_ != nullptr && task.shared_visible) {
+    COPIER_RETURN_IF_ERROR(CrossSettle(client, task, offset, length));
+  }
   COPIER_RETURN_IF_ERROR(ResolveDependencies(client, task, offset, length, depth));
   COPIER_RETURN_IF_ERROR(CopyRange(client, task, offset, length, depth));
   if (task.bytes_done >= task.task.length) {
     CompleteTask(client, task, /*fifo_ordered=*/!must_land);
   }
+  return OkStatus();
+}
+
+Status Engine::CrossSettle(Client& client, PendingTask& task, size_t offset, size_t length) {
+  // One ledger probe per contiguous piece of each side of the window: dst
+  // pieces are writes (WAW/WAR against foreign tasks), src pieces are reads
+  // (RAW). The hooks decide what conflicts; this only enumerates windows.
+  std::vector<RefPiece> pieces;
+  CollectPieces(task.task, /*dst_side=*/true, offset, length, &pieces);
+  const size_t dst_pieces = pieces.size();
+  CollectPieces(task.task, /*dst_side=*/false, offset, length, &pieces);
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    const RefPiece& piece = pieces[i];
+    ++stats_.cross_dep_probes;
+    Status status = cross_->SettleForeign(*this, client, task, piece.ref.domain(),
+                                          piece.ref.start(), piece.length,
+                                          /*writes=*/i < dst_pieces);
+    if (!status.ok() && status.code() == StatusCode::kUnavailable) {
+      ++stats_.cross_dep_defers;
+    }
+    COPIER_RETURN_IF_ERROR(status);
+  }
+  return OkStatus();
+}
+
+bool Engine::RangeLanded(const PendingTask& task, size_t offset, size_t length) const {
+  if (task.Done()) {
+    return true;
+  }
+  const size_t end = std::min(offset + length, task.task.length);
+  if (offset >= end) {
+    return true;
+  }
+  for (const auto& [s, e] : task.dma_parked) {
+    if (s < end && e > offset) {
+      return false;  // in flight on a channel: submitted, not landed
+    }
+  }
+  return task.progress->RangeReady(task.progress_offset + offset, end - offset);
+}
+
+Status Engine::SettleSharedRange(Client& client, uint64_t domain, uint64_t start, size_t length,
+                                 uint64_t gseq_bound) {
+  // Runs on the *probing* engine while `client` — usually homed on another
+  // engine — is claimed through its `serving` flag: force-lands every live
+  // task of `client` ordered before `gseq_bound` that touches
+  // [start, start + length) of `domain`. Charges accrue to this engine's
+  // clock and DMA slice; the victim's channel state is never touched (parked
+  // batches carry their completion times). Never retires: the victim may be
+  // mid-ExecutePending up-stack on its own engine, holding `pending`
+  // iterators.
+  struct Hit {
+    PendingTask* task;
+    size_t offset;
+    size_t length;
+    uint64_t gseq;
+  };
+  std::vector<Hit> hits;
+  const auto consider = [&](PendingTask* task, size_t local_off, size_t local_len) {
+    if (task == nullptr || task->Done() || task->gseq >= gseq_bound) {
+      return;
+    }
+    hits.push_back({task, local_off, local_len, task->gseq});
+  };
+  if (config_.enable_range_index) {
+    for (const RangeIndex::Side side : {RangeIndex::Side::kDst, RangeIndex::Side::kSrc}) {
+      client.range_index.ForEachOverlap(
+          side, domain, start, length, [&](const RangeIndex::Entry& entry) {
+            const uint64_t lo = std::max(start, entry.start);
+            const uint64_t hi = std::min(start + length, entry.start + entry.length);
+            if (lo < hi) {
+              consider(entry.task, entry.task_offset + (lo - entry.start),
+                       static_cast<size_t>(hi - lo));
+            }
+            return true;
+          });
+    }
+  } else {
+    for (auto& pending : client.pending) {
+      PendingTask& task = *pending;
+      if (task.Done() || task.gseq >= gseq_bound) {
+        continue;
+      }
+      std::vector<RefPiece> pieces;
+      CollectPieces(task.task, /*dst_side=*/true, 0, task.task.length, &pieces);
+      CollectPieces(task.task, /*dst_side=*/false, 0, task.task.length, &pieces);
+      for (const RefPiece& piece : pieces) {
+        if (piece.ref.domain() != domain) {
+          continue;
+        }
+        const uint64_t lo = std::max(start, piece.ref.start());
+        const uint64_t hi = std::min(start + length, piece.ref.start() + piece.length);
+        if (lo < hi) {
+          consider(&task, piece.task_offset + (lo - piece.ref.start()),
+                   static_cast<size_t>(hi - lo));
+        }
+      }
+    }
+  }
+  // gseq order is the cross-client conflict order (fixed at submission):
+  // settling in it reproduces exactly what a single engine executing in
+  // global submission order would do to these bytes.
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    return a.gseq != b.gseq ? a.gseq < b.gseq : a.offset < b.offset;
+  });
+  const Cycles settle_start = CtxNow(ctx_);
+  for (const Hit& hit : hits) {
+    if (hit.task->Done() || RangeLanded(*hit.task, hit.offset, hit.length)) {
+      continue;  // already landed (e.g. absorbed or delivered): nothing to order
+    }
+    ++stats_.cross_dep_settles;
+    ++t_cross_settle;
+    Status status =
+        ExecuteTaskRange(client, *hit.task, hit.offset, hit.length, /*depth=*/0,
+                         /*must_land=*/true);
+    --t_cross_settle;
+    if (!status.ok()) {
+      if (status.code() == StatusCode::kUnavailable) {
+        stats_.cross_dep_wait_cycles += CtxNow(ctx_) - settle_start;
+        return status;  // nested defer: unwind to the original caller
+      }
+      DropTask(client, *hit.task, status);
+    }
+  }
+  stats_.cross_dep_wait_cycles += CtxNow(ctx_) - settle_start;
   return OkStatus();
 }
 
@@ -1478,10 +1665,12 @@ uint64_t Engine::ExecutePending(Client& client, uint64_t budget) {
     // Scatter-gather tasks never fuse: per-segment KFUNC timing depends on
     // the ordered per-task path, and their round-size economics differ (one
     // SG task already fills a round).
-    bool head_fusable = head->task.sg == nullptr;
+    // Shared-visible tasks never fuse either: their cross-engine ledger probe
+    // runs in the ordered per-task path (ExecuteTaskRange).
+    bool head_fusable = head->task.sg == nullptr && !head->shared_visible;
     if (head_fusable) {
       for (const auto& done : client.completed_writes) {
-        if (done.order > head->order && done.domain == head->task.dst.domain() &&
+        if (done.gseq > head->gseq && done.domain == head->task.dst.domain() &&
             RangesOverlap(done.start, done.length, head->task.dst.start(),
                           head->task.length)) {
           head_fusable = false;
@@ -1518,7 +1707,7 @@ uint64_t Engine::ExecutePending(Client& client, uint64_t budget) {
         bool conflict = HasAnyConflict(client, cand);
         if (!conflict) {
           for (const auto& done : client.completed_writes) {
-            if (done.order > cand.order &&
+            if (done.gseq > cand.gseq &&
                 done.domain == cand.task.dst.domain() &&
                 RangesOverlap(done.start, done.length, cand.task.dst.start(),
                               cand.task.length)) {
@@ -1528,7 +1717,7 @@ uint64_t Engine::ExecutePending(Client& client, uint64_t budget) {
           }
         }
         if (conflict || cand.task.type == TaskType::kLazy || cand.bytes_done != 0 ||
-            !cand.dma_parked.empty() || cand.task.sg != nullptr) {
+            !cand.dma_parked.empty() || cand.task.sg != nullptr || cand.shared_visible) {
           continue;  // stays in place; later candidates are checked against it
         }
         // Tasks with producers need the ordered (absorption-aware) path.
@@ -1550,7 +1739,9 @@ uint64_t Engine::ExecutePending(Client& client, uint64_t budget) {
       const uint64_t before = head->bytes_done + head->dma_parked_bytes();
       const Status status =
           ExecuteTaskRange(client, *head, 0, head->task.length, 0, /*must_land=*/false);
-      if (!status.ok()) {
+      if (!status.ok() && status.code() != StatusCode::kUnavailable) {
+        // kUnavailable is the cross-engine defer signal (a foreign serving
+        // claim was held): the task stays queued and retries on a later pass.
         DropTask(client, *head, status);
       }
       const uint64_t after = head->bytes_done + head->dma_parked_bytes();
@@ -1691,6 +1882,13 @@ void Engine::CompleteTask(Client& client, PendingTask& task, bool fifo_ordered) 
   if (fifo_ordered && HasEarlierParked(client, task.order)) {
     return;
   }
+  // Cross-engine settle landings keep per-client handler order: if an earlier
+  // task has not fired, this one stays done-but-unfired and the predecessor's
+  // completion cascades it (below). Without this, KFUNC order would depend on
+  // which engine's settle landed the task first.
+  if (t_cross_settle > 0 && HasEarlierUnfired(client, task.order)) {
+    return;
+  }
   task.handler_fired = true;
   if (!task.aborted) {
     ++stats_.tasks_completed;
@@ -1723,6 +1921,40 @@ void Engine::CompleteTask(Client& client, PendingTask& task, bool fifo_ordered) 
       break;
     }
   }
+  FireDeferredSuccessors(client);
+}
+
+bool Engine::HasEarlierUnfired(const Client& client, uint64_t order) const {
+  for (const auto& pending : client.pending) {
+    if (pending->order >= order) {
+      break;  // pending is ordered by ingestion order
+    }
+    if (!pending->handler_fired) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Engine::FireDeferredSuccessors(Client& client) {
+  if (t_fire_cascade) {
+    return;  // the outermost completion runs one cascade for the whole chain
+  }
+  t_fire_cascade = true;
+  for (auto& pending : client.pending) {
+    PendingTask& task = *pending;
+    if (task.handler_fired) {
+      continue;
+    }
+    if (task.bytes_done >= task.task.length && task.Done()) {
+      CompleteTask(client, task);
+      if (task.handler_fired) {
+        continue;
+      }
+    }
+    break;  // first unfired, incomplete task blocks everything behind it
+  }
+  t_fire_cascade = false;
 }
 
 void Engine::DropTask(Client& client, PendingTask& task, const Status& reason) {
@@ -1745,6 +1977,7 @@ void Engine::DropTask(Client& client, PendingTask& task, const Status& reason) {
   if (client.process() != nullptr) {
     client.process()->Deliver(simos::Signal::kSegv);
   }
+  FireDeferredSuccessors(client);
 }
 
 void Engine::RetireDone(Client& client) {
@@ -1761,16 +1994,16 @@ void Engine::RetireDone(Client& client) {
     return true;
   });
   client.pending_count.store(client.pending.size(), std::memory_order_release);
-  // Prune: a completed write only matters while an EARLIER-ordered task could
-  // still execute late.
-  uint64_t min_pending_order = UINT64_MAX;
+  // Prune: a completed write only matters while an EARLIER-sequenced task
+  // could still execute late.
+  uint64_t min_pending_gseq = UINT64_MAX;
   for (const auto& task : client.pending) {
     if (!task->Done()) {
-      min_pending_order = std::min(min_pending_order, task->order);
+      min_pending_gseq = std::min(min_pending_gseq, task->gseq);
     }
   }
-  std::erase_if(client.completed_writes, [min_pending_order](const Client::CompletedWrite& w) {
-    return w.order < min_pending_order || min_pending_order == UINT64_MAX;
+  std::erase_if(client.completed_writes, [min_pending_gseq](const Client::CompletedWrite& w) {
+    return w.gseq < min_pending_gseq || min_pending_gseq == UINT64_MAX;
   });
 }
 
@@ -1833,8 +2066,11 @@ void Engine::OnTaskDone(Client& client, PendingTask& task) {
     CollectPieces(task.task, /*dst_side=*/true, 0, task.task.length, &pieces);
     for (const RefPiece& p : pieces) {
       client.completed_writes.push_back(
-          Client::CompletedWrite{task.order, p.ref.domain(), p.ref.start(), p.length});
+          Client::CompletedWrite{task.gseq, p.ref.domain(), p.ref.start(), p.length});
     }
+  }
+  if (cross_ != nullptr && task.shared_visible) {
+    cross_->UnregisterShared(client, task);
   }
 }
 
@@ -2027,6 +2263,7 @@ void Engine::SettleParkedRange(Client& client, PendingTask& task, size_t offset,
 // ---------------------------------------------------------------------------
 
 uint64_t Engine::ServeClient(Client& client, uint64_t max_bytes) {
+  const Cycles serve_start = CtxNow(ctx_);
   ChargeCtx(ctx_, timing_->poll_iteration_cycles);
   // Land whatever the hardware finished since the last serve before taking
   // new work: reaps unblock csync gates and retire parked tasks. This is the
@@ -2057,6 +2294,7 @@ uint64_t Engine::ServeClient(Client& client, uint64_t max_bytes) {
     RetireDone(client);
   }
   dma_.Poll(CtxNow(ctx_));
+  stats_.serve_cycles += CtxNow(ctx_) - serve_start;
   return served;
 }
 

@@ -40,6 +40,48 @@
 
 namespace copier::core {
 
+class Engine;
+
+// Cross-engine coordination surface (DESIGN.md §10). One Engine is
+// single-threaded by construction; when a service runs a pool of them,
+// conflicts between *clients* (shared kernel buffers, foreign-space writes)
+// can span engines. The service implements these hooks over its shared range
+// ledger; a null hooks pointer (standalone engines, pool disabled) makes
+// every cross-engine path a no-op — bit-for-bit the single-engine behavior.
+class CrossEngineHooks {
+ public:
+  virtual ~CrossEngineHooks() = default;
+
+  // Service-global submission sequence, shared with the submitter-side
+  // stamping (CopyTask::gseq) so ingestion-assigned fallbacks interleave
+  // consistently.
+  virtual uint64_t NextGlobalSeq() = 0;
+
+  // True when a client other than `self` has ranges registered in `domain`
+  // (an address-space asid): own-space tasks of that domain must then join
+  // the shared ledger too.
+  virtual bool DomainShared(uint64_t domain, const Client& self) = 0;
+
+  // Registers / unregisters the dst and src pieces of a shared-visible task
+  // in the ledger. Registration happens at ingestion (AcceptTask);
+  // unregistration at the Done transition (OnTaskDone). Landed writes stay
+  // as tombstones for cross-client dead-write suppression until no live task
+  // with a lower gseq remains.
+  virtual void RegisterShared(Client& client, PendingTask& task) = 0;
+  virtual void UnregisterShared(Client& client, PendingTask& task) = 0;
+
+  // Orders the window [start, start+length) of `domain`, accessed by `task`
+  // (writing it when `writes`), against foreign clients' conflicting ranges:
+  // executes every conflicting foreign task with a lower gseq (a targeted
+  // steal run on `thief`), and imports landed foreign writes with a higher
+  // gseq into `client`'s completed-write log so the engine's own dead-write
+  // suppression skips those bytes. Returns kUnavailable when a foreign
+  // serving claim could not be taken (the caller defers and retries).
+  virtual Status SettleForeign(Engine& thief, Client& client, PendingTask& task,
+                               uint64_t domain, uint64_t start, size_t length,
+                               bool writes) = 0;
+};
+
 class Engine {
  public:
   // Snapshot of the engine's counters; see stats(). The live counters are
@@ -84,9 +126,21 @@ class Engine {
     uint64_t submit_batches = 0;   // of those, scatter-gather (vectored) tasks
     uint64_t notify_calls = 0;     // NotifyRunnable doorbells (service-wide;
                                    // filled in by CopierService::TotalStats)
+    // Engine-pool observability (DESIGN.md §10).
+    uint64_t serve_cycles = 0;        // virtual cycles spent inside ServeClient
+    uint64_t cross_dep_probes = 0;    // shared-ledger windows probed
+    uint64_t cross_dep_settles = 0;   // foreign task ranges force-landed here
+    uint64_t cross_dep_defers = 0;    // probes bounced off a held foreign client
+    uint64_t cross_dep_wait_cycles = 0;  // cycles synced to foreign completions
   };
 
+  // Standalone engine: owns a private DMA channel pool (tests, single-engine
+  // harnesses).
   Engine(const CopierConfig& config, const hw::TimingModel* timing, ExecContext* ctx);
+  // Pool member: operates a slice of a service-owned channel pool (disjoint
+  // per engine, so channel state stays single-threaded).
+  Engine(const CopierConfig& config, const hw::TimingModel* timing, ExecContext* ctx,
+         hw::DmaChannelSlice dma);
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -104,9 +158,20 @@ class Engine {
   // single-threaded mode when csync finds segments unready).
   void PromoteRange(Client& client, const MemRef& addr, size_t length);
 
+  // Cross-engine targeted steal (DESIGN.md §10): force-lands every live task
+  // of `client` with gseq < `gseq_bound` whose dst or src pieces overlap
+  // [start, start+length) of `domain`. Runs on *this* (the thief) engine
+  // while the caller holds the client's serving claim; never retires pending
+  // entries — the owner may be mid-iteration over them up-stack.
+  Status SettleSharedRange(Client& client, uint64_t domain, uint64_t start, size_t length,
+                           uint64_t gseq_bound);
+
+  // Installs the service's cross-engine coordination hooks (null = disabled).
+  void set_cross(CrossEngineHooks* cross) { cross_ = cross; }
+
   ExecContext* ctx() { return ctx_; }
   ATCache& atcache() { return atcache_; }
-  hw::DmaChannelPool& dma() { return dma_; }
+  hw::DmaChannelSlice& dma() { return dma_; }
   // Coherent snapshot of the counters, safe from any thread.
   Stats stats() const;
   const CopierConfig& config() const { return config_; }
@@ -225,6 +290,12 @@ class Engine {
   // dependency resolution and abort paths complete immediately, exactly as
   // the blocking engine does.
   void CompleteTask(Client& client, PendingTask& task, bool fifo_ordered = false);
+  // Cross-engine settle support (DESIGN.md §10): a settle-landed task whose
+  // predecessor has not fired defers its handler (HasEarlierUnfired); the
+  // predecessor's completion (or drop) cascades the done-but-unfired suffix
+  // in task order, keeping KFUNC order independent of the engine-pool size.
+  bool HasEarlierUnfired(const Client& client, uint64_t order) const;
+  void FireDeferredSuccessors(Client& client);
   void DropTask(Client& client, PendingTask& task, const Status& reason);
   void RetireDone(Client& client);
 
@@ -261,6 +332,19 @@ class Engine {
   // source names (a live RAW producer — such tasks need the ordered path).
   bool HasEarlierLiveWriter(Client& client, const PendingTask& reader);
 
+  // --- cross-engine coordination (DESIGN.md §10) ------------------------------
+  // True when any piece of the task can overlap another client's ranges
+  // (kernel host memory, a foreign space, or a domain with foreign activity).
+  bool TaskIsSharedVisible(Client& client, const PendingTask& task) const;
+  // Probes the shared ledger for the dst (and src) windows of task-local
+  // [offset, offset+length): settles conflicting lower-gseq foreign work,
+  // imports higher-gseq landed foreign writes. kUnavailable = defer.
+  Status CrossSettle(Client& client, PendingTask& task, size_t offset, size_t length);
+  // True when every byte of task-local [offset, offset+length) has landed
+  // (progress-descriptor check; lets settle paths skip no-op executions
+  // without charging the clock).
+  bool RangeLanded(const PendingTask& task, size_t offset, size_t length) const;
+
   // Live counters: field-for-field atomic mirror of Stats (same names, so
   // counting sites read like plain integer code).
   struct AtomicStats {
@@ -289,13 +373,23 @@ class Engine {
     RelaxedCounter index_entries;
     RelaxedCounter submit_entries;
     RelaxedCounter submit_batches;
+    RelaxedCounter serve_cycles;
+    RelaxedCounter cross_dep_probes;
+    RelaxedCounter cross_dep_settles;
+    RelaxedCounter cross_dep_defers;
+    RelaxedCounter cross_dep_wait_cycles;
   };
 
   const CopierConfig& config_;
   const hw::TimingModel* timing_;
   ExecContext* ctx_;
   ATCache atcache_;
-  hw::DmaChannelPool dma_;
+  // Channel state: a standalone engine owns its pool; a pool-member engine
+  // views a disjoint slice of the service's pool. Either way `dma_` is the
+  // single access path.
+  std::unique_ptr<hw::DmaChannelPool> own_dma_;
+  hw::DmaChannelSlice dma_;
+  CrossEngineHooks* cross_ = nullptr;
   AtomicStats stats_;
   // The pair whose tasks are currently being accepted (handler routing).
   QueuePair* current_pair_ = nullptr;

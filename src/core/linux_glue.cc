@@ -134,6 +134,7 @@ Status CopierLinux::Copy(const simos::UserCopyOp& op) {
   task.descriptor_offset = op.descriptor_offset;
   task.type = op.lazy ? TaskType::kLazy : TaskType::kNormal;
   task.submit_time = CtxNow(op.ctx);
+  task.gseq = service_->AllocateGlobalSeq();
   if (op.on_complete) {
     task.handler = PostHandler::KernelFunc(op.on_complete);
   }
@@ -205,6 +206,7 @@ Status CopierLinux::CopyV(const simos::UserCopyVecOp& op, size_t* segs_submitted
   task.descriptor_offset = op.descriptor_offset;
   task.type = op.lazy ? TaskType::kLazy : TaskType::kNormal;
   task.submit_time = CtxNow(op.ctx);
+  task.gseq = service_->AllocateGlobalSeq();
   batch[slot] = std::move(entry);
   batch.Commit();
 
@@ -227,7 +229,7 @@ Status CopierLinux::SyncKernel(simos::Process* proc, ExecContext* ctx) {
   if (service_->mode() == CopierService::Mode::kManual) {
     service_->Serve(*client);
     if (ctx != nullptr) {
-      ctx->WaitUntil(service_->engine_ctx().now());
+      ctx->WaitUntil(service_->engine_ctx(service_->EngineIndexFor(*client)).now());
     }
   } else {
     // Bounded condition-wait on queue/pending drain: the serving thread
@@ -272,6 +274,7 @@ void CopierLinux::AccelerateCow(simos::Process& proc, double handler_fraction) {
       entry.task.length = copier_part;
       entry.task.descriptor = &descriptor;
       entry.task.submit_time = CtxNow(ctx);
+      entry.task.gseq = service->AllocateGlobalSeq();
       ChargeCtx(ctx, timing->task_submit_cycles);
       if (!client->default_pair().kernel.copy_q.TryPush(std::move(entry))) {
         // Ring full: plain synchronous copy of the whole page block.

@@ -7,14 +7,70 @@
 
 namespace copier::core {
 
+namespace {
+
+// Clients this thread currently holds a serving claim on, outermost first: the
+// normal serve plus every victim of a nested cross-engine settle. A settle
+// targeting a client already on the stack runs reentrantly instead of
+// spinning on its own claim (SettleForeign).
+thread_local std::vector<const Client*> t_serve_stack;
+
+bool ServeStackHolds(const Client& client) {
+  return std::find(t_serve_stack.begin(), t_serve_stack.end(), &client) != t_serve_stack.end();
+}
+
+// Invokes fn(domain, start, length) for every contiguous piece of the chosen
+// side of `t` (the whole side, or one call per segment of a scatter-gather
+// side) — the ledger's unit of registration.
+template <typename Fn>
+void ForEachSidePiece(const CopyTask& t, bool dst_side, Fn&& fn) {
+  if (t.length == 0) {
+    return;
+  }
+  if (t.sg == nullptr || t.sg->kernel_is_dst != dst_side) {
+    const MemRef& side = dst_side ? t.dst : t.src;
+    fn(side.domain(), side.start(), t.length);
+    return;
+  }
+  for (const SgSegment& seg : t.sg->segs) {
+    if (seg.length > 0) {
+      fn(uint64_t{0}, reinterpret_cast<uint64_t>(seg.kernel), seg.length);
+    }
+  }
+}
+
+}  // namespace
+
 CopierService::CopierService(Options options)
     : options_(std::move(options)),
       timing_(options_.timing != nullptr ? options_.timing : &hw::TimingModel::Default()) {
-  const size_t engine_count = std::max<size_t>(1, options_.config.max_threads);
-  for (size_t i = 0; i < engine_count; ++i) {
+  // Engine-pool sizing (DESIGN.md §10): explicit engine_count wins; auto (0)
+  // means one engine per service thread in threaded mode and a single engine
+  // in manual mode (manual callers drive additional engines explicitly via
+  // RunOnce(i)). Pool disabled => exactly today's single-engine path: one
+  // engine, no cross-engine hooks, whole channel pool.
+  const CopierConfig& config = options_.config;
+  size_t pool = 1;
+  if (config.enable_engine_pool) {
+    pool = config.engine_count != 0
+               ? config.engine_count
+               : (options_.mode == Mode::kThreaded ? std::max<size_t>(1, config.max_threads)
+                                                   : 1);
+  }
+  // One service-owned channel pool carved into disjoint per-engine slices:
+  // channel state stays single-threaded, aggregate channel count scales with
+  // the pool.
+  const size_t channels_per_engine = std::max<size_t>(1, config.dma_channel_count);
+  dma_pool_ = std::make_unique<hw::DmaChannelPool>(timing_, pool * channels_per_engine,
+                                                   config.dma_ring_slots);
+  for (size_t i = 0; i < pool; ++i) {
     engine_ctxs_.push_back(std::make_unique<ExecContext>("copier-" + std::to_string(i)));
-    engines_.push_back(
-        std::make_unique<Engine>(options_.config, timing_, engine_ctxs_.back().get()));
+    engines_.push_back(std::make_unique<Engine>(
+        options_.config, timing_, engine_ctxs_.back().get(),
+        hw::DmaChannelSlice(dma_pool_.get(), i * channels_per_engine, channels_per_engine)));
+    if (config.enable_engine_pool) {
+      engines_.back()->set_cross(this);
+    }
     shards_.push_back(std::make_unique<Shard>());
   }
   cgroups_.push_back(std::make_unique<Cgroup>("root", kDefaultCopierShares));
@@ -34,6 +90,11 @@ Client* CopierService::AttachProcess(simos::Process* process, Cgroup* cgroup) {
   client_index_.emplace(client->id(), client);
   if (process != nullptr) {
     process->set_copier_client_id(client->id());
+    // Ledger owner map: a foreign client probing this process's address space
+    // settles against the owner's pending tasks too (including private ones
+    // accepted before the domain turned shared).
+    std::lock_guard<std::mutex> ledger_lock(ledger_mu_);
+    domain_owner_[process->mem().asid()] = client;
   }
   return client;
 }
@@ -76,6 +137,25 @@ void CopierService::DetachClient(Client& client) {
     if (it != clients_.end()) {
       owned = std::move(*it);
       clients_.erase(it);
+    }
+  }
+  // Drop the client's ledger footprint before waiting out `serving`:
+  // SettleForeign claims victims under ledger_mu_ from pointers it reads
+  // there, so once this critical section ends no settle can still reach the
+  // client, and one already holding it shows up in `serving` below.
+  {
+    std::lock_guard<std::mutex> ledger_lock(ledger_mu_);
+    for (auto it = ledger_.begin(); it != ledger_.end();) {
+      auto& entries = it->second;
+      entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                   [&client](const LedgerEntry& e) {
+                                     return e.client == &client;
+                                   }),
+                    entries.end());
+      it = entries.empty() ? ledger_.erase(it) : std::next(it);
+    }
+    for (auto it = domain_owner_.begin(); it != domain_owner_.end();) {
+      it = it->second == &client ? domain_owner_.erase(it) : std::next(it);
     }
   }
   // Wait out an in-flight serve (home thread, a thief, or a csync pump).
@@ -143,7 +223,9 @@ Client* CopierService::PickClientLinear(size_t index) {
   const size_t threads = std::max<size_t>(1, active_threads_.load(std::memory_order_acquire));
   auto assigned_here = [&](const Client& client) {
     if (options_.mode == Mode::kManual) {
-      return index == 0;
+      // Single engine: everything runs on engine 0 (today's path). Pool:
+      // home-engine affinity — manual RunOnce(i) serves shard i's clients.
+      return engines_.size() == 1 ? index == 0 : client.home_shard == index;
     }
     return (client.id() % threads) == (index % threads);
   };
@@ -212,6 +294,8 @@ Client* CopierService::StealClient(size_t index) {
     bool expected = false;
     if (client->serving.compare_exchange_strong(expected, true, std::memory_order_acquire)) {
       ++sched_stats_.steals;
+      ++shards_[index]->steals_in;
+      ++shard.steals_out;
       return client;
     }
   }
@@ -275,7 +359,12 @@ void CopierService::FinishServe(Client& client) {
 }
 
 uint64_t CopierService::ServePicked(size_t index, Client& client, uint64_t max_bytes) {
+  // Track the claim for cross-engine settle reentrancy: a settle this serve
+  // triggers that targets `client` itself must run inline, not spin on the
+  // claim we already hold.
+  t_serve_stack.push_back(&client);
   const uint64_t served = engines_[index]->ServeClient(client, max_bytes);
+  t_serve_stack.pop_back();
   AccountService(client, served);
   client.served_bytes.fetch_add(served, std::memory_order_relaxed);
   // Wake drain waiters (SyncKernel's bounded condition-wait) while `serving`
@@ -290,12 +379,12 @@ uint64_t CopierService::ServePicked(size_t index, Client& client, uint64_t max_b
   return served;
 }
 
-uint64_t CopierService::RunOnce() {
-  Client* client = PickClient(0);
+uint64_t CopierService::RunOnce(size_t engine_index) {
+  Client* client = PickClient(engine_index);
   if (client == nullptr) {
     return 0;
   }
-  return ServePicked(0, *client, options_.config.copy_slice_bytes);
+  return ServePicked(engine_index, *client, options_.config.copy_slice_bytes);
 }
 
 uint64_t CopierService::Serve(Client& client, uint64_t max_bytes) {
@@ -304,7 +393,7 @@ uint64_t CopierService::Serve(Client& client, uint64_t max_bytes) {
     expected = false;
     std::this_thread::yield();
   }
-  return ServePicked(0, client, max_bytes);
+  return ServePicked(EngineIndexFor(client), client, max_bytes);
 }
 
 void CopierService::DrainAll() {
@@ -323,12 +412,17 @@ void CopierService::DrainAll() {
       return;
     }
     if (options_.mode == Mode::kManual) {
-      if (RunOnce() == 0) {
-        // Work queued but nothing runnable from engine 0 — serve directly.
+      uint64_t served = 0;
+      for (size_t e = 0; e < engines_.size(); ++e) {
+        served += RunOnce(e);
+      }
+      if (served == 0) {
+        // Work queued but nothing runnable from any engine — serve directly,
+        // each client on its home engine.
         std::lock_guard<std::mutex> lock(mu_);
         for (auto& client : clients_) {
           if (client->HasQueuedWork()) {
-            engines_[0]->DrainClient(*client);
+            engines_[EngineIndexFor(*client)]->DrainClient(*client);
           }
         }
       }
@@ -352,8 +446,11 @@ void CopierService::Start() {
     return;
   }
   running_.store(true);
-  active_threads_.store(options_.config.min_threads);
-  for (size_t i = 0; i < options_.config.max_threads; ++i) {
+  // One thread per engine: the pool size (not max_threads) bounds thread
+  // count, so an explicit engine_count or a disabled pool clamps both.
+  active_threads_.store(
+      std::min<size_t>(std::max<size_t>(1, options_.config.min_threads), engines_.size()));
+  for (size_t i = 0; i < engines_.size(); ++i) {
     threads_.emplace_back([this, i] { ThreadMain(i); });
   }
 }
@@ -516,10 +613,12 @@ void CopierService::ThreadMain(size_t index) {
       const double load = static_cast<double>(busy_polls) / 1024.0;
       busy_polls = 0;
       size_t active = active_threads_.load(std::memory_order_acquire);
-      if (load > options_.config.high_load && active < options_.config.max_threads) {
+      if (load > options_.config.high_load && active < engines_.size()) {
         active_threads_.store(active + 1, std::memory_order_release);
         Awaken();
-      } else if (load < options_.config.low_load && active > options_.config.min_threads) {
+      } else if (load < options_.config.low_load &&
+                 active > std::min<size_t>(std::max<size_t>(1, options_.config.min_threads),
+                                           engines_.size())) {
         active_threads_.store(active - 1, std::memory_order_release);
         // A targeted wakeup computed against the old count may have landed on
         // the thread that just parked; broadcast so the threads now covering
@@ -559,9 +658,209 @@ Engine::Stats CopierService::TotalStats() const {
     total.index_entries += s.index_entries;
     total.submit_entries += s.submit_entries;
     total.submit_batches += s.submit_batches;
+    total.serve_cycles += s.serve_cycles;
+    total.cross_dep_probes += s.cross_dep_probes;
+    total.cross_dep_settles += s.cross_dep_settles;
+    total.cross_dep_defers += s.cross_dep_defers;
+    total.cross_dep_wait_cycles += s.cross_dep_wait_cycles;
   }
   total.notify_calls = notify_calls_;
   return total;
+}
+
+CopierService::EngineUtil CopierService::engine_util(size_t i) const {
+  EngineUtil util;
+  util.stats = engines_[i]->stats();
+  util.steals_in = shards_[i]->steals_in;
+  util.steals_out = shards_[i]->steals_out;
+  util.now = engine_ctxs_[i]->now();
+  return util;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-engine coordination (CrossEngineHooks, DESIGN.md §10)
+// ---------------------------------------------------------------------------
+
+bool CopierService::DomainShared(uint64_t domain, const Client& self) {
+  (void)self;
+  std::lock_guard<std::mutex> lock(ledger_mu_);
+  return shared_domains_.count(domain) != 0;
+}
+
+void CopierService::RegisterShared(Client& client, PendingTask& task) {
+  std::lock_guard<std::mutex> lock(ledger_mu_);
+  const auto add = [&](bool is_write) {
+    return [&, is_write](uint64_t domain, uint64_t start, size_t length) {
+      if (domain != 0) {
+        // Sticky sharing: a foreign client naming this address space makes
+        // the owner's subsequent own-space tasks shared-visible too.
+        const auto owner = domain_owner_.find(domain);
+        if (owner != domain_owner_.end() && owner->second != &client) {
+          shared_domains_.insert(domain);
+        }
+      }
+      ledger_[domain].push_back({&client, &task, task.gseq, start, length, is_write, false});
+    };
+  };
+  ForEachSidePiece(task.task, /*dst_side=*/true, add(true));
+  ForEachSidePiece(task.task, /*dst_side=*/false, add(false));
+}
+
+void CopierService::UnregisterShared(Client& client, PendingTask& task) {
+  (void)client;
+  std::lock_guard<std::mutex> lock(ledger_mu_);
+  // Landed (non-aborted) writes become tombstones: a lower-gseq foreign
+  // writer probing the range later must still see — and be suppressed by —
+  // this write. Everything else just leaves.
+  const bool landed_write = !task.aborted;
+  uint64_t min_live = UINT64_MAX;
+  for (auto& [domain, entries] : ledger_) {
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [&](LedgerEntry& e) {
+                                   if (e.task != &task) {
+                                     return false;
+                                   }
+                                   if (e.is_write && landed_write) {
+                                     e.task = nullptr;
+                                     e.landed = true;
+                                     return false;
+                                   }
+                                   return true;
+                                 }),
+                  entries.end());
+    for (const LedgerEntry& e : entries) {
+      if (!e.landed) {
+        min_live = std::min(min_live, e.gseq);
+      }
+    }
+  }
+  // A tombstone at gseq g matters only while some live shared task ordered
+  // before it (gseq < g) could still execute; prune the rest.
+  for (auto it = ledger_.begin(); it != ledger_.end();) {
+    auto& entries = it->second;
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [min_live](const LedgerEntry& e) {
+                                   return e.landed && e.gseq <= min_live;
+                                 }),
+                  entries.end());
+    it = entries.empty() ? ledger_.erase(it) : std::next(it);
+  }
+}
+
+Status CopierService::SettleForeign(Engine& thief, Client& client, PendingTask& task,
+                                    uint64_t domain, uint64_t start, size_t length,
+                                    bool writes) {
+  // Phase 1 (under ledger_mu_): collect the foreign work this window orders
+  // against, and claim every victim with a single CAS each — no spinning
+  // under the mutex, so a victim's owner blocked on ledger_mu_ never
+  // deadlocks against us. Any failed claim defers the whole probe
+  // (kUnavailable): the prober's engine retries on a later pass.
+  struct Settle {
+    Client* victim = nullptr;
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    bool claimed = false;  // this call took `serving` (vs. reentrant hold)
+  };
+  std::vector<Settle> settles;
+  std::vector<Client::CompletedWrite> imports;
+  const uint64_t end = start + length;
+  bool defer = false;
+  {
+    std::lock_guard<std::mutex> lock(ledger_mu_);
+    const auto it = ledger_.find(domain);
+    if (it != ledger_.end()) {
+      for (const LedgerEntry& e : it->second) {
+        if (e.client == &client) {
+          continue;  // own-client order is the engine's normal dependency path
+        }
+        const uint64_t lo = std::max(start, e.start);
+        const uint64_t hi = std::min(end, e.start + e.length);
+        if (lo >= hi) {
+          continue;
+        }
+        if (e.landed) {
+          // Dead-write import (WAW): their landed write is ordered after us —
+          // our write to these bytes must be suppressed, exactly like a local
+          // completed write with a higher gseq.
+          if (writes && e.gseq > task.gseq) {
+            imports.push_back({e.gseq, domain, lo, static_cast<size_t>(hi - lo)});
+          }
+          continue;
+        }
+        // Live foreign conflict ordered before us: WAW/WAR when we write,
+        // RAW when we read their pending write. RAR never conflicts.
+        if (e.gseq >= task.gseq || (!writes && !e.is_write)) {
+          continue;
+        }
+        settles.push_back({e.client, lo, hi, false});
+      }
+    }
+    if (domain != 0) {
+      // Owner-domain promotion: the space's owner may hold conflicting
+      // *private* tasks the ledger never saw (accepted before the domain
+      // turned shared). Its own engine orders them among themselves; we only
+      // need the ones below our gseq landed, which SettleSharedRange bounds.
+      const auto owner = domain_owner_.find(domain);
+      if (owner != domain_owner_.end() && owner->second != &client) {
+        settles.push_back({owner->second, start, end, false});
+      }
+    }
+    std::vector<Client*> claimed;
+    for (Settle& settle : settles) {
+      if (ServeStackHolds(*settle.victim) ||
+          std::find(claimed.begin(), claimed.end(), settle.victim) != claimed.end()) {
+        continue;  // already held by this thread (outer serve or this batch)
+      }
+      bool expected = false;
+      if (!settle.victim->serving.compare_exchange_strong(expected, true,
+                                                          std::memory_order_acquire)) {
+        defer = true;
+        break;
+      }
+      settle.claimed = true;
+      claimed.push_back(settle.victim);
+    }
+    if (defer) {
+      for (Settle& settle : settles) {
+        if (settle.claimed) {
+          settle.victim->serving.store(false, std::memory_order_release);
+          settle.claimed = false;
+        }
+      }
+    }
+  }
+  if (defer) {
+    return Unavailable("foreign client mid-serve; cross-engine settle deferred");
+  }
+  // Imports need no lock beyond the prober's own claim (its serving thread is
+  // us). Dedup: the same tombstone is seen once per probe of the window.
+  for (const Client::CompletedWrite& import : imports) {
+    const bool present = std::any_of(
+        client.completed_writes.begin(), client.completed_writes.end(),
+        [&import](const Client::CompletedWrite& w) {
+          return w.gseq == import.gseq && w.domain == import.domain &&
+                 w.start == import.start && w.length == import.length;
+        });
+    if (!present) {
+      client.completed_writes.push_back(import);
+    }
+  }
+  // Phase 2 (no ledger lock): run the settles on the thief engine, oldest
+  // window claims released as we go. A nested defer unwinds the whole probe.
+  Status status = OkStatus();
+  for (Settle& settle : settles) {
+    if (status.ok() && !settle.victim->detached.load(std::memory_order_acquire)) {
+      t_serve_stack.push_back(settle.victim);
+      status = thief.SettleSharedRange(*settle.victim, domain, settle.lo,
+                                       settle.hi - settle.lo, task.gseq);
+      t_serve_stack.pop_back();
+    }
+    if (settle.claimed) {
+      FinishServe(*settle.victim);
+      settle.claimed = false;
+    }
+  }
+  return status;
 }
 
 CopierService::SchedStats CopierService::sched_stats() const {

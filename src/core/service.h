@@ -32,6 +32,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/exec_context.h"
@@ -41,12 +42,13 @@
 #include "src/core/config.h"
 #include "src/core/engine.h"
 #include "src/core/sched.h"
+#include "src/hw/dma_channel_pool.h"
 #include "src/hw/timing_model.h"
 #include "src/simos/process.h"
 
 namespace copier::core {
 
-class CopierService {
+class CopierService : public CrossEngineHooks {
  public:
   enum class Mode {
     kManual,
@@ -103,15 +105,33 @@ class CopierService {
 
   // --- manual-mode driving -------------------------------------------------------
 
-  // One scheduling pick + copy slice; returns bytes served (0 = idle).
-  uint64_t RunOnce();
-  // Serves a specific client (csync pump path). Returns bytes served.
+  // One scheduling pick + copy slice on engine `engine_index`; returns bytes
+  // served (0 = idle). Manual multi-engine drivers (benches, the differential
+  // test) round-robin the index; the default keeps single-engine callers
+  // unchanged.
+  uint64_t RunOnce(size_t engine_index = 0);
+  // Serves a specific client (csync pump path) on its home engine. Returns
+  // bytes served.
   uint64_t Serve(Client& client, uint64_t max_bytes = UINT64_MAX);
   // Runs until no client has queued or pending work.
   void DrainAll();
 
   Engine& engine() { return *engines_[0]; }
+  Engine& engine(size_t i) { return *engines_[i]; }
   ExecContext& engine_ctx() { return *engine_ctxs_[0]; }
+  ExecContext& engine_ctx(size_t i) { return *engine_ctxs_[i]; }
+  size_t engine_count() const { return engines_.size(); }
+  // Engine a client's serves land on by default: its home shard (engines and
+  // shards are 1:1 in the pool).
+  size_t EngineIndexFor(const Client& client) const {
+    return engines_.size() > 1 ? client.home_shard % engines_.size() : 0;
+  }
+
+  // Service-global submission sequence (DESIGN.md §10): submitters stamp
+  // CopyTask::gseq with this before pushing, fixing the cross-client conflict
+  // order at submission time — identical no matter which engine ingests or
+  // executes first.
+  uint64_t AllocateGlobalSeq() { return NextGlobalSeq(); }
 
   // --- threaded-mode control (§4.5.1) ----------------------------------------------
 
@@ -141,7 +161,42 @@ class CopierService {
   // Scheduler counters snapshot, safe from any thread.
   SchedStats sched_stats() const;
 
+  // Per-engine utilization snapshot (bench_fig14_utilization, bench_engines):
+  // the engine's own counters plus the service-side steal traffic touching
+  // its shard and its virtual clock.
+  struct EngineUtil {
+    Engine::Stats stats;
+    uint64_t steals_in = 0;   // serves this engine ran for foreign-shard clients
+    uint64_t steals_out = 0;  // serves of this shard's clients run by thieves
+    Cycles now = 0;           // engine virtual clock (cycles of serving history)
+  };
+  EngineUtil engine_util(size_t i) const;
+
  private:
+  // --- cross-engine coordination (CrossEngineHooks, DESIGN.md §10) ------------
+
+  uint64_t NextGlobalSeq() override {
+    return next_gseq_.fetch_add(1, std::memory_order_relaxed);
+  }
+  bool DomainShared(uint64_t domain, const Client& self) override;
+  void RegisterShared(Client& client, PendingTask& task) override;
+  void UnregisterShared(Client& client, PendingTask& task) override;
+  Status SettleForeign(Engine& thief, Client& client, PendingTask& task, uint64_t domain,
+                       uint64_t start, size_t length, bool writes) override;
+
+  // One dst/src piece of a live shared-visible task, or the tombstone of a
+  // landed (completed, non-aborted) shared write. Tombstones keep cross-client
+  // WAW suppression alive after the writer retires: a lower-gseq foreign
+  // writer probing the range imports them into its own completed-write log.
+  struct LedgerEntry {
+    Client* client = nullptr;
+    PendingTask* task = nullptr;  // null once landed (tombstone)
+    uint64_t gseq = 0;
+    uint64_t start = 0;
+    size_t length = 0;
+    bool is_write = false;  // a dst piece
+    bool landed = false;
+  };
   // One scheduler shard: a run queue plus the wakeup channel of the thread
   // that owns it. Thread i sleeps on shards_[i]'s channel; shard s (s >=
   // active_threads) is covered — and its wakeups redirected — via
@@ -152,6 +207,11 @@ class CopierService {
     std::mutex wake_mu;
     std::condition_variable wake_cv;
     std::atomic<uint64_t> wake_seq{0};
+    // Steal traffic by shard (engines and shards are 1:1): serves the owning
+    // engine ran for foreign clients, and serves of this shard's clients run
+    // by thieves.
+    RelaxedCounter steals_in;
+    RelaxedCounter steals_out;
   };
 
   // Live scheduler counters (field-for-field mirror of SchedStats).
@@ -207,10 +267,22 @@ class CopierService {
   Cgroup* root_cgroup_ = nullptr;
   uint64_t next_client_id_ = 1;
 
-  // One engine (+ context) per potential thread; index 0 doubles as the
-  // manual-mode engine.
+  // Engine pool (DESIGN.md §10): `engine_count` copier instances (one when
+  // the pool is disabled), each owning a disjoint slice of the shared DMA
+  // channel pool. Index 0 doubles as the default manual-mode engine.
+  std::unique_ptr<hw::DmaChannelPool> dma_pool_;
   std::vector<std::unique_ptr<ExecContext>> engine_ctxs_;
   std::vector<std::unique_ptr<Engine>> engines_;
+
+  // Shared-range ledger (DESIGN.md §10). Lock order: mu_ before ledger_mu_;
+  // ledger_mu_ is never held while an engine runs (settles happen after the
+  // collection phase releases it), only across entry mutation and victim
+  // serving-claims.
+  std::atomic<uint64_t> next_gseq_{1};  // 0 = unstamped
+  mutable std::mutex ledger_mu_;
+  std::unordered_map<uint64_t, std::vector<LedgerEntry>> ledger_;  // domain ->
+  std::unordered_map<uint64_t, Client*> domain_owner_;             // asid -> owner
+  std::unordered_set<uint64_t> shared_domains_;  // sticky: foreign client seen
 
   // One shard per potential thread. Lock order: mu_ before any
   // Shard::queue.mu; never the reverse. Shard queue locks never nest.

@@ -128,6 +128,13 @@ struct CopyTask {
   PostHandler handler;
   Cycles submit_time = 0;
 
+  // Service-global submission sequence (DESIGN.md §10): stamped by the
+  // submitting side (libCopier, CopierLinux) from the service's shared
+  // counter, so cross-client ordering of conflicting shared ranges is fixed
+  // at submission, not at whichever engine happens to ingest first. 0 = not
+  // stamped (direct ring pushes); the engine assigns one at ingestion.
+  uint64_t gseq = 0;
+
   // Non-null for scatter-gather tasks: the side named by sg->kernel_is_dst is
   // the segment list (dst or src above is then ignored for that side), and
   // `length` equals sg->total_length(). Shared because queue entries may be

@@ -81,4 +81,60 @@ uint64_t DmaChannelPool::total_batches() const {
   return n;
 }
 
+size_t DmaChannelSlice::PickChannel(size_t slots_needed) const {
+  size_t best = count_;
+  Cycles best_busy = 0;
+  for (size_t i = 0; i < count_; ++i) {
+    const DmaEngine& ch = pool_->channel(first_ + i);
+    if (ch.ring_free() < slots_needed) {
+      continue;
+    }
+    if (best == count_ || ch.busy_until() < best_busy) {
+      best = i;
+      best_busy = ch.busy_until();
+    }
+  }
+  return best;
+}
+
+size_t DmaChannelSlice::Poll(Cycles now) {
+  size_t retired = 0;
+  for (size_t i = 0; i < count_; ++i) {
+    retired += pool_->channel(first_ + i).Poll(now);
+  }
+  return retired;
+}
+
+Cycles DmaChannelSlice::busy_until() const {
+  Cycles busy = 0;
+  for (size_t i = 0; i < count_; ++i) {
+    busy = std::max(busy, pool_->channel(first_ + i).busy_until());
+  }
+  return busy;
+}
+
+size_t DmaChannelSlice::in_flight() const {
+  size_t n = 0;
+  for (size_t i = 0; i < count_; ++i) {
+    n += pool_->channel(first_ + i).in_flight();
+  }
+  return n;
+}
+
+uint64_t DmaChannelSlice::total_bytes() const {
+  uint64_t n = 0;
+  for (size_t i = 0; i < count_; ++i) {
+    n += pool_->channel(first_ + i).total_bytes();
+  }
+  return n;
+}
+
+uint64_t DmaChannelSlice::total_batches() const {
+  uint64_t n = 0;
+  for (size_t i = 0; i < count_; ++i) {
+    n += pool_->channel(first_ + i).total_batches();
+  }
+  return n;
+}
+
 }  // namespace copier::hw

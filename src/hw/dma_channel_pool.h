@@ -84,6 +84,61 @@ class DmaChannelPool {
   std::vector<std::unique_ptr<DmaEngine>> channels_;
 };
 
+// A contiguous window [first, first + count) of a shared DmaChannelPool,
+// exposed through the pool's own API surface with slice-relative channel
+// indices (DESIGN.md §10). The engine pool carves one service-owned channel
+// pool into disjoint slices, one per engine, so each engine's channel state
+// (rings, busy clocks, cookies) stays exclusively owned by its serving
+// thread — a slice over its channels behaves bit-for-bit like a private pool
+// of `count` channels. The slice is a view: it holds no channel state and is
+// freely copyable.
+class DmaChannelSlice {
+ public:
+  DmaChannelSlice() = default;
+  DmaChannelSlice(DmaChannelPool* pool, size_t first, size_t count)
+      : pool_(pool), first_(first), count_(count) {}
+
+  // Whole-pool view (single-engine services, standalone engines).
+  explicit DmaChannelSlice(DmaChannelPool* pool)
+      : pool_(pool), first_(0), count_(pool->channel_count()) {}
+
+  size_t channel_count() const { return count_; }
+  DmaEngine& channel(size_t i) { return pool_->channel(first_ + i); }
+  const DmaEngine& channel(size_t i) const { return pool_->channel(first_ + i); }
+
+  // Least-busy selection over the slice's channels; returns channel_count()
+  // when every ring in the slice is too full. Indices are slice-relative.
+  size_t PickChannel(size_t slots_needed) const;
+
+  StatusOr<DmaChannelPool::Submission> SubmitOn(size_t channel,
+                                                std::span<const DmaDescriptor> batch,
+                                                Cycles now) {
+    auto submission = pool_->SubmitOn(first_ + channel, batch, now);
+    if (submission.ok()) {
+      submission->channel -= first_;  // report slice-relative, like a private pool
+    }
+    return submission;
+  }
+
+  Cycles SubmissionCost(size_t descriptors) const {
+    return pool_->SubmissionCost(descriptors);
+  }
+
+  // Retires completed batches on the slice's channels only: a slice never
+  // touches a foreign engine's channel state.
+  size_t Poll(Cycles now);
+
+  Cycles busy_until() const;
+  size_t in_flight() const;
+  uint64_t total_bytes() const;
+  uint64_t total_batches() const;
+
+ private:
+  DmaChannelPool* pool_ = nullptr;
+  size_t first_ = 0;
+  size_t count_ = 0;
+};
+
 }  // namespace copier::hw
 
 #endif  // COPIER_SRC_HW_DMA_CHANNEL_POOL_H_

@@ -106,6 +106,7 @@ bool CopierLib::SubmitTask(uint64_t dst, uint64_t src, size_t n, core::Descripto
   task.descriptor_offset = descriptor_offset;
   task.type = opts.lazy ? core::TaskType::kLazy : core::TaskType::kNormal;
   task.submit_time = CtxNow(ctx);
+  task.gseq = service_->AllocateGlobalSeq();
   if (opts.ufunc) {
     task.handler = core::PostHandler::UserFunc(opts.ufunc);
   }
@@ -245,6 +246,7 @@ void CopierLib::copier_submitv(const std::vector<CopyVecEntry>& entries, ExecCon
     task.descriptor = descriptor;
     task.descriptor_offset = 0;
     task.submit_time = CtxNow(ctx);
+    task.gseq = service_->AllocateGlobalSeq();
     batch[slot++] = std::move(entry);
     registered.push_back(ActiveCopy{e.dst, e.length, descriptor, 0, true, false});
   }

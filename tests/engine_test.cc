@@ -37,7 +37,7 @@ TEST(OrderDependency, KernelTaskBeforeDependentUserTask) {
   stack.lib->amemcpy(dest, io_buf, n);
   ASSERT_TRUE(stack.lib->csync(dest, n).ok());
   EXPECT_EQ(ReadAll(stack.proc->mem(), dest, n), ReadAll(peer_proc->mem(), *peer_buf, n));
-  EXPECT_GE(stack.service->engine().stats().barriers_processed, 2u);  // enter+exit
+  EXPECT_GE(stack.service->TotalStats().barriers_processed, 2u);  // enter+exit
   stack.lib->pool().Release(descriptor);
 }
 
@@ -86,7 +86,7 @@ TEST(Promotion, SyncTaskOvertakesHeadOfLine) {
   stack.lib->amemcpy(small_dst, small_src, small);
   ASSERT_TRUE(stack.lib->csync(small_dst, small).ok());
   ExpectSameBytes(stack.proc->mem(), small_src, small_dst, small);
-  EXPECT_GE(stack.service->engine().stats().sync_promotions, 1u);
+  EXPECT_GE(stack.service->TotalStats().sync_promotions, 1u);
   ASSERT_TRUE(stack.lib->csync_all().ok());
   ExpectSameBytes(stack.proc->mem(), big_src, big_dst, big);
 }
@@ -99,7 +99,7 @@ TEST(Dispatch, LargeTaskUsesBothUnits) {
   FillPattern(stack.proc->mem(), src, n, 5);
   stack.lib->amemcpy(dst, src, n);
   ASSERT_TRUE(stack.lib->csync(dst, n).ok());
-  const auto& stats = stack.service->engine().stats();
+  const core::Engine::Stats stats = stack.service->TotalStats();
   EXPECT_GT(stats.dma_bytes_completed, 0u) << "i-piggyback should offload part to DMA";
   EXPECT_GT(stats.avx_bytes, 0u);
   EXPECT_EQ(stats.dma_bytes_completed + stats.avx_bytes, n);
@@ -122,7 +122,7 @@ TEST(Dispatch, EPiggybackFusesSmallAdjacentTasks) {
     stack.lib->amemcpy(dst, src, n);
   }
   stack.service->DrainAll();
-  const auto& stats = stack.service->engine().stats();
+  const core::Engine::Stats stats = stack.service->TotalStats();
   // Several 4 KiB tasks fused into rounds: DMA participated even though each
   // task is below the 12 KiB i-piggyback threshold.
   EXPECT_GT(stats.dma_bytes_completed, 0u);
@@ -141,7 +141,7 @@ TEST(Dispatch, DmaDisabledUsesAvxOnly) {
   FillPattern(stack.proc->mem(), src, n, 6);
   stack.lib->amemcpy(dst, src, n);
   ASSERT_TRUE(stack.lib->csync(dst, n).ok());
-  EXPECT_EQ(stack.service->engine().stats().dma_bytes_submitted, 0u);
+  EXPECT_EQ(stack.service->TotalStats().dma_bytes_submitted, 0u);
   ExpectSameBytes(stack.proc->mem(), src, dst, n);
 }
 

@@ -211,11 +211,11 @@ TEST(LibCopier, LazyTaskAbsorbsIntoDownstreamCopy) {
   stack.lib->amemcpy(c, b, n);              // B -> C: absorbs to A -> C
   ASSERT_TRUE(stack.lib->csync(c, n).ok());
   ExpectSameBytes(stack.proc->mem(), a, c, n);
-  EXPECT_GT(stack.service->engine().stats().bytes_absorbed, 0u);
+  EXPECT_GT(stack.service->TotalStats().bytes_absorbed, 0u);
 
   // Discard the lazy task; its queued copy never needs to execute.
   stack.lib->abort_range(b, n);
-  EXPECT_GE(stack.service->engine().stats().tasks_aborted, 1u);
+  EXPECT_GE(stack.service->TotalStats().tasks_aborted, 1u);
 }
 
 TEST(LibCopier, ModifiedIntermediateUsesLayeredAbsorption) {

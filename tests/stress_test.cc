@@ -195,7 +195,7 @@ DeepQueueResult RunDeepQueueScenario(bool enable_range_index) {
   EXPECT_TRUE(stack.client->pending.empty());
   EXPECT_EQ(stack.client->range_index.size(), 0u);
   result.bytes = ReadAll(stack.proc->mem(), arena, kTotal);
-  result.dep_probes = stack.service->engine().stats().dep_probes;
+  result.dep_probes = stack.service->TotalStats().dep_probes;
   return result;
 }
 
