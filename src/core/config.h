@@ -61,6 +61,8 @@ struct CopierConfig {
   bool enable_engine_pool = true;
   // 0 = auto: one engine per service thread in threaded mode (max_threads),
   // one engine in manual mode (manual callers drive engines explicitly).
+  // Threaded mode runs one thread per engine, so the pool is clamped to
+  // max_threads there; raise max_threads alongside engine_count.
   size_t engine_count = 0;
 
   // Sharded scheduler (threaded mode): per-engine run queues with O(log n)

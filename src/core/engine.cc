@@ -254,6 +254,11 @@ void Engine::AcceptTask(Client& client, QueuePair& pair, CopyTask task, bool ker
   }
 
   if (!valid.ok()) {
+    // A submitter-stamped sequence dies with the task: retire it so it
+    // cannot hold back tombstone pruning forever.
+    if (cross_ != nullptr) {
+      cross_->RetireGlobalSeq(pending->task.gseq);
+    }
     DropTask(client, *pending, valid);
     // Keep the dropped task out of the pending list entirely.
     ++stats_.tasks_ingested;
@@ -287,8 +292,14 @@ void Engine::AcceptTask(Client& client, QueuePair& pair, CopyTask task, bool ker
   if (config_.enable_range_index) {
     IndexInsert(client, *accepted);
   }
-  if (cross_ != nullptr && accepted->shared_visible) {
-    cross_->RegisterShared(client, *accepted);
+  if (cross_ != nullptr) {
+    if (accepted->shared_visible) {
+      cross_->RegisterShared(client, *accepted);
+    } else {
+      // Private tasks never probe the ledger; their sequence stops being
+      // outstanding the moment that is decided.
+      cross_->RetireGlobalSeq(accepted->gseq);
+    }
   }
   ++stats_.tasks_ingested;
 }
@@ -2002,8 +2013,15 @@ void Engine::RetireDone(Client& client) {
       min_pending_gseq = std::min(min_pending_gseq, task->gseq);
     }
   }
-  std::erase_if(client.completed_writes, [min_pending_gseq](const Client::CompletedWrite& w) {
-    return w.gseq < min_pending_gseq || min_pending_gseq == UINT64_MAX;
+  std::erase_if(client.completed_writes, [&](const Client::CompletedWrite& w) {
+    if (w.gseq >= min_pending_gseq && min_pending_gseq != UINT64_MAX) {
+      return false;  // a local earlier-ordered task could still execute late
+    }
+    // Cross-engine retention: a write into a shared domain that landed before
+    // the domain turned shared has no ledger tombstone — this log entry is
+    // the only record a foreign lower-gseq prober can import (SettleForeign's
+    // owner-log scan). Keep it while such a prober may still be outstanding.
+    return cross_ == nullptr || !cross_->LandedWriteStillNeeded(w.domain, w.gseq);
   });
 }
 

@@ -54,8 +54,24 @@ class CrossEngineHooks {
 
   // Service-global submission sequence, shared with the submitter-side
   // stamping (CopyTask::gseq) so ingestion-assigned fallbacks interleave
-  // consistently.
+  // consistently. An allocated sequence is *outstanding* — it may still name
+  // a not-yet-ingested task that will probe the ledger — until it is either
+  // registered (RegisterShared) or retired (RetireGlobalSeq); tombstone
+  // pruning is bounded by the minimum outstanding sequence.
   virtual uint64_t NextGlobalSeq() = 0;
+
+  // Declares a stamped sequence dead: its task was ingested as private (will
+  // never probe the ledger), dropped at validation, or never entered a ring
+  // (failed push, synchronous fallback). No-op for gseq 0 (unstamped).
+  virtual void RetireGlobalSeq(uint64_t gseq) = 0;
+
+  // True while the cross-engine protocol still needs a *landed* write at
+  // `gseq` into `domain` kept in the writer's completed-write log: the domain
+  // is shared and a lower-gseq task may still be outstanding service-wide.
+  // Covers writes that landed before their domain turned shared (never
+  // registered, so no ledger tombstone exists); SettleForeign consults the
+  // claimed owner's log for exactly these.
+  virtual bool LandedWriteStillNeeded(uint64_t domain, uint64_t gseq) = 0;
 
   // True when a client other than `self` has ranges registered in `domain`
   // (an address-space asid): own-space tasks of that domain must then join

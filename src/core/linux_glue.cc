@@ -140,7 +140,10 @@ Status CopierLinux::Copy(const simos::UserCopyOp& op) {
   }
 
   ChargeCtx(op.ctx, service_->timing().task_submit_cycles);
+  const uint64_t gseq = task.gseq;
   if (!pair.kernel.copy_q.TryPush(std::move(entry))) {
+    // Stamped but never queued: retire the sequence before falling back.
+    service_->RetireGlobalSeq(gseq);
     return fallback_.Copy(op);  // ring full: synchronous fallback (§4.6)
   }
   service_->NotifyRunnable(*client, op.length);
@@ -276,8 +279,11 @@ void CopierLinux::AccelerateCow(simos::Process& proc, double handler_fraction) {
       entry.task.submit_time = CtxNow(ctx);
       entry.task.gseq = service->AllocateGlobalSeq();
       ChargeCtx(ctx, timing->task_submit_cycles);
+      const uint64_t gseq = entry.task.gseq;
       if (!client->default_pair().kernel.copy_q.TryPush(std::move(entry))) {
-        // Ring full: plain synchronous copy of the whole page block.
+        // Ring full: plain synchronous copy of the whole page block. The
+        // stamped sequence dies with the dropped entry.
+        service->RetireGlobalSeq(gseq);
         hw::ErmsCopy(dst, src, len);
         ChargeCtx(ctx, timing->CpuCopyCycles(hw::CopyUnitKind::kErms, len));
         return;

@@ -56,6 +56,12 @@ CopierService::CopierService(Options options)
                ? config.engine_count
                : (options_.mode == Mode::kThreaded ? std::max<size_t>(1, config.max_threads)
                                                    : 1);
+    if (options_.mode == Mode::kThreaded) {
+      // Threaded mode runs one thread per engine, so max_threads caps the
+      // pool too: an explicit engine_count above it must not spawn more
+      // service threads than the configured ceiling.
+      pool = std::min(pool, std::max<size_t>(1, config.max_threads));
+    }
   }
   // One service-owned channel pool carved into disjoint per-engine slices:
   // channel state stays single-threaded, aggregate channel count scales with
@@ -162,6 +168,21 @@ void CopierService::DetachClient(Client& client) {
   // FinishServe sees `detached` and will not re-queue.
   while (client.serving.load(std::memory_order_acquire)) {
     std::this_thread::yield();
+  }
+  // Drain the rings' abandoned entries and retire their submission stamps:
+  // those tasks will never be ingested, and a stamped sequence left
+  // outstanding would hold back tombstone pruning service-wide forever. Safe
+  // now — no server or picker can reach the client anymore.
+  if (options_.config.enable_engine_pool) {
+    for (size_t fd = 0; fd < client.pair_count(); ++fd) {
+      QueuePair& pair = client.pair(static_cast<int>(fd));
+      while (auto entry = pair.user.copy_q.TryPop()) {
+        RetireGlobalSeq(entry->task.gseq);
+      }
+      while (auto entry = pair.kernel.copy_q.TryPop()) {
+        RetireGlobalSeq(entry->task.gseq);
+      }
+    }
   }
   // `owned` destructs here: the client is freed only after the last server
   // released it.
@@ -681,6 +702,46 @@ CopierService::EngineUtil CopierService::engine_util(size_t i) const {
 // Cross-engine coordination (CrossEngineHooks, DESIGN.md §10)
 // ---------------------------------------------------------------------------
 
+uint64_t CopierService::NextGlobalSeq() {
+  const uint64_t gseq = next_gseq_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.config.enable_engine_pool) {
+    // Outstanding until registered or retired: a tombstone above this gseq
+    // must survive until the stamped task has had its chance to probe.
+    std::lock_guard<std::mutex> lock(ledger_mu_);
+    stamped_live_.insert(gseq);
+  }
+  return gseq;
+}
+
+void CopierService::RetireGlobalSeq(uint64_t gseq) {
+  if (gseq == 0 || !options_.config.enable_engine_pool) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(ledger_mu_);
+  stamped_live_.erase(gseq);
+}
+
+uint64_t CopierService::MinOutstandingSeqLocked() const {
+  uint64_t min_seq = stamped_live_.empty() ? UINT64_MAX : *stamped_live_.begin();
+  for (const auto& [domain, entries] : ledger_) {
+    for (const LedgerEntry& e : entries) {
+      if (!e.landed) {
+        min_seq = std::min(min_seq, e.gseq);
+      }
+    }
+  }
+  return min_seq;
+}
+
+bool CopierService::LandedWriteStillNeeded(uint64_t domain, uint64_t gseq) {
+  (void)domain;
+  std::lock_guard<std::mutex> lock(ledger_mu_);
+  // Not gated on the domain being shared *yet*: the lower-gseq prober that
+  // needs this entry may be the very task whose registration first turns the
+  // domain shared — while its stamp is outstanding, the entry must survive.
+  return MinOutstandingSeqLocked() < gseq;
+}
+
 bool CopierService::DomainShared(uint64_t domain, const Client& self) {
   (void)self;
   std::lock_guard<std::mutex> lock(ledger_mu_);
@@ -689,6 +750,9 @@ bool CopierService::DomainShared(uint64_t domain, const Client& self) {
 
 void CopierService::RegisterShared(Client& client, PendingTask& task) {
   std::lock_guard<std::mutex> lock(ledger_mu_);
+  // The stamp attaches here: from now on the task's live ledger entries keep
+  // the pruning bound, not the stamped-but-unattached set.
+  stamped_live_.erase(task.gseq);
   const auto add = [&](bool is_write) {
     return [&, is_write](uint64_t domain, uint64_t start, size_t length) {
       if (domain != 0) {
@@ -713,7 +777,6 @@ void CopierService::UnregisterShared(Client& client, PendingTask& task) {
   // writer probing the range later must still see — and be suppressed by —
   // this write. Everything else just leaves.
   const bool landed_write = !task.aborted;
-  uint64_t min_live = UINT64_MAX;
   for (auto& [domain, entries] : ledger_) {
     entries.erase(std::remove_if(entries.begin(), entries.end(),
                                  [&](LedgerEntry& e) {
@@ -728,14 +791,13 @@ void CopierService::UnregisterShared(Client& client, PendingTask& task) {
                                    return true;
                                  }),
                   entries.end());
-    for (const LedgerEntry& e : entries) {
-      if (!e.landed) {
-        min_live = std::min(min_live, e.gseq);
-      }
-    }
   }
-  // A tombstone at gseq g matters only while some live shared task ordered
-  // before it (gseq < g) could still execute; prune the rest.
+  // A tombstone at gseq g matters only while some task ordered before it
+  // (gseq < g) could still execute or probe. Live ledger entries are not the
+  // whole story: a conflicting task stamped at submission may still be in a
+  // ring, un-ingested — the stamped-but-unattached set covers that window,
+  // so the bound is the service-wide minimum outstanding sequence.
+  const uint64_t min_live = MinOutstandingSeqLocked();
   for (auto it = ledger_.begin(); it != ledger_.end();) {
     auto& entries = it->second;
     entries.erase(std::remove_if(entries.begin(), entries.end(),
@@ -759,7 +821,8 @@ Status CopierService::SettleForeign(Engine& thief, Client& client, PendingTask& 
     Client* victim = nullptr;
     uint64_t lo = 0;
     uint64_t hi = 0;
-    bool claimed = false;  // this call took `serving` (vs. reentrant hold)
+    bool claimed = false;    // this call took `serving` (vs. reentrant hold)
+    bool owner_log = false;  // domain owner: also scan its completed-write log
   };
   std::vector<Settle> settles;
   std::vector<Client::CompletedWrite> imports;
@@ -802,7 +865,7 @@ Status CopierService::SettleForeign(Engine& thief, Client& client, PendingTask& 
       // need the ones below our gseq landed, which SettleSharedRange bounds.
       const auto owner = domain_owner_.find(domain);
       if (owner != domain_owner_.end() && owner->second != &client) {
-        settles.push_back({owner->second, start, end, false});
+        settles.push_back({owner->second, start, end, false, true});
       }
     }
     std::vector<Client*> claimed;
@@ -832,6 +895,29 @@ Status CopierService::SettleForeign(Engine& thief, Client& client, PendingTask& 
   if (defer) {
     return Unavailable("foreign client mid-serve; cross-engine settle deferred");
   }
+  // Private->shared transition gap: an owner's own-space write that landed
+  // *before* the domain turned shared never registered, so no tombstone
+  // exists — but its completed-write log still records it. With the owner's
+  // claim held (taken above, or by an outer frame on this thread), scan the
+  // log for higher-gseq landed writes overlapping our window and import
+  // them like tombstones, so our lower-gseq write is suppressed.
+  if (writes) {
+    for (const Settle& settle : settles) {
+      if (!settle.owner_log) {
+        continue;
+      }
+      for (const Client::CompletedWrite& w : settle.victim->completed_writes) {
+        if (w.gseq <= task.gseq || w.domain != domain) {
+          continue;
+        }
+        const uint64_t lo = std::max(start, w.start);
+        const uint64_t hi = std::min(end, w.start + w.length);
+        if (lo < hi) {
+          imports.push_back({w.gseq, domain, lo, static_cast<size_t>(hi - lo)});
+        }
+      }
+    }
+  }
   // Imports need no lock beyond the prober's own claim (its serving thread is
   // us). Dedup: the same tombstone is seen once per probe of the window.
   for (const Client::CompletedWrite& import : imports) {
@@ -845,16 +931,27 @@ Status CopierService::SettleForeign(Engine& thief, Client& client, PendingTask& 
       client.completed_writes.push_back(import);
     }
   }
-  // Phase 2 (no ledger lock): run the settles on the thief engine, oldest
-  // window claims released as we go. A nested defer unwinds the whole probe.
+  // Phase 2 (no ledger lock): run the settles on the thief engine. A nested
+  // defer unwinds the whole probe. Claims are NOT released as we go: the
+  // same victim commonly appears in several windows (one per overlapping
+  // ledger entry plus the owner-domain promotion) with the claim carried by
+  // its first entry only — releasing early would let the victim's home
+  // thread serve (or DetachClient free) it while later windows still settle.
   Status status = OkStatus();
   for (Settle& settle : settles) {
-    if (status.ok() && !settle.victim->detached.load(std::memory_order_acquire)) {
-      t_serve_stack.push_back(settle.victim);
-      status = thief.SettleSharedRange(*settle.victim, domain, settle.lo,
-                                       settle.hi - settle.lo, task.gseq);
-      t_serve_stack.pop_back();
+    if (!status.ok()) {
+      break;
     }
+    if (settle.victim->detached.load(std::memory_order_acquire)) {
+      continue;
+    }
+    t_serve_stack.push_back(settle.victim);
+    status = thief.SettleSharedRange(*settle.victim, domain, settle.lo,
+                                     settle.hi - settle.lo, task.gseq);
+    t_serve_stack.pop_back();
+  }
+  // Release every claim only after the last window touching its victim.
+  for (Settle& settle : settles) {
     if (settle.claimed) {
       FinishServe(*settle.victim);
       settle.claimed = false;

@@ -29,6 +29,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -130,8 +131,13 @@ class CopierService : public CrossEngineHooks {
   // Service-global submission sequence (DESIGN.md §10): submitters stamp
   // CopyTask::gseq with this before pushing, fixing the cross-client conflict
   // order at submission time — identical no matter which engine ingests or
-  // executes first.
+  // executes first. The sequence counts as outstanding (it bounds tombstone
+  // pruning) until the task registers in the ledger, ingests as private, or
+  // the submitter retires it on a failed push (RetireGlobalSeq).
   uint64_t AllocateGlobalSeq() { return NextGlobalSeq(); }
+  // Submitter-side release of a stamped sequence whose task never entered a
+  // ring (push failure, synchronous fallback). No-op for gseq 0.
+  void RetireGlobalSeq(uint64_t gseq) override;
 
   // --- threaded-mode control (§4.5.1) ----------------------------------------------
 
@@ -175,10 +181,9 @@ class CopierService : public CrossEngineHooks {
  private:
   // --- cross-engine coordination (CrossEngineHooks, DESIGN.md §10) ------------
 
-  uint64_t NextGlobalSeq() override {
-    return next_gseq_.fetch_add(1, std::memory_order_relaxed);
-  }
+  uint64_t NextGlobalSeq() override;
   bool DomainShared(uint64_t domain, const Client& self) override;
+  bool LandedWriteStillNeeded(uint64_t domain, uint64_t gseq) override;
   void RegisterShared(Client& client, PendingTask& task) override;
   void UnregisterShared(Client& client, PendingTask& task) override;
   Status SettleForeign(Engine& thief, Client& client, PendingTask& task, uint64_t domain,
@@ -283,6 +288,16 @@ class CopierService : public CrossEngineHooks {
   std::unordered_map<uint64_t, std::vector<LedgerEntry>> ledger_;  // domain ->
   std::unordered_map<uint64_t, Client*> domain_owner_;             // asid -> owner
   std::unordered_set<uint64_t> shared_domains_;  // sticky: foreign client seen
+  // Sequences stamped but not yet attached: allocated by NextGlobalSeq and
+  // neither registered in the ledger nor retired. Their minimum bounds
+  // tombstone (and completed-write) pruning — a task stamped at submission
+  // may probe the ledger only after a ring traversal, and a tombstone above
+  // its gseq must still be there when it does. Empty when the pool is off.
+  std::set<uint64_t> stamped_live_;
+  // Lowest gseq that may still execute or probe service-wide: min over
+  // stamped-but-unattached sequences and live (non-landed) ledger entries.
+  // Requires ledger_mu_.
+  uint64_t MinOutstandingSeqLocked() const;
 
   // One shard per potential thread. Lock order: mu_ before any
   // Shard::queue.mu; never the reverse. Shard queue locks never nest.

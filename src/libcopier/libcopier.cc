@@ -111,7 +111,11 @@ bool CopierLib::SubmitTask(uint64_t dst, uint64_t src, size_t n, core::Descripto
     task.handler = core::PostHandler::UserFunc(opts.ufunc);
   }
   ChargeCtx(ctx, timing_->task_submit_cycles);
+  const uint64_t gseq = task.gseq;
   if (!client_->pair(opts.fd).user.copy_q.TryPush(std::move(entry))) {
+    // The task dies here (caller falls back to a synchronous copy); its
+    // stamped sequence must not stay outstanding.
+    service_->RetireGlobalSeq(gseq);
     return false;
   }
   service_->NotifyRunnable(*client_, n);

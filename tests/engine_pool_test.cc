@@ -368,5 +368,94 @@ TEST(EnginePoolThreaded, SharedBufferWritesStayTotallyOrdered) {
   EXPECT_GT(stats.cross_dep_probes, 0u);
 }
 
+// --- ledger pruning vs submission-ring latency -------------------------------
+//
+// A task is stamped at submission but becomes ledger-visible only at
+// ingestion. A tombstone (or a private landed write) ordered *after* such a
+// stamped-but-unqueued task must survive until that task has had its chance
+// to probe — pruning may only advance past the minimum outstanding gseq.
+
+TEST(EnginePoolLedger, TombstoneSurvivesSubmissionRingLatency) {
+  constexpr size_t kLen = 2 * kKiB;
+  core::CopierService::Options options;
+  options.config.enable_engine_pool = true;
+  options.config.engine_count = 2;
+  core::CopierService service(std::move(options));
+  core::Client* early = service.AttachKernelClient("early");
+  core::Client* late = service.AttachKernelClient("late");
+
+  std::vector<uint8_t> shared(kLen, 0);
+  std::vector<uint8_t> old_pattern(kLen, 0xAA);
+  std::vector<uint8_t> new_pattern(kLen, 0xBB);
+
+  // The older (lower-gseq) write is stamped but lingers un-ingested while the
+  // newer write fully lands AND retires; only then does it enter its ring.
+  core::CopyQueueEntry old_write;
+  old_write.task.dst = core::MemRef::Kernel(shared.data());
+  old_write.task.src = core::MemRef::Kernel(old_pattern.data());
+  old_write.task.length = kLen;
+  old_write.task.gseq = service.AllocateGlobalSeq();
+
+  core::CopyQueueEntry new_write;
+  new_write.task.dst = core::MemRef::Kernel(shared.data());
+  new_write.task.src = core::MemRef::Kernel(new_pattern.data());
+  new_write.task.length = kLen;
+  new_write.task.gseq = service.AllocateGlobalSeq();
+  ASSERT_TRUE(late->default_pair().kernel.copy_q.TryPush(std::move(new_write)));
+  service.DrainAll();
+  EXPECT_EQ(shared, new_pattern);
+
+  // Dead-write suppression must still find the newer write's tombstone.
+  ASSERT_TRUE(early->default_pair().kernel.copy_q.TryPush(std::move(old_write)));
+  service.DrainAll();
+  EXPECT_EQ(shared, new_pattern) << "pruned tombstone let an older stamped write land on top";
+}
+
+// The same window across the private->shared transition: the owner's
+// own-space write ingests as private (no ledger entry, no tombstone) and
+// lands before a lower-gseq foreign write — stamped earlier, still in its
+// ring — first turns the domain shared. The foreign write must find the
+// owner's landed write in its completed-write log (SettleForeign's owner-log
+// scan) and be suppressed.
+
+TEST(EnginePoolLedger, OwnerPrivateWriteSurvivesSharedTransition) {
+  constexpr size_t kLen = kKiB;
+  constexpr size_t kArenaBytes = 8 * kKiB;
+  simos::SimKernel kernel;
+  core::CopierService::Options options;
+  options.config.enable_engine_pool = true;
+  options.config.engine_count = 2;
+  core::CopierService service(std::move(options));
+  simos::Process* proc = kernel.CreateProcess("owner");
+  core::Client* owner = service.AttachProcess(proc);
+  lib::CopierLib lib(owner, &service);
+  auto arena = proc->mem().MapAnonymous(kArenaBytes, "arena", true);
+  ASSERT_TRUE(arena.ok());
+  FillPattern(proc->mem(), *arena, kArenaBytes, 42);
+  core::Client* foreign = service.AttachKernelClient("foreign");
+
+  // Foreign write into the owner's space: stamped first (lower gseq), queued
+  // only after the owner's private write has landed and retired.
+  std::vector<uint8_t> stale(kLen, 0xCC);
+  core::CopyQueueEntry entry;
+  entry.task.dst = core::MemRef::User(&proc->mem(), *arena);
+  entry.task.src = core::MemRef::Kernel(stale.data());
+  entry.task.length = kLen;
+  entry.task.gseq = service.AllocateGlobalSeq();
+
+  // Owner's own-space copy: higher gseq, private at ingestion (the domain is
+  // not shared yet), completes and retires entirely.
+  lib.amemcpy(*arena, *arena + 4 * kKiB, kLen);
+  ASSERT_TRUE(lib.csync_all().ok());
+  service.DrainAll();
+  const std::vector<uint8_t> want = ReadAll(proc->mem(), *arena, kLen);
+  ASSERT_NE(want, stale);
+
+  ASSERT_TRUE(foreign->default_pair().kernel.copy_q.TryPush(std::move(entry)));
+  service.DrainAll();
+  EXPECT_EQ(ReadAll(proc->mem(), *arena, kLen), want)
+      << "foreign lower-gseq write overwrote the owner's newer private write";
+}
+
 }  // namespace
 }  // namespace copier::test
