@@ -4,9 +4,11 @@
 # linear queue-depth sweep), BENCH_sched.json (sharded vs linear scheduler
 # sweep), BENCH_submit_batch.json (vectored vs per-skb submission sweep),
 # BENCH_dma_channels.json (async multi-channel DMA sweep vs the blocking
-# single-channel baseline), and BENCH_engines.json (engine-pool sweep, 1 -> 8
-# copier engines) at the repo root; fails if any sweep reports non-identical
-# memory images.
+# single-channel baseline), BENCH_engines.json (engine-pool sweep, 1 -> 8
+# copier engines), BENCH_remap.json (zero-copy remap tier vs copy ablation),
+# and BENCH_cow.json (CoW fault split handling) at the repo root; fails if any
+# sweep reports non-identical memory images or a gated remap row misses its
+# moved-bytes drop.
 #
 # Usage: scripts/bench_smoke.sh [quick]
 #   quick — CI mode: the vectored-submission sweep runs its two-size subset
@@ -18,7 +20,7 @@ BUILD_DIR=${BUILD_DIR:-build-release}
 QUICK=${1:-}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_queue_depth bench_sched bench_submit_batch bench_dma_channels bench_engines bench_fig9_copy_throughput
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_queue_depth bench_sched bench_submit_batch bench_dma_channels bench_engines bench_remap bench_cow bench_fig9_copy_throughput
 
 echo
 "$BUILD_DIR"/bench/bench_queue_depth --json | tee /tmp/bench_queue_depth.out
@@ -59,10 +61,20 @@ if grep -q ' NO ' /tmp/bench_engines.out; then
   exit 1
 fi
 
+echo
+"$BUILD_DIR"/bench/bench_remap --json | tee /tmp/bench_remap.out
+if grep -q ' NO ' /tmp/bench_remap.out; then
+  echo "bench_remap: remap image differs from the copy ablation or a gated row missed its drop" >&2
+  exit 1
+fi
+
+echo
+"$BUILD_DIR"/bench/bench_cow --json | tee /tmp/bench_cow.out
+
 if [[ "$QUICK" != "quick" ]]; then
   echo
   "$BUILD_DIR"/bench/bench_fig9_copy_throughput
 fi
 
 echo
-echo "bench smoke OK; results in BENCH_queue_depth.json + BENCH_sched.json + BENCH_submit_batch.json + BENCH_dma_channels.json + BENCH_engines.json"
+echo "bench smoke OK; results in BENCH_queue_depth.json + BENCH_sched.json + BENCH_submit_batch.json + BENCH_dma_channels.json + BENCH_engines.json + BENCH_remap.json + BENCH_cow.json"

@@ -133,21 +133,30 @@ StatusOr<bool> MiniKv::ProcessOne(simos::SimSocket* sock, ExecContext* ctx) {
     char header[32];
     const int header_len =
         std::snprintf(header, sizeof(header), "$%zu\r\n", entry.length);
-    io.Write(reply_va, header, static_cast<size_t>(header_len), ctx);
+    // Land the value page-aligned in the reply buffer: store values are
+    // page-aligned (EntryFor maps them), so the store -> reply copy is
+    // page-co-aligned and the remap tier (DESIGN.md §11) can satisfy its
+    // interior by aliasing when it executes physically. The header backs up
+    // from the value instead of the value trailing the header.
+    const uint64_t value_va = entry.length + 2 + kPageSize <= config_.io_buf_bytes
+                                  ? reply_va + kPageSize
+                                  : reply_va + header_len;
+    const uint64_t reply_start = value_va - header_len;
+    io.Write(reply_start, header, static_cast<size_t>(header_len), ctx);
     // (3) value: store -> output buffer. The server never reads the reply
     // buffer, so in Copier mode this is a Lazy Task: the send()'s k-mode
     // tasks absorb it into a direct store -> skb copy and the mediator is
     // aborted afterwards (§4.4, the same pattern as the proxy).
     const bool lazy_reply = io.mode == Mode::kCopier;
-    io.Copy(reply_va + header_len, entry.va, entry.length, ctx, lazy_reply);
-    io.Write(reply_va + header_len + entry.length, "\r\n", 2, ctx);
+    io.Copy(value_va, entry.va, entry.length, ctx, lazy_reply);
+    io.Write(value_va + entry.length, "\r\n", 2, ctx);
     // (4) reply: output buffer -> kernel.
-    auto sent = io.Send(sock, reply_va, header_len + entry.length + 2, ctx);
+    auto sent = io.Send(sock, reply_start, header_len + entry.length + 2, ctx);
     if (!sent.ok()) {
       return sent.status();
     }
     if (lazy_reply) {
-      server_->lib()->abort_range(reply_va + header_len, entry.length, ctx);
+      server_->lib()->abort_range(value_va, entry.length, ctx);
     }
     return true;
   }

@@ -192,6 +192,14 @@ class Client {
   std::deque<ParkedDma> parked_dma;
   std::atomic<uint64_t> dma_inflight_bytes{0};
 
+  // Last AddressSpace::alias_cow_breaks() value folded into engine stats
+  // (remap tier, DESIGN.md §11). Mutated only while `serving` is held.
+  uint64_t alias_breaks_seen = 0;
+
+  // Invalidation-listener tokens AttachProcess installed on the client's
+  // space (one per engine ATCache); removed at detach / service teardown.
+  std::vector<int> atcache_tokens;
+
   // Scheduler accounting (§4.5.3): total copy length served, CFS key.
   // Relaxed atomic: written by the serving thread, read by scheduler picks
   // and run-queue inserts on other threads.

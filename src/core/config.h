@@ -38,6 +38,16 @@ struct CopierConfig {
   // Global-view optimizations (§4.4).
   bool enable_absorption = true;
 
+  // Zero-copy remap tier (DESIGN.md §11): the page-aligned, page-multiple
+  // interior of an eligible user->user copy is satisfied by CoW aliasing
+  // (AliasCowRange) instead of moving bytes; later writes to either side
+  // materialize the copy lazily through the CoW-break path. Off = every byte
+  // is physically moved (ablation / bench_remap "copy" mode).
+  bool enable_remap_tier = true;
+  // Minimum aliasable interior: below this the remap + TLB-shootdown cost
+  // does not beat just copying the pages.
+  size_t remap_min_bytes = 2 * kPageSize;
+
   // Vectored submission: Send/Recv/Binder publish one scatter-gather Copy
   // Task per syscall (one ring transaction, one barrier check, one doorbell)
   // instead of one entry per skb. Off = the per-skb submission baseline

@@ -161,6 +161,9 @@ Engine::Stats Engine::stats() const {
   s.kfuncs_run = stats_.kfuncs_run;
   s.ufuncs_queued = stats_.ufuncs_queued;
   s.lazy_absorbed_bytes = stats_.lazy_absorbed_bytes;
+  s.remap_tasks = stats_.remap_tasks;
+  s.remapped_bytes = stats_.remapped_bytes;
+  s.remap_cow_breaks = stats_.remap_cow_breaks;
   s.dep_probes = stats_.dep_probes;
   s.dep_tasks_scanned = stats_.dep_tasks_scanned;
   s.index_entries = stats_.index_entries;
@@ -1360,6 +1363,27 @@ Status Engine::CopyRange(Client& client, PendingTask& task, size_t offset, size_
           }
           std::fprintf(stderr, " total=%zu\n", total);
         }
+        // Remap tier (DESIGN.md §11): a page-co-aligned interior backed
+        // directly by the task's source is satisfied by CoW aliasing —
+        // complete for ordering, zero bytes moved. The unaligned head and
+        // tail (and any ineligible range) take the physical path below.
+        size_t rs = 0;
+        size_t re = 0;
+        if (RemapCandidate(task, xs, xe, &rs, &re) &&
+            RemapSourcesPlain(task, sources, xs, rs, re) &&
+            TryRemapRange(client, task, rs, re)) {
+          for (auto [hs, he] : {std::pair<size_t, size_t>{xs, rs}, {re, xe}}) {
+            if (hs >= he) {
+              continue;
+            }
+            std::vector<SourcePiece> edge;
+            ResolveSources(client, task, hs, he - hs, depth, &edge);
+            std::vector<Subtask> subtasks;
+            COPIER_RETURN_IF_ERROR(BuildSubtasks(client, task, hs, edge, &subtasks));
+            ExecuteRound(client, subtasks);
+          }
+          continue;
+        }
         std::vector<Subtask> subtasks;
         COPIER_RETURN_IF_ERROR(BuildSubtasks(client, task, xs, sources, &subtasks));
         ExecuteRound(client, subtasks);
@@ -1380,6 +1404,83 @@ Status Engine::CopyRange(Client& client, PendingTask& task, size_t offset, size_
     }
   }
   return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy remap tier (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+bool Engine::RemapCandidate(const PendingTask& task, size_t start, size_t end, size_t* rs,
+                            size_t* re) const {
+  if (!config_.enable_remap_tier || task.task.sg != nullptr) {
+    return false;
+  }
+  const MemRef& dst = task.task.dst;
+  const MemRef& src = task.task.src;
+  if (!dst.is_user() || !src.is_user()) {
+    return false;
+  }
+  // Both sides must reach page boundaries at the same task offsets, i.e. the
+  // VAs are congruent mod the page size.
+  if (((dst.va - src.va) & (kPageSize - 1)) != 0) {
+    return false;
+  }
+  const uint64_t lo = AlignUp(dst.va + start, kPageSize);
+  const uint64_t hi = AlignDown(dst.va + end, kPageSize);
+  const size_t min_bytes = std::max<size_t>(config_.remap_min_bytes, kPageSize);
+  if (lo >= hi || hi - lo < min_bytes) {
+    return false;
+  }
+  *rs = lo - dst.va;
+  *re = hi - dst.va;
+  // Overlapping same-space interiors cannot alias (a frame would be both
+  // sides of the share); AliasCowRange would reject them anyway.
+  if (dst.space == src.space &&
+      RangesOverlap(dst.va + *rs, *re - *rs, src.va + *rs, *re - *rs)) {
+    return false;
+  }
+  return true;
+}
+
+bool Engine::RemapSourcesPlain(const PendingTask& task, const std::vector<SourcePiece>& sources,
+                               size_t start, size_t rs, size_t re) {
+  const MemRef& src = task.task.src;
+  size_t pos = start;
+  for (const SourcePiece& piece : sources) {
+    const size_t piece_start = pos;
+    pos += piece.length;
+    if (pos <= rs) {
+      continue;
+    }
+    if (piece_start >= re) {
+      break;
+    }
+    // A piece backs the interior only if it sits at the task's own source
+    // offset — absorption rewrites pieces to the producer's memory, where
+    // the aliasable frames do not hold the task's data yet.
+    if (piece.absorbed || !piece.ref.is_user() || piece.ref.space != src.space ||
+        piece.ref.va != src.va + piece_start) {
+      return false;
+    }
+  }
+  return pos >= re;
+}
+
+bool Engine::TryRemapRange(Client& client, PendingTask& task, size_t rs, size_t re) {
+  const MemRef& dst = task.task.dst;
+  const MemRef& src = task.task.src;
+  const size_t length = re - rs;
+  const Status aliased =
+      dst.space->AliasCowRangeFrom(*src.space, dst.va + rs, src.va + rs, length, ctx_);
+  if (!aliased.ok()) {
+    return false;  // pinned/huge/shared/unmapped edge: physical copy fallback
+  }
+  ++stats_.remap_tasks;
+  stats_.remapped_bytes += length;
+  // The aliased bytes are complete for ordering: progress marks, kfuncs and
+  // barrier visibility flow through the same accounting as a physical copy.
+  MarkProgress(client, task, rs, length, CtxNow(ctx_));
+  return true;
 }
 
 Status Engine::ExecuteTaskRange(Client& client, PendingTask& task, size_t offset, size_t length,
@@ -1893,11 +1994,19 @@ void Engine::CompleteTask(Client& client, PendingTask& task, bool fifo_ordered) 
   if (fifo_ordered && HasEarlierParked(client, task.order)) {
     return;
   }
-  // Cross-engine settle landings keep per-client handler order: if an earlier
-  // task has not fired, this one stays done-but-unfired and the predecessor's
-  // completion cascades it (below). Without this, KFUNC order would depend on
-  // which engine's settle landed the task first.
-  if (t_cross_settle > 0 && HasEarlierUnfired(client, task.order)) {
+  // Per-client handler order is submission order, unconditionally: if an
+  // earlier task has not fired, this one stays done-but-unfired and the
+  // predecessor's completion cascades it (below). Cross-engine settles need
+  // this so KFUNC order does not depend on which engine's settle landed the
+  // task first; the remap tier (DESIGN.md §11) needs it so an aliased task —
+  // complete the instant its PTEs flip — cannot overtake a predecessor whose
+  // bytes are still moving, which would make observable completion order an
+  // artifact of the enable_remap_tier ablation.
+  if (HasEarlierUnfired(client, task.order)) {
+    // The blocking predecessor may itself be done (completed mid-round via
+    // absorption or a remap) with nobody left to call CompleteTask on it:
+    // run the cascade so done-but-unfired prefixes drain now, not never.
+    FireDeferredSuccessors(client);
     return;
   }
   task.handler_fired = true;
@@ -1957,7 +2066,7 @@ void Engine::FireDeferredSuccessors(Client& client) {
     if (task.handler_fired) {
       continue;
     }
-    if (task.bytes_done >= task.task.length && task.Done()) {
+    if (task.Done()) {  // includes aborted tasks — their handlers fire too
       CompleteTask(client, task);
       if (task.handler_fired) {
         continue;
@@ -2246,7 +2355,7 @@ void Engine::FireOrderedCompletions(Client& client, Cycles when) {
     if (task.task.sg != nullptr) {
       FireReadySgSegments(client, task, when);
     }
-    if (task.bytes_done >= task.task.length) {
+    if (task.Done()) {
       CompleteTask(client, task);
     }
   }
@@ -2312,6 +2421,16 @@ uint64_t Engine::ServeClient(Client& client, uint64_t max_bytes) {
     RetireDone(client);
   }
   dma_.Poll(CtxNow(ctx_));
+  // Attribute CoW breaks of remap-aliased pages (the lazily materialized
+  // copies) to the serving engine. Delta-sampled: the space's counter is
+  // monotonic and this engine holds the client's serving claim.
+  if (client.space() != nullptr) {
+    const uint64_t breaks = client.space()->alias_cow_breaks();
+    if (breaks > client.alias_breaks_seen) {
+      stats_.remap_cow_breaks += breaks - client.alias_breaks_seen;
+      client.alias_breaks_seen = breaks;
+    }
+  }
   stats_.serve_cycles += CtxNow(ctx_) - serve_start;
   return served;
 }

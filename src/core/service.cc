@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "src/common/logging.h"
+#include "src/hw/copy_unit.h"
 
 namespace copier::core {
 
@@ -83,7 +84,24 @@ CopierService::CopierService(Options options)
   root_cgroup_ = cgroups_.back().get();
 }
 
-CopierService::~CopierService() { Stop(); }
+CopierService::~CopierService() {
+  Stop();
+  // Clients never detached still hold ATCache listeners on their (externally
+  // owned, service-outliving) address spaces — unhook before the engines die.
+  for (auto& client : clients_) {
+    RemoveSpaceListeners(*client);
+  }
+}
+
+void CopierService::RemoveSpaceListeners(Client& client) {
+  if (client.space() == nullptr) {
+    return;
+  }
+  for (int token : client.atcache_tokens) {
+    client.space()->RemoveInvalidationListener(token);
+  }
+  client.atcache_tokens.clear();
+}
 
 Client* CopierService::AttachProcess(simos::Process* process, Cgroup* cgroup) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -96,6 +114,21 @@ Client* CopierService::AttachProcess(simos::Process* process, Cgroup* cgroup) {
   client_index_.emplace(client->id(), client);
   if (process != nullptr) {
     process->set_copier_client_id(client->id());
+    // CoW breaks on a registered space — post-remap writes (DESIGN.md §11)
+    // and fork breaks alike — copy with the engine's accelerated page-copy
+    // path charged through the timing model, not the default ERMS cost.
+    // (AccelerateCow may later swap in the service-submitting variant.)
+    const hw::TimingModel* timing = timing_;
+    process->mem().SetCowCopyFn(
+        [timing](void* dst, const void* src, size_t len, ExecContext* ctx) {
+          hw::AvxCopy(dst, src, len);
+          ChargeCtx(ctx, timing->CpuCopyCycles(hw::CopyUnitKind::kAvx, len));
+        });
+    // Keep every engine's ATCache coherent with this space's mapping changes:
+    // the remap tier re-points PTEs while translations may be cached.
+    for (auto& engine : engines_) {
+      client->atcache_tokens.push_back(engine->atcache().Attach(process->mem()));
+    }
     // Ledger owner map: a foreign client probing this process's address space
     // settles against the owner's pending tasks too (including private ones
     // accepted before the domain turned shared).
@@ -169,6 +202,9 @@ void CopierService::DetachClient(Client& client) {
   while (client.serving.load(std::memory_order_acquire)) {
     std::this_thread::yield();
   }
+  // The space outlives the service: its invalidation listeners must not keep
+  // pointing at engine ATCaches once the client is gone.
+  RemoveSpaceListeners(client);
   // Drain the rings' abandoned entries and retire their submission stamps:
   // those tasks will never be ingested, and a stamped sequence left
   // outstanding would hold back tombstone pruning service-wide forever. Safe
@@ -674,6 +710,9 @@ Engine::Stats CopierService::TotalStats() const {
     total.kfuncs_run += s.kfuncs_run;
     total.ufuncs_queued += s.ufuncs_queued;
     total.lazy_absorbed_bytes += s.lazy_absorbed_bytes;
+    total.remap_tasks += s.remap_tasks;
+    total.remapped_bytes += s.remapped_bytes;
+    total.remap_cow_breaks += s.remap_cow_breaks;
     total.dep_probes += s.dep_probes;
     total.dep_tasks_scanned += s.dep_tasks_scanned;
     total.index_entries += s.index_entries;

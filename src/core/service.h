@@ -239,6 +239,10 @@ class CopierService : public CrossEngineHooks {
   }
 
   void ThreadMain(size_t index);
+  // Unhooks the per-engine ATCache invalidation listeners a registration
+  // installed on the client's address space (detach and teardown paths — the
+  // space is owned outside the service and outlives it).
+  void RemoveSpaceListeners(Client& client);
   // Scheduler: next client for engine `index` (nullptr = nothing runnable).
   // The returned client's `serving` flag is held by the caller.
   Client* PickClient(size_t index);

@@ -22,6 +22,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include <atomic>
+
 #include "src/common/align.h"
 #include "src/common/exec_context.h"
 #include "src/common/status.h"
@@ -108,6 +110,23 @@ class AddressSpace {
   // sides' writable anon pages downgraded to read-only CoW).
   StatusOr<std::unique_ptr<AddressSpace>> ForkCow(uint32_t child_asid);
 
+  // Satisfies a copy by aliasing instead of moving bytes (remap tier,
+  // DESIGN.md §11): points the PTEs of [dst_va, dst_va+length) at the frames
+  // backing [src_va, src_va+length) and write-protects both sides CoW-style,
+  // exactly like a fork of just that range. Both addresses must be
+  // page-aligned and `length` a page multiple; both ranges must lie in
+  // private, non-huge mappings with no pinned pages, the destination mapping
+  // must be writable, and same-space ranges must not overlap. Absent source
+  // pages are faulted in (zero-fill) first; absent destination pages are
+  // allowed. Validation happens before any PTE is touched, so on error no
+  // partial alias is left behind. Fires invalidation listeners for both
+  // ranges and charges remap + shootdown cycles to `ctx`.
+  Status AliasCowRange(uint64_t dst_va, uint64_t src_va, size_t length, ExecContext* ctx);
+  // Cross-space variant: source range lives in `src_space` (which must share
+  // this space's PhysicalMemory). `AliasCowRange` is the same-space shorthand.
+  Status AliasCowRangeFrom(AddressSpace& src_space, uint64_t dst_va, uint64_t src_va,
+                           size_t length, ExecContext* ctx);
+
   void SetCowCopyFn(PageCopyFn fn) { cow_copy_ = std::move(fn); }
 
   // --- Invalidation listeners -------------------------------------------------
@@ -119,6 +138,10 @@ class AddressSpace {
 
   uint64_t minor_faults() const { return minor_faults_; }
   uint64_t cow_faults() const { return cow_faults_; }
+  // CoW breaks whose block contained at least one remap-aliased page, i.e.
+  // lazily materialized copies of the remap tier. Atomic because the engine
+  // samples it while app threads fault concurrently.
+  uint64_t alias_cow_breaks() const { return alias_cow_breaks_.load(std::memory_order_relaxed); }
   uint64_t resident_pages() const;
 
  private:
@@ -127,6 +150,7 @@ class AddressSpace {
     bool present = false;
     bool writable = false;
     bool cow = false;
+    bool aliased = false;  // CoW share came from AliasCowRange, not fork
     uint16_t pin_count = 0;
   };
 
@@ -162,6 +186,7 @@ class AddressSpace {
 
   uint64_t minor_faults_ = 0;
   uint64_t cow_faults_ = 0;
+  std::atomic<uint64_t> alias_cow_breaks_{0};
 };
 
 }  // namespace copier::simos

@@ -92,7 +92,9 @@ TEST(Promotion, SyncTaskOvertakesHeadOfLine) {
 }
 
 TEST(Dispatch, LargeTaskUsesBothUnits) {
-  CopierStack stack;
+  core::CopierConfig config;
+  config.enable_remap_tier = false;  // force bytes onto the AVX+DMA path
+  CopierStack stack(config);
   const size_t n = 256 * kKiB;
   const uint64_t src = stack.Map(n);
   const uint64_t dst = stack.Map(n);
@@ -158,8 +160,9 @@ TEST(Dispatch, FragmentedMemorySplitsSubtasks) {
 }
 
 TEST(ATCacheTest, HitsOnBufferReuse) {
-  CopierStack stack;
-  stack.service->engine().atcache().Attach(stack.proc->mem());
+  core::CopierConfig config;
+  config.enable_remap_tier = false;  // reused translations need moved bytes
+  CopierStack stack(config);
   const size_t n = 16 * kKiB;
   const uint64_t src = stack.Map(n);
   const uint64_t dst = stack.Map(n);

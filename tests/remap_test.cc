@@ -1,0 +1,523 @@
+// Zero-copy remap tier (DESIGN.md §11).
+//
+// Unit tests pin down AliasCowRange semantics — frame sharing, write
+// isolation through CoW breaks on either side, rejection of ineligible
+// ranges, cross-space aliasing — and the engine-level contract: a remapped
+// task is complete for ordering (kfuncs, csync, aborts, promotion) while
+// zero bytes move physically.
+//
+// The differential harness then replays randomized workloads — aligned and
+// unaligned copies, overlapping chains, mid-flight aborts, sync promotions,
+// post-completion writes to BOTH sides of remapped ranges — with
+// enable_remap_tier on and off, asserting byte-identical images and
+// identical kfunc order. A fault-storm case forces every remapped page to
+// break; a pooled variant adds cross-engine shared ranges.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/align.h"
+#include "tests/test_util.h"
+
+namespace copier::test {
+namespace {
+
+// --- AliasCowRange unit tests ------------------------------------------------
+
+class AliasCow : public ::testing::Test {
+ protected:
+  simos::SimKernel kernel;
+};
+
+TEST_F(AliasCow, SameSpaceAliasSharesAndIsolates) {
+  simos::Process* proc = kernel.CreateProcess("alias");
+  simos::AddressSpace& mem = proc->mem();
+  const size_t n = 4 * kPageSize;
+  auto src = mem.MapAnonymous(n, "src", true);
+  auto dst = mem.MapAnonymous(n, "dst", true);
+  ASSERT_TRUE(src.ok() && dst.ok());
+  FillPattern(mem, *src, n, 11);
+
+  ASSERT_TRUE(mem.AliasCowRange(*dst, *src, n, nullptr).ok());
+  ExpectSameBytes(mem, *src, *dst, n);
+  EXPECT_EQ(mem.alias_cow_breaks(), 0u);
+
+  // A write to the destination breaks only its page: the copy materializes,
+  // the source keeps its bytes, and the other pages stay shared.
+  const std::vector<uint8_t> src_before = ReadAll(mem, *src, n);
+  uint8_t b = 0xAB;
+  ASSERT_TRUE(mem.WriteBytes(*dst, &b, 1).ok());
+  EXPECT_EQ(mem.alias_cow_breaks(), 1u);
+  EXPECT_EQ(ReadAll(mem, *src, n), src_before);
+  EXPECT_EQ(ReadAll(mem, *dst, 1)[0], 0xAB);
+  ExpectSameBytes(mem, *src + kPageSize, *dst + kPageSize, n - kPageSize);
+
+  // A write to the source breaks the share from the other side: the
+  // destination keeps the pre-write bytes.
+  const std::vector<uint8_t> dst_page1 = ReadAll(mem, *dst + kPageSize, kPageSize);
+  b = 0xCD;
+  ASSERT_TRUE(mem.WriteBytes(*src + kPageSize, &b, 1).ok());
+  EXPECT_EQ(mem.alias_cow_breaks(), 2u);
+  EXPECT_EQ(ReadAll(mem, *dst + kPageSize, kPageSize), dst_page1);
+  EXPECT_EQ(ReadAll(mem, *src + kPageSize, 1)[0], 0xCD);
+}
+
+TEST_F(AliasCow, RejectsIneligibleRanges) {
+  simos::Process* proc = kernel.CreateProcess("reject");
+  simos::AddressSpace& mem = proc->mem();
+  const size_t n = 4 * kPageSize;
+  auto src = mem.MapAnonymous(n, "src", true);
+  auto dst = mem.MapAnonymous(n, "dst", true);
+  ASSERT_TRUE(src.ok() && dst.ok());
+
+  // Unaligned addresses or length.
+  EXPECT_FALSE(mem.AliasCowRange(*dst + 1, *src, kPageSize, nullptr).ok());
+  EXPECT_FALSE(mem.AliasCowRange(*dst, *src + 1, kPageSize, nullptr).ok());
+  EXPECT_FALSE(mem.AliasCowRange(*dst, *src, kPageSize + 1, nullptr).ok());
+  // Overlapping same-space ranges.
+  EXPECT_FALSE(mem.AliasCowRange(*dst, *dst + kPageSize, 2 * kPageSize, nullptr).ok());
+  // Out-of-mapping ranges.
+  EXPECT_FALSE(mem.AliasCowRange(*dst, *src, 2 * n, nullptr).ok());
+  // Pinned pages on either side.
+  ASSERT_TRUE(mem.PinRange(*src, kPageSize, false, nullptr).ok());
+  EXPECT_FALSE(mem.AliasCowRange(*dst, *src, kPageSize, nullptr).ok());
+  mem.UnpinRange(*src, kPageSize);
+  ASSERT_TRUE(mem.PinRange(*dst, kPageSize, true, nullptr).ok());
+  EXPECT_FALSE(mem.AliasCowRange(*dst, *src, kPageSize, nullptr).ok());
+  mem.UnpinRange(*dst, kPageSize);
+  // Huge mappings (CoW breaks there move whole contiguous 2 MiB blocks).
+  auto huge = mem.MapAnonymous(simos::kHugePageSize, "huge", false, true);
+  ASSERT_TRUE(huge.ok());
+  uint8_t touch = 1;
+  ASSERT_TRUE(mem.WriteBytes(*huge, &touch, 1).ok());
+  EXPECT_FALSE(mem.AliasCowRange(*dst, *huge, kPageSize, nullptr).ok());
+  EXPECT_FALSE(mem.AliasCowRange(*huge, *src, kPageSize, nullptr).ok());
+  // Shared mappings on either side.
+  simos::Process* other = kernel.CreateProcess("other");
+  auto shared = other->mem().MapSharedFrom(mem, *src, kPageSize, true);
+  ASSERT_TRUE(shared.ok());
+  EXPECT_FALSE(other->mem()
+                   .AliasCowRangeFrom(other->mem(), *shared, *shared, kPageSize, nullptr)
+                   .ok());
+  // After all the rejections, a valid alias still works (nothing half-done).
+  EXPECT_TRUE(mem.AliasCowRange(*dst, *src, n, nullptr).ok());
+  ExpectSameBytes(mem, *src, *dst, n);
+}
+
+TEST_F(AliasCow, CrossSpaceAliasSharesAndIsolates) {
+  simos::Process* a = kernel.CreateProcess("a");
+  simos::Process* b = kernel.CreateProcess("b");
+  const size_t n = 2 * kPageSize;
+  auto src = a->mem().MapAnonymous(n, "src", true);
+  auto dst = b->mem().MapAnonymous(n, "dst", true);
+  ASSERT_TRUE(src.ok() && dst.ok());
+  FillPattern(a->mem(), *src, n, 23);
+
+  ASSERT_TRUE(b->mem().AliasCowRangeFrom(a->mem(), *dst, *src, n, nullptr).ok());
+  EXPECT_EQ(ReadAll(b->mem(), *dst, n), ReadAll(a->mem(), *src, n));
+
+  // Writes on each side stay private to that space.
+  const std::vector<uint8_t> src_image = ReadAll(a->mem(), *src, n);
+  uint8_t byte = 0x5A;
+  ASSERT_TRUE(b->mem().WriteBytes(*dst, &byte, 1).ok());
+  EXPECT_EQ(ReadAll(a->mem(), *src, n), src_image);
+  const std::vector<uint8_t> dst_image = ReadAll(b->mem(), *dst, n);
+  byte = 0xA5;
+  ASSERT_TRUE(a->mem().WriteBytes(*src + kPageSize, &byte, 1).ok());
+  EXPECT_EQ(ReadAll(b->mem(), *dst, n), dst_image);
+  EXPECT_EQ(b->mem().alias_cow_breaks() + a->mem().alias_cow_breaks(), 2u);
+}
+
+// --- engine-level behavior ---------------------------------------------------
+
+TEST(RemapTier, AlignedCopyMovesNothing) {
+  CopierStack stack;
+  const size_t n = 64 * kKiB;
+  const uint64_t src = stack.Map(n);
+  const uint64_t dst = stack.Map(n);
+  FillPattern(stack.proc->mem(), src, n, 7);
+  stack.lib->amemcpy(dst, src, n);
+  ASSERT_TRUE(stack.lib->csync(dst, n).ok());
+  ExpectSameBytes(stack.proc->mem(), src, dst, n);
+  const core::Engine::Stats stats = stack.service->TotalStats();
+  EXPECT_GE(stats.remap_tasks, 1u);
+  EXPECT_EQ(stats.remapped_bytes, n);
+  EXPECT_EQ(stats.avx_bytes + stats.dma_bytes_completed, 0u) << "nothing should move";
+  EXPECT_EQ(stats.bytes_copied, n) << "progress semantics include remapped bytes";
+}
+
+TEST(RemapTier, UnalignedInteriorRemapsHeadTailCopy) {
+  CopierStack stack;
+  const size_t n = 64 * kKiB;
+  // Co-aligned but not page-aligned: both sides sit 16 bytes into the page
+  // (the proxy's equal-length-header shape).
+  const uint64_t src = stack.Map(n + kPageSize) + 16;
+  const uint64_t dst = stack.Map(n + kPageSize) + 16;
+  FillPattern(stack.proc->mem(), src, n, 9);
+  stack.lib->amemcpy(dst, src, n);
+  ASSERT_TRUE(stack.lib->csync(dst, n).ok());
+  ExpectSameBytes(stack.proc->mem(), src, dst, n);
+  const core::Engine::Stats stats = stack.service->TotalStats();
+  EXPECT_GE(stats.remap_tasks, 1u);
+  const size_t interior = AlignDown(16 + n, kPageSize) - AlignUp(16, kPageSize);
+  EXPECT_EQ(stats.remapped_bytes, interior);
+  EXPECT_EQ(stats.avx_bytes + stats.dma_bytes_completed, n - interior)
+      << "only the unaligned head and tail move";
+}
+
+TEST(RemapTier, MisalignedSidesNeverRemap) {
+  CopierStack stack;
+  const size_t n = 64 * kKiB;
+  const uint64_t src = stack.Map(n + kPageSize);
+  const uint64_t dst = stack.Map(n + kPageSize) + 512;  // not congruent mod page
+  FillPattern(stack.proc->mem(), src, n, 13);
+  stack.lib->amemcpy(dst, src, n);
+  ASSERT_TRUE(stack.lib->csync(dst, n).ok());
+  ExpectSameBytes(stack.proc->mem(), src, dst, n);
+  const core::Engine::Stats stats = stack.service->TotalStats();
+  EXPECT_EQ(stats.remap_tasks, 0u);
+  EXPECT_EQ(stats.avx_bytes + stats.dma_bytes_completed, n);
+}
+
+TEST(RemapTier, SyncPromotionCompletesRemappedRange) {
+  core::CopierConfig config;
+  config.copy_slice_bytes = 1;  // keep the FIFO pass from draining the task
+  CopierStack stack(config);
+  const size_t n = 32 * kKiB;
+  const uint64_t src = stack.Map(n);
+  const uint64_t dst = stack.Map(n);
+  FillPattern(stack.proc->mem(), src, n, 17);
+  stack.lib->amemcpy(dst, src, n);
+  // csync a subrange: promotion executes the pending task via the remap tier.
+  ASSERT_TRUE(stack.lib->csync(dst + 8 * kKiB, 8 * kKiB).ok());
+  ExpectSameBytes(stack.proc->mem(), src + 8 * kKiB, dst + 8 * kKiB, 8 * kKiB);
+  const core::Engine::Stats stats = stack.service->TotalStats();
+  EXPECT_GE(stats.sync_promotions, 1u);
+  EXPECT_GE(stats.remap_tasks, 1u);
+  ASSERT_TRUE(stack.lib->csync_all().ok());
+  ExpectSameBytes(stack.proc->mem(), src, dst, n);
+}
+
+TEST(RemapTier, AbortAfterRemapIsANoop) {
+  CopierStack stack;
+  const size_t n = 16 * kKiB;
+  const uint64_t src = stack.Map(n);
+  const uint64_t dst = stack.Map(n);
+  FillPattern(stack.proc->mem(), src, n, 19);
+  stack.lib->amemcpy(dst, src, n);
+  ASSERT_TRUE(stack.lib->csync(dst, n).ok());
+  const std::vector<uint8_t> landed = ReadAll(stack.proc->mem(), dst, n);
+  // Abort the already-complete (remapped) range: nothing to discard.
+  core::SyncTask sync;
+  sync.kind = core::SyncTask::Kind::kAbort;
+  sync.addr = core::MemRef::User(stack.client->space(), dst);
+  sync.length = n;
+  ASSERT_TRUE(stack.client->default_pair().user.sync_q.TryPush(std::move(sync)));
+  stack.service->Serve(*stack.client, 0);
+  EXPECT_EQ(ReadAll(stack.proc->mem(), dst, n), landed);
+}
+
+// --- fault storm: every remapped page breaks ---------------------------------
+
+std::vector<uint8_t> RunFaultStorm(bool remap, uint64_t* breaks_sampled) {
+  core::CopierConfig config;
+  config.enable_remap_tier = remap;
+  CopierStack stack(config);
+  const size_t pages = 32;
+  const size_t n = pages * kPageSize;
+  const uint64_t src = stack.Map(n);
+  const uint64_t dst = stack.Map(n);
+  FillPattern(stack.proc->mem(), src, n, 29);
+  stack.lib->amemcpy(dst, src, n);
+  EXPECT_TRUE(stack.lib->csync(dst, n).ok());
+  // Storm: write one byte into every page of BOTH sides — with the tier on,
+  // every remapped page must materialize, on each side exactly once.
+  for (size_t p = 0; p < pages; ++p) {
+    const uint8_t d = static_cast<uint8_t>(p * 3 + 1);
+    const uint8_t s = static_cast<uint8_t>(p * 5 + 2);
+    EXPECT_TRUE(stack.proc->mem().WriteBytes(dst + p * kPageSize + 7, &d, 1).ok());
+    EXPECT_TRUE(stack.proc->mem().WriteBytes(src + p * kPageSize + 9, &s, 1).ok());
+  }
+  if (remap) {
+    EXPECT_EQ(stack.proc->mem().alias_cow_breaks(), 2 * pages);
+  }
+  // One more serve folds the alias breaks into engine stats.
+  stack.lib->amemcpy(dst, src, kPageSize);
+  EXPECT_TRUE(stack.lib->csync_all().ok());
+  *breaks_sampled = stack.service->TotalStats().remap_cow_breaks;
+  std::vector<uint8_t> image = ReadAll(stack.proc->mem(), src, n);
+  const std::vector<uint8_t> dimg = ReadAll(stack.proc->mem(), dst, n);
+  image.insert(image.end(), dimg.begin(), dimg.end());
+  return image;
+}
+
+TEST(RemapTier, FaultStormBreaksEveryPageAndStaysIdentical) {
+  uint64_t breaks_on = 0;
+  uint64_t breaks_off = 0;
+  const std::vector<uint8_t> with_remap = RunFaultStorm(true, &breaks_on);
+  const std::vector<uint8_t> without = RunFaultStorm(false, &breaks_off);
+  EXPECT_EQ(with_remap, without);
+  EXPECT_EQ(breaks_on, 2 * 32u);
+  EXPECT_EQ(breaks_off, 0u);
+}
+
+// --- randomized differential: remap on vs off --------------------------------
+
+constexpr size_t kSrcPool = 64 * kKiB;
+constexpr size_t kWork = 64 * kKiB;
+constexpr size_t kAbortSlot = 2 * kPageSize;
+constexpr size_t kAbortSlots = 16;
+constexpr size_t kArena = kSrcPool + kWork + kAbortSlots * kAbortSlot;
+
+struct DiffOut {
+  std::vector<uint8_t> image;
+  std::vector<int> kfunc_log;  // completion order of every pushed task
+  uint64_t remap_tasks = 0;
+  uint64_t moved = 0;
+};
+
+DiffOut RunDifferential(bool remap, uint64_t seed) {
+  core::CopierConfig config;
+  config.enable_remap_tier = remap;
+  CopierStack stack(config);
+  const uint64_t arena = stack.Map(kArena, "arena");
+  FillPattern(stack.proc->mem(), arena, kArena, seed);
+
+  DiffOut out;
+  Rng rng(seed * 7919 + 3);
+  int next_id = 0;
+  size_t abort_slot = 0;
+  auto push_copy = [&](uint64_t dst, uint64_t src, size_t len) {
+    core::CopyQueueEntry entry;
+    entry.task.dst = core::MemRef::User(stack.client->space(), dst);
+    entry.task.src = core::MemRef::User(stack.client->space(), src);
+    entry.task.length = len;
+    const int id = next_id++;
+    auto* log = &out.kfunc_log;
+    entry.task.handler =
+        core::PostHandler::KernelFunc([log, id](Cycles) { log->push_back(id); });
+    EXPECT_TRUE(stack.client->default_pair().user.copy_q.TryPush(std::move(entry)));
+  };
+
+  for (int batch = 0; batch < 14; ++batch) {
+    // Copies into the work region: mostly page-aligned (remap candidates),
+    // some unaligned, some chained work->work.
+    for (int i = 0; i < 3; ++i) {
+      size_t len;
+      size_t dst_off;
+      size_t src_off;
+      if (!rng.OneIn(3)) {
+        len = kPageSize * (1 + rng.Below(8));
+        dst_off = kSrcPool + AlignDown(rng.Below(kWork - len), kPageSize);
+        src_off = rng.OneIn(4) ? kSrcPool + AlignDown(rng.Below(kWork - len), kPageSize)
+                               : AlignDown(rng.Below(kSrcPool - len), kPageSize);
+      } else {
+        len = 200 + rng.Below(6 * kKiB);
+        dst_off = kSrcPool + rng.Below(kWork - len);
+        src_off = rng.Below(kSrcPool - len);
+      }
+      if (RangesOverlap(dst_off, len, src_off, len)) {
+        continue;
+      }
+      push_copy(arena + dst_off, arena + src_off, len);
+    }
+    // A lib-registered submission rides along so the csync below has a real
+    // producing copy to find and promote.
+    if (rng.OneIn(2)) {
+      const size_t len = kPageSize * (1 + rng.Below(4));
+      const size_t dst_off = kSrcPool + AlignDown(rng.Below(kWork - len), kPageSize);
+      const size_t src_off = AlignDown(rng.Below(kSrcPool - len), kPageSize);
+      stack.lib->amemcpy(arena + dst_off, arena + src_off, len);
+    }
+    // Occasional copy into a fresh abort slot, aborted mid-flight below.
+    uint64_t abort_addr = 0;
+    if (rng.OneIn(2) && abort_slot < kAbortSlots) {
+      abort_addr = arena + kSrcPool + kWork + abort_slot * kAbortSlot;
+      ++abort_slot;
+      push_copy(abort_addr, arena + AlignDown(rng.Below(kSrcPool - kAbortSlot), kPageSize),
+                kAbortSlot);
+    }
+    // Ingest with zero-budget serves so aborts see their victims pending.
+    while (!stack.client->default_pair().user.copy_q.Empty()) {
+      stack.service->Serve(*stack.client, 0);
+    }
+    if (abort_addr != 0) {
+      core::SyncTask sync;
+      sync.kind = core::SyncTask::Kind::kAbort;
+      sync.addr = core::MemRef::User(stack.client->space(), abort_addr);
+      sync.length = kAbortSlot;
+      EXPECT_TRUE(stack.client->default_pair().user.sync_q.TryPush(std::move(sync)));
+    }
+    // Partial execution pumps: progress is byte-deterministic across modes
+    // (remapped bytes count as served bytes), so both runs abort and promote
+    // at identical points.
+    const size_t pumps = rng.Below(3);
+    for (size_t p = 0; p < pumps; ++p) {
+      stack.service->Serve(*stack.client, 8 * kKiB);
+    }
+    // Sync promotion of a random work subrange, then post-completion writes
+    // to the promoted destination (breaks remapped shares from the dst side).
+    if (rng.OneIn(2)) {
+      const size_t len = kPageSize * (1 + rng.Below(4));
+      const size_t off = kSrcPool + AlignDown(rng.Below(kWork - len), kPageSize);
+      EXPECT_TRUE(stack.lib->csync(arena + off, len).ok());
+      if (rng.OneIn(2)) {
+        FillPattern(stack.proc->mem(), arena + off, kPageSize, seed * 131 + batch);
+      }
+    }
+    // Periodically settle everything and dirty the source pool (breaks
+    // remapped shares from the src side; the landed copies must keep their
+    // bytes).
+    if (rng.OneIn(3)) {
+      EXPECT_TRUE(stack.lib->csync_all().ok());
+      const size_t off = AlignDown(rng.Below(kSrcPool - kPageSize), kPageSize);
+      FillPattern(stack.proc->mem(), arena + off, kPageSize, seed * 31 + batch);
+    }
+  }
+  EXPECT_TRUE(stack.lib->csync_all().ok());
+  stack.service->DrainAll();
+  out.image = ReadAll(stack.proc->mem(), arena, kArena);
+  const core::Engine::Stats stats = stack.service->TotalStats();
+  out.remap_tasks = stats.remap_tasks;
+  out.moved = stats.avx_bytes + stats.dma_bytes_completed;
+  return out;
+}
+
+class RemapDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RemapDifferential, OnOffRunsAreByteAndOrderIdentical) {
+  const uint64_t seed = GetParam();
+  const DiffOut on = RunDifferential(true, seed);
+  const DiffOut off = RunDifferential(false, seed);
+  EXPECT_GT(on.remap_tasks, 0u) << "workload must actually exercise the tier";
+  EXPECT_EQ(off.remap_tasks, 0u);
+  EXPECT_LT(on.moved, off.moved) << "the tier must eliminate physical bytes";
+  EXPECT_EQ(on.image, off.image);
+  EXPECT_EQ(on.kfunc_log, off.kfunc_log) << "kfunc order must not depend on the tier";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RemapDifferential, ::testing::Values(1u, 2u, 3u, 4u));
+
+// --- cross-engine shared ranges ----------------------------------------------
+
+// Two apps on a 2-engine pool; a kernel writer streams gseq-stamped writes
+// into app0's arena, making the domain shared, while both apps run aligned
+// own-space copies that the tier remaps. Shared-range settling and the remap
+// tier must compose: identical images and kfunc order with the tier on/off.
+struct CrossOut {
+  std::vector<std::vector<uint8_t>> images;
+  std::vector<int> kfunc_log;
+  uint64_t remap_tasks = 0;
+};
+
+CrossOut RunCrossEngine(bool remap, uint64_t seed) {
+  core::CopierConfig config;
+  config.enable_remap_tier = remap;
+  config.enable_engine_pool = true;
+  config.engine_count = 2;
+  simos::SimKernel kernel;
+  core::CopierService::Options options;
+  options.config = config;
+  core::CopierService service(std::move(options));
+  core::CopierLinux glue(&service, &kernel);
+  glue.Install();
+
+  constexpr size_t kApps = 2;
+  constexpr size_t kStrip = 16 * kKiB;  // writer-fed strip at the arena head
+  struct App {
+    simos::Process* proc = nullptr;
+    core::Client* client = nullptr;
+    std::unique_ptr<lib::CopierLib> lib;
+    uint64_t arena = 0;
+  };
+  std::vector<App> apps(kApps);
+  for (size_t a = 0; a < kApps; ++a) {
+    apps[a].proc = kernel.CreateProcess("xapp" + std::to_string(a));
+    apps[a].client = service.AttachProcess(apps[a].proc);
+    apps[a].lib = std::make_unique<lib::CopierLib>(apps[a].client, &service);
+    auto arena = apps[a].proc->mem().MapAnonymous(kStrip + kWork, "arena", true);
+    EXPECT_TRUE(arena.ok());
+    apps[a].arena = *arena;
+    FillPattern(apps[a].proc->mem(), apps[a].arena, kStrip + kWork, seed * 17 + a);
+  }
+  core::Client* writer = service.AttachKernelClient("xwriter");
+
+  CrossOut out;
+  std::vector<std::unique_ptr<std::vector<uint8_t>>> keep_alive;
+  Rng rng(seed * 104729 + 5);
+  int next_id = 0;
+  for (int batch = 0; batch < 10; ++batch) {
+    // Writer: k-mode write into app0's strip (foreign-space dst -> the
+    // domain is shared, the apps' own copies join the ledger).
+    {
+      const size_t len = kPageSize * (1 + rng.Below(2));
+      const size_t off = AlignDown(rng.Below(kStrip - len), kPageSize);
+      auto src = std::make_unique<std::vector<uint8_t>>(len);
+      for (auto& b : *src) {
+        b = static_cast<uint8_t>(rng.Next());
+      }
+      core::CopyQueueEntry entry;
+      entry.task.dst = core::MemRef::User(apps[0].client->space(), apps[0].arena + off);
+      entry.task.src = core::MemRef::Kernel(src->data());
+      entry.task.length = len;
+      entry.task.gseq = service.AllocateGlobalSeq();
+      const int id = next_id++;
+      auto* log = &out.kfunc_log;
+      entry.task.handler =
+          core::PostHandler::KernelFunc([log, id](Cycles) { log->push_back(id); });
+      EXPECT_TRUE(writer->default_pair().kernel.copy_q.TryPush(std::move(entry)));
+      keep_alive.push_back(std::move(src));
+    }
+    // Apps: aligned own-space copies — strip -> work (RAW against the
+    // writer, remap-eligible) and work -> work chains.
+    for (size_t a = 0; a < kApps; ++a) {
+      const size_t len = kPageSize * (1 + rng.Below(3));  // < kStrip, so Below() below is sound
+      const size_t dst_off = kStrip + AlignDown(rng.Below(kWork - len), kPageSize);
+      const size_t src_off = AlignDown(rng.Below(kStrip - len), kPageSize);
+      apps[a].lib->amemcpy(apps[a].arena + dst_off, apps[a].arena + src_off, len);
+    }
+    // Drive both engines round-robin; the interleaving differs per mode's
+    // cycle costs, the results must not.
+    auto ingest = [&](core::Client* c, bool kernel_q) {
+      auto& pair = c->default_pair();
+      while (!(kernel_q ? pair.kernel.copy_q.Empty() : pair.user.copy_q.Empty())) {
+        service.Serve(*c, 0);
+      }
+    };
+    ingest(writer, true);
+    for (auto& app : apps) {
+      ingest(app.client, false);
+    }
+    const size_t pumps = 1 + rng.Below(2);
+    for (size_t p = 0; p < pumps; ++p) {
+      for (size_t e = 0; e < service.engine_count(); ++e) {
+        service.RunOnce(e);
+      }
+    }
+  }
+  for (auto& app : apps) {
+    EXPECT_TRUE(app.lib->csync_all().ok());
+  }
+  service.DrainAll();
+  for (auto& app : apps) {
+    out.images.push_back(ReadAll(app.proc->mem(), app.arena, kStrip + kWork));
+  }
+  out.remap_tasks = service.TotalStats().remap_tasks;
+  return out;
+}
+
+TEST(RemapCrossEngine, SharedRangesStayOrderedAcrossTheAblation) {
+  for (uint64_t seed : {41u, 42u}) {
+    CrossOut on = RunCrossEngine(true, seed);
+    CrossOut off = RunCrossEngine(false, seed);
+    EXPECT_GT(on.remap_tasks, 0u) << "seed " << seed;
+    EXPECT_EQ(off.remap_tasks, 0u) << "seed " << seed;
+    EXPECT_EQ(on.images, off.images) << "seed " << seed;
+    EXPECT_EQ(on.kfunc_log, off.kfunc_log) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace copier::test
