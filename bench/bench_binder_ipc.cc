@@ -1,6 +1,13 @@
 // §6.1.2 Binder IPC: end-to-end latency for a client sending n strings of
 // 1 KiB, the server reading them one by one, and a reply.
 // Expected shape (paper): Copier reduces latency 9.6–35.5% for n in 10–800.
+//
+// Second table: posted-receive parcels (DESIGN.md §12). The server posts its
+// landing window before the client transacts, so the payload takes the fused
+// single hop (client → window) instead of bouncing through the kernel
+// transaction buffer. Per-transfer latency runs from the client's transact to
+// the server's descriptor covering the whole message; the two-step column is
+// the enable_ipc_fuse=false ablation over the same posted window.
 #include "bench/bench_util.h"
 
 #include "src/apps/parcel.h"
@@ -9,7 +16,7 @@
 namespace copier::bench {
 namespace {
 
-double LatencyUs(const hw::TimingModel& t, int n, apps::Mode mode) {
+Histogram LatencyHist(const hw::TimingModel& t, int n, apps::Mode mode) {
   BenchStack stack(&t, {}, mode);
   apps::AppProcess* client = mode == apps::Mode::kCopier ? stack.NewApp("client")
                                                          : stack.NewSyncApp("client");
@@ -31,19 +38,66 @@ double LatencyUs(const hw::TimingModel& t, int n, apps::Mode mode) {
     // Keep the two clocks together between calls (closed loop).
     server->ctx().WaitUntil(client->ctx().now());
   }
-  return lat.Mean();
+  return lat;
+}
+
+Histogram PostedHist(const hw::TimingModel& t, size_t parcel_bytes, bool fuse) {
+  core::CopierConfig config;
+  config.enable_ipc_fuse = fuse;
+  BenchStack stack(&t, config);
+  apps::AppProcess* client = stack.NewApp("client");
+  apps::AppProcess* server = stack.NewApp("server");
+  simos::BinderDriver binder(stack.kernel.get());
+
+  apps::ParcelWriter writer;
+  writer.WriteString(std::string(parcel_bytes - 4, 'p'));
+  const std::vector<uint8_t>& msg = writer.bytes();
+  const uint64_t msg_buf = client->Map(AlignUp(msg.size(), kPageSize), "msg", true);
+  client->io().Write(msg_buf, msg.data(), msg.size(), &client->ctx());
+  const uint64_t win = server->Map(AlignUp(msg.size(), kPageSize), "win", true);
+
+  Histogram lat;
+  for (int i = 0; i < 12; ++i) {
+    server->ctx().WaitUntil(client->ctx().now());
+    client->ctx().WaitUntil(server->ctx().now());
+    const Cycles start = client->ctx().now();
+    core::Descriptor descriptor(msg.size());
+    COPIER_CHECK_OK(
+        binder.PostReceive(*server->proc(), win, msg.size(), &descriptor, &server->ctx()));
+    auto txn = binder.Transact(*client->proc(), msg_buf, msg.size(), &client->ctx());
+    COPIER_CHECK(txn.ok()) << txn.status().ToString();
+    COPIER_CHECK(txn->in_window);
+    COPIER_CHECK_OK(core::WaitDescriptor(descriptor, 0, msg.size(), &server->ctx(),
+                                         [&] { stack.service->DrainAll(); }));
+    lat.Add(Us(server->ctx().now() - start));
+    binder.Release(txn->id);
+    stack.service->DrainAll();
+  }
+  return lat;
 }
 
 void Run(const hw::TimingModel& t) {
   PrintBanner("Binder IPC (Parcel): end-to-end latency, n x 1KiB strings (us)");
-  TextTable table({"n strings", "baseline", "Copier", "improvement"});
+  TextTable table({"n strings", "baseline", "Copier", "p50", "p99", "improvement"});
   for (int n : {10, 50, 100, 200, 400, 800}) {
-    const double base = LatencyUs(t, n, apps::Mode::kSync);
-    const double copier = LatencyUs(t, n, apps::Mode::kCopier);
-    table.AddRow({std::to_string(n), TextTable::Num(base), TextTable::Num(copier),
-                  "-" + TextTable::Num((1 - copier / base) * 100, 1) + "%"});
+    const Histogram base = LatencyHist(t, n, apps::Mode::kSync);
+    const Histogram copier = LatencyHist(t, n, apps::Mode::kCopier);
+    table.AddRow({std::to_string(n), TextTable::Num(base.Mean()), TextTable::Num(copier.Mean()),
+                  TextTable::Num(copier.Percentile(50)), TextTable::Num(copier.Percentile(99)),
+                  "-" + TextTable::Num((1 - copier.Mean() / base.Mean()) * 100, 1) + "%"});
   }
   table.Print();
+
+  PrintBanner("Posted-receive parcels: fused single hop vs two-step, per-transfer latency (us)");
+  TextTable posted({"parcel KiB", "two-step", "fused", "p50", "p99", "speedup"});
+  for (const size_t kib : {size_t{64}, size_t{256}, size_t{1024}}) {
+    const Histogram off = PostedHist(t, kib * kKiB, false);
+    const Histogram on = PostedHist(t, kib * kKiB, true);
+    posted.AddRow({std::to_string(kib), TextTable::Num(off.Mean()), TextTable::Num(on.Mean()),
+                   TextTable::Num(on.Percentile(50)), TextTable::Num(on.Percentile(99)),
+                   TextTable::Num(off.Mean() / on.Mean(), 2) + "x"});
+  }
+  posted.Print();
 }
 
 }  // namespace

@@ -6,9 +6,11 @@
 # BENCH_dma_channels.json (async multi-channel DMA sweep vs the blocking
 # single-channel baseline), BENCH_engines.json (engine-pool sweep, 1 -> 8
 # copier engines), BENCH_remap.json (zero-copy remap tier vs copy ablation),
+# BENCH_ipc_fuse.json (fused single-hop IPC vs the two-step ablation, gated
+# at >=1.4x on the 1 MiB socket row and >=1.5x on >=64 KiB binder parcels),
 # and BENCH_cow.json (CoW fault split handling) at the repo root; fails if any
-# sweep reports non-identical memory images or a gated remap row misses its
-# moved-bytes drop.
+# sweep reports non-identical memory images or a gated remap/fuse row misses
+# its moved-bytes drop or speedup floor.
 #
 # Usage: scripts/bench_smoke.sh [quick]
 #   quick — CI mode: the vectored-submission sweep runs its two-size subset
@@ -20,7 +22,7 @@ BUILD_DIR=${BUILD_DIR:-build-release}
 QUICK=${1:-}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_queue_depth bench_sched bench_submit_batch bench_dma_channels bench_engines bench_remap bench_cow bench_fig9_copy_throughput
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_queue_depth bench_sched bench_submit_batch bench_dma_channels bench_engines bench_remap bench_ipc_fuse bench_cow bench_fig9_copy_throughput
 
 echo
 "$BUILD_DIR"/bench/bench_queue_depth --json | tee /tmp/bench_queue_depth.out
@@ -69,6 +71,13 @@ if grep -q ' NO ' /tmp/bench_remap.out; then
 fi
 
 echo
+"$BUILD_DIR"/bench/bench_ipc_fuse --json | tee /tmp/bench_ipc_fuse.out
+if grep -q ' NO ' /tmp/bench_ipc_fuse.out; then
+  echo "bench_ipc_fuse: fused image differs from the two-step ablation or a gated row missed its speedup floor" >&2
+  exit 1
+fi
+
+echo
 "$BUILD_DIR"/bench/bench_cow --json | tee /tmp/bench_cow.out
 
 if [[ "$QUICK" != "quick" ]]; then
@@ -77,4 +86,4 @@ if [[ "$QUICK" != "quick" ]]; then
 fi
 
 echo
-echo "bench smoke OK; results in BENCH_queue_depth.json + BENCH_sched.json + BENCH_submit_batch.json + BENCH_dma_channels.json + BENCH_engines.json + BENCH_remap.json + BENCH_cow.json"
+echo "bench smoke OK; results in BENCH_queue_depth.json + BENCH_sched.json + BENCH_submit_batch.json + BENCH_dma_channels.json + BENCH_engines.json + BENCH_remap.json + BENCH_ipc_fuse.json + BENCH_cow.json"

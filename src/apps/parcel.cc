@@ -14,6 +14,14 @@ void ParcelWriter::WriteString(const std::string& value) {
   bytes_.insert(bytes_.end(), value.begin(), value.end());
 }
 
+Status ParcelReader::Fetch(size_t offset, void* out, size_t n, ExecContext* ctx) {
+  if (space_ != nullptr) {
+    return space_->ReadBytes(va_ + offset, out, n, ctx);
+  }
+  std::memcpy(out, data_ + offset, n);
+  return OkStatus();
+}
+
 StatusOr<std::string> ParcelReader::ReadString(ExecContext* ctx,
                                                const std::function<void()>& pump) {
   if (pos_ + 4 > length_) {
@@ -24,7 +32,7 @@ StatusOr<std::string> ParcelReader::ReadString(ExecContext* ctx,
     COPIER_RETURN_IF_ERROR(core::WaitDescriptor(*descriptor_, pos_, 4, ctx, pump));
   }
   uint32_t n = 0;
-  std::memcpy(&n, data_ + pos_, 4);
+  COPIER_RETURN_IF_ERROR(Fetch(pos_, &n, 4, ctx));
   if (pos_ + 4 + n > length_) {
     return InvalidArgument("truncated parcel string");
   }
@@ -32,17 +40,19 @@ StatusOr<std::string> ParcelReader::ReadString(ExecContext* ctx,
     ChargeCtx(ctx, timing_->csync_check_cycles);
     COPIER_RETURN_IF_ERROR(core::WaitDescriptor(*descriptor_, pos_ + 4, n, ctx, pump));
   }
-  std::string value(reinterpret_cast<const char*>(data_ + pos_ + 4), n);
+  std::string value(n, '\0');
+  COPIER_RETURN_IF_ERROR(Fetch(pos_ + 4, value.data(), n, ctx));
   pos_ += 4 + n;
   ChargeCtx(ctx, kItemFixed + static_cast<Cycles>(n * kItemCpb));
   return value;
 }
 
 BinderParcelChannel::BinderParcelChannel(simos::BinderDriver* binder, AppProcess* client,
-                                         AppProcess* server)
+                                         AppProcess* server, bool posted_receive)
     : binder_(binder),
       client_(client),
       server_(server),
+      posted_receive_(posted_receive),
       descriptor_(simos::BinderDriver::kTxnBufferBytes) {}
 
 StatusOr<std::vector<std::string>> BinderParcelChannel::Call(
@@ -64,8 +74,22 @@ StatusOr<std::vector<std::string>> BinderParcelChannel::Call(
   // descriptor logically rides at the front of the message).
   const bool copier_mode = client_->io().mode == Mode::kCopier;
   descriptor_.Reset(msg.size());
+  if (posted_receive_) {
+    // Server posts its landing window before the client transacts, sized to
+    // this message so the posted path always takes it. The descriptor covers
+    // the window instead of the driver buffer. A window left behind by an
+    // earlier failed call is dropped first.
+    if (msg.size() > win_buf_bytes_) {
+      win_buf_bytes_ = AlignUp(msg.size(), kPageSize);
+      win_buf_ = server_->Map(win_buf_bytes_, "parcel-win", true);
+    }
+    binder_->ClearReceive();
+    COPIER_RETURN_IF_ERROR(binder_->PostReceive(*server_->proc(), win_buf_, msg.size(),
+                                                copier_mode ? &descriptor_ : nullptr,
+                                                server_ctx));
+  }
   auto txn = binder_->Transact(*client_->proc(), msg_buf_, msg.size(), client_ctx,
-                               copier_mode ? &descriptor_ : nullptr);
+                               (copier_mode && !posted_receive_) ? &descriptor_ : nullptr);
   if (!txn.ok()) {
     return txn.status();
   }
@@ -80,8 +104,12 @@ StatusOr<std::vector<std::string>> BinderParcelChannel::Call(
     // Manual-mode service: serve the client that owns the k-mode queue.
     pump = [lib] { lib->Pump(); };
   }
-  ParcelReader reader(txn->data, txn->length, copier_mode ? &descriptor_ : nullptr,
-                      &client_->io().timing());
+  ParcelReader reader =
+      txn->in_window
+          ? ParcelReader(&txn->window_proc->mem(), txn->window_va, txn->length,
+                         copier_mode ? &descriptor_ : nullptr, &client_->io().timing())
+          : ParcelReader(txn->data, txn->length, copier_mode ? &descriptor_ : nullptr,
+                         &client_->io().timing());
   std::vector<std::string> result;
   while (!reader.AtEnd()) {
     auto item = reader.ReadString(server_ctx, pump);

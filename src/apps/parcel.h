@@ -39,16 +39,29 @@ class ParcelReader {
                const hw::TimingModel* timing)
       : data_(data), length_(length), descriptor_(descriptor), timing_(timing) {}
 
+  // Window-delivered parcels (fused IPC, DESIGN.md §12): the message landed
+  // directly in the server's posted window, so items are read through the
+  // server's address space instead of a mapped host pointer.
+  ParcelReader(simos::AddressSpace* space, uint64_t va, size_t length,
+               core::Descriptor* descriptor, const hw::TimingModel* timing)
+      : space_(space), va_(va), length_(length), descriptor_(descriptor), timing_(timing) {}
+
   // Reads the next string; blocks (csync) until its bytes have landed.
   StatusOr<std::string> ReadString(ExecContext* ctx,
                                    const std::function<void()>& pump = nullptr);
   bool AtEnd() const { return pos_ >= length_; }
 
  private:
-  const uint8_t* data_;
-  size_t length_;
-  core::Descriptor* descriptor_;  // null in sync mode
-  const hw::TimingModel* timing_;
+  // Copies message bytes [offset, offset+n) into `out` from whichever backing
+  // store this reader views.
+  Status Fetch(size_t offset, void* out, size_t n, ExecContext* ctx);
+
+  const uint8_t* data_ = nullptr;
+  simos::AddressSpace* space_ = nullptr;  // window mode
+  uint64_t va_ = 0;                       // window base (window mode)
+  size_t length_ = 0;
+  core::Descriptor* descriptor_ = nullptr;  // null in sync mode
+  const hw::TimingModel* timing_ = nullptr;
   size_t pos_ = 0;
 };
 
@@ -56,7 +69,11 @@ class ParcelReader {
 // client sends n strings, server reads them one by one, then replies.
 class BinderParcelChannel {
  public:
-  BinderParcelChannel(simos::BinderDriver* binder, AppProcess* client, AppProcess* server);
+  // With posted_receive, the server posts a landing window sized to each
+  // message before the client transacts, so the payload takes the fused
+  // single-hop path (or posted two-step) instead of the buffer bounce.
+  BinderParcelChannel(simos::BinderDriver* binder, AppProcess* client, AppProcess* server,
+                      bool posted_receive = false);
 
   // Runs one transaction; returns the server-observed strings. `client_ctx`
   // and `server_ctx` are the two ends' clocks.
@@ -67,8 +84,11 @@ class BinderParcelChannel {
   simos::BinderDriver* binder_;
   AppProcess* client_;
   AppProcess* server_;
+  bool posted_receive_;
   uint64_t msg_buf_ = 0;
   size_t msg_buf_bytes_ = 0;
+  uint64_t win_buf_ = 0;  // server's landing window (posted mode)
+  size_t win_buf_bytes_ = 0;
   core::Descriptor descriptor_;
 };
 

@@ -48,6 +48,15 @@ struct CopierConfig {
   // does not beat just copying the pages.
   size_t remap_min_bytes = 2 * kPageSize;
 
+  // Fused IPC fast path (DESIGN.md §12): when the receiver of a Binder
+  // transaction or loopback-socket send has already posted its landing
+  // window, the two-step transfer (sender -> kernel skb/parcel buffer ->
+  // receiver) collapses into one direct cross-address-space Copy Task; the
+  // intermediate kernel buffers are reserved only as flow-control tokens and
+  // their reclaim KFUNCs ride the fused task. Off = every posted transfer
+  // takes the two-step path (ablation / bench_ipc_fuse "two-step" mode).
+  bool enable_ipc_fuse = true;
+
   // Vectored submission: Send/Recv/Binder publish one scatter-gather Copy
   // Task per syscall (one ring transaction, one barrier check, one doorbell)
   // instead of one entry per skb. Off = the per-skb submission baseline

@@ -22,8 +22,10 @@ constexpr size_t kMaxFusedTasks = 8;
 constexpr size_t kMaxSubtaskBytes = 16 * kKiB;
 
 // True when `dst_side` of `t` is the segment list of a scatter-gather task.
+// Bookkeeping lists (fused IPC, DESIGN.md §12) carry only chunk lengths and
+// per-chunk KFUNCs — both sides of the task are its plain contiguous dst/src.
 bool SideIsSg(const CopyTask& t, bool dst_side) {
-  return t.sg != nullptr && t.sg->kernel_is_dst == dst_side;
+  return t.sg != nullptr && !t.sg->bookkeeping && t.sg->kernel_is_dst == dst_side;
 }
 
 // A contiguous piece of one side of a task: `ref` names the memory at
@@ -164,6 +166,8 @@ Engine::Stats Engine::stats() const {
   s.remap_tasks = stats_.remap_tasks;
   s.remapped_bytes = stats_.remapped_bytes;
   s.remap_cow_breaks = stats_.remap_cow_breaks;
+  s.fused_ipc_tasks = stats_.fused_ipc_tasks;
+  s.fused_ipc_bytes = stats_.fused_ipc_bytes;
   s.dep_probes = stats_.dep_probes;
   s.dep_tasks_scanned = stats_.dep_tasks_scanned;
   s.index_entries = stats_.index_entries;
@@ -250,6 +254,9 @@ void Engine::AcceptTask(Client& client, QueuePair& pair, CopyTask task, bool ker
       pending->sg_remaining[i] = segs[i].length;
     }
     pending->sg_fired.assign(segs.size(), false);
+    if (pending->task.sg->bookkeeping) {
+      ++stats_.fused_ipc_tasks;
+    }
   }
   ++stats_.submit_entries;
   if (pending->task.sg != nullptr) {
@@ -1412,7 +1419,8 @@ Status Engine::CopyRange(Client& client, PendingTask& task, size_t offset, size_
 
 bool Engine::RemapCandidate(const PendingTask& task, size_t start, size_t end, size_t* rs,
                             size_t* re) const {
-  if (!config_.enable_remap_tier || task.task.sg != nullptr) {
+  if (!config_.enable_remap_tier ||
+      (task.task.sg != nullptr && !task.task.sg->bookkeeping)) {
     return false;
   }
   const MemRef& dst = task.task.dst;
@@ -1433,6 +1441,18 @@ bool Engine::RemapCandidate(const PendingTask& task, size_t start, size_t end, s
   }
   *rs = lo - dst.va;
   *re = hi - dst.va;
+  // Fused IPC tasks (bookkeeping SgList) have a receiver latency-blocked on
+  // the window descriptor, so the alias is taken only when the PTE/shootdown
+  // work beats the single engine copy it would replace; bulk amemcpy-style
+  // tasks take the alias for the moved-bytes win alone.
+  if (task.task.sg != nullptr && task.task.sg->bookkeeping) {
+    const size_t pages = (hi - lo) / kPageSize;
+    const Cycles alias_cost =
+        timing_->page_remap_cycles * pages + timing_->tlb_shootdown_cycles;
+    if (alias_cost >= timing_->CpuCopyCycles(hw::CopyUnitKind::kAvx, hi - lo)) {
+      return false;
+    }
+  }
   // Overlapping same-space interiors cannot alias (a frame would be both
   // sides of the share); AliasCowRange would reject them anyway.
   if (dst.space == src.space &&
@@ -1910,6 +1930,12 @@ void Engine::MarkProgress(Client& client, PendingTask& task, size_t offset, size
   task.bytes_done += length;
   stats_.bytes_copied += length;
   if (task.task.sg != nullptr) {
+    // Fused-IPC accounting is exact by construction: every byte that lands
+    // through a bookkeeping task skipped the intermediate kernel buffer, and
+    // aborted remainders never reach MarkProgress.
+    if (task.task.sg->bookkeeping) {
+      stats_.fused_ipc_bytes += length;
+    }
     CreditSgSegments(client, task, offset, length, when);
   }
   if (!was_done && task.Done()) {

@@ -140,6 +140,15 @@ class Engine {
     uint64_t remap_tasks = 0;       // exec ranges satisfied by aliasing
     uint64_t remapped_bytes = 0;    // bytes landed without moving
     uint64_t remap_cow_breaks = 0;  // post-remap write faults that broke a share
+    // Fused IPC fast path (DESIGN.md §12): single-hop transfers that skipped
+    // the intermediate kernel buffer. fused_ipc_bytes counts exactly the
+    // bytes that landed through a fused task (each such byte would have been
+    // physically moved twice on the two-step path); fuse_fallbacks sums the
+    // send-time fallbacks to two-step (service-wide; filled in by
+    // CopierService::TotalStats, see IpcFuseStats for the breakdown).
+    uint64_t fused_ipc_tasks = 0;
+    uint64_t fused_ipc_bytes = 0;
+    uint64_t fuse_fallbacks = 0;
     // Coordination-lookup observability (range index vs linear baseline).
     uint64_t dep_probes = 0;         // dependency/absorption/abort lookups issued
     uint64_t dep_tasks_scanned = 0;  // candidate tasks examined across all probes
@@ -410,6 +419,8 @@ class Engine {
     RelaxedCounter remap_tasks;
     RelaxedCounter remapped_bytes;
     RelaxedCounter remap_cow_breaks;
+    RelaxedCounter fused_ipc_tasks;
+    RelaxedCounter fused_ipc_bytes;
     RelaxedCounter dep_probes;
     RelaxedCounter dep_tasks_scanned;
     RelaxedCounter index_entries;

@@ -150,11 +150,56 @@ Status CopierLinux::Copy(const simos::UserCopyOp& op) {
   return OkStatus();
 }
 
+Status CopierLinux::CopyVSync(const simos::UserCopyVecOp& op, size_t* segs_submitted) {
+  simos::UserCopyOp seg_op;
+  seg_op.proc = op.proc;
+  seg_op.to_user = op.to_user;
+  seg_op.lazy = op.lazy;
+  seg_op.ctx = op.ctx;
+  uint64_t va = op.user_va;
+  size_t descriptor_offset = op.descriptor_offset;
+  size_t submitted = 0;
+  for (const simos::UserCopySeg& seg : op.segs) {
+    seg_op.user_va = va;
+    seg_op.kernel_buf = seg.kernel_buf;
+    seg_op.length = seg.length;
+    seg_op.on_complete = seg.on_complete;
+    Status status = fallback_.Copy(seg_op);
+    if (!status.ok()) {
+      if (segs_submitted != nullptr) {
+        *segs_submitted = submitted;
+      }
+      return status;
+    }
+    // The synchronous baseline has no engine to mark progress; completed
+    // bytes are ready immediately.
+    if (op.descriptor != nullptr) {
+      static_cast<Descriptor*>(op.descriptor)
+          ->MarkRange(descriptor_offset, seg.length, CtxNow(op.ctx));
+    }
+    ++submitted;
+    va += seg.length;
+    descriptor_offset += seg.length;
+  }
+  if (segs_submitted != nullptr) {
+    *segs_submitted = submitted;
+  }
+  return OkStatus();
+}
+
 Status CopierLinux::CopyV(const simos::UserCopyVecOp& op, size_t* segs_submitted) {
-  Client* client = op.proc != nullptr ? ClientFor(*op.proc) : nullptr;
+  // The task rides the submitter's queue; the user side still resolves in
+  // op.proc's space (posted-window drains land in the receiver's window from
+  // the sender's syscall).
+  simos::Process* submitter = op.submit_proc != nullptr ? op.submit_proc : op.proc;
+  const bool cross_client = op.submit_proc != nullptr && op.submit_proc != op.proc;
+  Client* client = submitter != nullptr ? ClientFor(*submitter) : nullptr;
   if (client == nullptr || !service_->config().enable_vectored_submit) {
     // Per-segment path: unattached process (stock kernel behaviour) or the
     // per-op ablation baseline.
+    if (cross_client) {
+      return CopyVSync(op, segs_submitted);
+    }
     return KernelCopyBackend::CopyV(op, segs_submitted);
   }
   if (op.segs.empty()) {
@@ -175,6 +220,9 @@ Status CopierLinux::CopyV(const simos::UserCopyVecOp& op, size_t* segs_submitted
   if (!pair.kernel.copy_q.TryReserveBatch(need_barrier ? 2 : 1, &batch)) {
     // Ring full: per-segment fallback (which itself falls back to the
     // synchronous copy per segment when the ring stays full).
+    if (cross_client) {
+      return CopyVSync(op, segs_submitted);
+    }
     return KernelCopyBackend::CopyV(op, segs_submitted);
   }
   size_t slot = 0;
@@ -221,6 +269,131 @@ Status CopierLinux::CopyV(const simos::UserCopyVecOp& op, size_t* segs_submitted
   if (segs_submitted != nullptr) {
     *segs_submitted = op.segs.size();
   }
+  return OkStatus();
+}
+
+bool CopierLinux::SupportsFusedIpc() const { return service_->config().enable_ipc_fuse; }
+
+void CopierLinux::NoteFuseEvent(simos::FuseEvent event) { service_->NoteIpcFuseEvent(event); }
+
+void CopierLinux::RegisterWindow(simos::Process* proc, uint64_t va, size_t length,
+                                 ExecContext* ctx) {
+  // Posting a window is registration (DESIGN.md §12): like an RDMA MR or
+  // io_uring provided buffers, the pages are walked once at post time —
+  // faulted in, write-translated, and their translations published to the
+  // service's address-transfer cache — so the fused task's DMA channels hit
+  // warm entries instead of paying the per-page walk while the peer waits.
+  // The receiver pays for the walk here, overlapped with the peer's send; a
+  // later mapping change invalidates the entries through the usual listener.
+  if (proc == nullptr || length == 0 || !SupportsFusedIpc() ||
+      !service_->config().enable_atcache) {
+    return;
+  }
+  simos::AddressSpace& space = proc->mem();
+  const uint64_t first = PageBase(va);
+  const uint64_t last = PageBase(va + length - 1);
+  size_t pages = 0;
+  for (uint64_t page = first; page <= last; page += kPageSize) {
+    auto pfn_or = space.TranslateWrite(page, ctx);
+    if (!pfn_or.ok()) {
+      break;  // unmapped tail: the copy that tries to land there reports kFault
+    }
+    uint8_t* host = space.phys()->FrameData(*pfn_or);
+    for (size_t i = 0; i < service_->engine_count(); ++i) {
+      service_->engine(i).atcache().Insert(space.asid(), page, host, /*writable=*/true);
+    }
+    ++pages;
+  }
+  ChargeCtx(ctx, service_->timing().va_translate_cycles_per_page * pages);
+}
+
+Status CopierLinux::CopyFused(const simos::FusedCopyOp& op) {
+  Client* client = op.src_proc != nullptr ? ClientFor(*op.src_proc) : nullptr;
+  if (client == nullptr || !service_->config().enable_ipc_fuse) {
+    return Unimplemented("fused IPC requires an attached sender");
+  }
+  COPIER_CHECK(op.dst_proc != nullptr && !op.chunks.empty());
+  size_t chunk_total = 0;
+  for (const simos::FusedChunk& chunk : op.chunks) {
+    chunk_total += chunk.length;
+  }
+  COPIER_CHECK(chunk_total == op.length) << "fused chunks do not cover the transfer";
+
+  QueuePair& pair = client->default_pair();
+  const bool need_barrier =
+      client->ksyscall.in_syscall && !client->ksyscall.barrier_submitted;
+  MpscRingBuffer<CopyQueueEntry>::Batch batch;
+  if (!pair.kernel.copy_q.TryReserveBatch(need_barrier ? 2 : 1, &batch)) {
+    // No side effects yet: the kernel falls back to the two-step posted path.
+    return ResourceExhausted("k-mode ring full for fused transfer");
+  }
+  size_t slot = 0;
+  if (need_barrier) {
+    CopyQueueEntry barrier;
+    barrier.kind = CopyQueueEntry::Kind::kBarrierEnter;
+    barrier.user_queue_position = pair.user.copy_q.HeadPosition();
+    batch[slot++] = std::move(barrier);
+    client->ksyscall.barrier_submitted = true;
+  }
+
+  // Source write-protection: a sender store into the in-flight range blocks
+  // (pumping the service) until the copy lands, preserving the snapshot
+  // semantics the two-step path gets by staging into skbs. Taken only after
+  // the ring slots are reserved, so every lock has a task to resolve it.
+  simos::AddressSpace* src_space = &op.src_proc->mem();
+  int lock_token = 0;
+  if (op.protect_src) {
+    CopierService* service = service_;
+    std::function<void()> resolver;
+    if (service->mode() == CopierService::Mode::kManual) {
+      resolver = [service, client] { service->Serve(*client); };
+    } else {
+      resolver = [service, client] {
+        service->NotifyRunnable(*client);
+        std::this_thread::yield();
+      };
+    }
+    lock_token = src_space->LockRangeForCopy(op.src_va, op.length, std::move(resolver));
+  }
+
+  // One bookkeeping segment per flow-control chunk: the engine's in-order
+  // credit-and-fire machinery runs the reclaim KFUNCs chunk by chunk exactly
+  // as the two-step path fires per-skb handlers. The last chunk also releases
+  // the source lock — on completion and on abort alike (aborted tasks fire
+  // their remaining segment handlers at retirement).
+  auto sg = std::make_shared<SgList>();
+  sg->bookkeeping = true;
+  sg->segs.reserve(op.chunks.size());
+  for (size_t i = 0; i < op.chunks.size(); ++i) {
+    std::function<void(Cycles)> fn = op.chunks[i].on_complete;
+    if (i + 1 == op.chunks.size() && op.protect_src) {
+      fn = [src_space, lock_token, inner = std::move(fn)](Cycles when) {
+        src_space->UnlockRangeForCopy(lock_token);
+        if (inner) {
+          inner(when);
+        }
+      };
+    }
+    sg->segs.push_back(SgSegment{nullptr, op.chunks[i].length, std::move(fn)});
+  }
+
+  CopyQueueEntry entry;
+  entry.kind = CopyQueueEntry::Kind::kCopy;
+  CopyTask& task = entry.task;
+  task.dst = MemRef::User(&op.dst_proc->mem(), op.dst_va);
+  task.src = MemRef::User(src_space, op.src_va);
+  task.length = op.length;
+  task.descriptor = static_cast<Descriptor*>(op.descriptor);
+  task.descriptor_offset = op.descriptor_offset;
+  task.submit_time = CtxNow(op.ctx);
+  task.gseq = service_->AllocateGlobalSeq();
+  task.sg = std::move(sg);
+  batch[slot] = std::move(entry);
+  batch.Commit();
+
+  ChargeCtx(op.ctx, service_->timing().task_submitv_base_cycles +
+                        op.chunks.size() * service_->timing().task_submitv_per_seg_cycles);
+  service_->NotifyRunnable(*client, op.length);
   return OkStatus();
 }
 

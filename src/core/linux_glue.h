@@ -47,6 +47,19 @@ class CopierLinux : public simos::SimKernel::TrapHooks, public simos::KernelCopy
   // process is unattached, vectored submission is disabled (ablation), or the
   // batch reservation fails.
   Status CopyV(const simos::UserCopyVecOp& op, size_t* segs_submitted = nullptr) override;
+  // Fused IPC (DESIGN.md §12): publishes one cross-address-space bookkeeping
+  // Copy Task on the *sender's* client — src = the sender's buffer (write-
+  // locked until the copy lands), dst = the receiver's posted window, with
+  // one SgSegment per flow-control chunk so token-reclaim KFUNCs fire in the
+  // same order as the two-step path's per-skb handlers. ResourceExhausted
+  // (ring full) leaves no side effects; the kernel falls back to two-step.
+  bool SupportsFusedIpc() const override;
+  Status CopyFused(const simos::FusedCopyOp& op) override;
+  void NoteFuseEvent(simos::FuseEvent event) override;
+  // Pre-translates the posted window into every engine's ATCache (one walk,
+  // one shared registration table) so fused DMA lands on warm translations.
+  void RegisterWindow(simos::Process* proc, uint64_t va, size_t length,
+                      ExecContext* ctx) override;
   Status SyncKernel(simos::Process* proc, ExecContext* ctx) override;
   const char* name() const override { return "copier-linux"; }
 
@@ -70,6 +83,11 @@ class CopierLinux : public simos::SimKernel::TrapHooks, public simos::KernelCopy
   // Lazily submits the syscall's enter barrier before its first Copy Task
   // (§4.2.1). Returns false when the k-mode ring is full.
   bool EnsureEnterBarrier(Client& client, QueuePair& pair);
+  // Synchronous degrade for cross-client op-lists (submit_proc != proc): the
+  // per-segment queue fallback would submit on the receiver's client from the
+  // sender's thread, racing the receiver's syscall bracket — copy inline and
+  // mark the descriptor instead.
+  Status CopyVSync(const simos::UserCopyVecOp& op, size_t* segs_submitted);
 
   CopierService* service_;
   simos::SimKernel* kernel_;

@@ -723,9 +723,42 @@ Engine::Stats CopierService::TotalStats() const {
     total.cross_dep_settles += s.cross_dep_settles;
     total.cross_dep_defers += s.cross_dep_defers;
     total.cross_dep_wait_cycles += s.cross_dep_wait_cycles;
+    total.fused_ipc_tasks += s.fused_ipc_tasks;
+    total.fused_ipc_bytes += s.fused_ipc_bytes;
   }
   total.notify_calls = notify_calls_;
+  total.fuse_fallbacks = ipc_fuse_stats().fallbacks();
   return total;
+}
+
+void CopierService::NoteIpcFuseEvent(simos::FuseEvent event) {
+  switch (event) {
+    case simos::FuseEvent::kFused:
+      ++fuse_fused_;
+      break;
+    case simos::FuseEvent::kFallbackNotPosted:
+      ++fuse_not_posted_;
+      break;
+    case simos::FuseEvent::kFallbackWindowFull:
+      ++fuse_window_full_;
+      break;
+    case simos::FuseEvent::kFallbackPoolExhausted:
+      ++fuse_pool_exhausted_;
+      break;
+    case simos::FuseEvent::kFallbackRing:
+      ++fuse_ring_;
+      break;
+  }
+}
+
+CopierService::IpcFuseStats CopierService::ipc_fuse_stats() const {
+  IpcFuseStats stats;
+  stats.fused = fuse_fused_;
+  stats.fallback_not_posted = fuse_not_posted_;
+  stats.fallback_window_full = fuse_window_full_;
+  stats.fallback_pool_exhausted = fuse_pool_exhausted_;
+  stats.fallback_ring = fuse_ring_;
+  return stats;
 }
 
 CopierService::EngineUtil CopierService::engine_util(size_t i) const {

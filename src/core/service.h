@@ -45,6 +45,7 @@
 #include "src/core/sched.h"
 #include "src/hw/dma_channel_pool.h"
 #include "src/hw/timing_model.h"
+#include "src/simos/copy_backend.h"
 #include "src/simos/process.h"
 
 namespace copier::core {
@@ -161,6 +162,25 @@ class CopierService : public CrossEngineHooks {
   const CopierConfig& config() const { return options_.config; }
   const hw::TimingModel& timing() const { return *timing_; }
   Mode mode() const { return options_.mode; }
+
+  // Fused-IPC routing observability (DESIGN.md §12): one send-time decision
+  // per posted-capable transfer, recorded by the kernel glue
+  // (CopierLinux::NoteFuseEvent). Snapshot type; live counters are relaxed
+  // atomics. The fallback split distinguishes skb-pool pressure from
+  // receiver-not-posted — invisible in engine stats before this.
+  struct IpcFuseStats {
+    uint64_t fused = 0;                    // dispatched as one fused task
+    uint64_t fallback_not_posted = 0;      // receiver window absent
+    uint64_t fallback_window_full = 0;     // window present but full/too small
+    uint64_t fallback_pool_exhausted = 0;  // no skb/buffer flow-control token
+    uint64_t fallback_ring = 0;            // submission ring full → two-step
+    uint64_t fallbacks() const {
+      return fallback_not_posted + fallback_window_full + fallback_pool_exhausted +
+             fallback_ring;
+    }
+  };
+  void NoteIpcFuseEvent(simos::FuseEvent event);
+  IpcFuseStats ipc_fuse_stats() const;
 
   // Aggregated engine stats (all threads).
   Engine::Stats TotalStats() const;
@@ -317,6 +337,12 @@ class CopierService : public CrossEngineHooks {
   // Doorbell count (NotifyRunnable calls), service-wide: the vectored
   // submission path's O(1)-per-syscall claim is measured against this.
   mutable RelaxedCounter notify_calls_;
+  // Fused-IPC routing counters (IpcFuseStats mirror; fed by NoteIpcFuseEvent).
+  mutable RelaxedCounter fuse_fused_;
+  mutable RelaxedCounter fuse_not_posted_;
+  mutable RelaxedCounter fuse_window_full_;
+  mutable RelaxedCounter fuse_pool_exhausted_;
+  mutable RelaxedCounter fuse_ring_;
 };
 
 }  // namespace copier::core

@@ -263,6 +263,7 @@ StatusOr<Pfn> AddressSpace::TranslateRead(uint64_t va, ExecContext* ctx) {
 }
 
 StatusOr<Pfn> AddressSpace::TranslateWrite(uint64_t va, ExecContext* ctx) {
+  WaitForCopyLocks(va, 1);
   std::lock_guard<std::mutex> lock(mu_);
   return LockedTranslate(va, /*for_write=*/true, ctx);
 }
@@ -288,6 +289,9 @@ StatusOr<PhysRun> AddressSpace::ResolveRun(uint64_t va, size_t max_length, bool 
                                            ExecContext* ctx) {
   if (max_length == 0) {
     return InvalidArgument("zero-length run");
+  }
+  if (for_write) {
+    WaitForCopyLocks(va, max_length);
   }
   std::lock_guard<std::mutex> lock(mu_);
   auto first_or = LockedTranslate(va, for_write, ctx);
@@ -316,6 +320,9 @@ StatusOr<PhysRun> AddressSpace::ResolveRun(uint64_t va, size_t max_length, bool 
 }
 
 Status AddressSpace::PinRange(uint64_t va, size_t length, bool for_write, ExecContext* ctx) {
+  if (for_write) {
+    WaitForCopyLocks(va, length);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   const uint64_t first = PageNumber(va);
   const uint64_t last = PageNumber(va + length - 1);
@@ -347,6 +354,9 @@ void AddressSpace::UnpinRange(uint64_t va, size_t length) {
 
 Status AddressSpace::ForEachChunk(uint64_t va, size_t length, bool for_write, ExecContext* ctx,
                                   const std::function<void(uint8_t*, size_t)>& fn) {
+  if (for_write && length > 0) {
+    WaitForCopyLocks(va, length);
+  }
   while (length > 0) {
     StatusOr<Pfn> pfn_or = [&] {
       std::lock_guard<std::mutex> lock(mu_);
@@ -377,6 +387,65 @@ Status AddressSpace::WriteBytes(uint64_t va, const void* in, size_t length, Exec
     std::memcpy(host, src, n);
     src += n;
   });
+}
+
+int AddressSpace::LockRangeForCopy(uint64_t va, size_t length,
+                                   std::function<void()> resolver) {
+  COPIER_CHECK(resolver != nullptr);  // a lock nobody can resolve would spin forever
+  std::lock_guard<std::mutex> lock(mu_);
+  const int token = next_copy_lock_token_++;
+  copy_locks_.emplace_back(token, CopyLock{va, length, std::move(resolver)});
+  copy_locks_active_.store(copy_locks_.size(), std::memory_order_release);
+  return token;
+}
+
+void AddressSpace::UnlockRangeForCopy(int token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = copy_locks_.begin(); it != copy_locks_.end(); ++it) {
+    if (it->first == token) {
+      copy_locks_.erase(it);
+      break;
+    }
+  }
+  copy_locks_active_.store(copy_locks_.size(), std::memory_order_release);
+}
+
+bool AddressSpace::WriteLockedForCopy(uint64_t va, size_t length) const {
+  if (copy_locks_active_.load(std::memory_order_acquire) == 0) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [token, cl] : copy_locks_) {
+    if (RangesOverlap(va, length, cl.va, cl.length)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AddressSpace::WaitForCopyLocks(uint64_t va, size_t length) {
+  // Fast path: no live lock anywhere in this space (the common case — the
+  // counter is only non-zero while a fused IPC copy is in flight).
+  if (copy_locks_active_.load(std::memory_order_acquire) == 0) {
+    return;
+  }
+  for (;;) {
+    std::function<void()> resolver;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [token, cl] : copy_locks_) {
+        if (RangesOverlap(va, length, cl.va, cl.length)) {
+          resolver = cl.resolver;  // copy: the entry may die once mu_ drops
+          break;
+        }
+      }
+    }
+    if (resolver == nullptr) {
+      return;
+    }
+    copy_lock_waits_.fetch_add(1, std::memory_order_relaxed);
+    resolver();
+  }
 }
 
 StatusOr<std::unique_ptr<AddressSpace>> AddressSpace::ForkCow(uint32_t child_asid) {

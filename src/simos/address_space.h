@@ -129,6 +129,25 @@ class AddressSpace {
 
   void SetCowCopyFn(PageCopyFn fn) { cow_copy_ = std::move(fn); }
 
+  // --- Fused-IPC source write-protection (DESIGN.md §12) ----------------------
+
+  // Write-protects [va, va+length) until UnlockRangeForCopy: any write-side
+  // access (TranslateWrite, for_write ResolveRun/PinRange/ForEachChunk,
+  // WriteBytes) overlapping the range blocks by invoking `resolver` — which
+  // must make forward progress on the in-flight fused copy (pump the service
+  // in manual mode, yield to the copier threads in threaded mode) — until the
+  // lock is released. Reads are unaffected, as is the engine itself: the
+  // locked range is only ever the *source* of the in-flight copy, and the
+  // engine's internal remap/fault paths do not route through the public write
+  // entry points. Returns a token for UnlockRangeForCopy.
+  int LockRangeForCopy(uint64_t va, size_t length, std::function<void()> resolver);
+  void UnlockRangeForCopy(int token);
+  // True when any live copy-lock overlaps [va, va+length).
+  bool WriteLockedForCopy(uint64_t va, size_t length) const;
+  uint64_t copy_lock_waits() const {
+    return copy_lock_waits_.load(std::memory_order_relaxed);
+  }
+
   // --- Invalidation listeners -------------------------------------------------
 
   int AddInvalidationListener(InvalidationFn fn);
@@ -163,6 +182,16 @@ class AddressSpace {
     bool shared = false;  // MapSharedFrom: frames owned elsewhere (refcounted)
   };
 
+  struct CopyLock {
+    uint64_t va = 0;
+    size_t length = 0;
+    std::function<void()> resolver;
+  };
+
+  // Blocks while a copy-lock overlaps [va, va+length); must be called with
+  // mu_ NOT held (the resolver re-enters the space and the service).
+  void WaitForCopyLocks(uint64_t va, size_t length);
+
   // All Locked* helpers require mu_ held.
   const Vma* LockedFindVma(uint64_t va) const;
   StatusOr<Pfn> LockedTranslate(uint64_t va, bool for_write, ExecContext* ctx);
@@ -187,6 +216,13 @@ class AddressSpace {
   uint64_t minor_faults_ = 0;
   uint64_t cow_faults_ = 0;
   std::atomic<uint64_t> alias_cow_breaks_{0};
+
+  // Fused-IPC source locks (guarded by mu_; the count is a lock-free fast
+  // path so unrelated writes never take mu_ twice).
+  std::vector<std::pair<int, CopyLock>> copy_locks_;
+  int next_copy_lock_token_ = 1;
+  std::atomic<size_t> copy_locks_active_{0};
+  std::atomic<uint64_t> copy_lock_waits_{0};
 };
 
 }  // namespace copier::simos

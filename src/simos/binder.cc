@@ -16,7 +16,31 @@ StatusOr<BinderDriver::Transaction> BinderDriver::Transact(Process& client, uint
     return InvalidArgument("binder transaction exceeds buffer size");
   }
   kernel_->TrapEnter(client, ctx);
+  KernelCopyBackend* backend = kernel_->copy_backend();
+  const bool fuse_capable = backend->SupportsFusedIpc();
 
+  // A server-posted window that fits takes the transaction; too-small windows
+  // stay posted and the payload bounces through a buffer as usual.
+  std::unique_ptr<PostedWindow> win;
+  bool window_too_small = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (posted_ != nullptr) {
+      if (length <= posted_->length) {
+        win = std::move(posted_);
+      } else {
+        window_too_small = true;
+      }
+    }
+  }
+  if (fuse_capable && win == nullptr) {
+    backend->NoteFuseEvent(window_too_small ? FuseEvent::kFallbackWindowFull
+                                            : FuseEvent::kFallbackNotPosted);
+  }
+
+  // The transaction buffer doubles as the flow-control token on the posted
+  // path: fused transfers never touch its payload but still occupy the slot
+  // until their completion KFUNC, matching two-step buffer pressure.
   Buffer* buffer = nullptr;
   uint64_t id = 0;
   {
@@ -31,8 +55,21 @@ StatusOr<BinderDriver::Transaction> BinderDriver::Transact(Process& client, uint
     }
   }
   if (buffer == nullptr) {
+    if (fuse_capable && win != nullptr) {
+      backend->NoteFuseEvent(FuseEvent::kFallbackPoolExhausted);
+    }
+    if (win != nullptr) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (posted_ == nullptr) {
+        posted_ = std::move(win);  // Restore the unconsumed window.
+      }
+    }
     kernel_->TrapExit(client, ctx);
     return ResourceExhausted("no free binder transaction buffer");
+  }
+
+  if (win != nullptr) {
+    return TransactPosted(client, client_va, length, ctx, std::move(win), buffer, id);
   }
 
   // Step 1: driver copies client data into the kernel transaction buffer —
@@ -63,6 +100,113 @@ StatusOr<BinderDriver::Transaction> BinderDriver::Transact(Process& client, uint
   txn.length = length;
   txn.id = id;
   return txn;
+}
+
+StatusOr<BinderDriver::Transaction> BinderDriver::TransactPosted(
+    Process& client, uint64_t client_va, size_t length, ExecContext* ctx,
+    std::unique_ptr<PostedWindow> win, Buffer* buffer, uint64_t id) {
+  KernelCopyBackend* backend = kernel_->copy_backend();
+  auto restore_window = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (posted_ == nullptr) {
+      posted_ = std::move(win);
+    }
+  };
+  bool staged = !backend->SupportsFusedIpc();
+  if (!staged) {
+    // Fused single hop: client → window, no kernel-buffer bounce. One chunk —
+    // its completion KFUNC frees the buffer token, mirroring the two-step
+    // path's single buffer-reclaim handler.
+    FusedCopyOp fop;
+    fop.src_proc = &client;
+    fop.src_va = client_va;
+    fop.dst_proc = win->proc;
+    fop.dst_va = win->va;
+    fop.length = length;
+    fop.descriptor = win->descriptor;
+    fop.descriptor_offset = 0;
+    fop.protect_src = true;
+    fop.ctx = ctx;
+    fop.chunks.push_back(FusedChunk{length, [this, id](Cycles) { Release(id); }});
+    const Status fuse_status = backend->CopyFused(fop);
+    backend->NoteFuseEvent(fuse_status.ok() ? FuseEvent::kFused : FuseEvent::kFallbackRing);
+    staged = !fuse_status.ok();
+  }
+  if (staged) {
+    // Posted two-step: client → transaction buffer, then buffer → window on
+    // the client's queue (submit_proc), so the drain trails the staging FIFO.
+    UserCopyVecOp vop1;
+    vop1.proc = &client;
+    vop1.user_va = client_va;
+    vop1.to_user = false;
+    vop1.ctx = ctx;
+    vop1.segs.push_back(UserCopySeg{buffer->data.get(), length, nullptr});
+    Status status = backend->CopyV(vop1);
+    if (status.ok()) {
+      UserCopyVecOp vop2;
+      vop2.proc = win->proc;
+      vop2.submit_proc = &client;
+      vop2.user_va = win->va;
+      vop2.to_user = true;
+      vop2.descriptor = win->descriptor;
+      vop2.descriptor_offset = 0;
+      vop2.ctx = ctx;
+      vop2.segs.push_back(
+          UserCopySeg{buffer->data.get(), length, [this, id](Cycles) { Release(id); }});
+      status = backend->CopyV(vop2);
+    }
+    if (!status.ok()) {
+      Release(id);
+      restore_window();
+      kernel_->TrapExit(client, ctx);
+      return status;
+    }
+  }
+  ChargeCtx(ctx, kernel_->timing().binder_transaction_cycles);
+  kernel_->TrapExit(client, ctx);
+  Transaction txn;
+  txn.length = length;
+  txn.id = id;
+  txn.in_window = true;
+  txn.window_proc = win->proc;
+  txn.window_va = win->va;
+  return txn;
+}
+
+Status BinderDriver::PostReceive(Process& server, uint64_t va, size_t length, void* descriptor,
+                                 ExecContext* ctx) {
+  if (length == 0) {
+    return InvalidArgument("zero-length receive window");
+  }
+  kernel_->TrapEnter(server, ctx);
+  auto window = std::make_unique<PostedWindow>();
+  window->proc = &server;
+  window->va = va;
+  window->length = length;
+  window->descriptor = descriptor;
+  Status status = OkStatus();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (posted_ != nullptr) {
+      status = FailedPrecondition("a receive window is already posted");
+    } else {
+      posted_ = std::move(window);
+    }
+  }
+  if (status.ok()) {
+    // Registration (DESIGN.md §12): pre-translate the window so a fused
+    // transact lands on warm ATCache entries; the walk is the server's
+    // post-time cost, overlapped with the client's send.
+    kernel_->copy_backend()->RegisterWindow(&server, va, length, ctx);
+  }
+  ChargeCtx(ctx, kernel_->timing().binder_transaction_cycles / 4);  // driver bookkeeping
+  kernel_->TrapExit(server, ctx);
+  return status;
+}
+
+void BinderDriver::ClearReceive() {
+  std::lock_guard<std::mutex> lock(mu_);
+  posted_.reset();
 }
 
 Status BinderDriver::Reply(Process& server, ExecContext* ctx) {

@@ -31,17 +31,37 @@ class BinderDriver {
 
   struct Transaction {
     // Kernel transaction buffer mapped (read-only) into the server; the
-    // server accesses it through this host pointer.
+    // server accesses it through this host pointer. Null when the payload
+    // landed directly in the server's posted window (in_window).
     const uint8_t* data = nullptr;
     size_t length = 0;
     uint64_t id = 0;
+    // Posted-receive delivery (fused IPC, DESIGN.md §12): the payload is at
+    // [window_va, window_va+length) in window_proc's address space.
+    bool in_window = false;
+    Process* window_proc = nullptr;
+    uint64_t window_va = 0;
   };
 
   // Client sends [client_va, client_va+length) to the server. `descriptor`
   // is the libCopier descriptor for the driver-side copy (null = synchronous
   // baseline). The returned transaction stays valid until Release(id).
+  // When the server has posted a receive window that fits, the payload lands
+  // in the window instead (one fused src→dst task on a fuse-capable backend,
+  // a posted two-step through the transaction buffer otherwise) and the
+  // returned transaction has in_window set; the window is consumed.
   StatusOr<Transaction> Transact(Process& client, uint64_t client_va, size_t length,
                                  ExecContext* ctx, void* descriptor = nullptr);
+
+  // Registers the server's landing window for the next transaction (fused
+  // IPC): the next Transact whose payload fits lands directly in
+  // [va, va+length) instead of bouncing through a mapped kernel buffer.
+  // `descriptor` is the server's libCopier descriptor covering the window —
+  // it replaces Transact's for the posted transaction. One window at a time.
+  Status PostReceive(Process& server, uint64_t va, size_t length, void* descriptor,
+                     ExecContext* ctx);
+  // Drops the posted window, if any (server shutdown / mode switch).
+  void ClearReceive();
 
   // Server replies (small control message; modeled cost only).
   Status Reply(Process& server, ExecContext* ctx);
@@ -55,10 +75,18 @@ class BinderDriver {
     uint64_t transaction_id = 0;
   };
 
+  // Posted-window delivery: fused single hop when the backend supports it,
+  // two-step through `buffer` otherwise. Consumes `win` on success, restores
+  // it on failure. The caller has already TrapEnter'd; exits the trap.
+  StatusOr<Transaction> TransactPosted(Process& client, uint64_t client_va, size_t length,
+                                       ExecContext* ctx, std::unique_ptr<PostedWindow> win,
+                                       Buffer* buffer, uint64_t id);
+
   SimKernel* kernel_;
   std::mutex mu_;
   std::vector<Buffer> buffers_;
   uint64_t next_id_ = 1;
+  std::unique_ptr<PostedWindow> posted_;  // server's landing window (one at a time)
 };
 
 }  // namespace copier::simos

@@ -56,6 +56,13 @@ struct UserCopyVecOp {
   uint64_t user_va = 0;
   bool to_user = false;  // true: segments -> user (recv); false: user -> segments (send)
 
+  // Client whose queue carries the task (null = `proc`). The posted-window
+  // two-step path submits the drain into the *receiver's* window from the
+  // *sender's* syscall; riding the sender's queue keeps both halves FIFO-
+  // ordered on one client and never touches the receiver's syscall state.
+  // The user side above still resolves in `proc`'s address space.
+  Process* submit_proc = nullptr;
+
   void* descriptor = nullptr;    // app-provided descriptor covering the user range
   size_t descriptor_offset = 0;  // byte offset of the op within the descriptor
   bool lazy = false;
@@ -72,6 +79,46 @@ struct UserCopyVecOp {
   }
 };
 
+// One flow-control chunk of a fused transfer: `length` bytes whose reclaim
+// KFUNC (release the skb/parcel-buffer token) fires when every byte of the
+// chunk has landed in the receiver's window — the same per-segment firing
+// order the two-step path produces.
+struct FusedChunk {
+  size_t length = 0;
+  std::function<void(Cycles)> on_complete;
+};
+
+// A fused IPC transfer (DESIGN.md §12): one direct src→dst copy across two
+// address spaces, skipping the intermediate kernel buffer entirely. Built by
+// Send/Transact when the receiver's window is posted.
+struct FusedCopyOp {
+  Process* src_proc = nullptr;  // sender; the task rides this client's queue
+  uint64_t src_va = 0;
+  Process* dst_proc = nullptr;  // receiver owning the posted window
+  uint64_t dst_va = 0;
+  size_t length = 0;
+
+  void* descriptor = nullptr;  // receiver's window descriptor (core::Descriptor*)
+  size_t descriptor_offset = 0;
+  std::vector<FusedChunk> chunks;  // lengths sum to `length`
+  // Write-protect [src_va, src_va+length) in the sender's space until the
+  // fused copy lands, so a sender-side store after "send returned" cannot
+  // leak into the receiver's image (the two-step path snapshots into skbs).
+  bool protect_src = true;
+
+  ExecContext* ctx = nullptr;
+};
+
+// Send-time routing decision on a fuse-capable backend (service observability;
+// CopierService::IpcFuseStats).
+enum class FuseEvent : uint8_t {
+  kFused = 0,              // dispatched as one fused task
+  kFallbackNotPosted,      // receiver window absent → classic two-step
+  kFallbackWindowFull,     // window present but full / too small
+  kFallbackPoolExhausted,  // no skb/buffer flow-control token available
+  kFallbackRing,           // submission ring full → posted two-step
+};
+
 class KernelCopyBackend {
  public:
   virtual ~KernelCopyBackend() = default;
@@ -86,6 +133,35 @@ class KernelCopyBackend {
   // `segs_submitted` is non-null it reports how many leading segments were
   // accepted, so callers can reclaim the buffers of the rest.
   virtual Status CopyV(const UserCopyVecOp& op, size_t* segs_submitted = nullptr);
+
+  // Fused IPC (DESIGN.md §12). A fuse-capable backend turns a FusedCopyOp
+  // into one cross-address-space Copy Task whose per-chunk KFUNCs fire in
+  // order as bytes land. Backends that cannot (the synchronous baseline, the
+  // enable_ipc_fuse ablation) report !SupportsFusedIpc() and the kernel keeps
+  // the two-step path. CopyFused may fail with ResourceExhausted (submission
+  // ring full) — no side effects in that case; the caller falls back.
+  virtual bool SupportsFusedIpc() const { return false; }
+  virtual Status CopyFused(const FusedCopyOp& op) {
+    (void)op;
+    return Unimplemented("backend cannot fuse IPC transfers");
+  }
+  // Send-time routing observability; fuse-capable backends forward these to
+  // the service's IpcFuseStats counters.
+  virtual void NoteFuseEvent(FuseEvent event) { (void)event; }
+
+  // Window registration (DESIGN.md §12): called when a receive window is
+  // posted. A fuse-capable backend treats the post like an RDMA memory
+  // registration — it walks the window's pages once, faulting them in and
+  // publishing their translations to the service's address-transfer cache,
+  // so the fused copy's DMA engines hit warm translations instead of paying
+  // per-page walks on the transfer's critical path. The walk is charged to
+  // the receiver's context here, where it overlaps the peer's send.
+  virtual void RegisterWindow(Process* proc, uint64_t va, size_t length, ExecContext* ctx) {
+    (void)proc;
+    (void)va;
+    (void)length;
+    (void)ctx;
+  }
 
   // Ensures all pending kernel-side copies for `proc` whose destination the
   // kernel itself is about to consume are done (e.g. send: driver syncs

@@ -69,7 +69,42 @@ StatusOr<size_t> SimKernel::Send(Process& proc, SimSocket* sock, uint64_t va, si
   }
   TrapEnter(proc, ctx);
   SimSocket* peer = sock->peer();
+  const bool fuse_capable = backend_->SupportsFusedIpc();
+  PostedWindow* win = peer->posted_window();
+  StatusOr<size_t> result = 0;
+  if (win == nullptr) {
+    if (fuse_capable) {
+      backend_->NoteFuseEvent(FuseEvent::kFallbackNotPosted);
+    }
+    result = SendClassic(proc, sock, va, length, ctx, opts);
+  } else {
+    // Stream order: skbs already queued at the peer carry bytes sent before
+    // this call — drain them into the window ahead of this payload.
+    Status drain_status = OkStatus();
+    if (peer->HasData()) {
+      drain_status = DrainRxIntoWindow(proc, peer, win, ctx);
+    }
+    if (!drain_status.ok()) {
+      result = drain_status;
+    } else if (win->filled >= win->length) {
+      if (fuse_capable) {
+        backend_->NoteFuseEvent(FuseEvent::kFallbackWindowFull);
+      }
+      result = SendClassic(proc, sock, va, length, ctx, opts);
+    } else {
+      result = SendPosted(proc, peer, win, va, length, ctx, opts);
+    }
+  }
+  TrapExit(proc, ctx);
+  return result;
+}
+
+StatusOr<size_t> SimKernel::SendClassic(Process& proc, SimSocket* sock, uint64_t va,
+                                        size_t length, ExecContext* ctx,
+                                        const SendOptions& opts) {
+  SimSocket* peer = sock->peer();
   SkbPool* pool = sock->pool();
+  auto probe = kfunc_probe_;
   // Gather the syscall's whole skb op-list, then submit it with ONE vectored
   // copy — one ring transaction and one doorbell on the Copier backend, a
   // per-segment loop on synchronous backends.
@@ -96,14 +131,14 @@ StatusOr<size_t> SimKernel::Send(Process& proc, SimSocket* sock, uint64_t va, si
     // segment completion, which delivers the packet (this is the send-side
     // Copy-Use window: socket-layer submit → driver enqueue).
     acquired.push_back(skb);
-    vop.segs.push_back(UserCopySeg{skb->data, take, [peer, skb, nic_tx](Cycles when) {
+    vop.segs.push_back(UserCopySeg{skb->data, take, [peer, skb, nic_tx, probe](Cycles when) {
+                                     if (probe) probe(skb->id);
                                      skb->delivered_at = when + nic_tx;
                                      peer->EnqueueRx(skb);
                                    }});
     sent += take;
   }
   if (sent == 0) {
-    TrapExit(proc, ctx);
     return ResourceExhausted("skb pool exhausted");
   }
   size_t segs_submitted = 0;
@@ -115,11 +150,232 @@ StatusOr<size_t> SimKernel::Send(Process& proc, SimSocket* sock, uint64_t va, si
     for (size_t i = segs_submitted; i < acquired.size(); ++i) {
       pool->Release(acquired[i]);
     }
+    return status;
+  }
+  return sent;
+}
+
+StatusOr<size_t> SimKernel::SendPosted(Process& proc, SimSocket* peer, PostedWindow* win,
+                                       uint64_t va, size_t length, ExecContext* ctx,
+                                       const SendOptions& /*opts*/) {
+  SkbPool* pool = peer->pool();
+  const size_t target = std::min(length, win->length - win->filled);
+  const bool fuse_capable = backend_->SupportsFusedIpc();
+  auto probe = kfunc_probe_;
+  // Reserve skbs as flow-control tokens even though the fused path never
+  // touches their payload: the posted path must exert the same pool pressure
+  // — and fire the same per-chunk reclaim KFUNCs, in the same order — as the
+  // two-step path it replaces. The reservation is one bulk pool transaction,
+  // and the transfer is one logical segment (the window bypasses TCP
+  // segmentation), so TX protocol work is charged once, not per MTU.
+  std::vector<Skb*> tokens =
+      pool->AcquireBatch((target + kMtu - 1) / kMtu, ctx);
+  std::vector<size_t> takes;
+  size_t covered = 0;
+  for (Skb* skb : tokens) {
+    const size_t take = std::min(kMtu, target - covered);
+    skb->length = take;
+    takes.push_back(take);
+    covered += take;
+  }
+  if (!tokens.empty()) {
+    ChargeCtx(ctx, timing_->tcp_tx_per_packet_cycles);
+  }
+  if (covered == 0) {
+    if (fuse_capable) {
+      backend_->NoteFuseEvent(FuseEvent::kFallbackPoolExhausted);
+    }
+    return ResourceExhausted("skb pool exhausted");
+  }
+  const size_t dst_off = win->filled;
+  if (fuse_capable) {
+    // Fused single hop: ONE src→dst Copy Task, no kernel-buffer bounce. The
+    // sender's range stays write-protected until the task lands (CopyFused
+    // locks it); each chunk's completion releases its flow-control token.
+    FusedCopyOp fop;
+    fop.src_proc = &proc;
+    fop.src_va = va;
+    fop.dst_proc = win->proc;
+    fop.dst_va = win->va + dst_off;
+    fop.length = covered;
+    fop.descriptor = win->descriptor;
+    fop.descriptor_offset = dst_off;
+    fop.protect_src = true;
+    fop.ctx = ctx;
+    fop.chunks.reserve(tokens.size());
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      Skb* skb = tokens[i];
+      fop.chunks.push_back(FusedChunk{takes[i], [pool, skb, probe](Cycles) {
+                                        if (probe) probe(skb->id);
+                                        pool->Release(skb);
+                                      }});
+    }
+    const Status fuse_status = backend_->CopyFused(fop);
+    if (fuse_status.ok()) {
+      backend_->NoteFuseEvent(FuseEvent::kFused);
+      win->filled += covered;
+      return covered;
+    }
+    // Ring full: CopyFused left no side effects, the tokens are still ours —
+    // stage through them instead.
+    backend_->NoteFuseEvent(FuseEvent::kFallbackRing);
+  }
+  // Posted two-step: stage sender→skbs, then drain skbs→window. Both halves
+  // ride the sender's client (vop2.submit_proc), so the drain is queued FIFO
+  // behind the staging it reads from.
+  UserCopyVecOp vop1;
+  vop1.proc = &proc;
+  vop1.user_va = va;
+  vop1.to_user = false;
+  // Never lazy: the drain reads the skbs as the very next task, so deferring
+  // the staging would invert the data dependency.
+  vop1.ctx = ctx;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    vop1.segs.push_back(UserCopySeg{tokens[i]->data, takes[i], nullptr});
+  }
+  size_t staged = 0;
+  const Status stage_status = backend_->CopyV(vop1, &staged);
+  if (!stage_status.ok()) {
+    for (size_t i = staged; i < tokens.size(); ++i) {
+      pool->Release(tokens[i]);
+    }
+    if (staged == 0) {
+      return stage_status;
+    }
+    tokens.resize(staged);  // Truncate to the staged prefix.
+    takes.resize(staged);
+    covered = 0;
+    for (size_t take : takes) {
+      covered += take;
+    }
+  }
+  UserCopyVecOp vop2;
+  vop2.proc = win->proc;
+  vop2.submit_proc = &proc;
+  vop2.user_va = win->va + dst_off;
+  vop2.to_user = true;
+  vop2.descriptor = win->descriptor;
+  vop2.descriptor_offset = dst_off;
+  vop2.ctx = ctx;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    Skb* skb = tokens[i];
+    vop2.segs.push_back(UserCopySeg{skb->data, takes[i], [pool, skb, probe](Cycles) {
+                                      if (probe) probe(skb->id);
+                                      pool->Release(skb);
+                                    }});
+  }
+  size_t drained = 0;
+  const Status drain_status = backend_->CopyV(vop2, &drained);
+  if (!drain_status.ok()) {
+    for (size_t i = drained; i < tokens.size(); ++i) {
+      pool->Release(tokens[i]);
+    }
+    size_t landed = 0;
+    for (size_t i = 0; i < drained; ++i) {
+      landed += takes[i];
+    }
+    if (landed == 0) {
+      return drain_status;
+    }
+    win->filled += landed;
+    return landed;
+  }
+  win->filled += covered;
+  return covered;
+}
+
+Status SimKernel::DrainRxIntoWindow(Process& submit_proc, SimSocket* sock, PostedWindow* win,
+                                    ExecContext* ctx) {
+  SkbPool* pool = sock->pool();
+  const size_t room = win->length - win->filled;
+  if (room == 0) {
+    return OkStatus();
+  }
+  auto probe = kfunc_probe_;
+  size_t packets = 0;
+  Cycles latest_delivery = 0;
+  UserCopyVecOp vop;
+  vop.proc = win->proc;
+  vop.submit_proc = &submit_proc;
+  vop.user_va = win->va + win->filled;
+  vop.to_user = true;
+  vop.descriptor = win->descriptor;
+  vop.descriptor_offset = win->filled;
+  vop.ctx = ctx;
+  std::vector<Skb*> consumed_skbs;
+  const size_t consumed =
+      sock->ConsumeRx(room, &latest_delivery, [&](Skb* skb, size_t offset, size_t take) {
+        ++packets;
+        skb->pending_copies.fetch_add(1, std::memory_order_acq_rel);
+        consumed_skbs.push_back(skb);
+        vop.segs.push_back(UserCopySeg{skb->data + offset, take, [pool, skb, probe](Cycles) {
+                                         if (probe) probe(skb->id);
+                                         SimSocket::CompleteCopy(pool, skb);
+                                       }});
+      });
+  if (consumed == 0) {
+    return OkStatus();
+  }
+  if (ctx != nullptr) {
+    ctx->WaitUntil(latest_delivery);
+  }
+  ChargeCtx(ctx, timing_->tcp_rx_per_packet_cycles * packets + timing_->socket_status_cycles);
+  size_t segs_submitted = 0;
+  const Status status = backend_->CopyV(vop, &segs_submitted);
+  if (!status.ok()) {
+    for (size_t i = segs_submitted; i < consumed_skbs.size(); ++i) {
+      SimSocket::CompleteCopy(pool, consumed_skbs[i]);
+    }
+    size_t landed = 0;
+    for (size_t i = 0; i < segs_submitted; ++i) {
+      landed += vop.segs[i].length;
+    }
+    win->filled += landed;  // The submitted prefix still lands in the window.
+    return status;
+  }
+  win->filled += consumed;
+  return OkStatus();
+}
+
+StatusOr<size_t> SimKernel::PostRecv(Process& proc, SimSocket* sock, uint64_t va, size_t length,
+                                     ExecContext* ctx, const RecvOptions& opts) {
+  if (length == 0) {
+    return InvalidArgument("zero-length receive window");
+  }
+  TrapEnter(proc, ctx);
+  auto window = std::make_unique<PostedWindow>();
+  window->proc = &proc;
+  window->va = va;
+  window->length = length;
+  window->descriptor = opts.descriptor;
+  PostedWindow* win = window.get();
+  Status status = sock->PostWindow(std::move(window));
+  if (!status.ok()) {
     TrapExit(proc, ctx);
     return status;
   }
+  // Registration (DESIGN.md §12): pre-translate the window so fused sends
+  // land on warm ATCache entries; the walk is the receiver's post-time cost.
+  backend_->RegisterWindow(&proc, va, length, ctx);
+  // Staged-then-fused: bytes already queued were sent before the window
+  // existed — drain them into it now so stream order is preserved.
+  status = DrainRxIntoWindow(proc, sock, win, ctx);
   TrapExit(proc, ctx);
-  return sent;
+  if (!status.ok()) {
+    return status;
+  }
+  return win->filled;
+}
+
+StatusOr<size_t> SimKernel::CompleteRecv(Process& proc, SimSocket* sock, ExecContext* ctx) {
+  TrapEnter(proc, ctx);
+  std::unique_ptr<PostedWindow> win = sock->TakeWindow();
+  ChargeCtx(ctx, timing_->socket_status_cycles);
+  TrapExit(proc, ctx);
+  if (win == nullptr) {
+    return FailedPrecondition("no receive window posted");
+  }
+  return win->filled;
 }
 
 StatusOr<size_t> SimKernel::Recv(Process& proc, SimSocket* sock, uint64_t va, size_t length,
@@ -127,8 +383,12 @@ StatusOr<size_t> SimKernel::Recv(Process& proc, SimSocket* sock, uint64_t va, si
   if (length == 0) {
     return InvalidArgument("zero-length recv");
   }
+  if (sock->posted_window() != nullptr) {
+    return FailedPrecondition("recv while a window is posted (use CompleteRecv)");
+  }
   TrapEnter(proc, ctx);
   SkbPool* pool = sock->pool();
+  auto probe = kfunc_probe_;
   size_t packets = 0;
   Cycles latest_delivery = 0;
   // Gather the consumed skb pieces into one op-list; each piece's completion
@@ -147,9 +407,10 @@ StatusOr<size_t> SimKernel::Recv(Process& proc, SimSocket* sock, uint64_t va, si
         ++packets;
         skb->pending_copies.fetch_add(1, std::memory_order_acq_rel);
         consumed_skbs.push_back(skb);
-        vop.segs.push_back(UserCopySeg{
-            skb->data + offset, take,
-            [pool, skb](Cycles) { SimSocket::CompleteCopy(pool, skb); }});
+        vop.segs.push_back(UserCopySeg{skb->data + offset, take, [pool, skb, probe](Cycles) {
+                                         if (probe) probe(skb->id);
+                                         SimSocket::CompleteCopy(pool, skb);
+                                       }});
       });
   if (consumed > 0 && ctx != nullptr) {
     // Blocking semantics in virtual time: the receiver cannot observe a

@@ -10,8 +10,10 @@
 #define COPIER_SRC_SIMOS_KERNEL_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/exec_context.h"
@@ -60,14 +62,32 @@ class SimKernel {
 
   // send(2): copies user data into skbs via the copy backend; the driver
   // delivers each skb to the peer when its copy completes (KFUNC). Returns
-  // bytes sent.
+  // bytes sent. When the peer has posted a receive window (PostRecv), the
+  // transfer routes into the window instead — as ONE fused src→dst task on a
+  // fuse-capable backend (skbs are reserved only as flow-control tokens), or
+  // as a posted two-step (stage into skbs, drain into the window) otherwise.
   StatusOr<size_t> Send(Process& proc, SimSocket* sock, uint64_t va, size_t length,
                         ExecContext* ctx, const SendOptions& opts = {});
 
   // recv(2): copies pending skb payload into the user buffer via the backend.
-  // Returns bytes received; kUnavailable when no data is queued (EAGAIN).
+  // Returns bytes received; kUnavailable when no data is queued (EAGAIN);
+  // kFailedPrecondition while a window is posted (use CompleteRecv).
   StatusOr<size_t> Recv(Process& proc, SimSocket* sock, uint64_t va, size_t length,
                         ExecContext* ctx, const RecvOptions& opts = {});
+
+  // Posted-receive fast path (fused IPC, DESIGN.md §12): registers
+  // [va, va+length) as `sock`'s landing window so subsequent peer sends land
+  // directly in it. Skbs already queued are staged-drained into the window
+  // immediately (staged-then-fused). Returns the bytes staged. The app csyncs
+  // opts.descriptor (which covers the window's byte space) for readiness.
+  StatusOr<size_t> PostRecv(Process& proc, SimSocket* sock, uint64_t va, size_t length,
+                            ExecContext* ctx, const RecvOptions& opts = {});
+  // Closes the posted window and returns the bytes that landed in it.
+  StatusOr<size_t> CompleteRecv(Process& proc, SimSocket* sock, ExecContext* ctx);
+
+  // Test hook (kfunc-order differentials): invoked with the skb id from every
+  // skb delivery/reclaim KFUNC the socket paths fire, in firing order.
+  void SetKfuncProbe(std::function<void(uint32_t)> probe) { kfunc_probe_ = std::move(probe); }
 
   // --- Traps -------------------------------------------------------------------
 
@@ -88,6 +108,21 @@ class SimKernel {
   const hw::TimingModel& timing() const { return *timing_; }
 
  private:
+  // Classic two-step send: user → skbs, delivery KFUNC per skb (the
+  // pre-posted-window path, verbatim).
+  StatusOr<size_t> SendClassic(Process& proc, SimSocket* sock, uint64_t va, size_t length,
+                               ExecContext* ctx, const SendOptions& opts);
+  // Posted-window send: fused single-hop when the backend supports it,
+  // two-step staged through the reserved skb tokens otherwise.
+  StatusOr<size_t> SendPosted(Process& proc, SimSocket* peer, PostedWindow* win, uint64_t va,
+                              size_t length, ExecContext* ctx, const SendOptions& opts);
+  // Drains `sock`'s queued skbs into its posted window (classic scatter ops
+  // with reclaim KFUNCs, descriptor offsets at win->filled). `submit_proc` is
+  // the syscall's process: the receiver for PostRecv, the sender when a send
+  // finds staged bytes ahead of it in the stream.
+  Status DrainRxIntoWindow(Process& submit_proc, SimSocket* sock, PostedWindow* win,
+                           ExecContext* ctx);
+
   const hw::TimingModel* timing_;
   std::unique_ptr<PhysicalMemory> phys_;
   std::unique_ptr<SkbPool> skb_pool_;
@@ -98,6 +133,7 @@ class SimKernel {
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<std::unique_ptr<SimSocket>> sockets_;
   uint32_t next_pid_ = 1;
+  std::function<void(uint32_t)> kfunc_probe_;
 };
 
 }  // namespace copier::simos

@@ -17,11 +17,13 @@ SkbPool::SkbPool(size_t count, const hw::TimingModel* timing) : timing_(timing) 
     free_.push_back(skb.get());
     all_.push_back(std::move(skb));
   }
+  low_watermark_ = count;
 }
 
 StatusOr<Skb*> SkbPool::Acquire(ExecContext* ctx) {
   std::lock_guard<std::mutex> lock(mu_);
   if (free_.empty()) {
+    ++acquire_failures_;
     return ResourceExhausted("skb pool empty");
   }
   Skb* skb = free_.back();  // LIFO: reuse the most recent buffer (ATCache-friendly)
@@ -31,8 +33,45 @@ StatusOr<Skb*> SkbPool::Acquire(ExecContext* ctx) {
   skb->drained.store(false, std::memory_order_relaxed);
   skb->pending_copies.store(0, std::memory_order_relaxed);
   ++total_acquires_;
+  low_watermark_ = std::min(low_watermark_, free_.size());
   ChargeCtx(ctx, timing_->skb_alloc_cycles);
   return skb;
+}
+
+std::vector<Skb*> SkbPool::AcquireBatch(size_t max_count, ExecContext* ctx) {
+  std::vector<Skb*> batch;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.empty()) {
+    if (max_count > 0) {
+      ++acquire_failures_;
+    }
+    return batch;
+  }
+  const size_t take = std::min(max_count, free_.size());
+  batch.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    Skb* skb = free_.back();  // LIFO, same reuse order as Acquire()
+    free_.pop_back();
+    skb->length = 0;
+    skb->consumed = 0;
+    skb->drained.store(false, std::memory_order_relaxed);
+    skb->pending_copies.store(0, std::memory_order_relaxed);
+    ++total_acquires_;
+    batch.push_back(skb);
+  }
+  low_watermark_ = std::min(low_watermark_, free_.size());
+  ChargeCtx(ctx, timing_->skb_alloc_cycles);  // one freelist transaction
+  return batch;
+}
+
+uint64_t SkbPool::acquire_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acquire_failures_;
+}
+
+size_t SkbPool::low_watermark() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return low_watermark_;
 }
 
 void SkbPool::Release(Skb* skb) {
@@ -98,6 +137,25 @@ size_t SimSocket::ConsumeRx(size_t max, Cycles* latest_delivery,
     consumed += take;
   }
   return consumed;
+}
+
+Status SimSocket::PostWindow(std::unique_ptr<PostedWindow> window) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (posted_ != nullptr) {
+    return FailedPrecondition("a receive window is already posted");
+  }
+  posted_ = std::move(window);
+  return OkStatus();
+}
+
+PostedWindow* SimSocket::posted_window() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return posted_.get();
+}
+
+std::unique_ptr<PostedWindow> SimSocket::TakeWindow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::move(posted_);
 }
 
 void SimSocket::CompleteCopy(SkbPool* pool, Skb* skb) {

@@ -56,10 +56,23 @@ class SkbPool {
   SkbPool(size_t count, const hw::TimingModel* timing);
 
   StatusOr<Skb*> Acquire(ExecContext* ctx);
+  // Bulk reservation for posted-window sends (DESIGN.md §12): pops up to
+  // `max_count` skbs in one pool transaction, charging the allocation cost
+  // once for the batch — the fused path reserves its whole flow-control token
+  // run without paying per-packet allocation. Returns an empty vector (and
+  // counts an acquire failure) when the pool is dry.
+  std::vector<Skb*> AcquireBatch(size_t max_count, ExecContext* ctx);
   void Release(Skb* skb);
 
   size_t available() const;
   uint64_t total_acquires() const { return total_acquires_; }
+  // Acquire() calls that found the pool empty. Together with low_watermark()
+  // this makes skb_pool_size pressure observable, so pool-exhaustion
+  // fallbacks of the fused path (FuseEvent::kFallbackPoolExhausted) can be
+  // told apart from receiver-not-posted fallbacks.
+  uint64_t acquire_failures() const;
+  // Smallest free count observed right after a successful Acquire.
+  size_t low_watermark() const;
 
  private:
   const hw::TimingModel* timing_;
@@ -68,6 +81,8 @@ class SkbPool {
   mutable std::mutex mu_;
   std::vector<Skb*> free_;
   uint64_t total_acquires_ = 0;
+  uint64_t acquire_failures_ = 0;
+  size_t low_watermark_ = 0;
 };
 
 struct SendOptions {
@@ -82,6 +97,19 @@ struct RecvOptions {
   bool lazy = false;  // mark kernel->user copy lazy (proxy pattern, §4.4)
 };
 
+// A receiver-posted landing window (fused IPC, DESIGN.md §12): the recv
+// buffer registered *before* the data arrives, so a peer send can land
+// directly in it — fused when the backend supports it, via a posted two-step
+// otherwise. `filled` advances as sends route bytes in; the receiver csyncs
+// `descriptor` and closes the window with CompleteRecv.
+struct PostedWindow {
+  Process* proc = nullptr;     // receiver owning the window
+  uint64_t va = 0;             // window base in the receiver's space
+  size_t length = 0;
+  size_t filled = 0;           // bytes routed into the window so far
+  void* descriptor = nullptr;  // receiver's descriptor covering the window
+};
+
 // One endpoint of a connected in-memory stream socket.
 class SimSocket {
  public:
@@ -90,6 +118,15 @@ class SimSocket {
   void set_peer(SimSocket* peer) { peer_ = peer; }
   SimSocket* peer() { return peer_; }
   SkbPool* pool() { return pool_; }
+
+  // Posted window registry. One window at a time; Recv() is rejected while a
+  // window is posted. The pointer stays owned by the socket until TakeWindow.
+  // The kernel mutates `filled` from send syscalls without the socket lock —
+  // post/send/complete on one socket are syscall-serialized by the apps, as
+  // stream sockets require anyway.
+  Status PostWindow(std::unique_ptr<PostedWindow> window);
+  PostedWindow* posted_window() const;
+  std::unique_ptr<PostedWindow> TakeWindow();
 
   void EnqueueRx(Skb* skb);
   bool HasData() const;
@@ -111,6 +148,7 @@ class SimSocket {
   SimSocket* peer_ = nullptr;
   mutable std::mutex mu_;
   std::deque<Skb*> rx_;
+  std::unique_ptr<PostedWindow> posted_;
 };
 
 }  // namespace copier::simos

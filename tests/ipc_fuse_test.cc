@@ -1,0 +1,603 @@
+// Fused IPC fast path (DESIGN.md §12): posted-receive transfers must be
+// byte-identical — with identical KFUNC order — whether they take the fused
+// single-hop task or the two-step staged path (enable_ipc_fuse ablation),
+// and every rung of the fallback ladder must degrade losslessly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/apps/parcel.h"
+#include "src/simos/binder.h"
+#include "tests/test_util.h"
+
+namespace copier::test {
+namespace {
+
+// --- socket differential -----------------------------------------------------
+
+struct PostedRunResult {
+  std::vector<uint8_t> image;
+  uint64_t kfuncs_run = 0;
+  std::vector<uint32_t> probe;  // skb ids in KFUNC firing order
+  uint64_t fused_ipc_tasks = 0;
+  uint64_t fused_ipc_bytes = 0;
+  core::CopierService::IpcFuseStats fuse = {};
+};
+
+PostedRunResult RunPostedSocketWorkload(bool fuse, size_t n) {
+  core::CopierConfig config;
+  config.enable_ipc_fuse = fuse;
+  CopierStack stack(config);
+  simos::Process* peer = stack.kernel->CreateProcess("peer");
+  stack.service->AttachProcess(peer);
+  auto [tx, rx] = stack.kernel->CreateSocketPair();
+
+  const uint64_t src = stack.Map(n, "src");
+  FillPattern(stack.proc->mem(), src, n, 7001 + n);
+  auto dst_or = peer->mem().MapAnonymous(n, "win", true);
+  EXPECT_TRUE(dst_or.ok());
+
+  PostedRunResult result;
+  stack.kernel->SetKfuncProbe([&](uint32_t id) { result.probe.push_back(id); });
+
+  core::Descriptor descriptor(n);
+  simos::RecvOptions ropts;
+  ropts.descriptor = &descriptor;
+  auto staged = stack.kernel->PostRecv(*peer, rx, *dst_or, n, nullptr, ropts);
+  EXPECT_TRUE(staged.ok()) << staged.status().ToString();
+  EXPECT_EQ(*staged, 0u);  // nothing queued yet
+
+  size_t sent_total = 0;
+  for (int iter = 0; iter < 1000 && sent_total < n; ++iter) {
+    auto sent = stack.kernel->Send(*stack.proc, tx, src + sent_total, n - sent_total, nullptr);
+    EXPECT_TRUE(sent.ok()) << sent.status().ToString();
+    if (!sent.ok()) {
+      break;
+    }
+    sent_total += *sent;
+    stack.service->DrainAll();
+  }
+  EXPECT_EQ(sent_total, n);
+  EXPECT_TRUE(
+      core::WaitDescriptor(descriptor, 0, n, nullptr, [&] { stack.service->DrainAll(); })
+          .ok());
+  auto filled = stack.kernel->CompleteRecv(*peer, rx, nullptr);
+  EXPECT_TRUE(filled.ok());
+  EXPECT_EQ(*filled, n);
+
+  result.image = ReadAll(peer->mem(), *dst_or, n);
+  const core::Engine::Stats stats = stack.service->TotalStats();
+  result.kfuncs_run = stats.kfuncs_run;
+  result.fused_ipc_tasks = stats.fused_ipc_tasks;
+  result.fused_ipc_bytes = stats.fused_ipc_bytes;
+  result.fuse = stack.service->ipc_fuse_stats();
+  return result;
+}
+
+class PostedSocketDifferential : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PostedSocketDifferential, FusedMatchesTwoStep) {
+  const size_t n = GetParam();
+  const PostedRunResult fused = RunPostedSocketWorkload(/*fuse=*/true, n);
+  const PostedRunResult two_step = RunPostedSocketWorkload(/*fuse=*/false, n);
+
+  // Byte identity: the modes differ in how many times the bytes move, never
+  // in what lands in the window.
+  ASSERT_EQ(fused.image.size(), two_step.image.size());
+  EXPECT_EQ(fused.image, two_step.image);
+
+  // KFUNC parity: the fused task's per-chunk reclaim handlers replace the
+  // drain's per-skb handlers one for one, in the same order.
+  EXPECT_EQ(fused.kfuncs_run, two_step.kfuncs_run);
+  EXPECT_GT(fused.kfuncs_run, 0u);
+  EXPECT_EQ(fused.probe, two_step.probe);
+
+  // fused_ipc_bytes is exact: every payload byte went through a fused task in
+  // fuse mode, none in the ablation.
+  EXPECT_EQ(fused.fused_ipc_bytes, n);
+  EXPECT_GE(fused.fused_ipc_tasks, 1u);
+  EXPECT_GE(fused.fuse.fused, 1u);
+  EXPECT_EQ(fused.fuse.fallbacks(), 0u);
+  EXPECT_EQ(two_step.fused_ipc_bytes, 0u);
+  EXPECT_EQ(two_step.fused_ipc_tasks, 0u);
+  EXPECT_EQ(two_step.fuse.fused, 0u);
+  EXPECT_EQ(two_step.fuse.fallbacks(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PostedSocketDifferential,
+                         ::testing::Values(4 * kKiB, 40 * kKiB + 123, 1 * kMiB));
+
+// --- binder differential -----------------------------------------------------
+
+struct BinderRunResult {
+  std::vector<uint8_t> image;
+  uint64_t kfuncs_run = 0;
+  uint64_t fused_ipc_bytes = 0;
+  core::CopierService::IpcFuseStats fuse = {};
+};
+
+BinderRunResult RunPostedBinderWorkload(bool fuse, size_t n) {
+  core::CopierConfig config;
+  config.enable_ipc_fuse = fuse;
+  CopierStack stack(config);
+  simos::Process* server = stack.kernel->CreateProcess("server");
+  stack.service->AttachProcess(server);
+  simos::BinderDriver binder(stack.kernel.get());
+
+  const uint64_t msg = stack.Map(n, "msg");
+  FillPattern(stack.proc->mem(), msg, n, 41);
+  auto win_or = server->mem().MapAnonymous(n, "win", true);
+  EXPECT_TRUE(win_or.ok());
+
+  core::Descriptor descriptor(n);
+  EXPECT_TRUE(binder.PostReceive(*server, *win_or, n, &descriptor, nullptr).ok());
+  auto txn = binder.Transact(*stack.proc, msg, n, nullptr);
+  EXPECT_TRUE(txn.ok()) << txn.status().ToString();
+  EXPECT_TRUE(txn->in_window);
+  EXPECT_EQ(txn->window_va, *win_or);
+  EXPECT_TRUE(
+      core::WaitDescriptor(descriptor, 0, n, nullptr, [&] { stack.service->DrainAll(); })
+          .ok());
+  binder.Release(txn->id);
+
+  BinderRunResult result;
+  result.image = ReadAll(server->mem(), *win_or, n);
+  const core::Engine::Stats stats = stack.service->TotalStats();
+  result.kfuncs_run = stats.kfuncs_run;
+  result.fused_ipc_bytes = stats.fused_ipc_bytes;
+  result.fuse = stack.service->ipc_fuse_stats();
+  return result;
+}
+
+TEST(BinderPostedDifferential, FusedMatchesTwoStep) {
+  const size_t n = 192 * kKiB + 257;
+  const BinderRunResult fused = RunPostedBinderWorkload(/*fuse=*/true, n);
+  const BinderRunResult two_step = RunPostedBinderWorkload(/*fuse=*/false, n);
+
+  EXPECT_EQ(fused.image, two_step.image);
+  // Both posted paths fire exactly one buffer-reclaim KFUNC.
+  EXPECT_EQ(fused.kfuncs_run, 1u);
+  EXPECT_EQ(two_step.kfuncs_run, 1u);
+  EXPECT_EQ(fused.fused_ipc_bytes, n);
+  EXPECT_EQ(fused.fuse.fused, 1u);
+  EXPECT_EQ(two_step.fused_ipc_bytes, 0u);
+  EXPECT_EQ(two_step.fuse.fused + two_step.fuse.fallbacks(), 0u);
+}
+
+TEST(BinderPosted, TooSmallWindowFallsBackAndStaysPosted) {
+  core::CopierConfig config;
+  config.enable_ipc_fuse = true;
+  CopierStack stack(config);
+  simos::Process* server = stack.kernel->CreateProcess("server");
+  stack.service->AttachProcess(server);
+  simos::BinderDriver binder(stack.kernel.get());
+
+  const size_t n = 8 * kKiB;
+  const uint64_t msg = stack.Map(n, "msg");
+  FillPattern(stack.proc->mem(), msg, n, 5);
+  auto win_or = server->mem().MapAnonymous(kPageSize, "win", true);
+  ASSERT_TRUE(win_or.ok());
+  ASSERT_TRUE(binder.PostReceive(*server, *win_or, kPageSize, nullptr, nullptr).ok());
+
+  // Payload exceeds the window: classic buffer bounce, window left posted.
+  auto txn = binder.Transact(*stack.proc, msg, n, nullptr);
+  ASSERT_TRUE(txn.ok()) << txn.status().ToString();
+  EXPECT_FALSE(txn->in_window);
+  stack.service->DrainAll();
+  EXPECT_EQ(std::vector<uint8_t>(txn->data, txn->data + n), ReadAll(stack.proc->mem(), msg, n));
+  binder.Release(txn->id);
+  EXPECT_EQ(stack.service->ipc_fuse_stats().fallback_window_full, 1u);
+
+  // A fitting transaction still takes the posted path.
+  auto txn2 = binder.Transact(*stack.proc, msg, kPageSize, nullptr);
+  ASSERT_TRUE(txn2.ok());
+  EXPECT_TRUE(txn2->in_window);
+  stack.service->DrainAll();
+  EXPECT_EQ(ReadAll(server->mem(), *win_or, kPageSize),
+            ReadAll(stack.proc->mem(), msg, kPageSize));
+  binder.Release(txn2->id);
+}
+
+// --- fallback ladder edges ---------------------------------------------------
+
+// Receiver posts its window mid-stream: bytes sent before the post are staged
+// into the window ahead of the fused bytes, preserving stream order.
+TEST(IpcFuseFallback, ReceiverPostsMidStream) {
+  for (const bool fuse : {true, false}) {
+    core::CopierConfig config;
+    config.enable_ipc_fuse = fuse;
+    CopierStack stack(config);
+    simos::Process* peer = stack.kernel->CreateProcess("peer");
+    stack.service->AttachProcess(peer);
+    auto [tx, rx] = stack.kernel->CreateSocketPair();
+
+    const size_t first = 24 * kKiB + 100;
+    const size_t second = 32 * kKiB + 11;
+    const size_t n = first + second;
+    const uint64_t src = stack.Map(n, "src");
+    FillPattern(stack.proc->mem(), src, n, 99);
+    auto win_or = peer->mem().MapAnonymous(n, "win", true);
+    ASSERT_TRUE(win_or.ok());
+
+    // Classic send (no window posted yet), delivered before the post.
+    auto s1 = stack.kernel->Send(*stack.proc, tx, src, first, nullptr);
+    ASSERT_TRUE(s1.ok());
+    ASSERT_EQ(*s1, first);
+    stack.service->DrainAll();
+
+    // The post stages the queued bytes into the window front.
+    core::Descriptor descriptor(n);
+    simos::RecvOptions ropts;
+    ropts.descriptor = &descriptor;
+    auto staged = stack.kernel->PostRecv(*peer, rx, *win_or, n, nullptr, ropts);
+    ASSERT_TRUE(staged.ok()) << staged.status().ToString();
+    EXPECT_EQ(*staged, first);
+
+    // The rest goes fused (or posted two-step in the ablation), behind it.
+    auto s2 = stack.kernel->Send(*stack.proc, tx, src + first, second, nullptr);
+    ASSERT_TRUE(s2.ok());
+    ASSERT_EQ(*s2, second);
+    ASSERT_TRUE(
+        core::WaitDescriptor(descriptor, 0, n, nullptr, [&] { stack.service->DrainAll(); })
+            .ok());
+    auto filled = stack.kernel->CompleteRecv(*peer, rx, nullptr);
+    ASSERT_TRUE(filled.ok());
+    EXPECT_EQ(*filled, n);
+    EXPECT_EQ(ReadAll(peer->mem(), *win_or, n), ReadAll(stack.proc->mem(), src, n));
+    if (fuse) {
+      const auto fuse_stats = stack.service->ipc_fuse_stats();
+      EXPECT_EQ(fuse_stats.fused, 1u);
+      EXPECT_EQ(fuse_stats.fallback_not_posted, 1u);  // the pre-post send
+      EXPECT_EQ(stack.service->TotalStats().fused_ipc_bytes, second);
+    }
+  }
+}
+
+// Skb pool exhausted while staged bytes hold every token: the posted send
+// reports ResourceExhausted (counted as a pool-exhaustion fallback, distinct
+// from not-posted) and succeeds once reclaim KFUNCs refill the pool.
+TEST(IpcFuseFallback, PoolExhaustedDuringStagedDrain) {
+  simos::SimKernel::Config kconfig;
+  kconfig.skb_pool_size = 4;  // 16 KiB of skbs
+  simos::SimKernel kernel(kconfig);
+  core::CopierService::Options options;
+  options.config.enable_ipc_fuse = true;
+  core::CopierService service(std::move(options));
+  core::CopierLinux glue(&service, &kernel);
+  glue.Install();
+  simos::Process* sender = kernel.CreateProcess("sender");
+  simos::Process* receiver = kernel.CreateProcess("receiver");
+  service.AttachProcess(sender);
+  service.AttachProcess(receiver);
+  auto [tx, rx] = kernel.CreateSocketPair();
+
+  const size_t half = 4 * simos::kMtu;  // exactly the pool
+  const size_t n = 2 * half;
+  auto src_or = sender->mem().MapAnonymous(n, "src", true);
+  auto win_or = receiver->mem().MapAnonymous(n, "win", true);
+  ASSERT_TRUE(src_or.ok() && win_or.ok());
+  FillPattern(sender->mem(), *src_or, n, 3);
+
+  // Classic send takes the whole pool; deliver the skbs to the peer.
+  auto s1 = kernel.Send(*sender, tx, *src_or, half, nullptr);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_EQ(*s1, half);
+  service.DrainAll();
+
+  // Post the window: the queued skbs are staged into it, but their reclaim
+  // KFUNCs have not run yet — the pool is still empty.
+  auto staged = kernel.PostRecv(*receiver, rx, *win_or, n, nullptr, {});
+  ASSERT_TRUE(staged.ok());
+  EXPECT_EQ(*staged, half);
+  EXPECT_EQ(kernel.skb_pool().available(), 0u);
+
+  auto blocked = kernel.Send(*sender, tx, *src_or + half, half, nullptr);
+  EXPECT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(service.ipc_fuse_stats().fallback_pool_exhausted, 1u);
+  EXPECT_EQ(service.ipc_fuse_stats().fallback_not_posted, 1u);  // pre-post send
+  // Satellite: the pool's own stats tell exhaustion pressure apart.
+  EXPECT_GE(kernel.skb_pool().acquire_failures(), 1u);
+  EXPECT_EQ(kernel.skb_pool().low_watermark(), 0u);
+
+  // Reclaims refill the pool; the retry goes fused.
+  service.DrainAll();
+  EXPECT_EQ(kernel.skb_pool().available(), 4u);
+  auto s2 = kernel.Send(*sender, tx, *src_or + half, half, nullptr);
+  ASSERT_TRUE(s2.ok());
+  ASSERT_EQ(*s2, half);
+  service.DrainAll();
+  EXPECT_EQ(service.ipc_fuse_stats().fused, 1u);
+  auto filled = kernel.CompleteRecv(*receiver, rx, nullptr);
+  ASSERT_TRUE(filled.ok());
+  EXPECT_EQ(*filled, n);
+  EXPECT_EQ(ReadAll(receiver->mem(), *win_or, n), ReadAll(sender->mem(), *src_or, n));
+}
+
+// Aborting a fused task in flight reclaims every flow-control token and the
+// sender's write lock, and never marks the window descriptor ready.
+TEST(IpcFuseFallback, AbortInFlightFusedTask) {
+  core::CopierConfig config;
+  config.enable_ipc_fuse = true;
+  CopierStack stack(config);
+  simos::Process* peer = stack.kernel->CreateProcess("peer");
+  stack.service->AttachProcess(peer);
+  auto [tx, rx] = stack.kernel->CreateSocketPair();
+
+  const size_t n = 16 * kKiB;  // 4 chunks
+  const uint64_t src = stack.Map(n, "src");
+  FillPattern(stack.proc->mem(), src, n, 77);
+  auto win_or = peer->mem().MapAnonymous(n, "win", true);
+  ASSERT_TRUE(win_or.ok());
+  const std::vector<uint8_t> before = ReadAll(peer->mem(), *win_or, n);
+
+  core::Descriptor descriptor(n);
+  simos::RecvOptions ropts;
+  ropts.descriptor = &descriptor;
+  ASSERT_TRUE(stack.kernel->PostRecv(*peer, rx, *win_or, n, nullptr, ropts).ok());
+  const size_t pool_full = stack.kernel->skb_pool().available();
+  auto sent = stack.kernel->Send(*stack.proc, tx, src, n, nullptr);
+  ASSERT_TRUE(sent.ok());
+  ASSERT_EQ(*sent, n);
+  ASSERT_EQ(stack.service->ipc_fuse_stats().fused, 1u);
+  EXPECT_TRUE(stack.proc->mem().WriteLockedForCopy(src, n));
+
+  // Abort the in-flight fused task (it rides the sender's client; its dst is
+  // the receiver's window).
+  core::SyncTask sync;
+  sync.kind = core::SyncTask::Kind::kAbort;
+  sync.addr = core::MemRef::User(&peer->mem(), *win_or);
+  sync.length = n;
+  ASSERT_TRUE(stack.client->default_pair().user.sync_q.TryPush(std::move(sync)));
+  stack.service->DrainAll();
+
+  // Tokens returned by the fired reclaim handlers; source lock released; no
+  // bytes moved, no fused bytes counted.
+  EXPECT_EQ(stack.kernel->skb_pool().available(), pool_full);
+  EXPECT_FALSE(stack.proc->mem().WriteLockedForCopy(src, n));
+  EXPECT_EQ(ReadAll(peer->mem(), *win_or, n), before);
+  EXPECT_EQ(stack.service->TotalStats().fused_ipc_bytes, 0u);
+  // The sender can write its buffer again without blocking.
+  FillPattern(stack.proc->mem(), src, n, 78);
+}
+
+// Alternating posted and classic transfers on one socket keep stream order in
+// both modes.
+TEST(IpcFuseFallback, MixedFusedAndClassicOrdering) {
+  std::vector<uint8_t> images[2];
+  for (const bool fuse : {true, false}) {
+    core::CopierConfig config;
+    config.enable_ipc_fuse = fuse;
+    CopierStack stack(config);
+    simos::Process* peer = stack.kernel->CreateProcess("peer");
+    stack.service->AttachProcess(peer);
+    auto [tx, rx] = stack.kernel->CreateSocketPair();
+
+    const size_t chunk = 12 * kKiB + 34;
+    const int rounds = 4;
+    const size_t n = chunk * rounds;
+    const uint64_t src = stack.Map(n, "src");
+    FillPattern(stack.proc->mem(), src, n, 1234);
+    auto dst_or = peer->mem().MapAnonymous(n, "dst", true);
+    ASSERT_TRUE(dst_or.ok());
+
+    for (int r = 0; r < rounds; ++r) {
+      const uint64_t s = src + r * chunk;
+      const uint64_t d = *dst_or + r * chunk;
+      if (r % 2 == 0) {
+        // Posted round.
+        ASSERT_TRUE(stack.kernel->PostRecv(*peer, rx, d, chunk, nullptr, {}).ok());
+        size_t sent_total = 0;
+        while (sent_total < chunk) {
+          auto sent = stack.kernel->Send(*stack.proc, tx, s + sent_total, chunk - sent_total,
+                                         nullptr);
+          ASSERT_TRUE(sent.ok());
+          sent_total += *sent;
+          stack.service->DrainAll();
+        }
+        auto filled = stack.kernel->CompleteRecv(*peer, rx, nullptr);
+        ASSERT_TRUE(filled.ok());
+        ASSERT_EQ(*filled, chunk);
+      } else {
+        // Classic round.
+        size_t sent_total = 0;
+        while (sent_total < chunk) {
+          auto sent = stack.kernel->Send(*stack.proc, tx, s + sent_total, chunk - sent_total,
+                                         nullptr);
+          ASSERT_TRUE(sent.ok());
+          sent_total += *sent;
+          stack.service->DrainAll();
+        }
+        size_t received = 0;
+        while (received < chunk) {
+          auto got = stack.kernel->Recv(*peer, rx, d + received, chunk - received, nullptr);
+          ASSERT_TRUE(got.ok());
+          received += *got;
+          stack.service->DrainAll();
+        }
+      }
+    }
+    images[fuse ? 0 : 1] = ReadAll(peer->mem(), *dst_or, n);
+    EXPECT_EQ(images[fuse ? 0 : 1], ReadAll(stack.proc->mem(), src, n));
+  }
+  EXPECT_EQ(images[0], images[1]);
+}
+
+TEST(IpcFuse, RecvRejectedWhileWindowPosted) {
+  CopierStack stack;
+  simos::Process* peer = stack.kernel->CreateProcess("peer");
+  stack.service->AttachProcess(peer);
+  auto [tx, rx] = stack.kernel->CreateSocketPair();
+  (void)tx;
+  auto win_or = peer->mem().MapAnonymous(kPageSize, "win", true);
+  ASSERT_TRUE(win_or.ok());
+  ASSERT_TRUE(stack.kernel->PostRecv(*peer, rx, *win_or, kPageSize, nullptr, {}).ok());
+  auto r = stack.kernel->Recv(*peer, rx, *win_or, kPageSize, nullptr);
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  // Double post is rejected too.
+  auto p = stack.kernel->PostRecv(*peer, rx, *win_or, kPageSize, nullptr, {});
+  EXPECT_EQ(p.status().code(), StatusCode::kFailedPrecondition);
+  auto filled = stack.kernel->CompleteRecv(*peer, rx, nullptr);
+  ASSERT_TRUE(filled.ok());
+  EXPECT_EQ(*filled, 0u);
+  // With the window closed, Recv works again (EAGAIN on empty).
+  EXPECT_EQ(stack.kernel->Recv(*peer, rx, *win_or, kPageSize, nullptr).status().code(),
+            StatusCode::kUnavailable);
+}
+
+// A sender store into the in-flight range blocks until the fused copy lands:
+// the receiver observes the pre-store snapshot, exactly like the two-step
+// path's eager staging.
+TEST(IpcFuse, SenderWriteProtectedUntilCopyLands) {
+  core::CopierConfig config;
+  config.enable_ipc_fuse = true;
+  CopierStack stack(config);
+  simos::Process* peer = stack.kernel->CreateProcess("peer");
+  stack.service->AttachProcess(peer);
+  auto [tx, rx] = stack.kernel->CreateSocketPair();
+
+  const size_t n = 64 * kKiB;
+  const uint64_t src = stack.Map(n, "src");
+  FillPattern(stack.proc->mem(), src, n, 500);
+  const std::vector<uint8_t> snapshot = ReadAll(stack.proc->mem(), src, n);
+  auto win_or = peer->mem().MapAnonymous(n, "win", true);
+  ASSERT_TRUE(win_or.ok());
+
+  ASSERT_TRUE(stack.kernel->PostRecv(*peer, rx, *win_or, n, nullptr, {}).ok());
+  auto sent = stack.kernel->Send(*stack.proc, tx, src, n, nullptr);
+  ASSERT_TRUE(sent.ok());
+  ASSERT_EQ(*sent, n);
+  ASSERT_TRUE(stack.proc->mem().WriteLockedForCopy(src, n));
+
+  // The store blocks, pumping the service until the copy completes.
+  const std::vector<uint8_t> overwrite(n, 0xEE);
+  ASSERT_TRUE(stack.proc->mem().WriteBytes(src, overwrite.data(), n).ok());
+  EXPECT_GE(stack.proc->mem().copy_lock_waits(), 1u);
+  EXPECT_FALSE(stack.proc->mem().WriteLockedForCopy(src, n));
+
+  stack.service->DrainAll();
+  auto filled = stack.kernel->CompleteRecv(*peer, rx, nullptr);
+  ASSERT_TRUE(filled.ok());
+  EXPECT_EQ(*filled, n);
+  EXPECT_EQ(ReadAll(peer->mem(), *win_or, n), snapshot);       // pre-store image
+  EXPECT_EQ(ReadAll(stack.proc->mem(), src, n), overwrite);    // store landed after
+}
+
+// Exact fused-byte accounting across several posted transfers.
+TEST(IpcFuse, FusedBytesAccountingIsExact) {
+  core::CopierConfig config;
+  config.enable_ipc_fuse = true;
+  CopierStack stack(config);
+  simos::Process* peer = stack.kernel->CreateProcess("peer");
+  stack.service->AttachProcess(peer);
+  auto [tx, rx] = stack.kernel->CreateSocketPair();
+
+  size_t expected = 0;
+  uint64_t windows = 0;
+  for (const size_t n : {size_t{4 * kKiB}, size_t{9 * kKiB + 17}, size_t{256 * kKiB}}) {
+    const uint64_t src = stack.Map(n, "src");
+    FillPattern(stack.proc->mem(), src, n, n);
+    auto win_or = peer->mem().MapAnonymous(n, "win", true);
+    ASSERT_TRUE(win_or.ok());
+    ASSERT_TRUE(stack.kernel->PostRecv(*peer, rx, *win_or, n, nullptr, {}).ok());
+    size_t sent_total = 0;
+    while (sent_total < n) {
+      auto sent = stack.kernel->Send(*stack.proc, tx, src + sent_total, n - sent_total,
+                                     nullptr);
+      ASSERT_TRUE(sent.ok());
+      sent_total += *sent;
+      stack.service->DrainAll();
+    }
+    auto filled = stack.kernel->CompleteRecv(*peer, rx, nullptr);
+    ASSERT_TRUE(filled.ok());
+    ASSERT_EQ(*filled, n);
+    EXPECT_EQ(ReadAll(peer->mem(), *win_or, n), ReadAll(stack.proc->mem(), src, n));
+    expected += n;
+    ++windows;
+    EXPECT_EQ(stack.service->TotalStats().fused_ipc_bytes, expected);
+  }
+  EXPECT_EQ(stack.service->ipc_fuse_stats().fused, windows);
+}
+
+// Threaded service: the fused path's lock resolver yields to the copier
+// threads instead of pumping (TSan coverage; all syscalls on this thread).
+TEST(IpcFuseThreaded, PostedTransferCompletes) {
+  simos::SimKernel kernel;
+  core::CopierService::Options options;
+  options.mode = core::CopierService::Mode::kThreaded;
+  options.config.enable_ipc_fuse = true;
+  options.config.max_threads = 2;
+  options.config.min_threads = 2;
+  core::CopierService service(std::move(options));
+  core::CopierLinux glue(&service, &kernel);
+  glue.Install();
+  service.Start();
+  simos::Process* sender = kernel.CreateProcess("sender");
+  simos::Process* receiver = kernel.CreateProcess("receiver");
+  service.AttachProcess(sender);
+  service.AttachProcess(receiver);
+  auto [tx, rx] = kernel.CreateSocketPair();
+
+  const size_t n = 256 * kKiB + 123;
+  auto src_or = sender->mem().MapAnonymous(n, "src", true);
+  auto win_or = receiver->mem().MapAnonymous(n, "win", true);
+  ASSERT_TRUE(src_or.ok() && win_or.ok());
+  FillPattern(sender->mem(), *src_or, n, 2024);
+
+  core::Descriptor descriptor(n);
+  simos::RecvOptions ropts;
+  ropts.descriptor = &descriptor;
+  ASSERT_TRUE(kernel.PostRecv(*receiver, rx, *win_or, n, nullptr, ropts).ok());
+  size_t sent_total = 0;
+  while (sent_total < n) {
+    auto sent = kernel.Send(*sender, tx, *src_or + sent_total, n - sent_total, nullptr);
+    ASSERT_TRUE(sent.ok()) << sent.status().ToString();
+    sent_total += *sent;
+  }
+  // Mid-flight overwrite: must block until the snapshot landed.
+  const std::vector<uint8_t> snapshot = ReadAll(sender->mem(), *src_or, n);
+  const std::vector<uint8_t> overwrite(n, 0xAB);
+  ASSERT_TRUE(sender->mem().WriteBytes(*src_or, overwrite.data(), n).ok());
+
+  ASSERT_TRUE(core::WaitDescriptor(descriptor, 0, n, nullptr, nullptr).ok());
+  auto filled = kernel.CompleteRecv(*receiver, rx, nullptr);
+  ASSERT_TRUE(filled.ok());
+  EXPECT_EQ(*filled, n);
+  EXPECT_EQ(ReadAll(receiver->mem(), *win_or, n), snapshot);
+  service.Stop();
+}
+
+// Posted-receive Parcel channel (apps layer) delivers identical strings in
+// fused and ablated runs.
+TEST(IpcFuseApps, PostedParcelChannelRoundTrip) {
+  for (const bool fuse : {true, false}) {
+    simos::SimKernel kernel;
+    core::CopierService::Options options;
+    options.config.enable_ipc_fuse = fuse;
+    auto service = std::make_unique<core::CopierService>(std::move(options));
+    core::CopierLinux glue(service.get(), &kernel);
+    glue.Install();
+    apps::AppProcess client(&kernel, service.get(), apps::Mode::kCopier, "client");
+    apps::AppProcess server(&kernel, service.get(), apps::Mode::kCopier, "server");
+    simos::BinderDriver binder(&kernel);
+    apps::BinderParcelChannel channel(&binder, &client, &server, /*posted_receive=*/true);
+
+    std::vector<std::string> strings;
+    for (int i = 0; i < 12; ++i) {
+      strings.push_back(std::string(100 + 400 * i, static_cast<char>('a' + i)));
+    }
+    auto result = channel.Call(strings, &client.ctx(), &server.ctx());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(*result, strings);
+    if (fuse) {
+      EXPECT_GE(service->ipc_fuse_stats().fused, 1u);
+      EXPECT_GT(service->TotalStats().fused_ipc_bytes, 0u);
+    } else {
+      EXPECT_EQ(service->TotalStats().fused_ipc_bytes, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace copier::test
