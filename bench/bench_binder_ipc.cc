@@ -82,8 +82,9 @@ void Run(const hw::TimingModel& t) {
   for (int n : {10, 50, 100, 200, 400, 800}) {
     const Histogram base = LatencyHist(t, n, apps::Mode::kSync);
     const Histogram copier = LatencyHist(t, n, apps::Mode::kCopier);
+    const PercentileSummary tail = Summarize(copier);
     table.AddRow({std::to_string(n), TextTable::Num(base.Mean()), TextTable::Num(copier.Mean()),
-                  TextTable::Num(copier.Percentile(50)), TextTable::Num(copier.Percentile(99)),
+                  TextTable::Num(tail.p50), TextTable::Num(tail.p99),
                   "-" + TextTable::Num((1 - copier.Mean() / base.Mean()) * 100, 1) + "%"});
   }
   table.Print();
@@ -93,8 +94,9 @@ void Run(const hw::TimingModel& t) {
   for (const size_t kib : {size_t{64}, size_t{256}, size_t{1024}}) {
     const Histogram off = PostedHist(t, kib * kKiB, false);
     const Histogram on = PostedHist(t, kib * kKiB, true);
+    const PercentileSummary tail = Summarize(on);
     posted.AddRow({std::to_string(kib), TextTable::Num(off.Mean()), TextTable::Num(on.Mean()),
-                   TextTable::Num(on.Percentile(50)), TextTable::Num(on.Percentile(99)),
+                   TextTable::Num(tail.p50), TextTable::Num(tail.p99),
                    TextTable::Num(off.Mean() / on.Mean(), 2) + "x"});
   }
   posted.Print();

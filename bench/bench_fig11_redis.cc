@@ -105,7 +105,7 @@ KvResult RunKv(const hw::TimingModel& t, size_t vlen, bool is_set, apps::Mode mo
 
   KvResult result;
   result.mean_us = lat.Mean();
-  result.p99_us = lat.Percentile(99);
+  result.p99_us = Summarize(lat).p99;
   Cycles span = 0;
   for (auto& cs : clients) {
     span = std::max(span, cs.app->ctx().now() - virtual_span_start);

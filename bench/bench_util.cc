@@ -13,6 +13,17 @@ bool HasFlag(int argc, char** argv, const std::string& flag) {
   return false;
 }
 
+PercentileSummary Summarize(const Histogram& hist) {
+  PercentileSummary summary;
+  if (hist.Count() == 0) {
+    return summary;
+  }
+  summary.p50 = hist.Percentile(50);
+  summary.p99 = hist.Percentile(99);
+  summary.p999 = hist.Percentile(99.9);
+  return summary;
+}
+
 const hw::TimingModel& SelectTiming(int argc, char** argv) {
   static hw::TimingModel calibrated;
   if (HasFlag(argc, argv, "--calibrate")) {

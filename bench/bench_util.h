@@ -34,6 +34,16 @@ inline std::vector<size_t> StandardSizes() {
   return {1 * kKiB, 4 * kKiB, 16 * kKiB, 64 * kKiB, 256 * kKiB};
 }
 
+// Latency tail summary shared by the latency benches (bench_binder_ipc,
+// bench_fig11_redis, bench_serve) so each doesn't re-derive its own
+// percentile plumbing.
+struct PercentileSummary {
+  double p50 = 0;
+  double p99 = 0;
+  double p999 = 0;
+};
+PercentileSummary Summarize(const Histogram& hist);
+
 // Returns the timing model selected by argv (--calibrate measures the host).
 const hw::TimingModel& SelectTiming(int argc, char** argv);
 bool HasFlag(int argc, char** argv, const std::string& flag);

@@ -8,9 +8,11 @@
 # copier engines), BENCH_remap.json (zero-copy remap tier vs copy ablation),
 # BENCH_ipc_fuse.json (fused single-hop IPC vs the two-step ablation, gated
 # at >=1.4x on the 1 MiB socket row and >=1.5x on >=64 KiB binder parcels),
-# and BENCH_cow.json (CoW fault split handling) at the repo root; fails if any
-# sweep reports non-identical memory images or a gated remap/fuse row misses
-# its moved-bytes drop or speedup floor.
+# BENCH_cow.json (CoW fault split handling), and BENCH_serve.json (open-loop
+# serving sweep: p50/p99/p999 vs offered load, overload admission policies) at
+# the repo root; fails if any sweep reports non-identical memory images, a
+# gated remap/fuse row misses its moved-bytes drop or speedup floor, or the
+# serving sweep's p999 knee fails to move right under load shedding.
 #
 # Usage: scripts/bench_smoke.sh [quick]
 #   quick — CI mode: the vectored-submission sweep runs its two-size subset
@@ -22,7 +24,7 @@ BUILD_DIR=${BUILD_DIR:-build-release}
 QUICK=${1:-}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_queue_depth bench_sched bench_submit_batch bench_dma_channels bench_engines bench_remap bench_ipc_fuse bench_cow bench_fig9_copy_throughput
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_queue_depth bench_sched bench_submit_batch bench_dma_channels bench_engines bench_remap bench_ipc_fuse bench_cow bench_serve bench_fig9_copy_throughput
 
 echo
 "$BUILD_DIR"/bench/bench_queue_depth --json | tee /tmp/bench_queue_depth.out
@@ -80,10 +82,21 @@ fi
 echo
 "$BUILD_DIR"/bench/bench_cow --json | tee /tmp/bench_cow.out
 
+echo
+if [[ "$QUICK" == "quick" ]]; then
+  "$BUILD_DIR"/bench/bench_serve --json --quick | tee /tmp/bench_serve.out
+else
+  "$BUILD_DIR"/bench/bench_serve --json | tee /tmp/bench_serve.out
+fi
+if grep -q ' NO ' /tmp/bench_serve.out; then
+  echo "bench_serve: a reply diverged from the model or the shed-policy p999 knee did not move right" >&2
+  exit 1
+fi
+
 if [[ "$QUICK" != "quick" ]]; then
   echo
   "$BUILD_DIR"/bench/bench_fig9_copy_throughput
 fi
 
 echo
-echo "bench smoke OK; results in BENCH_queue_depth.json + BENCH_sched.json + BENCH_submit_batch.json + BENCH_dma_channels.json + BENCH_engines.json + BENCH_remap.json + BENCH_ipc_fuse.json + BENCH_cow.json"
+echo "bench smoke OK; results in BENCH_queue_depth.json + BENCH_sched.json + BENCH_submit_batch.json + BENCH_dma_channels.json + BENCH_engines.json + BENCH_remap.json + BENCH_ipc_fuse.json + BENCH_cow.json + BENCH_serve.json"

@@ -1,0 +1,92 @@
+// Production-serving harness (DESIGN.md §13): drives MiniKv (+ MiniProxy)
+// under an open-loop loadgen trace, through the full stack — simulated
+// sockets, Copier glue, service, engines — with per-request admission control
+// and model-based byte verification.
+//
+// Two drivers over the same request flow:
+//   * RunServeVirtual — manual-mode service, everything in virtual time.
+//     Deterministic: the same ServeOptions yield an identical ServeResult,
+//     record for record, which is what makes tail latencies assertable.
+//   * RunServeThreaded — real Copier threads; the (single) caller thread
+//     paces arrivals on the host clock and issues all app/socket syscalls,
+//     while service threads execute the copy work. Latencies are host-side
+//     and not deterministic; correctness checks still are.
+//
+// Open-loop semantics: requests are issued at their trace arrival times; a
+// connection with a request still outstanding delays the next issue but the
+// latency is always measured from the *intended* arrival (no coordinated
+// omission). Admission decisions happen at request boundaries before any
+// bytes are sent, so admitted requests run byte-for-byte as without a policy.
+#ifndef COPIER_SRC_APPS_SERVE_HARNESS_H_
+#define COPIER_SRC_APPS_SERVE_HARNESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/apps/app_util.h"
+#include "src/common/histogram.h"
+#include "src/core/config.h"
+#include "src/core/engine.h"
+#include "src/core/loadgen.h"
+#include "src/hw/timing_model.h"
+
+namespace copier::apps {
+
+struct ServeOptions {
+  core::CopierConfig config;
+  core::ServeWorkload workload;
+  // Explicit trace override (replay runs): used instead of
+  // BuildServeTrace(workload) when non-empty. Request indices are kept, so a
+  // replayed subset regenerates identical request/value bytes.
+  std::vector<core::ServeRequest> trace;
+  Mode mode = Mode::kCopier;
+  const hw::TimingModel* timing = nullptr;  // null = TimingModel::Default()
+  // Threaded mode only: service threads and the arrival pacing scale
+  // (host nanoseconds per virtual trace cycle).
+  size_t threads = 2;
+  double ns_per_cycle = 0.05;
+};
+
+struct ServeRecord {
+  uint64_t index = 0;  // trace index (stable across replays)
+  uint32_t conn = 0;
+  bool is_get = false;
+  bool via_proxy = false;
+  bool admitted = false;
+  uint32_t defers = 0;  // kDefer verdicts this request saw before settling
+  bool throttled = false;
+  double latency_us = 0;      // valid when admitted
+  uint64_t reply_hash = 0;    // FNV-1a of the reply bytes (admitted KV requests)
+  uint64_t kfuncs_after = 0;  // cumulative engine kfuncs_run after this request
+};
+
+struct ServeResult {
+  std::vector<ServeRecord> records;  // one per trace request, in trace order
+  Histogram latency;                 // admitted requests only, microseconds
+  uint64_t offered = 0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;  // shed verdicts + deferred-to-abandonment
+  uint64_t throttle_verdicts = 0;
+  uint64_t defer_verdicts = 0;
+  uint64_t churns = 0;
+  double span_us = 0;       // first arrival -> last completion
+  double achieved_rps = 0;  // admitted completions per second of span
+  bool replies_ok = true;   // every admitted KV reply matched the model
+  uint64_t store_hash = 0;  // FNV-1a over the final store image (model keys)
+  core::Engine::Stats stats;  // service TotalStats() after the run
+};
+
+ServeResult RunServeVirtual(const ServeOptions& options);
+ServeResult RunServeThreaded(const ServeOptions& options);
+
+// Respaces `requests` at a fixed `gap` starting at `gap` (unloaded replay of
+// an admitted subset); all other fields — index, conn, key, sizes — survive.
+std::vector<core::ServeRequest> SpreadTrace(const std::vector<core::ServeRequest>& requests,
+                                            Cycles gap);
+
+// FNV-1a, the repo's usual image-fingerprint hash.
+uint64_t Fnv1a(const void* data, size_t n, uint64_t hash = 1469598103934665603ull);
+
+}  // namespace copier::apps
+
+#endif  // COPIER_SRC_APPS_SERVE_HARNESS_H_

@@ -10,7 +10,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
+#include <utility>
+
+#include "src/common/cycle_clock.h"
 
 namespace copier::core {
 
@@ -37,11 +42,133 @@ class Cgroup {
   uint64_t total_bytes() const { return total_bytes_.load(std::memory_order_relaxed); }
   void AccountRaw(uint64_t bytes) { total_bytes_.fetch_add(bytes, std::memory_order_relaxed); }
 
+  // --- scheduler-side backlog (DESIGN.md §13) --------------------------------
+  //
+  // Per-cgroup run-queue depth in bytes: submissions (NotifyRunnable's
+  // bytes_hint, the same estimate steal-victim selection uses) minus bytes
+  // served (AccountService). Admission control reads this as its run-queue
+  // saturation signal.
+  void NoteSubmitted(uint64_t bytes) {
+    sched_submitted_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void NoteServed(uint64_t bytes) {
+    sched_served_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  uint64_t BacklogBytes() const {
+    const uint64_t submitted = sched_submitted_bytes_.load(std::memory_order_relaxed);
+    const uint64_t served = sched_served_bytes_.load(std::memory_order_relaxed);
+    return submitted > served ? submitted - served : 0;
+  }
+
+  // --- overload admission accounting (DESIGN.md §13) -------------------------
+  //
+  // Admitted-but-unfinished work, tracked in the *submitters'* clock domain so
+  // the virtual-time harness sees real queue depth: an open request counts
+  // from AdmissionOpen until AdmissionFinish hands it a completion timestamp,
+  // after which it keeps counting until the probing submitter's `now` passes
+  // that timestamp. (In real-threaded mode completions carry the current
+  // clock, so the horizon collapses to a plain inflight gauge.)
+
+  // A request was admitted and its copy work is about to be submitted.
+  void AdmissionOpen(uint64_t bytes) {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    open_bytes_ += bytes;
+    ++open_requests_;
+  }
+
+  // The admitted request finished; its work is done at `completion` (which may
+  // be in the probing submitters' future under virtual-time queueing).
+  void AdmissionFinish(uint64_t bytes, Cycles completion) {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    if (open_bytes_ >= bytes) {
+      open_bytes_ -= bytes;
+    } else {
+      open_bytes_ = 0;
+    }
+    if (open_requests_ > 0) {
+      --open_requests_;
+    }
+    horizon_.emplace_back(completion, bytes);
+    horizon_bytes_ += bytes;
+  }
+
+  // Admitted work still unfinished as of `now` (prunes passed completions).
+  void AdmissionInflight(Cycles now, uint64_t* bytes, uint64_t* requests) {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    PruneLocked(now);
+    *bytes = open_bytes_ + horizon_bytes_;
+    *requests = open_requests_ + horizon_.size();
+  }
+
+  // Earliest time at which the inflight work fits both bounds — the throttle
+  // policy's wait target. Returns `now` when it already fits.
+  Cycles AdmissionDrainTarget(Cycles now, uint64_t max_bytes, uint64_t max_requests) {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    PruneLocked(now);
+    uint64_t bytes = open_bytes_ + horizon_bytes_;
+    uint64_t requests = open_requests_ + horizon_.size();
+    Cycles target = now;
+    for (const auto& [completion, entry_bytes] : horizon_) {
+      if (bytes <= max_bytes && requests <= max_requests) {
+        break;
+      }
+      target = completion;
+      bytes -= entry_bytes;
+      --requests;
+    }
+    return target;
+  }
+
+  // Per-cgroup decision counters (relaxed: submitters may race in threaded
+  // mode; totals still add up because every decision increments exactly one).
+  void NoteAdmitted() { requests_admitted_.fetch_add(1, std::memory_order_relaxed); }
+  void NoteShed() { requests_shed_.fetch_add(1, std::memory_order_relaxed); }
+  void NoteDeferred() { requests_deferred_.fetch_add(1, std::memory_order_relaxed); }
+  void NoteThrottled(Cycles wait) {
+    requests_throttled_.fetch_add(1, std::memory_order_relaxed);
+    throttle_wait_cycles_.fetch_add(wait, std::memory_order_relaxed);
+  }
+  uint64_t requests_admitted() const {
+    return requests_admitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t requests_shed() const { return requests_shed_.load(std::memory_order_relaxed); }
+  uint64_t requests_deferred() const {
+    return requests_deferred_.load(std::memory_order_relaxed);
+  }
+  uint64_t requests_throttled() const {
+    return requests_throttled_.load(std::memory_order_relaxed);
+  }
+  uint64_t throttle_wait_cycles() const {
+    return throttle_wait_cycles_.load(std::memory_order_relaxed);
+  }
+
  private:
+  void PruneLocked(Cycles now) {
+    while (!horizon_.empty() && horizon_.front().first <= now) {
+      horizon_bytes_ -= horizon_.front().second;
+      horizon_.pop_front();
+    }
+  }
+
   std::string name_;
   uint64_t shares_;
   std::atomic<uint64_t> vruntime_{0};
   std::atomic<uint64_t> total_bytes_{0};
+  std::atomic<uint64_t> sched_submitted_bytes_{0};
+  std::atomic<uint64_t> sched_served_bytes_{0};
+
+  // Admission state (guarded by admission_mu_; decision counters are atomics
+  // so TotalStats can read them without the lock).
+  std::mutex admission_mu_;
+  std::deque<std::pair<Cycles, uint64_t>> horizon_;  // (completion, bytes), FIFO
+  uint64_t horizon_bytes_ = 0;
+  uint64_t open_bytes_ = 0;
+  uint64_t open_requests_ = 0;
+  std::atomic<uint64_t> requests_admitted_{0};
+  std::atomic<uint64_t> requests_shed_{0};
+  std::atomic<uint64_t> requests_deferred_{0};
+  std::atomic<uint64_t> requests_throttled_{0};
+  std::atomic<uint64_t> throttle_wait_cycles_{0};
 };
 
 }  // namespace copier::core

@@ -99,6 +99,32 @@ struct CopierConfig {
   // of notify_all on every thread (the thundering herd baseline).
   bool enable_targeted_wakeup = true;
 
+  // Overload admission control (DESIGN.md §13). Request submitters consult
+  // CopierService::AdmitRequest before pushing a request's copy work; the
+  // service tracks per-cgroup admitted-but-unfinished work and the engines'
+  // DMA ring-full feedback (dma_ring_full_fallbacks escalated from "silently
+  // eat it on CPU" into a signal) and applies the policy when either
+  // saturates. kNone = the historical behavior: every request is admitted and
+  // overload shows up only as unbounded queueing delay.
+  enum class OverloadPolicy {
+    kNone,      // admit everything (baseline / ablation)
+    kShed,      // reject the request outright (load shedding)
+    kDefer,     // ask the submitter to retry after admission_defer_cycles
+    kThrottle,  // admit, but make the submitter wait out the excess backlog
+  };
+  OverloadPolicy overload_policy = OverloadPolicy::kNone;
+  // A cgroup is overloaded when its admitted-but-unfinished work exceeds
+  // either bound (bytes of copy work, or request count).
+  uint64_t admission_max_inflight_bytes = 8 * kMiB;
+  uint64_t admission_max_inflight_requests = 64;
+  // Ring-pressure feedback: each newly observed dma_ring_full_fallback puts
+  // admission into a back-off window covering the next N admission decisions.
+  uint64_t admission_ring_backoff = 8;
+  // kDefer: suggested retry-after gap, and how many retries a submitter
+  // should attempt before treating the request as shed.
+  Cycles admission_defer_cycles = 50'000;
+  uint64_t admission_max_defer_retries = 4;
+
   // Lazy tasks execute when depended upon, aborted, or after this age (§4.4).
   Cycles lazy_timeout_cycles = 10'000'000;
 

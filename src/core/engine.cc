@@ -407,6 +407,18 @@ void Engine::IngestClient(Client& client) {
 // ---------------------------------------------------------------------------
 
 void Engine::HandleSyncTask(Client& client, const SyncTask& sync) {
+  // A Sync Task orders after every Copy Task its submitter queued before it:
+  // the copy-queue pushes happened-before the sync-queue push, so draining the
+  // copy queues here makes those tasks visible to the matching below. Without
+  // this, an abort can be observed while the consumer that absorbs the
+  // protected range (e.g. the send following a lazy reply copy) is still
+  // un-ingested; the dependent probe then misses it and discards a mediator
+  // the consumer later resolves through.
+  uint64_t ingest_progress;
+  do {
+    ingest_progress = stats_.tasks_ingested + stats_.barriers_processed;
+    IngestClient(client);
+  } while (stats_.tasks_ingested + stats_.barriers_processed != ingest_progress);
   if (sync.kind == SyncTask::Kind::kAbort) {
     // Explicitly discard still-queued Copy Tasks writing the range. The
     // discard is deferred while a later pending task still reads the would-be
@@ -1064,6 +1076,9 @@ void Engine::ExecuteRound(Client& client, std::vector<Subtask>& subtasks) {
         // the doorbell bounced). Whole subtasks rejoin the AVX loop; partial
         // chunks of a split subtask run separately below.
         ++stats_.dma_ring_full_fallbacks;
+        if (overload_ != nullptr) {
+          ++overload_->ring_full_events;
+        }
         for (const RoundChunk& ch : b.chunks) {
           if (ch.offset == 0 && ch.length == subtasks[ch.subtask].length) {
             subtasks[ch.subtask].on_dma = false;
@@ -1109,6 +1124,9 @@ void Engine::ExecuteRound(Client& client, std::vector<Subtask>& subtasks) {
         }
       }
       ++stats_.dma_ring_full_fallbacks;
+      if (overload_ != nullptr) {
+        ++overload_->ring_full_events;
+      }
     }
     hw::AvxCopy(st.dst, st.src, st.length);
     ChargeCtx(ctx_, timing_->CpuCopyCycles(hw::CopyUnitKind::kAvx, st.length));

@@ -42,6 +42,15 @@ namespace copier::core {
 
 class Engine;
 
+// Overload feedback sink (DESIGN.md §13): engines report saturation events —
+// today DMA ring-full doorbell bounces, the moment "silently eat it on CPU"
+// becomes visible — into a service-owned instance; admission control samples
+// the counter and backs off while new events keep appearing. Null pointer
+// (standalone engines) = no reporting, bit-for-bit the old behavior.
+struct OverloadSignals {
+  RelaxedCounter ring_full_events;
+};
+
 // Cross-engine coordination surface (DESIGN.md §10). One Engine is
 // single-threaded by construction; when a service runs a pool of them,
 // conflicts between *clients* (shared kernel buffers, foreign-space writes)
@@ -164,6 +173,17 @@ class Engine {
     uint64_t cross_dep_settles = 0;   // foreign task ranges force-landed here
     uint64_t cross_dep_defers = 0;    // probes bounced off a held foreign client
     uint64_t cross_dep_wait_cycles = 0;  // cycles synced to foreign completions
+    // Overload admission control (DESIGN.md §13; service-wide, filled in by
+    // CopierService::TotalStats from the per-cgroup decision counters —
+    // admitted + shed + deferred-to-death sum to the requests offered through
+    // AdmitRequest).
+    uint64_t admission_admitted = 0;
+    uint64_t admission_shed = 0;
+    uint64_t admission_deferred = 0;   // defer verdicts issued (retries count)
+    uint64_t admission_throttled = 0;  // throttle verdicts issued
+    uint64_t admission_throttle_cycles = 0;  // total backpressure wait imposed
+    uint64_t overload_ring_backoffs = 0;     // admission back-offs from ring-full
+                                             // feedback (service-wide, TotalStats)
   };
 
   // Standalone engine: owns a private DMA channel pool (tests, single-engine
@@ -200,6 +220,10 @@ class Engine {
 
   // Installs the service's cross-engine coordination hooks (null = disabled).
   void set_cross(CrossEngineHooks* cross) { cross_ = cross; }
+  // Installs the service's overload feedback sink (null = no reporting).
+  // Unlike set_cross this is installed on every engine regardless of pool
+  // mode: reporting a counter has no behavioral side effects.
+  void set_overload_signals(OverloadSignals* signals) { overload_ = signals; }
 
   ExecContext* ctx() { return ctx_; }
   ATCache& atcache() { return atcache_; }
@@ -443,6 +467,7 @@ class Engine {
   std::unique_ptr<hw::DmaChannelPool> own_dma_;
   hw::DmaChannelSlice dma_;
   CrossEngineHooks* cross_ = nullptr;
+  OverloadSignals* overload_ = nullptr;
   AtomicStats stats_;
   // The pair whose tasks are currently being accepted (handler routing).
   QueuePair* current_pair_ = nullptr;

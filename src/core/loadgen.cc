@@ -1,0 +1,143 @@
+#include "src/core/loadgen.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace copier::core {
+
+// ---------------------------------------------------------------------------
+// ZipfianSampler (Gray et al.'s method, as in YCSB's generator)
+// ---------------------------------------------------------------------------
+
+double ZipfianSampler::Zeta(size_t n, double theta) {
+  double sum = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+ZipfianSampler::ZipfianSampler(size_t n, double theta) : n_(n), theta_(theta) {
+  COPIER_CHECK(n > 0);
+  COPIER_CHECK(theta > 0 && theta < 1);
+  alpha_ = 1.0 / (1.0 - theta_);
+  zetan_ = Zeta(n_, theta_);
+  const double zeta2 = Zeta(2, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) / (1.0 - zeta2 / zetan_);
+}
+
+size_t ZipfianSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  const auto rank = static_cast<size_t>(static_cast<double>(n_) *
+                                        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank < n_ ? rank : n_ - 1;
+}
+
+// ---------------------------------------------------------------------------
+// ArrivalProcess (two-state MMPP)
+// ---------------------------------------------------------------------------
+
+ArrivalProcess::ArrivalProcess(double mean_gap_cycles, BurstConfig burst, Rng* rng)
+    : burst_(burst), rng_(rng) {
+  COPIER_CHECK(mean_gap_cycles > 0);
+  COPIER_CHECK(burst.rate_multiplier >= 1.0);
+  COPIER_CHECK(burst.burst_fraction >= 0.0 && burst.burst_fraction < 1.0);
+  // Derive the calm-phase gap so the calm/burst mixture keeps the requested
+  // long-run mean: mean = (1-f)*calm + f*calm/multiplier.
+  const double f = burst_.burst_fraction;
+  calm_gap_ = mean_gap_cycles / ((1.0 - f) + f / burst_.rate_multiplier);
+  burst_gap_ = calm_gap_ / burst_.rate_multiplier;
+  SwitchPhase();
+}
+
+void ArrivalProcess::SwitchPhase() {
+  in_burst_ = burst_.burst_fraction > 0 && rng_->NextDouble() < burst_.burst_fraction;
+  // Geometric phase length (mean mean_phase_requests), at least one request.
+  const double u = rng_->NextDouble();
+  phase_left_ =
+      1 + static_cast<uint64_t>(-burst_.mean_phase_requests * std::log(1.0 - u));
+}
+
+Cycles ArrivalProcess::NextGap() {
+  if (phase_left_ == 0) {
+    SwitchPhase();
+  }
+  --phase_left_;
+  const double mean = in_burst_ ? burst_gap_ : calm_gap_;
+  const double u = rng_->NextDouble();
+  const double gap = -mean * std::log(1.0 - u);  // exponential inter-arrival
+  return gap < 1.0 ? 1 : static_cast<Cycles>(gap);
+}
+
+// ---------------------------------------------------------------------------
+// Trace expansion
+// ---------------------------------------------------------------------------
+
+std::vector<ServeRequest> BuildServeTrace(const ServeWorkload& workload) {
+  COPIER_CHECK(workload.connections > 0);
+  COPIER_CHECK(workload.keys > 0);
+  COPIER_CHECK(!workload.value_sizes.empty());
+  COPIER_CHECK(workload.value_sizes.size() == workload.value_weights.size());
+
+  Rng rng(workload.seed);
+  ZipfianSampler keys(workload.keys, workload.zipf_theta);
+  ArrivalProcess arrivals(workload.mean_gap_cycles, workload.burst, &rng);
+
+  std::vector<double> cumulative;
+  double total_weight = 0;
+  for (double w : workload.value_weights) {
+    total_weight += w;
+    cumulative.push_back(total_weight);
+  }
+
+  // Latest SET size per key, so GETs carry their expected reply length. A
+  // key's first touch is forced to a SET — open-loop GET storms against an
+  // empty store would measure only $-1 replies.
+  std::vector<uint32_t> last_set(workload.keys, 0);
+  std::vector<bool> key_seen(workload.keys, false);
+
+  std::vector<ServeRequest> trace;
+  trace.reserve(workload.requests);
+  Cycles now = 0;
+  for (uint64_t i = 0; i < workload.requests; ++i) {
+    now += arrivals.NextGap();
+    ServeRequest req;
+    req.index = i;
+    req.arrival = now;
+    req.conn = static_cast<uint32_t>(rng.Below(workload.connections));
+    req.via_proxy = workload.proxy_fraction > 0 && rng.NextDouble() < workload.proxy_fraction;
+    const double size_u = rng.NextDouble() * total_weight;
+    size_t size_idx = 0;
+    while (size_idx + 1 < cumulative.size() && size_u >= cumulative[size_idx]) {
+      ++size_idx;
+    }
+    if (req.via_proxy) {
+      req.value_bytes = workload.value_sizes[size_idx];
+    } else {
+      req.key = static_cast<uint32_t>(keys.Sample(rng));
+      req.is_get = rng.NextDouble() < workload.get_fraction && key_seen[req.key];
+      if (req.is_get) {
+        req.value_bytes = last_set[req.key];
+      } else {
+        req.value_bytes = workload.value_sizes[size_idx];
+        last_set[req.key] = req.value_bytes;
+        key_seen[req.key] = true;
+      }
+    }
+    if (workload.churn_every > 0 && i > 0 && i % workload.churn_every == 0) {
+      req.churn_before = true;
+    }
+    trace.push_back(req);
+  }
+  return trace;
+}
+
+}  // namespace copier::core

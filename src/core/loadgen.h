@@ -1,0 +1,115 @@
+// Open-loop workload generation for the serving harness (DESIGN.md §13).
+//
+// Everything here is pure, deterministic trace construction — no sockets, no
+// apps, no service. A ServeWorkload (seed + shape knobs) expands into a
+// time-sorted vector of ServeRequests: Zipfian key popularity, a weighted
+// GET/SET size mix, MMPP-style bursty arrivals (a two-state Markov-modulated
+// Poisson process: calm and burst phases with exponential inter-arrivals),
+// and periodic connection churn. The same seed always yields the same trace,
+// which is what makes tail-latency runs replayable and assertable
+// (tests/serve_test.cc) instead of flaky.
+#ifndef COPIER_SRC_CORE_LOADGEN_H_
+#define COPIER_SRC_CORE_LOADGEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/cycle_clock.h"
+#include "src/common/rng.h"
+
+namespace copier::core {
+
+// Zipfian sampler over [0, n) with skew theta (Gray et al., SIGMOD'94 — the
+// YCSB generator). theta in (0, 1); 0.99 is the YCSB default. Item 0 is the
+// most popular.
+class ZipfianSampler {
+ public:
+  ZipfianSampler(size_t n, double theta);
+
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(size_t n, double theta);
+
+  size_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+// Two-state MMPP arrival process: a calm phase with the base rate and a burst
+// phase with `rate_multiplier` times the base rate. Phase lengths are
+// geometric in requests (mean `mean_phase_requests`), inter-arrival gaps are
+// exponential within a phase — the standard model for bursty open-loop
+// traffic.
+struct BurstConfig {
+  double rate_multiplier = 8.0;      // burst-phase arrival-rate boost
+  double burst_fraction = 0.1;       // probability a phase switch lands in burst
+  double mean_phase_requests = 64;   // mean requests per phase (geometric)
+};
+
+class ArrivalProcess {
+ public:
+  // `mean_gap_cycles` is the long-run mean inter-arrival time; the calm/burst
+  // phase rates are derived so the mixture keeps that mean.
+  ArrivalProcess(double mean_gap_cycles, BurstConfig burst, Rng* rng);
+
+  // Gap to the next arrival, in cycles (>= 1).
+  Cycles NextGap();
+
+  bool in_burst() const { return in_burst_; }
+
+ private:
+  void SwitchPhase();
+
+  double calm_gap_;   // mean gap while calm
+  double burst_gap_;  // mean gap while bursting
+  BurstConfig burst_;
+  Rng* rng_;
+  bool in_burst_ = false;
+  uint64_t phase_left_ = 0;  // requests until the next phase switch
+};
+
+// One simulated request of the serving workload.
+struct ServeRequest {
+  uint64_t index = 0;        // trace position (stable across replays)
+  Cycles arrival = 0;        // intended open-loop issue time
+  uint32_t conn = 0;         // connection (client) the request arrives on
+  bool is_get = false;       // GET vs SET (KV requests)
+  bool via_proxy = false;    // forwarded through miniproxy instead of the KV path
+  uint32_t key = 0;          // Zipfian-sampled key id
+  uint32_t value_bytes = 0;  // SET value / proxy body length (GET: expected)
+  bool churn_before = false; // recycle (close + reopen) the connection first
+};
+
+// Workload shape. Every field feeds the deterministic expansion; two equal
+// ServeWorkloads produce byte-identical traces.
+struct ServeWorkload {
+  uint64_t seed = 1;
+  size_t requests = 512;
+  size_t connections = 16;
+  size_t keys = 256;
+  double zipf_theta = 0.99;
+  double get_fraction = 0.7;
+  // Weighted size mix for SET values / proxy bodies (mixed GET/SET sizes).
+  std::vector<uint32_t> value_sizes = {64, 1024, 4096, 16384};
+  std::vector<double> value_weights = {4.0, 2.0, 1.0, 0.5};
+  double mean_gap_cycles = 20000;  // long-run mean inter-arrival
+  BurstConfig burst;
+  double proxy_fraction = 0.0;  // fraction of requests taking the proxy path
+  size_t churn_every = 0;       // every k-th request recycles its connection (0 = off)
+};
+
+// Expands the workload into its arrival-sorted request trace. GET requests
+// carry the value size of the *latest preceding SET* of their key (0 before
+// any SET), so harnesses know the expected reply size without replaying.
+std::vector<ServeRequest> BuildServeTrace(const ServeWorkload& workload);
+
+}  // namespace copier::core
+
+#endif  // COPIER_SRC_CORE_LOADGEN_H_

@@ -78,6 +78,9 @@ CopierService::CopierService(Options options)
     if (config.enable_engine_pool) {
       engines_.back()->set_cross(this);
     }
+    // Saturation feedback flows from every engine regardless of pool mode:
+    // reporting a counter has no behavioral side effects (unlike set_cross).
+    engines_.back()->set_overload_signals(&overload_signals_);
     shards_.push_back(std::make_unique<Shard>());
   }
   cgroups_.push_back(std::make_unique<Cgroup>("root", kDefaultCopierShares));
@@ -231,6 +234,93 @@ Cgroup* CopierService::CreateCgroup(const std::string& name, uint64_t shares) {
 }
 
 // ---------------------------------------------------------------------------
+// Overload admission control (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+CopierService::Admission CopierService::AdmitRequest(Client& client, uint64_t bytes,
+                                                     Cycles now) {
+  Admission result;
+  const CopierConfig& config = options_.config;
+  Cgroup* group = client.cgroup != nullptr ? client.cgroup : root_cgroup_;
+  if (config.overload_policy == CopierConfig::OverloadPolicy::kNone) {
+    group->NoteAdmitted();
+    group->AdmissionOpen(bytes);
+    return result;
+  }
+
+  // Fold fresh engine saturation events (DMA ring-full doorbell bounces) into
+  // a back-off window covering the next admission_ring_backoff decisions. The
+  // CAS makes each event batch arm exactly one window under concurrency.
+  const uint64_t ring_now = overload_signals_.ring_full_events;
+  uint64_t seen = ring_seen_.load(std::memory_order_relaxed);
+  if (ring_now > seen &&
+      ring_seen_.compare_exchange_strong(seen, ring_now, std::memory_order_relaxed)) {
+    ring_backoff_credits_.store(config.admission_ring_backoff, std::memory_order_relaxed);
+    ++ring_backoff_events_;
+  }
+
+  uint64_t inflight_bytes = 0;
+  uint64_t inflight_requests = 0;
+  group->AdmissionInflight(now, &inflight_bytes, &inflight_requests);
+  bool overloaded = inflight_bytes + bytes > config.admission_max_inflight_bytes ||
+                    inflight_requests >= config.admission_max_inflight_requests;
+  const uint64_t credits = ring_backoff_credits_.load(std::memory_order_relaxed);
+  if (credits > 0) {
+    ring_backoff_credits_.store(credits - 1, std::memory_order_relaxed);
+    overloaded = true;
+  }
+  if (!overloaded) {
+    group->NoteAdmitted();
+    group->AdmissionOpen(bytes);
+    return result;
+  }
+
+  switch (config.overload_policy) {
+    case CopierConfig::OverloadPolicy::kShed:
+      group->NoteShed();
+      result.verdict = AdmissionVerdict::kShed;
+      return result;
+    case CopierConfig::OverloadPolicy::kDefer:
+      group->NoteDeferred();
+      result.verdict = AdmissionVerdict::kDefer;
+      result.wait_cycles = config.admission_defer_cycles;
+      return result;
+    case CopierConfig::OverloadPolicy::kThrottle: {
+      // Backpressure: admit, but make the submitter wait until the inflight
+      // window has drained enough for this request to fit (plus a pacing
+      // floor when the overload came purely from ring feedback).
+      const uint64_t byte_room = config.admission_max_inflight_bytes > bytes
+                                     ? config.admission_max_inflight_bytes - bytes
+                                     : 0;
+      const uint64_t request_room = config.admission_max_inflight_requests > 0
+                                        ? config.admission_max_inflight_requests - 1
+                                        : 0;
+      const Cycles target = group->AdmissionDrainTarget(now, byte_room, request_room);
+      result.wait_cycles =
+          target > now ? target - now : config.admission_defer_cycles;
+      result.verdict = AdmissionVerdict::kThrottle;
+      group->NoteThrottled(result.wait_cycles);
+      group->NoteAdmitted();
+      group->AdmissionOpen(bytes);
+      return result;
+    }
+    case CopierConfig::OverloadPolicy::kNone:
+      break;  // unreachable: handled above
+  }
+  return result;
+}
+
+void CopierService::FinishRequest(Client& client, uint64_t bytes, Cycles completion) {
+  Cgroup* group = client.cgroup != nullptr ? client.cgroup : root_cgroup_;
+  group->AdmissionFinish(bytes, completion);
+}
+
+void CopierService::AbandonRequest(Client& client) {
+  Cgroup* group = client.cgroup != nullptr ? client.cgroup : root_cgroup_;
+  group->NoteShed();
+}
+
+// ---------------------------------------------------------------------------
 // Scheduling (§4.5.3)
 // ---------------------------------------------------------------------------
 
@@ -378,6 +468,7 @@ void CopierService::AccountService(Client& client, uint64_t bytes) {
   }
   client.cgroup->Account(bytes);
   client.cgroup->AccountRaw(bytes);
+  client.cgroup->NoteServed(bytes);
 }
 
 void CopierService::FinishServe(Client& client) {
@@ -540,6 +631,7 @@ void CopierService::NotifyRunnable(Client& client, uint64_t bytes_hint) {
   ++notify_calls_;  // doorbell count: the vectored path's headline metric
   if (bytes_hint != 0) {
     client.submitted_bytes.fetch_add(bytes_hint, std::memory_order_relaxed);
+    client.cgroup->NoteSubmitted(bytes_hint);
   }
   if (options_.mode != Mode::kThreaded) {
     return;  // manual mode: the caller drives the engine directly
@@ -728,6 +820,19 @@ Engine::Stats CopierService::TotalStats() const {
   }
   total.notify_calls = notify_calls_;
   total.fuse_fallbacks = ipc_fuse_stats().fallbacks();
+  // Admission decisions live on the cgroups (per-cgroup accounting); the
+  // aggregate view rides the engine-stats snapshot like notify_calls does.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& group : cgroups_) {
+      total.admission_admitted += group->requests_admitted();
+      total.admission_shed += group->requests_shed();
+      total.admission_deferred += group->requests_deferred();
+      total.admission_throttled += group->requests_throttled();
+      total.admission_throttle_cycles += group->throttle_wait_cycles();
+    }
+  }
+  total.overload_ring_backoffs = ring_backoff_events_;
   return total;
 }
 

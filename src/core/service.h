@@ -105,6 +105,41 @@ class CopierService : public CrossEngineHooks {
   Cgroup* CreateCgroup(const std::string& name, uint64_t shares);
   Cgroup* root_cgroup() { return root_cgroup_; }
 
+  // --- overload admission control (DESIGN.md §13) ------------------------------
+
+  enum class AdmissionVerdict {
+    kAdmit,     // proceed; close with FinishRequest
+    kShed,      // rejected — do not submit
+    kDefer,     // retry after wait_cycles (up to admission_max_defer_retries)
+    kThrottle,  // admitted, but charge wait_cycles of backpressure first
+  };
+  struct Admission {
+    AdmissionVerdict verdict = AdmissionVerdict::kAdmit;
+    Cycles wait_cycles = 0;  // kDefer: retry-after gap; kThrottle: imposed wait
+  };
+
+  // Request-boundary admission decision for a request costing ~`bytes` of
+  // copy work on `client`'s cgroup, taken at the submitter's clock `now`.
+  // Overload = the cgroup's admitted-but-unfinished work exceeds the
+  // config bounds, its scheduler backlog exceeds the byte bound, or the
+  // engines reported fresh DMA ring-full fallbacks (OverloadSignals) within
+  // the current back-off window. overload_policy = kNone always admits.
+  // Admitted (and throttled) requests must be closed with FinishRequest;
+  // decisions never split a request's copy work — admitted work runs
+  // byte-for-byte as without the policy.
+  Admission AdmitRequest(Client& client, uint64_t bytes, Cycles now);
+  // Closes an admitted request whose work completes at `completion` on the
+  // submitter's clock (under virtual-time queueing that may be in a later
+  // prober's future; the inflight window keeps counting it until then).
+  void FinishRequest(Client& client, uint64_t bytes, Cycles completion);
+  // A submitter gave up on a kDefer'd request (retry budget exhausted):
+  // account it as shed so offered = admitted + shed stays exact.
+  void AbandonRequest(Client& client);
+
+  // Engine-facing saturation counters (engines hold a pointer; see
+  // Engine::set_overload_signals).
+  OverloadSignals& overload_signals() { return overload_signals_; }
+
   // --- manual-mode driving -------------------------------------------------------
 
   // One scheduling pick + copy slice on engine `engine_index`; returns bytes
@@ -332,6 +367,15 @@ class CopierService : public CrossEngineHooks {
   std::atomic<bool> running_{false};
   std::atomic<size_t> active_threads_{0};
   std::atomic<int> scenario_depth_{0};
+
+  // Overload admission control (DESIGN.md §13): engine saturation feedback
+  // plus the back-off window it arms. ring_seen_ is the high-water mark of
+  // ring_full_events already folded into a back-off; ring_backoff_credits_
+  // counts admission decisions the current window still covers.
+  OverloadSignals overload_signals_;
+  std::atomic<uint64_t> ring_seen_{0};
+  std::atomic<uint64_t> ring_backoff_credits_{0};
+  mutable RelaxedCounter ring_backoff_events_;
 
   mutable AtomicSchedStats sched_stats_;
   // Doorbell count (NotifyRunnable calls), service-wide: the vectored
