@@ -8,11 +8,14 @@
 // composed over the core budget.
 #include "bench/bench_util.h"
 
+#include <cstdio>
 #include <memory>
 #include <vector>
 
 #include "src/apps/minikv.h"
+#include "src/apps/miniproxy.h"
 #include "src/libcopier/libcopier.h"
+#include "src/simos/binder.h"
 
 namespace copier::bench {
 namespace {
@@ -206,11 +209,167 @@ void RunThreadedUtilization() {
               "is busy only while clients submit)\n");
 }
 
+// Fused-IPC utilization: exercise every reachable rung of the fallback
+// ladder (DESIGN.md §12) in one virtual-time run, then print the full
+// IpcFuseStats counter group — the "where did my sends go" companion to the
+// engine/scheduler tables above. Pool-exhausted and submission-ring
+// fallbacks stay 0 in a healthy run and print as such.
+void RunIpcFuseLadder(const hw::TimingModel& t) {
+  PrintBanner("Fused IPC fallback ladder: posted-send accounting (1 Copier core)");
+  BenchStack stack(&t);
+  apps::AppProcess* tx = stack.NewApp("ladder-tx");
+  apps::AppProcess* rx = stack.NewApp("ladder-rx");
+  auto [ts, rs] = stack.kernel->CreateSocketPair();
+
+  constexpr size_t kMsg = 16 * kKiB;
+  const uint64_t src = tx->Map(2 * kMsg, "ladder-src", true);
+  const uint64_t win = rx->Map(2 * kMsg, "ladder-win", true);
+  std::vector<uint8_t> payload(2 * kMsg, 0x5a);
+  COPIER_CHECK_OK(tx->proc()->mem().WriteBytes(src, payload.data(), payload.size()));
+
+  auto send = [&](size_t length) {
+    size_t sent_total = 0;
+    while (sent_total < length) {
+      auto sent =
+          stack.kernel->Send(*tx->proc(), ts, src + sent_total, length - sent_total, &tx->ctx());
+      COPIER_CHECK(sent.ok()) << sent.status().ToString();
+      sent_total += *sent;
+      stack.service->DrainAll();
+    }
+  };
+  auto reap = [&](core::Descriptor* descriptor, size_t length) {
+    COPIER_CHECK_OK(core::WaitDescriptor(*descriptor, 0, length, &rx->ctx(),
+                                         [&] { stack.service->DrainAll(); }));
+    auto filled = stack.kernel->CompleteRecv(*rx->proc(), rs, &rx->ctx());
+    COPIER_CHECK(filled.ok()) << filled.status().ToString();
+  };
+  auto recv_classic = [&](size_t length) {
+    auto got = stack.kernel->Recv(*rx->proc(), rs, win, length, &rx->ctx());
+    while (!got.ok()) {
+      stack.service->DrainAll();
+      got = stack.kernel->Recv(*rx->proc(), rs, win, length, &rx->ctx());
+    }
+  };
+
+  // (1) No window posted: classic two-step, kFallbackNotPosted.
+  send(kMsg);
+  recv_classic(kMsg);
+  // (2) Single posted window: the fused fast path.
+  {
+    core::Descriptor d(kMsg);
+    simos::RecvOptions ropts;
+    ropts.descriptor = &d;
+    COPIER_CHECK(stack.kernel->PostRecv(*rx->proc(), rs, win, kMsg, &rx->ctx(), ropts).ok());
+    send(kMsg);
+    reap(&d, kMsg);
+  }
+  // (3) Receive ring at depth 2, plus one send spanning both windows — the
+  // spill into the second window is a ring rollover, still fused.
+  {
+    core::Descriptor d1(kMsg);
+    core::Descriptor d2(kMsg);
+    const std::vector<simos::SimKernel::RecvWindowSpec> specs = {
+        {win, kMsg, &d1}, {win + kMsg, kMsg, &d2}};
+    COPIER_CHECK(stack.kernel->PostRecvRing(*rx->proc(), rs, specs, &rx->ctx()).ok());
+    send(2 * kMsg);
+    reap(&d1, kMsg);
+    reap(&d2, kMsg);
+  }
+  // (4) Ring exhausted mid-stream: one window, two messages — the second
+  // finds every window consumed and falls back, kFallbackWindowFull.
+  {
+    core::Descriptor d(kMsg);
+    simos::RecvOptions ropts;
+    ropts.descriptor = &d;
+    COPIER_CHECK(stack.kernel->PostRecv(*rx->proc(), rs, win, kMsg, &rx->ctx(), ropts).ok());
+    send(kMsg);
+    send(kMsg);
+    reap(&d, kMsg);
+    recv_classic(kMsg);
+  }
+
+  // (5) Proxy-transparent forwarding: a complete FWD frame on a
+  // forward-posted window dispatches straight to the KV parcel window
+  // (kForwardFused); a split frame makes the rule decline (kFallbackForward)
+  // and the message lands app-level in the proxy window instead.
+  apps::AppProcess* kv = stack.NewApp("ladder-kv");
+  simos::BinderDriver binder(stack.kernel.get());
+  std::vector<uint8_t> body(kMsg);
+  for (size_t i = 0; i < body.size(); ++i) {
+    body[i] = static_cast<uint8_t>(i * 61 + 7);
+  }
+  const std::vector<uint8_t> fwd_msg = apps::MiniProxy::BuildMessage(1, body);
+  const size_t n = fwd_msg.size();
+  char via[64];
+  const int via_len = std::snprintf(via, sizeof(via), "VIA %d %zu\r\n", 1, body.size());
+  const size_t parcel_len = 4 + static_cast<size_t>(via_len) + body.size();
+  const uint64_t fsrc = tx->Map(n, "fwd-src", true);
+  const uint64_t pwin = rx->Map(n, "fwd-pwin", true);
+  const uint64_t kv_win = kv->Map(parcel_len, "fwd-kv-win", true);
+  COPIER_CHECK_OK(tx->proc()->mem().WriteBytes(fsrc, fwd_msg.data(), n));
+  rs->SetForwardRule(apps::MiniProxy::MakeParcelForwardRule(&binder));
+  for (const bool split : {false, true}) {
+    core::Descriptor d1(n);
+    core::Descriptor d2(parcel_len);
+    simos::RecvOptions ropts;
+    ropts.descriptor = &d1;
+    if (!split) {
+      COPIER_CHECK_OK(binder.PostReceive(*kv->proc(), kv_win, parcel_len, &d2, &kv->ctx()));
+    }
+    COPIER_CHECK(stack.kernel->PostRecv(*rx->proc(), rs, pwin, n, &rx->ctx(), ropts).ok());
+    if (split) {
+      const size_t half = n / 2;
+      auto first = stack.kernel->Send(*tx->proc(), ts, fsrc, half, &tx->ctx());
+      COPIER_CHECK(first.ok() && *first == half);
+      auto rest = stack.kernel->Send(*tx->proc(), ts, fsrc + half, n - half, &tx->ctx());
+      COPIER_CHECK(rest.ok() && *rest == n - half);
+      stack.service->DrainAll();
+    } else {
+      auto sent = stack.kernel->Send(*tx->proc(), ts, fsrc, n, &tx->ctx());
+      COPIER_CHECK(sent.ok() && *sent == n);
+      stack.service->DrainAll();
+    }
+    COPIER_CHECK_OK(
+        core::WaitDescriptor(d1, 0, n, &rx->ctx(), [&] { stack.service->DrainAll(); }));
+    auto reaped = stack.kernel->CompleteRecv(*rx->proc(), rs, &rx->ctx());
+    COPIER_CHECK(reaped.ok() && *reaped == n);
+    if (!split) {
+      COPIER_CHECK_OK(core::WaitDescriptor(d2, 0, parcel_len, &kv->ctx(),
+                                           [&] { stack.service->DrainAll(); }));
+    }
+  }
+  rs->SetForwardRule(nullptr);
+
+  const core::CopierService::IpcFuseStats fuse = stack.service->ipc_fuse_stats();
+  TextTable table({"fused", "fwd fused", "not posted", "win full", "pool", "subm ring",
+                   "fwd declined", "ring posts", "rollovers", "fused rate"});
+  table.AddRow({TextTable::Num(fuse.fused, 0), TextTable::Num(fuse.forward_fused, 0),
+                TextTable::Num(fuse.fallback_not_posted, 0),
+                TextTable::Num(fuse.fallback_window_full, 0),
+                TextTable::Num(fuse.fallback_pool_exhausted, 0),
+                TextTable::Num(fuse.fallback_ring, 0),
+                TextTable::Num(fuse.fallback_forward, 0),
+                TextTable::Num(fuse.ring_windows_posted, 0),
+                TextTable::Num(fuse.ring_rollovers, 0),
+                TextTable::Num(100.0 * fuse.fused_rate(), 1) + "%"});
+  table.Print();
+  const bool ladder_ok = fuse.fused > 0 && fuse.forward_fused > 0 &&
+                         fuse.fallback_not_posted > 0 && fuse.fallback_window_full > 0 &&
+                         fuse.fallback_forward > 0 && fuse.ring_windows_posted >= 1 &&
+                         fuse.ring_rollovers > 0;
+  if (!ladder_ok) {
+    std::fprintf(stderr, "MISMATCH: fuse ladder rung unexpectedly empty\n");
+  }
+  std::printf("(every rung driven on purpose: classic, fused, ring+rollover, full-ring "
+              "fallback, forward fused, declined forward) %s\n", ladder_ok ? "OK" : " NO ");
+}
+
 }  // namespace
 }  // namespace copier::bench
 
 int main(int argc, char** argv) {
   copier::bench::Run(copier::bench::SelectTiming(argc, argv));
+  copier::bench::RunIpcFuseLadder(copier::bench::SelectTiming(argc, argv));
   copier::bench::RunThreadedUtilization();
   return 0;
 }

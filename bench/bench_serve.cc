@@ -1,6 +1,7 @@
 // Production-serving sweep (DESIGN.md §13): open-loop load against the
 // MiniKv (+ MiniProxy) stack through the serve harness, reporting tail
-// latency (p50/p99/p999 of the copy-use window per request) and
+// latency (end-to-end p50/p99/p999 per request, plus the per-request
+// copy-use window p50/p99 — first copy submit -> last KFUNC retired) and
 // throughput-vs-offered-load, in virtual time and with real Copier threads.
 //
 // The virtual sweep runs each overload policy across offered-load multipliers
@@ -72,6 +73,7 @@ struct SweepPoint {
   double offered_rps = 0;      // open-loop arrival rate
   apps::ServeResult result;
   PercentileSummary tail;
+  PercentileSummary copy_window;  // first submit -> last KFUNC, per request
 };
 
 SweepPoint RunPoint(const hw::TimingModel& t, CopierConfig::OverloadPolicy policy,
@@ -85,6 +87,7 @@ SweepPoint RunPoint(const hw::TimingModel& t, CopierConfig::OverloadPolicy polic
   point.offered_rps = kNominalGHz * 1e9 / options.workload.mean_gap_cycles;
   point.result = apps::RunServeVirtual(options);
   point.tail = Summarize(point.result.latency);
+  point.copy_window = Summarize(point.result.copy_window);
   return point;
 }
 
@@ -109,6 +112,7 @@ void Run(int argc, char** argv) {
   calib.workload.mean_gap_cycles = 200'000;
   const apps::ServeResult unloaded = apps::RunServeVirtual(calib);
   const PercentileSummary unloaded_tail = Summarize(unloaded.latency);
+  const PercentileSummary unloaded_cw = Summarize(unloaded.copy_window);
   const double unloaded_p50 = unloaded_tail.p50;
   // Capacity: a back-to-back run (every arrival queued behind the previous
   // request) measures the bottleneck service time directly — unloaded latency
@@ -121,9 +125,10 @@ void Run(int argc, char** argv) {
                               static_cast<double>(saturated.admitted);
 
   PrintBanner("Serving sweep (virtual): open-loop MiniKv+proxy, tail latency vs offered load");
-  std::printf("unloaded p50 %.2f us, p999 %.2f us; capacity ~%.0f rps; knee threshold %.2f us\n",
-              unloaded_p50, unloaded_tail.p999, kNominalGHz * 1e9 / capacity_gap,
-              kKneeFactor * unloaded_p50);
+  std::printf("unloaded p50 %.2f us, p999 %.2f us; copy-use window p50 %.2f us, p99 %.2f us; "
+              "capacity ~%.0f rps; knee threshold %.2f us\n",
+              unloaded_p50, unloaded_tail.p999, unloaded_cw.p50, unloaded_cw.p99,
+              kNominalGHz * 1e9 / capacity_gap, kKneeFactor * unloaded_p50);
 
   const std::vector<double> multipliers =
       quick ? std::vector<double>{0.25, 0.9, 1.2}
@@ -131,7 +136,7 @@ void Run(int argc, char** argv) {
 
   bool all_verified = true;
   TextTable table({"policy", "offered", "krps in", "krps out", "admit", "shed", "defer",
-                   "thr", "p50", "p99", "p999", "ok"});
+                   "thr", "p50", "p99", "p999", "cw p50", "cw p99", "ok"});
   auto add_point = [&](const SweepPoint& point) {
     const bool ok = point.result.replies_ok;
     all_verified = all_verified && ok;
@@ -147,7 +152,8 @@ void Run(int argc, char** argv) {
                   TextTable::Num(point.result.defer_verdicts, 0),
                   TextTable::Num(point.result.throttle_verdicts, 0),
                   TextTable::Num(point.tail.p50), TextTable::Num(point.tail.p99),
-                  TextTable::Num(point.tail.p999), ok ? "yes" : "NO"});
+                  TextTable::Num(point.tail.p999), TextTable::Num(point.copy_window.p50),
+                  TextTable::Num(point.copy_window.p99), ok ? "yes" : "NO"});
   };
 
   std::vector<SweepPoint> none_sweep;
@@ -246,12 +252,16 @@ void Run(int argc, char** argv) {
           << ", \"throttle_verdicts\": " << p.result.throttle_verdicts
           << ", \"churns\": " << p.result.churns << ", \"p50_us\": " << p.tail.p50
           << ", \"p99_us\": " << p.tail.p99 << ", \"p999_us\": " << p.tail.p999
+          << ", \"copy_window_p50_us\": " << p.copy_window.p50
+          << ", \"copy_window_p99_us\": " << p.copy_window.p99
           << ", \"ring_backoffs\": " << p.result.stats.overload_ring_backoffs
           << ", \"verified\": " << (p.result.replies_ok ? "true" : "false") << "}";
     };
     out << "{\n  \"bench\": \"serve\",\n  \"requests\": " << requests
         << ",\n  \"unloaded_p50_us\": " << unloaded_p50
         << ",\n  \"unloaded_p999_us\": " << unloaded_tail.p999
+        << ",\n  \"unloaded_copy_window_p50_us\": " << unloaded_cw.p50
+        << ",\n  \"unloaded_copy_window_p99_us\": " << unloaded_cw.p99
         << ",\n  \"capacity_rps\": " << kNominalGHz * 1e9 / capacity_gap
         << ",\n  \"knee_factor\": " << kKneeFactor << ",\n  \"virtual_sweep\": [\n";
     bool first = true;

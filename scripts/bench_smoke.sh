@@ -7,7 +7,9 @@
 # single-channel baseline), BENCH_engines.json (engine-pool sweep, 1 -> 8
 # copier engines), BENCH_remap.json (zero-copy remap tier vs copy ablation),
 # BENCH_ipc_fuse.json (fused single-hop IPC vs the two-step ablation, gated
-# at >=1.4x on the 1 MiB socket row and >=1.5x on >=64 KiB binder parcels),
+# at >=1.4x on the 1 MiB socket row, >=1.5x on >=64 KiB binder parcels,
+# >=90% fused rate on the pipelined qd4 rows, and >=1.8x on the
+# proxy-forwarded pipeline-e2e rows — which must all be present),
 # BENCH_cow.json (CoW fault split handling), and BENCH_serve.json (open-loop
 # serving sweep: p50/p99/p999 vs offered load, overload admission policies) at
 # the repo root; fails if any sweep reports non-identical memory images, a
@@ -78,6 +80,15 @@ if grep -q ' NO ' /tmp/bench_ipc_fuse.out; then
   echo "bench_ipc_fuse: fused image differs from the two-step ablation or a gated row missed its speedup floor" >&2
   exit 1
 fi
+# The qd4 fused-rate and pipeline-speedup gates live inside the bench (a miss
+# prints NO above); also fail loudly if the gated rows vanish from the JSON —
+# a silently dropped scenario would otherwise pass the grep.
+for scenario in socket-qd4 pipeline-e2e; do
+  if ! grep -q "\"scenario\": \"$scenario\"" BENCH_ipc_fuse.json; then
+    echo "bench_ipc_fuse: gated scenario '$scenario' missing from BENCH_ipc_fuse.json" >&2
+    exit 1
+  fi
+done
 
 echo
 "$BUILD_DIR"/bench/bench_cow --json | tee /tmp/bench_cow.out

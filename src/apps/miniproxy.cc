@@ -1,7 +1,9 @@
 #include "src/apps/miniproxy.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 
 #include "src/common/logging.h"
 
@@ -67,6 +69,46 @@ StatusOr<bool> MiniProxy::ForwardOne(simos::SimSocket* in, simos::SimSocket* out
   }
   ++forwarded_;
   return true;
+}
+
+std::shared_ptr<simos::ForwardRule> MiniProxy::MakeParcelForwardRule(
+    simos::ForwardEndpoint* endpoint) {
+  auto rule = std::make_shared<simos::ForwardRule>();
+  rule->endpoint = endpoint;
+  rule->inspect_limit = 64;  // request line only, same window ForwardOne syncs
+  rule->rewrite_cycles = kRouteFixed;
+  rule->rewrite = [](const uint8_t* head, size_t head_len,
+                     size_t total) -> std::optional<simos::ForwardAction> {
+    char header[64] = {0};
+    std::memcpy(header, head, std::min(head_len, sizeof(header) - 1));
+    int upstream = 0;
+    size_t body_len = 0;
+    if (std::sscanf(header, "FWD %d %zu", &upstream, &body_len) != 2) {
+      return std::nullopt;
+    }
+    const char* crlf = static_cast<const char*>(std::memchr(header, '\n', head_len));
+    if (crlf == nullptr) {
+      return std::nullopt;
+    }
+    const size_t body_off = static_cast<size_t>(crlf - header) + 1;
+    if (body_off + body_len != total) {
+      return std::nullopt;  // partial or over-long frame: app-level path
+    }
+    char via[64];
+    const int via_len =
+        std::snprintf(via, sizeof(via), "VIA %d %zu\r\n", upstream, body_len);
+    simos::ForwardAction action;
+    action.body_off = body_off;
+    // Parcel framing, byte-for-byte what ParcelWriter::WriteString produces
+    // for the rewritten message: u32 item length, then the item bytes.
+    const uint32_t item_len = static_cast<uint32_t>(via_len + body_len);
+    const uint8_t* len_bytes = reinterpret_cast<const uint8_t*>(&item_len);
+    action.prefix.reserve(4 + static_cast<size_t>(via_len));
+    action.prefix.insert(action.prefix.end(), len_bytes, len_bytes + 4);
+    action.prefix.insert(action.prefix.end(), via, via + via_len);
+    return action;
+  };
+  return rule;
 }
 
 std::vector<uint8_t> MiniProxy::BuildMessage(int upstream, const std::vector<uint8_t>& body) {

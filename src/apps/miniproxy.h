@@ -15,10 +15,12 @@
 #ifndef COPIER_SRC_APPS_MINIPROXY_H_
 #define COPIER_SRC_APPS_MINIPROXY_H_
 
+#include <memory>
 #include <vector>
 
 #include "src/apps/app_util.h"
 #include "src/core/descriptor.h"
+#include "src/simos/socket.h"
 
 namespace copier::apps {
 
@@ -33,6 +35,18 @@ class MiniProxy {
   StatusOr<bool> ForwardOne(simos::SimSocket* in, simos::SimSocket* out, ExecContext* ctx);
 
   static std::vector<uint8_t> BuildMessage(int upstream, const std::vector<uint8_t>& body);
+
+  // Kernel-side forward rule for this proxy's FWD→VIA rewrite
+  // (proxy-transparent forwarding, DESIGN.md §12): a complete "FWD <id> <len>"
+  // message landing in an empty posted window is re-framed as the parcel the
+  // app-level path would have marshalled — [u32 length]["VIA <id> <len>\r\n"
+  // + body] — and dispatched as ONE fused Copy Task straight to `endpoint`
+  // (e.g. the KV server's BinderDriver), the body spliced in behind the
+  // rewritten header without ever entering the proxy's address space.
+  // Partial frames, over-long frames, and unparseable headers decline, so the
+  // message lands in the window and ForwardOne handles it app-level.
+  static std::shared_ptr<simos::ForwardRule> MakeParcelForwardRule(
+      simos::ForwardEndpoint* endpoint);
 
   uint64_t forwarded() const { return forwarded_; }
 

@@ -272,6 +272,13 @@ ServeResult RunServe(const ServeOptions& options, bool threaded) {
     }
     ++result.admitted;
 
+    // Copy-use window attribution (virtual runs): everything the service
+    // retires from here to completion belongs to this request — the trace is
+    // driven one request at a time, so [submit_at, last KFUNC] is the span
+    // the Copier held kernel resources (skbs, locked pages) on its behalf.
+    const uint64_t prev_kfuncs = service->TotalStats().kfuncs_run;
+    const Cycles submit_at = cctx.now();
+
     Cycles completion_cycles = 0;
     uint64_t completion_ns = 0;
     if (!req.via_proxy) {
@@ -387,7 +394,13 @@ ServeResult RunServe(const ServeOptions& options, bool threaded) {
     rec.latency_us = threaded
                          ? static_cast<double>(completion_ns - arrival_ns(req)) / 1e3
                          : VirtualUs(completion_cycles - req.arrival);
-    rec.kfuncs_after = service->TotalStats().kfuncs_run;
+    const core::Engine::Stats after = service->TotalStats();
+    rec.kfuncs_after = after.kfuncs_run;
+    if (!threaded && after.kfuncs_run > prev_kfuncs &&
+        after.last_kfunc_cycles > submit_at) {
+      rec.copy_window_us = VirtualUs(after.last_kfunc_cycles - submit_at);
+      result.copy_window.Add(rec.copy_window_us);
+    }
     result.latency.Add(rec.latency_us);
     result.records.push_back(rec);
   }

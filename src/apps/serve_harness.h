@@ -56,6 +56,11 @@ struct ServeRecord {
   uint32_t defers = 0;  // kDefer verdicts this request saw before settling
   bool throttled = false;
   double latency_us = 0;      // valid when admitted
+  // Copy-use window: first copy submit of this request -> last KFUNC retired
+  // on its behalf (virtual-time runs only; 0 when no kernel work ran). This is
+  // the span the Copier actually held pages/skbs for the request, as opposed
+  // to the app-observed latency above.
+  double copy_window_us = 0;
   uint64_t reply_hash = 0;    // FNV-1a of the reply bytes (admitted KV requests)
   uint64_t kfuncs_after = 0;  // cumulative engine kfuncs_run after this request
 };
@@ -63,6 +68,9 @@ struct ServeRecord {
 struct ServeResult {
   std::vector<ServeRecord> records;  // one per trace request, in trace order
   Histogram latency;                 // admitted requests only, microseconds
+  // Copy-use windows (see ServeRecord::copy_window_us); populated only by
+  // RunServeVirtual, and only for requests whose service ran KFUNCs.
+  Histogram copy_window;
   uint64_t offered = 0;
   uint64_t admitted = 0;
   uint64_t shed = 0;  // shed verdicts + deferred-to-abandonment

@@ -28,6 +28,18 @@ bool SideIsSg(const CopyTask& t, bool dst_side) {
   return t.sg != nullptr && !t.sg->bookkeeping && t.sg->kernel_is_dst == dst_side;
 }
 
+// Forward-fuse header splice (DESIGN.md §12): length of the kernel-resident
+// prefix spliced in front of the task's user source. 0 for every other task.
+size_t SrcPrefixLen(const CopyTask& t) {
+  return (t.sg != nullptr && t.sg->prefix != nullptr) ? t.sg->prefix->size() : 0;
+}
+
+// True when `dst_side` of `t` is non-contiguous — a scatter-gather segment
+// list, or a prefix-spliced source. Such a side must be walked as pieces.
+bool SideIsPieced(const CopyTask& t, bool dst_side) {
+  return SideIsSg(t, dst_side) || (!dst_side && SrcPrefixLen(t) > 0);
+}
+
 // A contiguous piece of one side of a task: `ref` names the memory at
 // task-local byte `task_offset`, `length` bytes long. A plain side is one
 // piece; the scatter-gather side of a vectored task is one piece per segment.
@@ -48,8 +60,24 @@ void CollectPieces(const CopyTask& t, bool dst_side, size_t offset, size_t lengt
   }
   length = std::min(length, t.length - offset);
   if (!SideIsSg(t, dst_side)) {
-    const MemRef& side = dst_side ? t.dst : t.src;
-    out->push_back({side.Offset(offset), offset, length});
+    const size_t pfx = dst_side ? 0 : SrcPrefixLen(t);
+    if (pfx == 0) {
+      const MemRef& side = dst_side ? t.dst : t.src;
+      out->push_back({side.Offset(offset), offset, length});
+      return;
+    }
+    // Prefix-spliced source: [0, pfx) reads the kernel prefix bytes, the rest
+    // reads the user range shifted back by pfx.
+    const size_t end = offset + length;
+    if (offset < pfx) {
+      const size_t hi = std::min(end, pfx);
+      out->push_back({MemRef::Kernel(const_cast<uint8_t*>(t.sg->prefix->data()) + offset),
+                      offset, hi - offset});
+      offset = hi;
+    }
+    if (offset < end) {
+      out->push_back({t.src.Offset(offset - pfx), offset, end - offset});
+    }
     return;
   }
   const size_t end = offset + length;
@@ -76,8 +104,13 @@ void CollectPieces(const CopyTask& t, bool dst_side, size_t offset, size_t lengt
 // scatter-gather side).
 MemRef SideRefAt(const CopyTask& t, bool dst_side, size_t offset, size_t* contig) {
   if (!SideIsSg(t, dst_side)) {
+    const size_t pfx = dst_side ? 0 : SrcPrefixLen(t);
+    if (offset < pfx) {
+      *contig = pfx - offset;
+      return MemRef::Kernel(const_cast<uint8_t*>(t.sg->prefix->data()) + offset);
+    }
     *contig = t.length - offset;
-    return (dst_side ? t.dst : t.src).Offset(offset);
+    return (dst_side ? t.dst : t.src).Offset(offset - pfx);
   }
   size_t seg_base = 0;
   for (const SgSegment& seg : t.sg->segs) {
@@ -95,7 +128,7 @@ MemRef SideRefAt(const CopyTask& t, bool dst_side, size_t offset, size_t* contig
 // True when any piece of `a_dst` of `a` overlaps any piece of `b_dst` of `b`
 // (the piece-aware generalization of RefsOverlap for whole task sides).
 bool SidesOverlap(const CopyTask& a, bool a_dst, const CopyTask& b, bool b_dst) {
-  if (!SideIsSg(a, a_dst) && !SideIsSg(b, b_dst)) {
+  if (!SideIsPieced(a, a_dst) && !SideIsPieced(b, b_dst)) {
     return RefsOverlap(a_dst ? a.dst : a.src, a.length, b_dst ? b.dst : b.src, b.length);
   }
   std::vector<RefPiece> ap;
@@ -168,6 +201,7 @@ Engine::Stats Engine::stats() const {
   s.remap_cow_breaks = stats_.remap_cow_breaks;
   s.fused_ipc_tasks = stats_.fused_ipc_tasks;
   s.fused_ipc_bytes = stats_.fused_ipc_bytes;
+  s.last_kfunc_cycles = stats_.last_kfunc_cycles.load(std::memory_order_relaxed);
   s.dep_probes = stats_.dep_probes;
   s.dep_tasks_scanned = stats_.dep_tasks_scanned;
   s.index_entries = stats_.index_entries;
@@ -199,6 +233,12 @@ Status Engine::ValidateTask(Client& client, const CopyTask& task, bool kernel_mo
     }
     if (task.sg->segs.empty() || task.sg->total_length() != task.length) {
       return InvalidArgument("scatter-gather segments do not sum to task length");
+    }
+    if (task.sg->prefix != nullptr &&
+        (!task.sg->bookkeeping || task.sg->prefix->size() >= task.length)) {
+      // A source prefix rides bookkeeping (fused-forward) lists only, and the
+      // task must carry at least one user payload byte past it.
+      return InvalidArgument("malformed source-prefix splice");
     }
   }
   if (!kernel_mode) {
@@ -1447,11 +1487,15 @@ bool Engine::RemapCandidate(const PendingTask& task, size_t start, size_t end, s
     return false;
   }
   // Both sides must reach page boundaries at the same task offsets, i.e. the
-  // VAs are congruent mod the page size.
-  if (((dst.va - src.va) & (kPageSize - 1)) != 0) {
+  // VAs are congruent mod the page size. A prefix-spliced source (forward
+  // fuse) shifts the user bytes: task-local byte k reads src.va + k - pfx, so
+  // the congruence carries the prefix length and the aliasable interior
+  // starts past the prefix (whose bytes have no user source to alias).
+  const size_t pfx = SrcPrefixLen(task.task);
+  if (((dst.va - src.va + pfx) & (kPageSize - 1)) != 0) {
     return false;
   }
-  const uint64_t lo = AlignUp(dst.va + start, kPageSize);
+  const uint64_t lo = AlignUp(dst.va + std::max(start, pfx), kPageSize);
   const uint64_t hi = AlignDown(dst.va + end, kPageSize);
   const size_t min_bytes = std::max<size_t>(config_.remap_min_bytes, kPageSize);
   if (lo >= hi || hi - lo < min_bytes) {
@@ -1483,6 +1527,7 @@ bool Engine::RemapCandidate(const PendingTask& task, size_t start, size_t end, s
 bool Engine::RemapSourcesPlain(const PendingTask& task, const std::vector<SourcePiece>& sources,
                                size_t start, size_t rs, size_t re) {
   const MemRef& src = task.task.src;
+  const size_t pfx = SrcPrefixLen(task.task);
   size_t pos = start;
   for (const SourcePiece& piece : sources) {
     const size_t piece_start = pos;
@@ -1495,9 +1540,11 @@ bool Engine::RemapSourcesPlain(const PendingTask& task, const std::vector<Source
     }
     // A piece backs the interior only if it sits at the task's own source
     // offset — absorption rewrites pieces to the producer's memory, where
-    // the aliasable frames do not hold the task's data yet.
+    // the aliasable frames do not hold the task's data yet. Under a prefix
+    // splice user bytes sit `pfx` earlier in the source range (the interior
+    // itself starts past the prefix, so piece_start >= pfx here).
     if (piece.absorbed || !piece.ref.is_user() || piece.ref.space != src.space ||
-        piece.ref.va != src.va + piece_start) {
+        piece.ref.va != src.va + piece_start - pfx) {
       return false;
     }
   }
@@ -1507,9 +1554,10 @@ bool Engine::RemapSourcesPlain(const PendingTask& task, const std::vector<Source
 bool Engine::TryRemapRange(Client& client, PendingTask& task, size_t rs, size_t re) {
   const MemRef& dst = task.task.dst;
   const MemRef& src = task.task.src;
+  const size_t pfx = SrcPrefixLen(task.task);
   const size_t length = re - rs;
   const Status aliased =
-      dst.space->AliasCowRangeFrom(*src.space, dst.va + rs, src.va + rs, length, ctx_);
+      dst.space->AliasCowRangeFrom(*src.space, dst.va + rs, src.va + rs - pfx, length, ctx_);
   if (!aliased.ok()) {
     return false;  // pinned/huge/shared/unmapped edge: physical copy fallback
   }
@@ -2001,6 +2049,7 @@ void Engine::FireReadySgSegments(Client& client, PendingTask& task, Cycles when)
       ChargeCtx(ctx_, timing_->handler_dispatch_cycles);
       segs[i].on_complete(when);
       ++stats_.kfuncs_run;
+      NoteKfuncTime(when);
     }
   }
 }
@@ -2021,6 +2070,7 @@ void Engine::FireRemainingSgSegments(Client& client, PendingTask& task, Cycles w
       ChargeCtx(ctx_, timing_->handler_dispatch_cycles);
       segs[i].on_complete(when);
       ++stats_.kfuncs_run;
+      NoteKfuncTime(when);
     }
   }
   task.sg_next_fire = segs.size();
@@ -2070,6 +2120,7 @@ void Engine::CompleteTask(Client& client, PendingTask& task, bool fifo_ordered) 
       ChargeCtx(ctx_, timing_->handler_dispatch_cycles);
       handler.fn(CtxNow(ctx_));
       ++stats_.kfuncs_run;
+      NoteKfuncTime(CtxNow(ctx_));
       break;
     case PostHandler::Kind::kUserFunc: {
       QueuePair* pair = task.origin != nullptr ? task.origin : &client.default_pair();

@@ -25,6 +25,7 @@
 #ifndef COPIER_SRC_CORE_ENGINE_H_
 #define COPIER_SRC_CORE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -158,6 +159,11 @@ class Engine {
     uint64_t fused_ipc_tasks = 0;
     uint64_t fused_ipc_bytes = 0;
     uint64_t fuse_fallbacks = 0;
+    // Engine-clock time of the most recent KFUNC dispatch (max across engines
+    // in TotalStats). The serve harness differences this against the request's
+    // submit time for per-request copy-use *window* attribution — first
+    // submit → last kfunc — alongside end-to-end latency.
+    uint64_t last_kfunc_cycles = 0;
     // Coordination-lookup observability (range index vs linear baseline).
     uint64_t dep_probes = 0;         // dependency/absorption/abort lookups issued
     uint64_t dep_tasks_scanned = 0;  // candidate tasks examined across all probes
@@ -455,7 +461,16 @@ class Engine {
     RelaxedCounter cross_dep_settles;
     RelaxedCounter cross_dep_defers;
     RelaxedCounter cross_dep_wait_cycles;
+    // Monotonic max, not a counter: single writer (the engine thread), so a
+    // relaxed load-compare-store suffices.
+    std::atomic<uint64_t> last_kfunc_cycles{0};
   };
+
+  void NoteKfuncTime(Cycles when) {
+    if (when > stats_.last_kfunc_cycles.load(std::memory_order_relaxed)) {
+      stats_.last_kfunc_cycles.store(when, std::memory_order_relaxed);
+    }
+  }
 
   const CopierConfig& config_;
   const hw::TimingModel* timing_;

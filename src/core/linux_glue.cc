@@ -274,6 +274,12 @@ Status CopierLinux::CopyV(const simos::UserCopyVecOp& op, size_t* segs_submitted
 
 bool CopierLinux::SupportsFusedIpc() const { return service_->config().enable_ipc_fuse; }
 
+bool CopierLinux::SupportsRecvRing() const { return service_->config().enable_recv_ring; }
+
+bool CopierLinux::SupportsForwardFuse() const {
+  return service_->config().enable_ipc_fuse && service_->config().enable_forward_fuse;
+}
+
 void CopierLinux::NoteFuseEvent(simos::FuseEvent event) { service_->NoteIpcFuseEvent(event); }
 
 void CopierLinux::RegisterWindow(simos::Process* proc, uint64_t va, size_t length,
@@ -340,6 +346,10 @@ Status CopierLinux::CopyFused(const simos::FusedCopyOp& op) {
   // (pumping the service) until the copy lands, preserving the snapshot
   // semantics the two-step path gets by staging into skbs. Taken only after
   // the ring slots are reserved, so every lock has a task to resolve it.
+  // A forward splice's prefix bytes are kernel-resident (already snapshotted
+  // at rewrite time), so only the user payload tail is locked.
+  const size_t pfx = op.src_prefix != nullptr ? op.src_prefix->size() : 0;
+  COPIER_CHECK(pfx < op.length) << "prefix splice must carry user payload";
   simos::AddressSpace* src_space = &op.src_proc->mem();
   int lock_token = 0;
   if (op.protect_src) {
@@ -353,7 +363,7 @@ Status CopierLinux::CopyFused(const simos::FusedCopyOp& op) {
         std::this_thread::yield();
       };
     }
-    lock_token = src_space->LockRangeForCopy(op.src_va, op.length, std::move(resolver));
+    lock_token = src_space->LockRangeForCopy(op.src_va, op.length - pfx, std::move(resolver));
   }
 
   // One bookkeeping segment per flow-control chunk: the engine's in-order
@@ -363,16 +373,32 @@ Status CopierLinux::CopyFused(const simos::FusedCopyOp& op) {
   // their remaining segment handlers at retirement).
   auto sg = std::make_shared<SgList>();
   sg->bookkeeping = true;
+  sg->prefix = op.src_prefix;
   sg->segs.reserve(op.chunks.size());
   for (size_t i = 0; i < op.chunks.size(); ++i) {
     std::function<void(Cycles)> fn = op.chunks[i].on_complete;
-    if (i + 1 == op.chunks.size() && op.protect_src) {
-      fn = [src_space, lock_token, inner = std::move(fn)](Cycles when) {
-        src_space->UnlockRangeForCopy(lock_token);
-        if (inner) {
-          inner(when);
-        }
-      };
+    if (i + 1 == op.chunks.size()) {
+      if (op.protect_src) {
+        fn = [src_space, lock_token, inner = std::move(fn)](Cycles when) {
+          src_space->UnlockRangeForCopy(lock_token);
+          if (inner) {
+            inner(when);
+          }
+        };
+      }
+      // Proxy-transparent forwarding: the window the forward bypassed still
+      // owes its poster a completion — the proxy's wait on that descriptor
+      // resolves when the forwarded payload has fully landed downstream.
+      if (op.bypassed_descriptor != nullptr && op.bypassed_length > 0) {
+        Descriptor* bypassed = static_cast<Descriptor*>(op.bypassed_descriptor);
+        const size_t bypassed_length = op.bypassed_length;
+        fn = [bypassed, bypassed_length, inner = std::move(fn)](Cycles when) {
+          bypassed->MarkRange(0, bypassed_length, when);
+          if (inner) {
+            inner(when);
+          }
+        };
+      }
     }
     sg->segs.push_back(SgSegment{nullptr, op.chunks[i].length, std::move(fn)});
   }

@@ -54,6 +54,10 @@ class CopierLinux : public simos::SimKernel::TrapHooks, public simos::KernelCopy
   // same order as the two-step path's per-skb handlers. ResourceExhausted
   // (ring full) leaves no side effects; the kernel falls back to two-step.
   bool SupportsFusedIpc() const override;
+  // Multi-window receive rings and proxy-transparent forwarding (DESIGN.md
+  // §12) are independently ablatable on top of the fused path.
+  bool SupportsRecvRing() const override;
+  bool SupportsForwardFuse() const override;
   Status CopyFused(const simos::FusedCopyOp& op) override;
   void NoteFuseEvent(simos::FuseEvent event) override;
   // Pre-translates the posted window into every engine's ATCache (one walk,

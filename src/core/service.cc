@@ -817,6 +817,7 @@ Engine::Stats CopierService::TotalStats() const {
     total.cross_dep_wait_cycles += s.cross_dep_wait_cycles;
     total.fused_ipc_tasks += s.fused_ipc_tasks;
     total.fused_ipc_bytes += s.fused_ipc_bytes;
+    total.last_kfunc_cycles = std::max(total.last_kfunc_cycles, s.last_kfunc_cycles);
   }
   total.notify_calls = notify_calls_;
   total.fuse_fallbacks = ipc_fuse_stats().fallbacks();
@@ -853,6 +854,18 @@ void CopierService::NoteIpcFuseEvent(simos::FuseEvent event) {
     case simos::FuseEvent::kFallbackRing:
       ++fuse_ring_;
       break;
+    case simos::FuseEvent::kForwardFused:
+      ++fuse_forward_fused_;
+      break;
+    case simos::FuseEvent::kFallbackForward:
+      ++fuse_forward_fallback_;
+      break;
+    case simos::FuseEvent::kRingWindowPosted:
+      ++fuse_ring_windows_posted_;
+      break;
+    case simos::FuseEvent::kRingRollover:
+      ++fuse_ring_rollovers_;
+      break;
   }
 }
 
@@ -863,6 +876,10 @@ CopierService::IpcFuseStats CopierService::ipc_fuse_stats() const {
   stats.fallback_window_full = fuse_window_full_;
   stats.fallback_pool_exhausted = fuse_pool_exhausted_;
   stats.fallback_ring = fuse_ring_;
+  stats.forward_fused = fuse_forward_fused_;
+  stats.fallback_forward = fuse_forward_fallback_;
+  stats.ring_windows_posted = fuse_ring_windows_posted_;
+  stats.ring_rollovers = fuse_ring_rollovers_;
   return stats;
 }
 

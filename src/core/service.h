@@ -209,9 +209,20 @@ class CopierService : public CrossEngineHooks {
     uint64_t fallback_window_full = 0;     // window present but full/too small
     uint64_t fallback_pool_exhausted = 0;  // no skb/buffer flow-control token
     uint64_t fallback_ring = 0;            // submission ring full → two-step
+    uint64_t forward_fused = 0;            // forwarded src→destination-window
+    uint64_t fallback_forward = 0;         // forward declined → landed locally
+    uint64_t ring_windows_posted = 0;      // windows posted behind another
+    uint64_t ring_rollovers = 0;           // sends spilling into a next window
     uint64_t fallbacks() const {
       return fallback_not_posted + fallback_window_full + fallback_pool_exhausted +
              fallback_ring;
+    }
+    // Share of posted-capable sends that stayed on the single-hop fused path
+    // (forwarded sends included). fallback_forward is not in the denominator:
+    // a declined forward still lands fused in the window.
+    double fused_rate() const {
+      const uint64_t total = fused + forward_fused + fallbacks();
+      return total == 0 ? 0.0 : static_cast<double>(fused + forward_fused) / total;
     }
   };
   void NoteIpcFuseEvent(simos::FuseEvent event);
@@ -387,6 +398,10 @@ class CopierService : public CrossEngineHooks {
   mutable RelaxedCounter fuse_window_full_;
   mutable RelaxedCounter fuse_pool_exhausted_;
   mutable RelaxedCounter fuse_ring_;
+  mutable RelaxedCounter fuse_forward_fused_;
+  mutable RelaxedCounter fuse_forward_fallback_;
+  mutable RelaxedCounter fuse_ring_windows_posted_;
+  mutable RelaxedCounter fuse_ring_rollovers_;
 };
 
 }  // namespace copier::core

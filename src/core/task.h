@@ -111,6 +111,15 @@ struct SgList {
   bool bookkeeping = false;
   std::vector<SgSegment> segs;
 
+  // Forward-fuse header splice (DESIGN.md §12): when set (bookkeeping lists
+  // only), the task's *source* is the concatenation of these kernel-resident
+  // bytes and the user range at CopyTask::src — task-local source byte k
+  // reads prefix[k] for k < prefix->size() and src+(k - prefix->size())
+  // otherwise; task.length covers both. The destination stays the plain
+  // contiguous dst. This is how a proxy-forwarded message carries its
+  // rewritten header without the payload ever entering the proxy's space.
+  std::shared_ptr<const std::vector<uint8_t>> prefix;
+
   size_t total_length() const {
     size_t sum = 0;
     for (const SgSegment& seg : segs) {

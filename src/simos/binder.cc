@@ -25,9 +25,12 @@ StatusOr<BinderDriver::Transaction> BinderDriver::Transact(Process& client, uint
   bool window_too_small = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (posted_ != nullptr) {
-      if (length <= posted_->length) {
-        win = std::move(posted_);
+    if (!posted_.empty()) {
+      // FIFO: only the front window may take a transaction (ring order is the
+      // delivery order the server posted for).
+      if (length <= posted_.front()->length) {
+        win = std::move(posted_.front());
+        posted_.pop_front();
       } else {
         window_too_small = true;
       }
@@ -60,9 +63,7 @@ StatusOr<BinderDriver::Transaction> BinderDriver::Transact(Process& client, uint
     }
     if (win != nullptr) {
       std::lock_guard<std::mutex> lock(mu_);
-      if (posted_ == nullptr) {
-        posted_ = std::move(win);  // Restore the unconsumed window.
-      }
+      posted_.push_front(std::move(win));  // Restore the unconsumed window.
     }
     kernel_->TrapExit(client, ctx);
     return ResourceExhausted("no free binder transaction buffer");
@@ -108,9 +109,7 @@ StatusOr<BinderDriver::Transaction> BinderDriver::TransactPosted(
   KernelCopyBackend* backend = kernel_->copy_backend();
   auto restore_window = [&] {
     std::lock_guard<std::mutex> lock(mu_);
-    if (posted_ == nullptr) {
-      posted_ = std::move(win);
-    }
+    posted_.push_front(std::move(win));
   };
   bool staged = !backend->SupportsFusedIpc();
   if (!staged) {
@@ -185,15 +184,20 @@ Status BinderDriver::PostReceive(Process& server, uint64_t va, size_t length, vo
   window->length = length;
   window->descriptor = descriptor;
   Status status = OkStatus();
+  bool behind = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (posted_ != nullptr) {
+    if (!posted_.empty() && !kernel_->copy_backend()->SupportsRecvRing()) {
       status = FailedPrecondition("a receive window is already posted");
     } else {
-      posted_ = std::move(window);
+      behind = !posted_.empty();
+      posted_.push_back(std::move(window));
     }
   }
   if (status.ok()) {
+    if (behind) {
+      kernel_->copy_backend()->NoteFuseEvent(FuseEvent::kRingWindowPosted);
+    }
     // Registration (DESIGN.md §12): pre-translate the window so a fused
     // transact lands on warm ATCache entries; the walk is the server's
     // post-time cost, overlapped with the client's send.
@@ -204,9 +208,110 @@ Status BinderDriver::PostReceive(Process& server, uint64_t va, size_t length, vo
   return status;
 }
 
+Status BinderDriver::PostReceiveRing(Process& server,
+                                     const std::vector<SimKernel::RecvWindowSpec>& windows,
+                                     ExecContext* ctx) {
+  if (windows.empty()) {
+    return InvalidArgument("empty receive ring");
+  }
+  for (const SimKernel::RecvWindowSpec& spec : windows) {
+    if (spec.length == 0) {
+      return InvalidArgument("zero-length receive window");
+    }
+  }
+  KernelCopyBackend* backend = kernel_->copy_backend();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!backend->SupportsRecvRing() && (windows.size() > 1 || !posted_.empty())) {
+      return FailedPrecondition("receive ring not supported (one window at a time)");
+    }
+  }
+  kernel_->TrapEnter(server, ctx);
+  for (const SimKernel::RecvWindowSpec& spec : windows) {
+    auto window = std::make_unique<PostedWindow>();
+    window->proc = &server;
+    window->va = spec.va;
+    window->length = spec.length;
+    window->descriptor = spec.descriptor;
+    bool behind = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      behind = !posted_.empty();
+      posted_.push_back(std::move(window));
+    }
+    if (behind) {
+      backend->NoteFuseEvent(FuseEvent::kRingWindowPosted);
+    }
+    backend->RegisterWindow(&server, spec.va, spec.length, ctx);
+  }
+  ChargeCtx(ctx, kernel_->timing().binder_transaction_cycles / 4);  // driver bookkeeping
+  kernel_->TrapExit(server, ctx);
+  return OkStatus();
+}
+
 void BinderDriver::ClearReceive() {
   std::lock_guard<std::mutex> lock(mu_);
-  posted_.reset();
+  posted_.clear();
+}
+
+StatusOr<ForwardClaim> BinderDriver::ClaimForward(size_t length, ExecContext* ctx) {
+  std::unique_ptr<PostedWindow> win;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (posted_.empty()) {
+      return FailedPrecondition("no destination window posted");
+    }
+    if (length > posted_.front()->length) {
+      return FailedPrecondition("destination window too small");
+    }
+    win = std::move(posted_.front());
+    posted_.pop_front();
+  }
+  // The transaction buffer is the flow-control token, exactly as on the
+  // app-level path: a forwarded message occupies a buffer slot (never its
+  // payload) until the fused task's settle KFUNC releases it.
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Buffer& buf : buffers_) {
+      if (!buf.in_use) {
+        buf.in_use = true;
+        id = buf.transaction_id = next_id_++;
+        break;
+      }
+    }
+    if (id == 0) {
+      posted_.push_front(std::move(win));
+      return ResourceExhausted("no free binder transaction buffer");
+    }
+  }
+  ForwardClaim claim;
+  claim.proc = win->proc;
+  claim.va = win->va;
+  claim.descriptor = win->descriptor;
+  claim.dispatch_cycles = kernel_->timing().binder_transaction_cycles;
+  claim.token = id;
+  claim.release = [this, id](Cycles) {
+    Release(id);
+    std::lock_guard<std::mutex> lock(mu_);
+    claimed_.erase(id);
+  };
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    claimed_[id] = std::move(win);
+  }
+  (void)ctx;
+  return claim;
+}
+
+void BinderDriver::AbandonForward(uint64_t token) {
+  Release(token);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = claimed_.find(token);
+  if (it != claimed_.end()) {
+    posted_.push_front(std::move(it->second));
+    claimed_.erase(it);
+  }
 }
 
 Status BinderDriver::Reply(Process& server, ExecContext* ctx) {

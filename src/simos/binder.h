@@ -12,8 +12,10 @@
 #define COPIER_SRC_SIMOS_BINDER_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/exec_context.h"
@@ -22,7 +24,7 @@
 
 namespace copier::simos {
 
-class BinderDriver {
+class BinderDriver : public ForwardEndpoint {
  public:
   // Transaction buffers are physically contiguous kernel allocations.
   static constexpr size_t kTxnBufferBytes = 1 * kMiB;
@@ -57,11 +59,25 @@ class BinderDriver {
   // IPC): the next Transact whose payload fits lands directly in
   // [va, va+length) instead of bouncing through a mapped kernel buffer.
   // `descriptor` is the server's libCopier descriptor covering the window —
-  // it replaces Transact's for the posted transaction. One window at a time.
+  // it replaces Transact's for the posted transaction. Windows form a FIFO
+  // ring on a ring-capable backend (SupportsRecvRing); transactions consume
+  // the front window, so pipelined clients stay fused at depth > 1. One
+  // window at a time otherwise.
   Status PostReceive(Process& server, uint64_t va, size_t length, void* descriptor,
                      ExecContext* ctx);
-  // Drops the posted window, if any (server shutdown / mode switch).
+  // Posts a whole ring of landing windows in ONE trap (per-window ATCache
+  // registration, FIFO consumption) — the Binder side of PostRecvRing.
+  Status PostReceiveRing(Process& server, const std::vector<SimKernel::RecvWindowSpec>& windows,
+                         ExecContext* ctx);
+  // Drops all posted windows (server shutdown / mode switch).
   void ClearReceive();
+
+  // --- ForwardEndpoint (proxy-transparent forwarding, DESIGN.md §12) ---------
+  // Claims the front posted window (must fit `length`) plus a transaction
+  // buffer as the flow-control token; the claim's release KFUNC frees the
+  // buffer when the forwarded payload has landed.
+  StatusOr<ForwardClaim> ClaimForward(size_t length, ExecContext* ctx) override;
+  void AbandonForward(uint64_t token) override;
 
   // Server replies (small control message; modeled cost only).
   Status Reply(Process& server, ExecContext* ctx);
@@ -86,7 +102,11 @@ class BinderDriver {
   std::mutex mu_;
   std::vector<Buffer> buffers_;
   uint64_t next_id_ = 1;
-  std::unique_ptr<PostedWindow> posted_;  // server's landing window (one at a time)
+  std::deque<std::unique_ptr<PostedWindow>> posted_;  // server's landing ring (FIFO)
+  // Windows claimed by an in-flight forward dispatch, keyed by the claim's
+  // buffer-token id; dropped when the forward lands, restored by
+  // AbandonForward when it cannot be dispatched.
+  std::unordered_map<uint64_t, std::unique_ptr<PostedWindow>> claimed_;
 };
 
 }  // namespace copier::simos

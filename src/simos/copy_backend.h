@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/common/exec_context.h"
@@ -101,10 +102,23 @@ struct FusedCopyOp {
   void* descriptor = nullptr;  // receiver's window descriptor (core::Descriptor*)
   size_t descriptor_offset = 0;
   std::vector<FusedChunk> chunks;  // lengths sum to `length`
-  // Write-protect [src_va, src_va+length) in the sender's space until the
-  // fused copy lands, so a sender-side store after "send returned" cannot
-  // leak into the receiver's image (the two-step path snapshots into skbs).
+  // Write-protect the sender's source range until the fused copy lands, so a
+  // sender-side store after "send returned" cannot leak into the receiver's
+  // image (the two-step path snapshots into skbs). The protected range is the
+  // user-sourced payload only: [src_va, src_va + length - prefix bytes).
   bool protect_src = true;
+
+  // Proxy-transparent forwarding (DESIGN.md §12): kernel-resident header
+  // bytes spliced in front of the user payload at [src_va, ...). When set,
+  // `length` = src_prefix->size() + payload bytes and the engine reads the
+  // first prefix bytes from this buffer instead of the sender's space.
+  std::shared_ptr<const std::vector<uint8_t>> src_prefix;
+  // Descriptor of the window the message was forwarded *through* (the proxy's
+  // posted window): settled for [0, bypassed_length) when the fused transfer
+  // completes, so a csync against the bypassed window never hangs even though
+  // no bytes ever land there.
+  void* bypassed_descriptor = nullptr;
+  size_t bypassed_length = 0;
 
   ExecContext* ctx = nullptr;
 };
@@ -117,6 +131,11 @@ enum class FuseEvent : uint8_t {
   kFallbackWindowFull,     // window present but full / too small
   kFallbackPoolExhausted,  // no skb/buffer flow-control token available
   kFallbackRing,           // submission ring full → posted two-step
+  kForwardFused,           // forwarded: one src→destination-window task
+  kFallbackForward,        // forward rule present but declined/unclaimable →
+                           // the message lands in the window (app-level path)
+  kRingWindowPosted,       // a window posted behind an already-posted one
+  kRingRollover,           // one send spilled into the ring's next window
 };
 
 class KernelCopyBackend {
@@ -145,6 +164,18 @@ class KernelCopyBackend {
     (void)op;
     return Unimplemented("backend cannot fuse IPC transfers");
   }
+  // Multi-window receive ring (DESIGN.md §12): whether endpoints may hold
+  // more than one posted window at a time. A kernel capability rather than a
+  // fuse capability — ring windows work with the two-step path too — but the
+  // Copier backend gates it on the enable_recv_ring ablation flag. The
+  // synchronous baseline keeps rings on so ring semantics do not depend on
+  // which backend is installed.
+  virtual bool SupportsRecvRing() const { return true; }
+  // Proxy-transparent forwarding (DESIGN.md §12): whether a forward-posted
+  // window may dispatch a prefix-spliced src→destination-window CopyFused.
+  // Requires fused IPC; off on synchronous backends and under the
+  // enable_forward_fuse ablation.
+  virtual bool SupportsForwardFuse() const { return false; }
   // Send-time routing observability; fuse-capable backends forward these to
   // the service's IpcFuseStats counters.
   virtual void NoteFuseEvent(FuseEvent event) { (void)event; }

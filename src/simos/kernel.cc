@@ -1,6 +1,8 @@
 #include "src/simos/kernel.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <optional>
 
 #include "src/common/logging.h"
 
@@ -70,29 +72,65 @@ StatusOr<size_t> SimKernel::Send(Process& proc, SimSocket* sock, uint64_t va, si
   TrapEnter(proc, ctx);
   SimSocket* peer = sock->peer();
   const bool fuse_capable = backend_->SupportsFusedIpc();
-  PostedWindow* win = peer->posted_window();
   StatusOr<size_t> result = 0;
-  if (win == nullptr) {
+  if (!peer->HasPostedWindow()) {
     if (fuse_capable) {
       backend_->NoteFuseEvent(FuseEvent::kFallbackNotPosted);
     }
     result = SendClassic(proc, sock, va, length, ctx, opts);
   } else {
     // Stream order: skbs already queued at the peer carry bytes sent before
-    // this call — drain them into the window ahead of this payload.
+    // this call — drain them into the ring ahead of this payload.
     Status drain_status = OkStatus();
     if (peer->HasData()) {
-      drain_status = DrainRxIntoWindow(proc, peer, win, ctx);
+      drain_status = DrainRxIntoRing(proc, peer, ctx);
     }
+    PostedWindow* win = peer->ActiveWindow();
     if (!drain_status.ok()) {
       result = drain_status;
-    } else if (win->filled >= win->length) {
+    } else if (win == nullptr) {
+      // Every posted window is full.
       if (fuse_capable) {
         backend_->NoteFuseEvent(FuseEvent::kFallbackWindowFull);
       }
       result = SendClassic(proc, sock, va, length, ctx, opts);
     } else {
-      result = SendPosted(proc, peer, win, va, length, ctx, opts);
+      bool forwarded = false;
+      if (win->filled == 0 && !peer->HasData() && peer->forward_rule() != nullptr &&
+          backend_->SupportsForwardFuse()) {
+        result = SendForward(proc, peer, win, va, length, ctx, &forwarded);
+      }
+      if (!forwarded) {
+        // Fill the ring's windows in FIFO order within this one syscall: a
+        // send larger than the active window's room rolls over into the next
+        // posted window instead of returning short.
+        size_t sent_total = 0;
+        Status err = OkStatus();
+        while (sent_total < length) {
+          PostedWindow* w = peer->ActiveWindow();
+          if (w == nullptr) {
+            break;  // ring full: short send, receiver must reap/re-post
+          }
+          if (sent_total > 0) {
+            backend_->NoteFuseEvent(FuseEvent::kRingRollover);
+          }
+          auto part =
+              SendPosted(proc, peer, w, va + sent_total, length - sent_total, ctx, opts);
+          if (!part.ok()) {
+            err = part.status();
+            break;
+          }
+          if (*part == 0) {
+            break;
+          }
+          sent_total += *part;
+        }
+        if (sent_total > 0) {
+          result = sent_total;
+        } else {
+          result = err.ok() ? StatusOr<size_t>(0) : StatusOr<size_t>(err);
+        }
+      }
     }
   }
   TrapExit(proc, ctx);
@@ -284,6 +322,132 @@ StatusOr<size_t> SimKernel::SendPosted(Process& proc, SimSocket* peer, PostedWin
   return covered;
 }
 
+StatusOr<size_t> SimKernel::SendForward(Process& proc, SimSocket* peer, PostedWindow* win,
+                                        uint64_t va, size_t length, ExecContext* ctx,
+                                        bool* handled) {
+  *handled = false;
+  const ForwardRule* rule = peer->forward_rule();
+  if (rule == nullptr || rule->endpoint == nullptr || !rule->rewrite) {
+    return 0;
+  }
+  // Bounded header peek: the kernel inspects at most inspect_limit bytes to
+  // classify the message — the payload is never read here.
+  const size_t head_len = std::min(rule->inspect_limit, length);
+  std::vector<uint8_t> head(head_len);
+  if (!proc.mem().ReadBytes(va, head.data(), head_len, ctx).ok()) {
+    return 0;  // unreadable header: land locally, the app will fault properly
+  }
+  ChargeCtx(ctx, rule->rewrite_cycles);
+  std::optional<ForwardAction> action = rule->rewrite(head.data(), head_len, length);
+  if (!action.has_value() || action->body_off > length) {
+    // Partial message or a frame the rule does not own: app-level path.
+    backend_->NoteFuseEvent(FuseEvent::kFallbackForward);
+    return 0;
+  }
+  const size_t payload = length - action->body_off;
+  const size_t fused_len = action->prefix.size() + payload;
+  auto claim_or = rule->endpoint->ClaimForward(fused_len, ctx);
+  if (!claim_or.ok()) {
+    backend_->NoteFuseEvent(FuseEvent::kFallbackForward);
+    return 0;
+  }
+  ForwardClaim claim = std::move(*claim_or);
+
+  // Flow-control parity with the posted path the message would otherwise
+  // take: reserve the same skb token run for the same stream bytes, so the
+  // sender sees identical pool pressure and the same reclaim KFUNC ids fire
+  // in the same order whether or not the message was forwarded.
+  SkbPool* pool = peer->pool();
+  std::vector<Skb*> tokens = pool->AcquireBatch((length + kMtu - 1) / kMtu, ctx);
+  std::vector<size_t> takes;
+  size_t covered = 0;
+  for (Skb* skb : tokens) {
+    const size_t take = std::min(kMtu, length - covered);
+    skb->length = take;
+    takes.push_back(take);
+    covered += take;
+  }
+  // The first chunk absorbs the header-length delta (rewritten prefix in,
+  // original header out), so chunk lengths sum to the fused length while the
+  // chunk *count* stays the token count.
+  const int64_t delta = static_cast<int64_t>(action->prefix.size()) -
+                        static_cast<int64_t>(action->body_off);
+  if (covered < length ||
+      static_cast<int64_t>(takes[0]) + delta < 0) {
+    for (Skb* skb : tokens) {
+      pool->Release(skb);
+    }
+    rule->endpoint->AbandonForward(claim.token);
+    backend_->NoteFuseEvent(FuseEvent::kFallbackForward);
+    return 0;  // the posted path re-acquires and lands locally / two-steps
+  }
+  ChargeCtx(ctx, timing_->tcp_tx_per_packet_cycles);  // one logical segment
+  ChargeCtx(ctx, claim.dispatch_cycles);              // destination protocol work
+
+  auto probe = kfunc_probe_;
+  FusedCopyOp fop;
+  fop.src_proc = &proc;
+  fop.src_va = va + action->body_off;
+  fop.dst_proc = claim.proc;
+  fop.dst_va = claim.va;
+  fop.length = fused_len;
+  fop.descriptor = claim.descriptor;
+  fop.descriptor_offset = 0;
+  fop.protect_src = true;
+  fop.ctx = ctx;
+  fop.src_prefix = std::make_shared<const std::vector<uint8_t>>(std::move(action->prefix));
+  // The proxy's window descriptor settles when the forward lands: no bytes
+  // ever arrive in the window, but a csync against it must not hang.
+  fop.bypassed_descriptor = win->descriptor;
+  fop.bypassed_length = length;
+  fop.chunks.reserve(tokens.size() + 1);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    Skb* skb = tokens[i];
+    const size_t chunk_len =
+        i == 0 ? static_cast<size_t>(static_cast<int64_t>(takes[i]) + delta) : takes[i];
+    fop.chunks.push_back(FusedChunk{chunk_len, [pool, skb, probe](Cycles) {
+                                      if (probe) probe(skb->id);
+                                      pool->Release(skb);
+                                    }});
+  }
+  // Zero-length settle chunk: fires after every payload chunk has landed,
+  // releasing the destination endpoint's flow-control token — mirroring the
+  // second hop's single buffer-reclaim KFUNC on the app-level path.
+  fop.chunks.push_back(FusedChunk{0, claim.release});
+
+  const Status fuse_status = backend_->CopyFused(fop);
+  if (!fuse_status.ok()) {
+    for (Skb* skb : tokens) {
+      pool->Release(skb);
+    }
+    rule->endpoint->AbandonForward(claim.token);
+    backend_->NoteFuseEvent(FuseEvent::kFallbackRing);
+    return 0;  // ring full: the posted path stages through skbs instead
+  }
+  backend_->NoteFuseEvent(FuseEvent::kForwardFused);
+  win->forwarded += length;
+  *handled = true;
+  return length;
+}
+
+Status SimKernel::DrainRxIntoRing(Process& submit_proc, SimSocket* sock, ExecContext* ctx) {
+  while (sock->HasData()) {
+    PostedWindow* win = sock->ActiveWindow();
+    if (win == nullptr) {
+      return OkStatus();  // ring full: the rest stays queued
+    }
+    const size_t before = win->filled;
+    const Status status = DrainRxIntoWindow(submit_proc, sock, win, ctx);
+    if (!status.ok()) {
+      return status;
+    }
+    if (win->filled == before) {
+      return OkStatus();
+    }
+  }
+  return OkStatus();
+}
+
 Status SimKernel::DrainRxIntoWindow(Process& submit_proc, SimSocket* sock, PostedWindow* win,
                                     ExecContext* ctx) {
   SkbPool* pool = sock->pool();
@@ -349,22 +513,77 @@ StatusOr<size_t> SimKernel::PostRecv(Process& proc, SimSocket* sock, uint64_t va
   window->length = length;
   window->descriptor = opts.descriptor;
   PostedWindow* win = window.get();
-  Status status = sock->PostWindow(std::move(window));
+  const bool behind = sock->HasPostedWindow();
+  Status status = sock->PostWindow(std::move(window), backend_->SupportsRecvRing());
   if (!status.ok()) {
     TrapExit(proc, ctx);
     return status;
+  }
+  if (behind) {
+    backend_->NoteFuseEvent(FuseEvent::kRingWindowPosted);
   }
   // Registration (DESIGN.md §12): pre-translate the window so fused sends
   // land on warm ATCache entries; the walk is the receiver's post-time cost.
   backend_->RegisterWindow(&proc, va, length, ctx);
   // Staged-then-fused: bytes already queued were sent before the window
-  // existed — drain them into it now so stream order is preserved.
-  status = DrainRxIntoWindow(proc, sock, win, ctx);
+  // existed — drain them into the ring now so stream order is preserved.
+  status = DrainRxIntoRing(proc, sock, ctx);
   TrapExit(proc, ctx);
   if (!status.ok()) {
     return status;
   }
   return win->filled;
+}
+
+StatusOr<size_t> SimKernel::PostRecvRing(Process& proc, SimSocket* sock,
+                                         const std::vector<RecvWindowSpec>& windows,
+                                         ExecContext* ctx) {
+  if (windows.empty()) {
+    return InvalidArgument("empty receive ring");
+  }
+  for (const RecvWindowSpec& spec : windows) {
+    if (spec.length == 0) {
+      return InvalidArgument("zero-length receive window");
+    }
+  }
+  if (!backend_->SupportsRecvRing() && (windows.size() > 1 || sock->HasPostedWindow())) {
+    return FailedPrecondition("receive ring not supported (one window at a time)");
+  }
+  TrapEnter(proc, ctx);
+  std::vector<PostedWindow*> posted;
+  posted.reserve(windows.size());
+  for (const RecvWindowSpec& spec : windows) {
+    auto window = std::make_unique<PostedWindow>();
+    window->proc = &proc;
+    window->va = spec.va;
+    window->length = spec.length;
+    window->descriptor = spec.descriptor;
+    PostedWindow* win = window.get();
+    const bool behind = sock->HasPostedWindow();
+    Status status = sock->PostWindow(std::move(window), backend_->SupportsRecvRing());
+    if (!status.ok()) {
+      TrapExit(proc, ctx);
+      return status;
+    }
+    if (behind) {
+      backend_->NoteFuseEvent(FuseEvent::kRingWindowPosted);
+    }
+    // Per-window registration: every ring window gets its pages pre-walked
+    // into the ATCache at post time, so the Nth pipelined send is as warm as
+    // the first.
+    backend_->RegisterWindow(&proc, spec.va, spec.length, ctx);
+    posted.push_back(win);
+  }
+  const Status status = DrainRxIntoRing(proc, sock, ctx);
+  TrapExit(proc, ctx);
+  if (!status.ok()) {
+    return status;
+  }
+  size_t staged = 0;
+  for (const PostedWindow* win : posted) {
+    staged += win->filled;
+  }
+  return staged;
 }
 
 StatusOr<size_t> SimKernel::CompleteRecv(Process& proc, SimSocket* sock, ExecContext* ctx) {
@@ -375,7 +594,7 @@ StatusOr<size_t> SimKernel::CompleteRecv(Process& proc, SimSocket* sock, ExecCon
   if (win == nullptr) {
     return FailedPrecondition("no receive window posted");
   }
-  return win->filled;
+  return win->filled + win->forwarded;
 }
 
 StatusOr<size_t> SimKernel::Recv(Process& proc, SimSocket* sock, uint64_t va, size_t length,
@@ -383,7 +602,7 @@ StatusOr<size_t> SimKernel::Recv(Process& proc, SimSocket* sock, uint64_t va, si
   if (length == 0) {
     return InvalidArgument("zero-length recv");
   }
-  if (sock->posted_window() != nullptr) {
+  if (sock->HasPostedWindow()) {
     return FailedPrecondition("recv while a window is posted (use CompleteRecv)");
   }
   TrapEnter(proc, ctx);

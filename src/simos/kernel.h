@@ -80,9 +80,27 @@ class SimKernel {
   // directly in it. Skbs already queued are staged-drained into the window
   // immediately (staged-then-fused). Returns the bytes staged. The app csyncs
   // opts.descriptor (which covers the window's byte space) for readiness.
+  // On a ring-capable backend (SupportsRecvRing) windows may be posted behind
+  // one another; sends fill them in FIFO order and CompleteRecv reaps the
+  // front one.
   StatusOr<size_t> PostRecv(Process& proc, SimSocket* sock, uint64_t va, size_t length,
                             ExecContext* ctx, const RecvOptions& opts = {});
-  // Closes the posted window and returns the bytes that landed in it.
+
+  // Multi-window receive ring (DESIGN.md §12): posts all of `windows` behind
+  // any already-posted ones in ONE trap — one syscall bracket, per-window
+  // ATCache registration, FIFO consumption. Pipelined senders keep landing
+  // fused at queue depth > 1 instead of falling back between re-posts.
+  // Returns the bytes of already-queued skbs drained into the new windows.
+  struct RecvWindowSpec {
+    uint64_t va = 0;
+    size_t length = 0;
+    void* descriptor = nullptr;  // libCopier descriptor covering this window
+  };
+  StatusOr<size_t> PostRecvRing(Process& proc, SimSocket* sock,
+                                const std::vector<RecvWindowSpec>& windows, ExecContext* ctx);
+
+  // Closes the oldest posted window and returns the bytes that landed in it
+  // (plus, for forward-posted windows, the bytes forwarded through it).
   StatusOr<size_t> CompleteRecv(Process& proc, SimSocket* sock, ExecContext* ctx);
 
   // Test hook (kfunc-order differentials): invoked with the skb id from every
@@ -116,12 +134,23 @@ class SimKernel {
   // two-step staged through the reserved skb tokens otherwise.
   StatusOr<size_t> SendPosted(Process& proc, SimSocket* peer, PostedWindow* win, uint64_t va,
                               size_t length, ExecContext* ctx, const SendOptions& opts);
+  // Proxy-transparent forwarding (DESIGN.md §12): a complete message landing
+  // on an empty forward-posted window is rewritten in the kernel and
+  // dispatched as one src→destination-window fused task; the payload never
+  // touches the proxy's address space. Sets *handled=false (and returns 0)
+  // when the rule declines or the dispatch cannot proceed — the caller lands
+  // the bytes in the window via the normal posted path.
+  StatusOr<size_t> SendForward(Process& proc, SimSocket* peer, PostedWindow* win, uint64_t va,
+                               size_t length, ExecContext* ctx, bool* handled);
   // Drains `sock`'s queued skbs into its posted window (classic scatter ops
   // with reclaim KFUNCs, descriptor offsets at win->filled). `submit_proc` is
   // the syscall's process: the receiver for PostRecv, the sender when a send
   // finds staged bytes ahead of it in the stream.
   Status DrainRxIntoWindow(Process& submit_proc, SimSocket* sock, PostedWindow* win,
                            ExecContext* ctx);
+  // Ring-aware drain: fills posted windows in FIFO order until the queue or
+  // the ring's room is exhausted.
+  Status DrainRxIntoRing(Process& submit_proc, SimSocket* sock, ExecContext* ctx);
 
   const hw::TimingModel* timing_;
   std::unique_ptr<PhysicalMemory> phys_;

@@ -139,23 +139,60 @@ size_t SimSocket::ConsumeRx(size_t max, Cycles* latest_delivery,
   return consumed;
 }
 
-Status SimSocket::PostWindow(std::unique_ptr<PostedWindow> window) {
+Status SimSocket::PostWindow(std::unique_ptr<PostedWindow> window, bool allow_ring) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (posted_ != nullptr) {
+  if (!posted_.empty() && !allow_ring) {
     return FailedPrecondition("a receive window is already posted");
   }
-  posted_ = std::move(window);
+  posted_.push_back(std::move(window));
   return OkStatus();
 }
 
 PostedWindow* SimSocket::posted_window() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return posted_.get();
+  return posted_.empty() ? nullptr : posted_.front().get();
+}
+
+PostedWindow* SimSocket::ActiveWindow() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& win : posted_) {
+    // A forwarded window is consumed even though no bytes landed locally —
+    // it represents exactly one proxied message awaiting reap.
+    if (win->filled < win->length && win->forwarded == 0) {
+      return win.get();
+    }
+  }
+  return nullptr;
+}
+
+bool SimSocket::HasPostedWindow() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !posted_.empty();
+}
+
+size_t SimSocket::posted_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return posted_.size();
 }
 
 std::unique_ptr<PostedWindow> SimSocket::TakeWindow() {
   std::lock_guard<std::mutex> lock(mu_);
-  return std::move(posted_);
+  if (posted_.empty()) {
+    return nullptr;
+  }
+  std::unique_ptr<PostedWindow> win = std::move(posted_.front());
+  posted_.pop_front();
+  return win;
+}
+
+void SimSocket::SetForwardRule(std::shared_ptr<ForwardRule> rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  forward_rule_ = std::move(rule);
+}
+
+const ForwardRule* SimSocket::forward_rule() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return forward_rule_.get();
 }
 
 void SimSocket::CompleteCopy(SkbPool* pool, Skb* skb) {

@@ -19,8 +19,10 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "src/common/exec_context.h"
@@ -108,6 +110,61 @@ struct PostedWindow {
   size_t length = 0;
   size_t filled = 0;           // bytes routed into the window so far
   void* descriptor = nullptr;  // receiver's descriptor covering the window
+  size_t forwarded = 0;        // bytes forwarded *through* (never landed here)
+};
+
+// Proxy-transparent forwarding (DESIGN.md §12) ------------------------------
+//
+// The receiver of a forward-posted window never reads the payload: it only
+// rewrites a bounded header and relays the message. A ForwardRule captures
+// that rewrite so the kernel can apply it at send time and dispatch one
+// src→destination-window Copy Task with the rewritten header spliced in
+// front of the unmodified payload.
+
+// The rewrite's output for one complete message.
+struct ForwardAction {
+  // Bytes [body_off, total) of the incoming message are the payload, relayed
+  // untouched; bytes [0, body_off) are replaced by `prefix` (the destination
+  // protocol's framing + rewritten header).
+  size_t body_off = 0;
+  std::vector<uint8_t> prefix;
+};
+
+// The destination endpoint's side of a forward dispatch: claim its front
+// posted window plus a flow-control token, or refuse.
+struct ForwardClaim {
+  Process* proc = nullptr;     // destination window owner
+  uint64_t va = 0;             // destination window base
+  void* descriptor = nullptr;  // destination window's descriptor
+  // Releases the endpoint's flow-control token (e.g. the Binder transaction
+  // buffer); fires as the fused task's final KFUNC, or from AbandonForward.
+  std::function<void(Cycles)> release;
+  Cycles dispatch_cycles = 0;  // endpoint protocol bookkeeping, charged once
+  uint64_t token = 0;          // endpoint-private id for AbandonForward
+};
+
+class ForwardEndpoint {
+ public:
+  virtual ~ForwardEndpoint() = default;
+  // Claims the endpoint's front posted window for a `length`-byte landing.
+  // On success the window is consumed (its descriptor reports readiness to
+  // the destination app); the caller must either dispatch a transfer whose
+  // completion runs `release`, or call AbandonForward(token).
+  virtual StatusOr<ForwardClaim> ClaimForward(size_t length, ExecContext* ctx) = 0;
+  // Restores the claimed window and flow-control token (dispatch failed).
+  virtual void AbandonForward(uint64_t token) = 0;
+};
+
+struct ForwardRule {
+  ForwardEndpoint* endpoint = nullptr;
+  size_t inspect_limit = 64;   // header bytes the rewrite may inspect
+  Cycles rewrite_cycles = 0;   // modeled in-kernel header-rewrite cost
+  // Maps the head of a send to its forward action. `head`/`head_len` are the
+  // first min(inspect_limit, total) bytes; `total` is the send's length.
+  // Returns nullopt to decline — e.g. the send is a partial message — in
+  // which case the bytes land in the window for the app-level path.
+  std::function<std::optional<ForwardAction>(const uint8_t* head, size_t head_len,
+                                             size_t total)> rewrite;
 };
 
 // One endpoint of a connected in-memory stream socket.
@@ -119,14 +176,27 @@ class SimSocket {
   SimSocket* peer() { return peer_; }
   SkbPool* pool() { return pool_; }
 
-  // Posted window registry. One window at a time; Recv() is rejected while a
-  // window is posted. The pointer stays owned by the socket until TakeWindow.
-  // The kernel mutates `filled` from send syscalls without the socket lock —
-  // post/send/complete on one socket are syscall-serialized by the apps, as
-  // stream sockets require anyway.
-  Status PostWindow(std::unique_ptr<PostedWindow> window);
+  // Posted window registry — a FIFO ring (DESIGN.md §12). Sends land in the
+  // first window with room (ActiveWindow); CompleteRecv reaps the front
+  // window; Recv() is rejected while any window is posted. Posting behind an
+  // existing window requires `allow_ring` (the backend's SupportsRecvRing);
+  // otherwise the historical one-window-at-a-time rule applies. Pointers stay
+  // owned by the socket until TakeWindow. The kernel mutates `filled` from
+  // send syscalls without the socket lock — post/send/complete on one socket
+  // are syscall-serialized by the apps, as stream sockets require anyway.
+  Status PostWindow(std::unique_ptr<PostedWindow> window, bool allow_ring = false);
+  // Front (oldest) posted window; null when none. The reap order.
   PostedWindow* posted_window() const;
+  // First posted window with room for more bytes; null when none or all full.
+  PostedWindow* ActiveWindow() const;
+  bool HasPostedWindow() const;
+  size_t posted_count() const;
   std::unique_ptr<PostedWindow> TakeWindow();
+
+  // Forward rule (proxy-transparent forwarding): applies to complete messages
+  // arriving while an empty posted window is active. Owned by the app.
+  void SetForwardRule(std::shared_ptr<ForwardRule> rule);
+  const ForwardRule* forward_rule() const;
 
   void EnqueueRx(Skb* skb);
   bool HasData() const;
@@ -148,7 +218,8 @@ class SimSocket {
   SimSocket* peer_ = nullptr;
   mutable std::mutex mu_;
   std::deque<Skb*> rx_;
-  std::unique_ptr<PostedWindow> posted_;
+  std::deque<std::unique_ptr<PostedWindow>> posted_;  // FIFO ring
+  std::shared_ptr<ForwardRule> forward_rule_;
 };
 
 }  // namespace copier::simos

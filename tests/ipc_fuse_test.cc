@@ -5,8 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
+#include <memory>
+#include <optional>
 #include <vector>
 
+#include "src/apps/miniproxy.h"
 #include "src/apps/parcel.h"
 #include "src/simos/binder.h"
 #include "tests/test_util.h"
@@ -430,18 +434,40 @@ TEST(IpcFuse, RecvRejectedWhileWindowPosted) {
   stack.service->AttachProcess(peer);
   auto [tx, rx] = stack.kernel->CreateSocketPair();
   (void)tx;
-  auto win_or = peer->mem().MapAnonymous(kPageSize, "win", true);
+  auto win_or = peer->mem().MapAnonymous(2 * kPageSize, "win", true);
   ASSERT_TRUE(win_or.ok());
   ASSERT_TRUE(stack.kernel->PostRecv(*peer, rx, *win_or, kPageSize, nullptr, {}).ok());
   auto r = stack.kernel->Recv(*peer, rx, *win_or, kPageSize, nullptr);
   EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
-  // Double post is rejected too.
+  // A second post extends the receive ring (enable_recv_ring default).
+  ASSERT_TRUE(
+      stack.kernel->PostRecv(*peer, rx, *win_or + kPageSize, kPageSize, nullptr, {}).ok());
+  for (int i = 0; i < 2; ++i) {
+    auto filled = stack.kernel->CompleteRecv(*peer, rx, nullptr);
+    ASSERT_TRUE(filled.ok());
+    EXPECT_EQ(*filled, 0u);
+  }
+  // With both windows reaped, Recv works again (EAGAIN on empty).
+  EXPECT_EQ(stack.kernel->Recv(*peer, rx, *win_or, kPageSize, nullptr).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(IpcFuse, DoublePostRejectedWithoutRecvRing) {
+  core::CopierConfig config;
+  config.enable_recv_ring = false;
+  CopierStack stack(config);
+  simos::Process* peer = stack.kernel->CreateProcess("peer");
+  stack.service->AttachProcess(peer);
+  auto [tx, rx] = stack.kernel->CreateSocketPair();
+  (void)tx;
+  auto win_or = peer->mem().MapAnonymous(kPageSize, "win", true);
+  ASSERT_TRUE(win_or.ok());
+  ASSERT_TRUE(stack.kernel->PostRecv(*peer, rx, *win_or, kPageSize, nullptr, {}).ok());
   auto p = stack.kernel->PostRecv(*peer, rx, *win_or, kPageSize, nullptr, {});
   EXPECT_EQ(p.status().code(), StatusCode::kFailedPrecondition);
   auto filled = stack.kernel->CompleteRecv(*peer, rx, nullptr);
   ASSERT_TRUE(filled.ok());
   EXPECT_EQ(*filled, 0u);
-  // With the window closed, Recv works again (EAGAIN on empty).
   EXPECT_EQ(stack.kernel->Recv(*peer, rx, *win_or, kPageSize, nullptr).status().code(),
             StatusCode::kUnavailable);
 }
@@ -566,6 +592,512 @@ TEST(IpcFuseThreaded, PostedTransferCompletes) {
   EXPECT_EQ(*filled, n);
   EXPECT_EQ(ReadAll(receiver->mem(), *win_or, n), snapshot);
   service.Stop();
+}
+
+// --- receive-ring stress (DESIGN.md §12, multi-window rings) -----------------
+
+// Pipelined sender against a FIFO receive ring that is smaller than the
+// burst: `messages` back-to-back sends against `ring` pre-posted windows.
+// Sends beyond the ring fall back classic; reaping a window re-posts the next
+// one, whose staged drain pulls the queued bytes in — stream order holds
+// end to end.
+struct RingRunResult {
+  std::vector<uint8_t> image;  // reaped windows, concatenated in stream order
+  uint64_t kfuncs_run = 0;
+  std::vector<uint32_t> probe;
+  core::CopierService::IpcFuseStats fuse = {};
+};
+
+RingRunResult RunRingPipelinedWorkload(bool fuse, size_t msg, size_t ring, size_t messages) {
+  core::CopierConfig config;
+  config.enable_ipc_fuse = fuse;
+  CopierStack stack(config);
+  simos::Process* peer = stack.kernel->CreateProcess("peer");
+  stack.service->AttachProcess(peer);
+  auto [tx, rx] = stack.kernel->CreateSocketPair();
+
+  const size_t total = msg * messages;
+  const uint64_t src = stack.Map(total, "src");
+  FillPattern(stack.proc->mem(), src, total, 0xA11CE + msg);
+  auto win_or = peer->mem().MapAnonymous(total, "win", true);
+  EXPECT_TRUE(win_or.ok());
+
+  RingRunResult result;
+  stack.kernel->SetKfuncProbe([&](uint32_t id) { result.probe.push_back(id); });
+
+  std::vector<std::unique_ptr<core::Descriptor>> descriptors;
+  for (size_t i = 0; i < messages; ++i) {
+    descriptors.push_back(std::make_unique<core::Descriptor>(msg));
+  }
+  std::vector<simos::SimKernel::RecvWindowSpec> specs;
+  for (size_t i = 0; i < std::min(ring, messages); ++i) {
+    specs.push_back({*win_or + i * msg, msg, descriptors[i].get()});
+  }
+  EXPECT_TRUE(stack.kernel->PostRecvRing(*peer, rx, specs, nullptr).ok());
+
+  // Burst every message before reaping anything (queue depth = messages).
+  for (size_t i = 0; i < messages; ++i) {
+    size_t sent_total = 0;
+    while (sent_total < msg) {
+      auto sent =
+          stack.kernel->Send(*stack.proc, tx, src + i * msg + sent_total, msg - sent_total,
+                             nullptr);
+      EXPECT_TRUE(sent.ok()) << sent.status().ToString();
+      sent_total += *sent;
+      stack.service->DrainAll();
+    }
+  }
+
+  // Reap FIFO; each reap re-posts the next window so the classic-queued tail
+  // stages in behind the fused head.
+  for (size_t i = 0; i < messages; ++i) {
+    EXPECT_TRUE(core::WaitDescriptor(*descriptors[i], 0, msg, nullptr,
+                                     [&] { stack.service->DrainAll(); })
+                    .ok());
+    auto filled = stack.kernel->CompleteRecv(*peer, rx, nullptr);
+    EXPECT_TRUE(filled.ok()) << filled.status().ToString();
+    EXPECT_EQ(*filled, msg);
+    const size_t next = ring + i;
+    if (next < messages) {
+      simos::RecvOptions ropts;
+      ropts.descriptor = descriptors[next].get();
+      EXPECT_TRUE(
+          stack.kernel->PostRecv(*peer, rx, *win_or + next * msg, msg, nullptr, ropts).ok());
+    }
+  }
+
+  result.image = ReadAll(peer->mem(), *win_or, total);
+  result.kfuncs_run = stack.service->TotalStats().kfuncs_run;
+  result.fuse = stack.service->ipc_fuse_stats();
+  return result;
+}
+
+TEST(RecvRingStress, PipelinedDepthBeyondRingDifferential) {
+  const size_t msg = 24 * kKiB + 96;
+  const size_t ring = 2;
+  const size_t messages = 5;  // depth > ring: 3 messages overflow the ring
+  const RingRunResult fused = RunRingPipelinedWorkload(/*fuse=*/true, msg, ring, messages);
+  const RingRunResult staged = RunRingPipelinedWorkload(/*fuse=*/false, msg, ring, messages);
+
+  EXPECT_EQ(fused.image, staged.image);
+  EXPECT_EQ(fused.kfuncs_run, staged.kfuncs_run);
+  EXPECT_GT(fused.kfuncs_run, 0u);
+  EXPECT_EQ(fused.probe, staged.probe);
+
+  // The fused arm's ladder: the first `ring` messages fuse, the overflow
+  // falls back window-full, and every re-post behind a live ring counts.
+  EXPECT_GE(fused.fuse.fused, ring);
+  EXPECT_GE(fused.fuse.fallback_window_full, 1u);
+  EXPECT_GE(fused.fuse.ring_windows_posted, ring - 1);
+}
+
+// A whole pipelined burst landing in one ring: every message fuses and a
+// send spanning two windows rolls over without falling back.
+TEST(RecvRingStress, BurstWithinRingAllFused) {
+  core::CopierConfig config;
+  config.enable_ipc_fuse = true;
+  CopierStack stack(config);
+  simos::Process* peer = stack.kernel->CreateProcess("peer");
+  stack.service->AttachProcess(peer);
+  auto [tx, rx] = stack.kernel->CreateSocketPair();
+
+  const size_t msg = 16 * kKiB;
+  const size_t depth = 4;
+  const uint64_t src = stack.Map(msg * depth, "src");
+  FillPattern(stack.proc->mem(), src, msg * depth, 31337);
+  auto win_or = peer->mem().MapAnonymous(msg * depth, "win", true);
+  ASSERT_TRUE(win_or.ok());
+
+  std::vector<std::unique_ptr<core::Descriptor>> descriptors;
+  std::vector<simos::SimKernel::RecvWindowSpec> specs;
+  for (size_t i = 0; i < depth; ++i) {
+    descriptors.push_back(std::make_unique<core::Descriptor>(msg));
+    specs.push_back({*win_or + i * msg, msg, descriptors[i].get()});
+  }
+  ASSERT_TRUE(stack.kernel->PostRecvRing(*peer, rx, specs, nullptr).ok());
+
+  // One double-width send (rolls over window 0 -> 1), then two singles.
+  auto wide = stack.kernel->Send(*stack.proc, tx, src, 2 * msg, nullptr);
+  ASSERT_TRUE(wide.ok());
+  ASSERT_EQ(*wide, 2 * msg);
+  for (size_t i = 2; i < depth; ++i) {
+    auto sent = stack.kernel->Send(*stack.proc, tx, src + i * msg, msg, nullptr);
+    ASSERT_TRUE(sent.ok());
+    ASSERT_EQ(*sent, msg);
+  }
+  for (size_t i = 0; i < depth; ++i) {
+    ASSERT_TRUE(core::WaitDescriptor(*descriptors[i], 0, msg, nullptr,
+                                     [&] { stack.service->DrainAll(); })
+                    .ok());
+    auto filled = stack.kernel->CompleteRecv(*peer, rx, nullptr);
+    ASSERT_TRUE(filled.ok());
+    EXPECT_EQ(*filled, msg);
+  }
+  EXPECT_EQ(ReadAll(peer->mem(), *win_or, msg * depth),
+            ReadAll(stack.proc->mem(), src, msg * depth));
+  const auto fuse_stats = stack.service->ipc_fuse_stats();
+  EXPECT_EQ(fuse_stats.fallbacks(), 0u);
+  EXPECT_EQ(fuse_stats.fused_rate(), 1.0);
+  EXPECT_GE(fuse_stats.ring_rollovers, 1u);
+  EXPECT_EQ(fuse_stats.ring_windows_posted, depth - 1);
+}
+
+// Aborting a fused send mid-stream leaves the rest of the ring usable: the
+// next message lands in the following window, tokens and source locks all
+// come back, and the aborted window's descriptor settles without bytes.
+TEST(RecvRingStress, MidStreamAbortLeavesRingUsable) {
+  core::CopierConfig config;
+  config.enable_ipc_fuse = true;
+  CopierStack stack(config);
+  simos::Process* peer = stack.kernel->CreateProcess("peer");
+  stack.service->AttachProcess(peer);
+  auto [tx, rx] = stack.kernel->CreateSocketPair();
+
+  const size_t msg = 16 * kKiB;
+  const uint64_t src = stack.Map(2 * msg, "src");
+  FillPattern(stack.proc->mem(), src, 2 * msg, 555);
+  auto win_or = peer->mem().MapAnonymous(2 * msg, "win", true);
+  ASSERT_TRUE(win_or.ok());
+  const std::vector<uint8_t> win0_before = ReadAll(peer->mem(), *win_or, msg);
+
+  core::Descriptor d0(msg);
+  core::Descriptor d1(msg);
+  const std::vector<simos::SimKernel::RecvWindowSpec> specs = {
+      {*win_or, msg, &d0}, {*win_or + msg, msg, &d1}};
+  ASSERT_TRUE(stack.kernel->PostRecvRing(*peer, rx, specs, nullptr).ok());
+  const size_t pool_full = stack.kernel->skb_pool().available();
+
+  // First message in flight, then aborted before the engine runs it.
+  auto s0 = stack.kernel->Send(*stack.proc, tx, src, msg, nullptr);
+  ASSERT_TRUE(s0.ok());
+  ASSERT_EQ(*s0, msg);
+  core::SyncTask sync;
+  sync.kind = core::SyncTask::Kind::kAbort;
+  sync.addr = core::MemRef::User(&peer->mem(), *win_or);
+  sync.length = msg;
+  ASSERT_TRUE(stack.client->default_pair().user.sync_q.TryPush(std::move(sync)));
+  stack.service->DrainAll();
+  EXPECT_EQ(stack.kernel->skb_pool().available(), pool_full);
+  EXPECT_FALSE(stack.proc->mem().WriteLockedForCopy(src, msg));
+
+  // Second message: the aborted window is consumed, the ring moves on.
+  auto s1 = stack.kernel->Send(*stack.proc, tx, src + msg, msg, nullptr);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_EQ(*s1, msg);
+  ASSERT_TRUE(
+      core::WaitDescriptor(d1, 0, msg, nullptr, [&] { stack.service->DrainAll(); }).ok());
+  // An explicit abort settles the descriptor as complete, not failed: the
+  // client discarded the copy and promised not to read the bytes (§4.4), and
+  // csync_all must not wait forever on it. MarkFailed is reserved for faults.
+  EXPECT_TRUE(d0.RangeReady(0, msg));
+  EXPECT_FALSE(d0.failed());
+  EXPECT_FALSE(d1.failed());
+
+  auto reap0 = stack.kernel->CompleteRecv(*peer, rx, nullptr);
+  ASSERT_TRUE(reap0.ok());  // aborted window: reaped, bytes untouched
+  EXPECT_EQ(ReadAll(peer->mem(), *win_or, msg), win0_before);
+  auto reap1 = stack.kernel->CompleteRecv(*peer, rx, nullptr);
+  ASSERT_TRUE(reap1.ok());
+  EXPECT_EQ(*reap1, msg);
+  EXPECT_EQ(ReadAll(peer->mem(), *win_or + msg, msg),
+            ReadAll(stack.proc->mem(), src + msg, msg));
+  EXPECT_EQ(stack.kernel->skb_pool().available(), pool_full);
+  EXPECT_EQ(stack.service->ipc_fuse_stats().fused, 2u);
+}
+
+// Connection churn under pipelined ring traffic: fresh socket pairs mid-run,
+// every round byte-verified, all flow-control tokens back at the end.
+TEST(RecvRingStress, ConnectionChurnDifferential) {
+  const size_t msg = 12 * kKiB + 40;
+  const int rounds = 5;
+  std::vector<uint8_t> images[2];
+  uint64_t kfuncs[2] = {0, 0};
+  std::vector<uint32_t> probes[2];
+  for (const bool fuse : {true, false}) {
+    core::CopierConfig config;
+    config.enable_ipc_fuse = fuse;
+    CopierStack stack(config);
+    simos::Process* peer = stack.kernel->CreateProcess("peer");
+    stack.service->AttachProcess(peer);
+    const size_t pool_full = stack.kernel->skb_pool().available();
+
+    std::vector<uint32_t> probe;
+    stack.kernel->SetKfuncProbe([&](uint32_t id) { probe.push_back(id); });
+    const uint64_t src = stack.Map(2 * msg * rounds, "src");
+    FillPattern(stack.proc->mem(), src, 2 * msg * rounds, 9090);
+    auto win_or = peer->mem().MapAnonymous(2 * msg * rounds, "win", true);
+    ASSERT_TRUE(win_or.ok());
+
+    std::vector<uint8_t> image;
+    for (int round = 0; round < rounds; ++round) {
+      // Reconnect: a fresh pair each round (the serve harness churn shape).
+      auto [tx, rx] = stack.kernel->CreateSocketPair();
+      const uint64_t rsrc = src + 2 * msg * round;
+      const uint64_t rwin = *win_or + 2 * msg * round;
+      core::Descriptor d0(msg);
+      core::Descriptor d1(msg);
+      const std::vector<simos::SimKernel::RecvWindowSpec> specs = {
+          {rwin, msg, &d0}, {rwin + msg, msg, &d1}};
+      ASSERT_TRUE(stack.kernel->PostRecvRing(*peer, rx, specs, nullptr).ok());
+      for (int i = 0; i < 2; ++i) {
+        size_t sent_total = 0;
+        while (sent_total < msg) {
+          auto sent = stack.kernel->Send(*stack.proc, tx, rsrc + i * msg + sent_total,
+                                         msg - sent_total, nullptr);
+          ASSERT_TRUE(sent.ok());
+          sent_total += *sent;
+          stack.service->DrainAll();
+        }
+      }
+      for (core::Descriptor* d : {&d0, &d1}) {
+        ASSERT_TRUE(core::WaitDescriptor(*d, 0, msg, nullptr,
+                                         [&] { stack.service->DrainAll(); })
+                        .ok());
+        auto filled = stack.kernel->CompleteRecv(*peer, rx, nullptr);
+        ASSERT_TRUE(filled.ok());
+        ASSERT_EQ(*filled, msg);
+      }
+      const std::vector<uint8_t> got = ReadAll(peer->mem(), rwin, 2 * msg);
+      EXPECT_EQ(got, ReadAll(stack.proc->mem(), rsrc, 2 * msg));
+      image.insert(image.end(), got.begin(), got.end());
+    }
+    EXPECT_EQ(stack.kernel->skb_pool().available(), pool_full);
+    if (fuse) {
+      EXPECT_EQ(stack.service->ipc_fuse_stats().fused, 2u * rounds);
+      EXPECT_EQ(stack.service->ipc_fuse_stats().fallbacks(), 0u);
+    }
+    images[fuse ? 0 : 1] = std::move(image);
+    kfuncs[fuse ? 0 : 1] = stack.service->TotalStats().kfuncs_run;
+    probes[fuse ? 0 : 1] = std::move(probe);
+  }
+  EXPECT_EQ(images[0], images[1]);
+  EXPECT_EQ(kfuncs[0], kfuncs[1]);
+  EXPECT_EQ(probes[0], probes[1]);
+}
+
+// --- proxy-transparent forwarding (DESIGN.md §12) ----------------------------
+
+struct ForwardRunResult {
+  std::vector<uint8_t> kv_image;
+  uint64_t kfuncs_run = 0;
+  std::vector<uint32_t> probe;
+  core::CopierService::IpcFuseStats fuse = {};
+};
+
+// Client ships "FWD <id> <len>\r\n<body>" into the proxy's forward-posted
+// window; fused arm: the kernel re-frames it as the "VIA" parcel and splices
+// it straight into the KV server's binder window. Ablation: the message lands
+// in the proxy, which parses, marshals and transacts app-level — the exact
+// work the forward rule replaces.
+ForwardRunResult RunForwardWorkload(bool fuse, size_t body_len, bool split_send) {
+  core::CopierConfig config;
+  config.enable_ipc_fuse = fuse;
+  CopierStack stack(config);
+  simos::Process* proxy = stack.kernel->CreateProcess("proxy");
+  simos::Process* kv = stack.kernel->CreateProcess("kv");
+  stack.service->AttachProcess(proxy);
+  stack.service->AttachProcess(kv);
+  auto [tx, rx] = stack.kernel->CreateSocketPair();
+  simos::BinderDriver binder(stack.kernel.get());
+
+  std::vector<uint8_t> body(body_len);
+  for (size_t i = 0; i < body_len; ++i) {
+    body[i] = static_cast<uint8_t>(i * 131 + 5);
+  }
+  const int upstream = 9;
+  const std::vector<uint8_t> fwd_msg = apps::MiniProxy::BuildMessage(upstream, body);
+  const size_t n = fwd_msg.size();
+  char via[64];
+  const int via_len = std::snprintf(via, sizeof(via), "VIA %d %zu\r\n", upstream, body_len);
+  const size_t parcel_len = 4 + static_cast<size_t>(via_len) + body_len;
+
+  const uint64_t src = stack.Map(n, "fwd-src");
+  EXPECT_TRUE(stack.proc->mem().WriteBytes(src, fwd_msg.data(), n).ok());
+  auto pwin_or = proxy->mem().MapAnonymous(n, "proxy-win", true);
+  auto kv_win_or = kv->mem().MapAnonymous(parcel_len, "kv-win", true);
+  auto marshal_or = proxy->mem().MapAnonymous(parcel_len, "marshal", true);
+  EXPECT_TRUE(pwin_or.ok() && kv_win_or.ok() && marshal_or.ok());
+
+  ForwardRunResult result;
+  stack.kernel->SetKfuncProbe([&](uint32_t id) { result.probe.push_back(id); });
+
+  core::Descriptor d2(parcel_len);
+  EXPECT_TRUE(binder.PostReceive(*kv, *kv_win_or, parcel_len, &d2, nullptr).ok());
+  core::Descriptor d1(n);
+  simos::RecvOptions ropts;
+  ropts.descriptor = &d1;
+  rx->SetForwardRule(apps::MiniProxy::MakeParcelForwardRule(&binder));
+  EXPECT_TRUE(stack.kernel->PostRecv(*proxy, rx, *pwin_or, n, nullptr, ropts).ok());
+
+  if (split_send) {
+    // A partial frame first: the rule must decline (fallback_forward) and the
+    // bytes land in the window app-level instead.
+    const size_t half = n / 2;
+    auto first = stack.kernel->Send(*stack.proc, tx, src, half, nullptr);
+    EXPECT_TRUE(first.ok() && *first == half);
+    auto rest = stack.kernel->Send(*stack.proc, tx, src + half, n - half, nullptr);
+    EXPECT_TRUE(rest.ok() && *rest == n - half);
+  } else {
+    auto sent = stack.kernel->Send(*stack.proc, tx, src, n, nullptr);
+    EXPECT_TRUE(sent.ok()) << sent.status().ToString();
+    EXPECT_EQ(*sent, n);
+  }
+  EXPECT_TRUE(
+      core::WaitDescriptor(d1, 0, n, nullptr, [&] { stack.service->DrainAll(); }).ok());
+  auto reaped = stack.kernel->CompleteRecv(*proxy, rx, nullptr);
+  EXPECT_TRUE(reaped.ok());
+  EXPECT_EQ(*reaped, n);
+
+  if (stack.service->ipc_fuse_stats().forward_fused == 0) {
+    // App-level completion: what the forward rule fuses away.
+    const std::vector<uint8_t> landed = ReadAll(proxy->mem(), *pwin_or, n);
+    EXPECT_EQ(landed, fwd_msg);
+    apps::ParcelWriter writer;
+    std::string item(via, via + via_len);
+    item.append(body.begin(), body.end());
+    writer.WriteString(item);
+    EXPECT_EQ(writer.bytes().size(), parcel_len);
+    EXPECT_TRUE(proxy->mem().WriteBytes(*marshal_or, writer.bytes().data(), parcel_len).ok());
+    auto txn = binder.Transact(*proxy, *marshal_or, parcel_len, nullptr);
+    EXPECT_TRUE(txn.ok()) << txn.status().ToString();
+    EXPECT_TRUE(txn->in_window);
+    EXPECT_TRUE(core::WaitDescriptor(d2, 0, parcel_len, nullptr,
+                                     [&] { stack.service->DrainAll(); })
+                    .ok());
+    binder.Release(txn->id);
+  } else {
+    EXPECT_TRUE(core::WaitDescriptor(d2, 0, parcel_len, nullptr,
+                                     [&] { stack.service->DrainAll(); })
+                    .ok());
+  }
+  result.kv_image = ReadAll(kv->mem(), *kv_win_or, parcel_len);
+  result.kfuncs_run = stack.service->TotalStats().kfuncs_run;
+  result.fuse = stack.service->ipc_fuse_stats();
+  return result;
+}
+
+TEST(ForwardFuse, FusedMatchesAppLevelPath) {
+  const size_t body_len = 96 * kKiB + 31;
+  const ForwardRunResult fused =
+      RunForwardWorkload(/*fuse=*/true, body_len, /*split_send=*/false);
+  const ForwardRunResult staged =
+      RunForwardWorkload(/*fuse=*/false, body_len, /*split_send=*/false);
+
+  // The KV server sees the identical parcel either way.
+  EXPECT_EQ(fused.kv_image, staged.kv_image);
+  // KFUNC parity: k skb-chunk reclaims + 1 binder release on both arms, and
+  // the socket probes fire the same skb ids in the same order.
+  EXPECT_EQ(fused.kfuncs_run, staged.kfuncs_run);
+  EXPECT_GT(fused.kfuncs_run, 1u);
+  EXPECT_EQ(fused.probe, staged.probe);
+
+  EXPECT_EQ(fused.fuse.forward_fused, 1u);
+  EXPECT_EQ(fused.fuse.fallback_forward, 0u);
+  EXPECT_EQ(staged.fuse.forward_fused, 0u);
+}
+
+TEST(ForwardFuse, PartialFrameDeclinesLosslessly) {
+  const size_t body_len = 32 * kKiB + 7;
+  const ForwardRunResult declined =
+      RunForwardWorkload(/*fuse=*/true, body_len, /*split_send=*/true);
+  const ForwardRunResult staged =
+      RunForwardWorkload(/*fuse=*/false, body_len, /*split_send=*/true);
+
+  // The decline rode the app-level path; nothing lost, nothing forwarded.
+  EXPECT_EQ(declined.kv_image, staged.kv_image);
+  EXPECT_EQ(declined.fuse.forward_fused, 0u);
+  EXPECT_GE(declined.fuse.fallback_forward, 1u);
+  // The landing itself still fused into the posted window.
+  EXPECT_GE(declined.fuse.fused, 1u);
+}
+
+// Prefix length == header length with page-aligned endpoints: the spliced
+// source stays page-congruent with the destination window, so the payload
+// interior is satisfied by the zero-copy remap tier — forwarded AND aliased.
+TEST(ForwardFuse, RemapCongruentForwardAliasesInterior) {
+  hw::TimingModel timing = hw::TimingModel::Default();
+  // Make the alias unambiguously cheaper than one engine copy so the
+  // bookkeeping-task cost gate cannot flip this test's outcome.
+  timing.page_remap_cycles = 40;
+  timing.tlb_shootdown_cycles = 100;
+  simos::SimKernel::Config kconfig;
+  kconfig.timing = &timing;
+  simos::SimKernel kernel(kconfig);
+  core::CopierService::Options options;
+  options.config.enable_ipc_fuse = true;
+  options.timing = &timing;
+  core::CopierService service(std::move(options));
+  core::CopierLinux glue(&service, &kernel);
+  glue.Install();
+  simos::Process* client = kernel.CreateProcess("client");
+  simos::Process* proxy = kernel.CreateProcess("proxy");
+  simos::Process* kv = kernel.CreateProcess("kv");
+  service.AttachProcess(client);
+  service.AttachProcess(proxy);
+  service.AttachProcess(kv);
+  auto [tx, rx] = kernel.CreateSocketPair();
+  simos::BinderDriver binder(&kernel);
+
+  constexpr size_t kHdr = 16;
+  const size_t body_len = 256 * kKiB;
+  const size_t n = kHdr + body_len;
+  auto src_or = client->mem().MapAnonymous(n, "src", true);
+  auto pwin_or = proxy->mem().MapAnonymous(n, "proxy-win", true);
+  auto kv_win_or = kv->mem().MapAnonymous(n, "kv-win", true);
+  ASSERT_TRUE(src_or.ok() && pwin_or.ok() && kv_win_or.ok());
+  std::vector<uint8_t> msg(n);
+  std::memcpy(msg.data(), "HDR:0123456789ab", kHdr);
+  for (size_t i = 0; i < body_len; ++i) {
+    msg[kHdr + i] = static_cast<uint8_t>(i * 17 + 3);
+  }
+  ASSERT_TRUE(client->mem().WriteBytes(*src_or, msg.data(), n).ok());
+
+  // Fixed-width header rewrite: the prefix is exactly as long as the header
+  // it replaces, so src+body_off and the window stay page-congruent.
+  auto rule = std::make_shared<simos::ForwardRule>();
+  rule->endpoint = &binder;
+  rule->inspect_limit = kHdr;
+  rule->rewrite_cycles = 0;
+  rule->rewrite = [body_len](const uint8_t* head, size_t head_len,
+                             size_t total) -> std::optional<simos::ForwardAction> {
+    if (head_len < kHdr || total != kHdr + body_len ||
+        std::memcmp(head, "HDR:", 4) != 0) {
+      return std::nullopt;
+    }
+    simos::ForwardAction action;
+    action.body_off = kHdr;
+    action.prefix.assign(head, head + kHdr);
+    action.prefix[0] = 'V';
+    action.prefix[1] = 'I';
+    action.prefix[2] = 'A';
+    return action;
+  };
+  rx->SetForwardRule(rule);
+
+  core::Descriptor d2(n);
+  ASSERT_TRUE(binder.PostReceive(*kv, *kv_win_or, n, &d2, nullptr).ok());
+  core::Descriptor d1(n);
+  simos::RecvOptions ropts;
+  ropts.descriptor = &d1;
+  ASSERT_TRUE(kernel.PostRecv(*proxy, rx, *pwin_or, n, nullptr, ropts).ok());
+  auto sent = kernel.Send(*client, tx, *src_or, n, nullptr);
+  ASSERT_TRUE(sent.ok()) << sent.status().ToString();
+  ASSERT_EQ(*sent, n);
+  ASSERT_TRUE(core::WaitDescriptor(d1, 0, n, nullptr, [&] { service.DrainAll(); }).ok());
+  ASSERT_TRUE(core::WaitDescriptor(d2, 0, n, nullptr, [&] { service.DrainAll(); }).ok());
+  auto reaped = kernel.CompleteRecv(*proxy, rx, nullptr);
+  ASSERT_TRUE(reaped.ok());
+  EXPECT_EQ(*reaped, n);
+
+  std::vector<uint8_t> expected = msg;
+  expected[0] = 'V';
+  expected[1] = 'I';
+  expected[2] = 'A';
+  EXPECT_EQ(ReadAll(kv->mem(), *kv_win_or, n), expected);
+  EXPECT_EQ(service.ipc_fuse_stats().forward_fused, 1u);
+  const core::Engine::Stats stats = service.TotalStats();
+  EXPECT_GT(stats.remapped_bytes, 0u);       // interior aliased, not moved
+  EXPECT_LT(stats.avx_bytes, n);             // only header page + edges moved
 }
 
 // Posted-receive Parcel channel (apps layer) delivers identical strings in
